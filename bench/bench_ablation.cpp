@@ -1,0 +1,96 @@
+// Ablation — how much of TimberWolfMC's accuracy comes from its pieces?
+//
+// Two design choices DESIGN.md calls out are switched off one at a time:
+//
+//  (a) The *dynamic* interconnect-area estimator (the paper's central
+//      contribution). Variants: the full estimator (position modulation
+//      f_x*f_y and pin-density f_rp), a uniform static 0.5*C_W border
+//      (factor (1) only — roughly the prior state of the art), and no
+//      interconnect allowance at all. The estimator-accuracy metric is
+//      Table 3's: the TEIL/area change between stage 1 and stage 2 (small
+//      = stage 1 already reserved the right space).
+//
+//  (b) The overlap-penalty ramp (a successor-TimberWolf cure we adopted):
+//      ramped vs the paper's fixed p2, measured by the residual overlap
+//      stage 1 leaves behind.
+#include "place/legalize.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tw;
+  using namespace tw::bench;
+  const Config cfg = parse_args(argc, argv);
+  const int trials = cfg.trials > 0 ? cfg.trials : 2;
+
+  std::printf("Ablation (a): interconnect-area estimation mode\n");
+  std::printf(
+      "(Table 3 metric: |stage1 -> stage2 change|; the dynamic estimator "
+      "should predict the routed chip best)\n\n");
+
+  struct Mode {
+    const char* name;
+    EstimatorMode mode;
+  };
+  const Mode modes[] = {
+      {"dynamic (paper)", EstimatorMode::kDynamic},
+      {"uniform 0.5*C_W", EstimatorMode::kUniform},
+      {"none", EstimatorMode::kNone},
+  };
+
+  Table ta({"Estimator", "Avg |dTEIL| (%)", "Avg |dArea| (%)",
+            "Avg final TEIL", "Avg final area"});
+  for (const Mode& m : modes) {
+    RunningStats dteil, darea, teil, area;
+    for (int t = 0; t < trials; ++t) {
+      const Netlist nl =
+          generate_circuit(medium_circuit(static_cast<std::uint64_t>(t) + 61));
+      FlowParams fp = flow_params(cfg, trial_seed(cfg, 91, t));
+      fp.stage1.estimator_mode = m.mode;
+      TimberWolfMC flow(nl, fp);
+      Placement placement(nl);
+      const FlowResult r = flow.run(placement);
+      dteil.add(std::abs(r.teil_change_pct()));
+      darea.add(std::abs(r.area_change_pct()));
+      teil.add(r.final_teil);
+      area.add(static_cast<double>(r.final_chip_area));
+    }
+    ta.add_row({m.name, Table::num(dteil.mean(), 1), Table::num(darea.mean(), 1),
+                Table::num(teil.mean(), 0), Table::num(area.mean(), 0)});
+  }
+  ta.print();
+
+  std::printf("\nAblation (b): overlap-penalty ramp\n");
+  std::printf(
+      "(residual overlap stage 1 leaves, and the legalized TEIL after "
+      "cleanup)\n\n");
+  Table tb({"p2 schedule", "Avg residual overlap", "Avg bare overlap",
+            "Avg legalized TEIL"});
+  for (const double growth : {1.0, 20.0}) {
+    RunningStats residual, bare, teil;
+    for (int t = 0; t < trials + 1; ++t) {
+      const Netlist nl =
+          generate_circuit(medium_circuit(static_cast<std::uint64_t>(t) + 71));
+      Stage1Params params;
+      params.attempts_per_cell = cfg.ac;
+      params.overlap_penalty_growth = growth;
+      Stage1Placer placer(nl, params, trial_seed(cfg, 97, t));
+      Placement placement(nl);
+      const Stage1Result r = placer.run(placement);
+      residual.add(static_cast<double>(r.residual_overlap));
+      bare.add(static_cast<double>(bare_overlap(placement)));
+      legalize_spread(placement, r.core, 2 * nl.tech().track_separation);
+      teil.add(placement.teil());
+    }
+    tb.add_row({growth == 1.0 ? "fixed p2 (paper)" : "ramped x20 (ours)",
+                Table::num(residual.mean(), 0), Table::num(bare.mean(), 0),
+                Table::num(teil.mean(), 0)});
+  }
+  tb.print();
+  std::printf(
+      "\nShape check: (a) the dynamic estimator gives the smallest "
+      "stage1->stage2 changes (and the best final TEIL/area); (b) the "
+      "ramp buys guaranteed near-zero overlap for a few percent of "
+      "wirelength — insurance that pays off on circuits whose residue "
+      "cannot be legalized cheaply.\n");
+  return 0;
+}

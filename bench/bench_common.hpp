@@ -1,0 +1,108 @@
+// Shared plumbing for the experiment benches: command-line options, flow
+// parameter presets, and multi-trial helpers.
+//
+// Every bench accepts:
+//   --trials N     trials per configuration (default: bench-specific)
+//   --ac N         stage-1 attempts per cell per temperature (default 25,
+//                  the paper's "early design stage" setting; --paper: 400)
+//   --seed S       base RNG seed
+//   --m N          router alternatives per net (default 4; --paper: 20)
+//   --paper        paper-scale parameters (hours, not minutes)
+//   --circuits a,b restrict the circuit list (names from Table 3/4)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "flow/timberwolf.hpp"
+#include "util/stats.hpp"
+#include "util/tableio.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw::bench {
+
+struct Config {
+  int trials = 0;  ///< 0: bench decides
+  int ac = 25;
+  int stage2_ac = 25;
+  std::uint64_t seed = 1;
+  int m = 4;
+  bool paper = false;
+  std::vector<std::string> circuits;
+
+  bool circuit_enabled(const std::string& name) const {
+    if (circuits.empty()) return true;
+    for (const auto& c : circuits)
+      if (c == name) return true;
+    return false;
+  }
+};
+
+inline Config parse_args(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", a.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (a == "--trials") {
+      cfg.trials = std::atoi(next());
+    } else if (a == "--ac") {
+      cfg.ac = std::atoi(next());
+    } else if (a == "--stage2-ac") {
+      cfg.stage2_ac = std::atoi(next());
+    } else if (a == "--seed") {
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (a == "--m") {
+      cfg.m = std::atoi(next());
+    } else if (a == "--paper") {
+      cfg.paper = true;
+      cfg.ac = 400;
+      cfg.stage2_ac = 100;
+      cfg.m = 20;
+    } else if (a == "--circuits") {
+      std::string list = next();
+      std::size_t pos = 0;
+      while (pos != std::string::npos) {
+        const std::size_t comma = list.find(',', pos);
+        cfg.circuits.push_back(list.substr(
+            pos, comma == std::string::npos ? comma : comma - pos));
+        pos = comma == std::string::npos ? comma : comma + 1;
+      }
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "options: --trials N --ac N --stage2-ac N --seed S --m N --paper "
+          "--circuits a,b,...\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      std::exit(2);
+    }
+  }
+  return cfg;
+}
+
+inline FlowParams flow_params(const Config& cfg, std::uint64_t seed) {
+  FlowParams p;
+  p.stage1.attempts_per_cell = cfg.ac;
+  p.stage2.attempts_per_cell = cfg.stage2_ac;
+  p.stage2.router.steiner.m = cfg.m;
+  p.seed = seed;
+  return p;
+}
+
+/// Derives a per-(circuit, trial) seed from the base seed.
+inline std::uint64_t trial_seed(const Config& cfg, std::uint64_t circuit_salt,
+                                int trial) {
+  return cfg.seed * 0x9E3779B97F4A7C15ull + circuit_salt * 1099511628211ull +
+         static_cast<std::uint64_t>(trial) * 2654435761ull + 1;
+}
+
+}  // namespace tw::bench

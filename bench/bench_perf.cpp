@@ -1,0 +1,149 @@
+// Section 5 (cpu time) — performance characteristics.
+//
+// The paper reports run times proportional to A_c and ranging from 15
+// minutes (smallest circuits) to 4 hours (largest) on a DEC MicroVAX II.
+// This google-benchmark binary measures the hot paths (overlap
+// evaluation, net-span evaluation, shortest paths, channel definition)
+// and the macro-level stage-1 throughput as a function of circuit size,
+// which documents the same proportionality on modern hardware.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel_graph.hpp"
+#include "place/legalize.hpp"
+#include "place/stage1.hpp"
+#include "route/interchange.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+struct PlacedFixture {
+  Netlist nl;
+  Placement placement;
+  Rect core;
+
+  explicit PlacedFixture(int cells) : nl(make_netlist(cells)), placement(nl) {
+    DynamicAreaEstimator est(nl);
+    core = est.compute_initial_core();
+    Rng rng(7);
+    placement.randomize(rng, core);
+    legalize_spread(placement, core, 2);
+  }
+
+  static Netlist make_netlist(int cells) {
+    CircuitSpec spec;
+    spec.name = "perf";
+    spec.num_cells = cells;
+    spec.num_nets = cells * 4;
+    spec.num_pins = cells * 16;
+    spec.mean_cell_dim = 80;
+    return generate_circuit(spec);
+  }
+};
+
+void BM_PairOverlap(benchmark::State& state) {
+  PlacedFixture f(24);
+  OverlapEngine ov(f.placement, f.core, {});
+  CellId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ov.cell_overlap(i));
+    i = static_cast<CellId>((i + 1) % 24);
+  }
+}
+BENCHMARK(BM_PairOverlap);
+
+void BM_NetCost(benchmark::State& state) {
+  PlacedFixture f(24);
+  NetId n = 0;
+  const auto num = static_cast<NetId>(f.nl.num_nets());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.placement.net_cost(n));
+    n = static_cast<NetId>((n + 1) % num);
+  }
+}
+BENCHMARK(BM_NetCost);
+
+void BM_ChannelGraphBuild(benchmark::State& state) {
+  PlacedFixture f(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(build_channel_graph(f.placement, f.core));
+  }
+}
+BENCHMARK(BM_ChannelGraphBuild)->Arg(12)->Arg(24)->Arg(48);
+
+void BM_ShortestPath(benchmark::State& state) {
+  PlacedFixture f(24);
+  const ChannelGraph cg = build_channel_graph(f.placement, f.core);
+  const auto targets = build_net_targets(f.nl, cg);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    const auto& t = targets[n % targets.size()];
+    if (t.pins.size() >= 2)
+      benchmark::DoNotOptimize(
+          shortest_path_between_sets(cg.graph, t.pins[0], t.pins[1]));
+    ++n;
+  }
+}
+BENCHMARK(BM_ShortestPath);
+
+void BM_MBestRoutes(benchmark::State& state) {
+  PlacedFixture f(24);
+  const ChannelGraph cg = build_channel_graph(f.placement, f.core);
+  const auto targets = build_net_targets(f.nl, cg);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        m_best_routes(cg.graph, targets[n % targets.size()], {4, 12}));
+    ++n;
+  }
+}
+BENCHMARK(BM_MBestRoutes);
+
+void BM_GlobalRoute(benchmark::State& state) {
+  PlacedFixture f(24);
+  const ChannelGraph cg = build_channel_graph(f.placement, f.core);
+  const auto targets = build_net_targets(f.nl, cg);
+  for (auto _ : state) {
+    GlobalRouter router(cg.graph, {{4, 12}, 3});
+    benchmark::DoNotOptimize(router.route(targets));
+  }
+}
+BENCHMARK(BM_GlobalRoute);
+
+void BM_Legalize(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    PlacedFixture f(24);
+    Rng rng(11);
+    f.placement.randomize(rng, f.core);
+    state.ResumeTiming();
+    legalize_spread(f.placement, f.core, 2);
+  }
+}
+BENCHMARK(BM_Legalize);
+
+/// Macro benchmark: one full stage-1 run; time should scale with
+/// cells * A_c (Eqn 17, and the paper's cpu-time observations).
+void BM_Stage1(benchmark::State& state) {
+  const Netlist nl = PlacedFixture::make_netlist(static_cast<int>(state.range(0)));
+  Stage1Params params;
+  params.attempts_per_cell = static_cast<int>(state.range(1));
+  params.p2_samples = 8;
+  for (auto _ : state) {
+    Placement placement(nl);
+    Stage1Placer placer(nl, params, 5);
+    benchmark::DoNotOptimize(placer.run(placement));
+  }
+}
+BENCHMARK(BM_Stage1)
+    ->Args({12, 5})
+    ->Args({12, 10})
+    ->Args({12, 20})
+    ->Args({24, 10})
+    ->Args({48, 10})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Tables 1-2 — The cooling schedules, and the resulting temperature
+// trajectory.
+//
+// Not an experiment per se (the tables are configuration), but this bench
+// prints both schedules and simulates the stage-1 trajectory from
+// T_inf = S_T * 1e5 to the stopping temperature, confirming the paper's
+// "approximately 120 temperature values over approximately six decades".
+#include "anneal/schedule.hpp"
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace tw;
+  using namespace tw::bench;
+  parse_args(argc, argv);
+
+  std::printf("Table 1 (stage 1 cooling):\n");
+  const CoolingSchedule stage1 = CoolingSchedule::stage1();
+  Table t1({"For T_old >=", "alpha(T_old)"});
+  for (const auto& s : stage1.steps())
+    t1.add_row({"S_T * " + Table::num(s.threshold, 0), Table::num(s.alpha, 2)});
+  t1.print();
+
+  std::printf("\nTable 2 (stage 2 cooling):\n");
+  const CoolingSchedule stage2 = CoolingSchedule::stage2();
+  Table t2({"For T_old >=", "alpha(T_old)"});
+  for (const auto& s : stage2.steps())
+    t2.add_row({"S_T * " + Table::num(s.threshold, 0), Table::num(s.alpha, 2)});
+  t2.print();
+
+  // Trajectory simulation (S_T = 1).
+  const CoolingSchedule sched = CoolingSchedule::stage1();
+  double t = t_infinity(1.0);
+  int steps = 0;
+  int decade = 6;
+  std::printf("\nStage-1 temperature trajectory (S_T = 1):\n");
+  while (t > 0.1 && steps < 1000) {
+    if (t <= std::pow(10.0, decade)) {
+      std::printf("  step %3d: T = %.3g\n", steps, t);
+      --decade;
+    }
+    t = sched.next(t, 1.0);
+    ++steps;
+  }
+  std::printf(
+      "\nTotal steps from 1e5 down to 0.1: %d (paper: ~120 values over ~6 "
+      "decades)\n",
+      steps);
+  return 0;
+}

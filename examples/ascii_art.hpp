@@ -1,0 +1,45 @@
+// Tiny ASCII rendering of a placement, shared by the examples: each cell
+// is drawn with its own letter inside the chip bounding box.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "place/placement.hpp"
+
+namespace tw::examples {
+
+inline void render_placement(const Placement& placement, const Rect& frame,
+                             int columns = 72) {
+  const int rows =
+      std::max(8, static_cast<int>(columns * frame.height() /
+                                   std::max<Coord>(1, frame.width()) / 2));
+  std::vector<std::string> canvas(static_cast<std::size_t>(rows),
+                                  std::string(static_cast<std::size_t>(columns), '.'));
+
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    const char glyph = static_cast<char>(c < 26 ? 'A' + c : 'a' + (c - 26) % 26);
+    for (const Rect& t : placement.absolute_tiles(c)) {
+      const Rect clipped = t.intersect(frame);
+      if (!clipped.valid()) continue;
+      const int x0 = static_cast<int>((clipped.xlo - frame.xlo) * columns /
+                                      std::max<Coord>(1, frame.width()));
+      const int x1 = static_cast<int>((clipped.xhi - frame.xlo) * columns /
+                                      std::max<Coord>(1, frame.width()));
+      const int y0 = static_cast<int>((clipped.ylo - frame.ylo) * rows /
+                                      std::max<Coord>(1, frame.height()));
+      const int y1 = static_cast<int>((clipped.yhi - frame.ylo) * rows /
+                                      std::max<Coord>(1, frame.height()));
+      for (int y = y0; y < std::min(y1 + 1, rows); ++y)
+        for (int x = x0; x < std::min(x1 + 1, columns); ++x)
+          canvas[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = glyph;
+    }
+  }
+  // Row 0 is the bottom of the chip; print top-down.
+  for (auto it = canvas.rbegin(); it != canvas.rend(); ++it)
+    std::printf("  %s\n", it->c_str());
+}
+
+}  // namespace tw::examples

@@ -1,0 +1,113 @@
+// Chip planning: the scenario the paper emphasizes — a chip mixing
+// fixed-geometry macros with soft custom cells whose aspect ratios,
+// instances and pin positions are still open. TimberWolfMC selects
+// everything at once, guided by the TEIC and the empty space around each
+// cell:
+//   * a custom datapath with a continuous aspect range and a *sequenced*
+//     bus pin group,
+//   * a custom control block restricted to discrete aspect ratios,
+//   * a macro RAM offered in two alternative instances (1-port tall
+//     layout vs 2-port wide layout),
+//   * electrically equivalent feed-through pins on the crossbar macro.
+//
+//   ./chip_planning [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "flow/timberwolf.hpp"
+
+#include "ascii_art.hpp"
+
+using namespace tw;
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  Netlist nl;
+  const NetId bus0 = nl.add_net("bus0");
+  const NetId bus1 = nl.add_net("bus1");
+  const NetId bus2 = nl.add_net("bus2");
+  const NetId clk = nl.add_net("clk");
+  const NetId sel = nl.add_net("sel");
+
+  // Soft datapath: 8000 area units, aspect anywhere in [0.4, 2.5], pins on
+  // a sequenced bus group that must stay ordered along one edge.
+  const CellId dp = nl.add_custom("datapath", 8000, 0.4, 2.5, 8);
+  const GroupId bus_group = nl.add_group(dp, "bus", kSideLeft | kSideRight, true);
+  nl.add_group_pin(dp, bus_group, "d0", bus0);
+  nl.add_group_pin(dp, bus_group, "d1", bus1);
+  nl.add_group_pin(dp, bus_group, "d2", bus2);
+  nl.add_edge_pin(dp, "ck", clk, kSideBottom | kSideTop);
+
+  // Control block: only three discrete realizations are available.
+  const CellId ctl = nl.add_custom("control", 3600, 0.5, 2.0, 6);
+  nl.set_discrete_aspects(ctl, {0.5, 1.0, 2.0});
+  nl.add_edge_pin(ctl, "s", sel, kSideAny);
+  nl.add_edge_pin(ctl, "ck", clk, kSideAny);
+  nl.add_edge_pin(ctl, "b2", bus2, kSideAny);
+
+  // RAM macro with two instances: tall single-port and wide dual-port.
+  const CellId ram = nl.add_macro("ram", {Rect{0, 0, 60, 100}});
+  nl.add_fixed_pin(ram, "q", bus0, Point{60, 50});
+  nl.add_fixed_pin(ram, "ck", clk, Point{30, 0});
+  nl.add_instance(ram, {Rect{0, 0, 110, 55}},
+                  {Point{110, 28}, Point{55, 0}});
+
+  // Crossbar macro with electrically equivalent feed-through pins on
+  // opposite edges (the router may use either end).
+  const CellId xbar = nl.add_macro("xbar", {Rect{0, 0, 90, 50}});
+  const PinId xw = nl.add_fixed_pin(xbar, "b1_w", bus1, Point{0, 25});
+  const PinId xe = nl.add_fixed_pin(xbar, "b1_e", bus1, Point{90, 25});
+  nl.set_equivalent(xw, xe);
+  nl.add_fixed_pin(xbar, "s", sel, Point{45, 50});
+  nl.add_fixed_pin(xbar, "b0", bus0, Point{45, 0});
+
+  // A clock buffer macro to anchor the clk net.
+  const CellId ckb = nl.add_macro("clkbuf", {Rect{0, 0, 30, 30}});
+  nl.add_fixed_pin(ckb, "ck", clk, Point{15, 30});
+  nl.add_fixed_pin(ckb, "b2", bus2, Point{15, 0});
+
+  nl.validate();
+
+  FlowParams params;
+  params.stage1.attempts_per_cell = 80;
+  params.seed = seed;
+  TimberWolfMC flow(nl, params);
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+
+  std::printf("chip planning result (TEIL %.0f -> %.0f, area %lld -> %lld):\n\n",
+              r.stage1_teil, r.final_teil,
+              static_cast<long long>(r.stage1_chip_area),
+              static_cast<long long>(r.final_chip_area));
+
+  for (const auto& cell : nl.cells()) {
+    const CellState& st = placement.state(cell.id);
+    const CellInstance& g = placement.geometry(cell.id);
+    std::printf("  %-9s %4lld x %-4lld orient %-2s", cell.name.c_str(),
+                static_cast<long long>(g.width),
+                static_cast<long long>(g.height), to_string(st.orient));
+    if (cell.is_custom())
+      std::printf("  (chosen aspect %.2f of [%.2f, %.2f]%s)", st.aspect,
+                  cell.aspect_lo, cell.aspect_hi,
+                  cell.discrete_aspects.empty() ? "" : ", discrete");
+    else if (cell.instances.size() > 1)
+      std::printf("  (instance %d of %zu)", st.instance + 1,
+                  cell.instances.size());
+    std::printf("\n");
+  }
+
+  // Where did the sequenced bus land?
+  std::printf("\nsequenced bus pins on 'datapath':\n");
+  for (PinId pid : nl.cell(dp).groups[0].pins) {
+    const Point pos = placement.pin_position(pid);
+    std::printf("  %-3s at (%lld, %lld)\n", nl.pin(pid).name.c_str(),
+                static_cast<long long>(pos.x), static_cast<long long>(pos.y));
+  }
+  std::printf("pin sites above capacity: %d (must be 0)\n",
+              placement.overloaded_sites());
+
+  std::printf("\n");
+  tw::examples::render_placement(placement, r.final_chip_bbox);
+  return 0;
+}

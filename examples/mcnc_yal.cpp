@@ -1,0 +1,47 @@
+// MCNC-format input: parse a YAL macro-cell benchmark (the format of
+// apte, xerox, hp, ami33, ami49) and run the full flow on it.
+//
+//   ./mcnc_yal [path/to/benchmark.yal] [seed]
+//
+// Without arguments, the bundled examples/data/sample.yal is used (the
+// build copies it next to the binary).
+#include <cstdio>
+#include <cstdlib>
+
+#include "flow/report.hpp"
+#include "flow/timberwolf.hpp"
+#include "netlist/yal.hpp"
+
+#include "ascii_art.hpp"
+
+using namespace tw;
+
+int main(int argc, char** argv) {
+  const std::string path = argc > 1 ? argv[1] : "data/sample.yal";
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+
+  Netlist nl;
+  try {
+    nl = parse_yal_file(path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "failed to read %s: %s\n", path.c_str(), e.what());
+    std::fprintf(stderr,
+                 "usage: mcnc_yal [benchmark.yal] [seed]  (run from the "
+                 "examples build directory, or pass a path)\n");
+    return 1;
+  }
+
+  std::printf("YAL benchmark %s: %zu cells, %zu nets, %zu pins\n\n",
+              path.c_str(), nl.num_cells(), nl.num_nets(), nl.num_pins());
+
+  FlowParams params;
+  params.stage1.attempts_per_cell = 60;
+  params.seed = seed;
+  TimberWolfMC flow(nl, params);
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+
+  std::printf("%s\n", flow_report(nl, placement, r).c_str());
+  tw::examples::render_placement(placement, r.final_chip_bbox);
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Quickstart: build a small macro-cell netlist with the builder API, run
+// the full TimberWolfMC flow, and inspect the result. Also demonstrates
+// the text netlist format round trip.
+//
+//   ./quickstart [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "flow/timberwolf.hpp"
+#include "netlist/parser.hpp"
+
+#include "ascii_art.hpp"
+
+using namespace tw;
+
+namespace {
+
+/// A hand-built 6-macro circuit: a datapath block, two RAMs, a ROM, a
+/// control PLA and an L-shaped pad ring corner.
+Netlist build_circuit() {
+  Netlist nl;
+  nl.tech().track_separation = 1;
+
+  const NetId bus_a = nl.add_net("bus_a");
+  const NetId bus_b = nl.add_net("bus_b");
+  const NetId clk = nl.add_net("clk");
+  const NetId ctl = nl.add_net("ctl");
+
+  const CellId dp = nl.add_macro("datapath", {Rect{0, 0, 120, 60}});
+  nl.add_fixed_pin(dp, "a0", bus_a, Point{0, 20});
+  nl.add_fixed_pin(dp, "b0", bus_b, Point{0, 40});
+  nl.add_fixed_pin(dp, "ck", clk, Point{60, 0});
+  nl.add_fixed_pin(dp, "en", ctl, Point{120, 30});
+
+  const CellId ram0 = nl.add_macro("ram0", {Rect{0, 0, 80, 80}});
+  nl.add_fixed_pin(ram0, "a", bus_a, Point{80, 40});
+  nl.add_fixed_pin(ram0, "ck", clk, Point{40, 0});
+
+  const CellId ram1 = nl.add_macro("ram1", {Rect{0, 0, 80, 80}});
+  nl.add_fixed_pin(ram1, "b", bus_b, Point{80, 40});
+  nl.add_fixed_pin(ram1, "ck", clk, Point{40, 80});
+
+  const CellId rom = nl.add_macro("rom", {Rect{0, 0, 100, 40}});
+  nl.add_fixed_pin(rom, "a", bus_a, Point{0, 20});
+  nl.add_fixed_pin(rom, "c", ctl, Point{100, 20});
+
+  // The control PLA is L-shaped (a rectilinear macro).
+  const CellId pla = nl.add_macro_polygon(
+      "pla", {{0, 0}, {90, 0}, {90, 30}, {45, 30}, {45, 60}, {0, 60}});
+  nl.add_fixed_pin(pla, "c", ctl, Point{90, 15});
+  nl.add_fixed_pin(pla, "ck", clk, Point{0, 30});
+  nl.add_fixed_pin(pla, "b", bus_b, Point{45, 60});
+
+  const CellId io = nl.add_macro("iocorner", {Rect{0, 0, 50, 50}});
+  nl.add_fixed_pin(io, "a", bus_a, Point{25, 50});
+  nl.add_fixed_pin(io, "ck", clk, Point{0, 25});
+
+  nl.validate();
+  return nl;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
+
+  Netlist nl = build_circuit();
+  std::printf("circuit: %zu cells, %zu nets, %zu pins\n", nl.num_cells(),
+              nl.num_nets(), nl.num_pins());
+
+  // The netlist round-trips through the text format.
+  const std::string text = write_netlist(nl);
+  std::printf("\n--- netlist file format ---\n%s---\n\n", text.c_str());
+  nl = parse_netlist_string(text);
+
+  FlowParams params;
+  params.stage1.attempts_per_cell = 60;
+  params.seed = seed;
+  TimberWolfMC flow(nl, params);
+
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+
+  std::printf("stage 1: TEIL %.0f, chip area %lld, residual overlap %lld\n",
+              r.stage1_teil, static_cast<long long>(r.stage1_chip_area),
+              static_cast<long long>(r.stage1.residual_overlap));
+  std::printf("stage 2: TEIL %.0f, chip area %lld (change: %.1f%% TEIL, "
+              "%.1f%% area)\n",
+              r.final_teil, static_cast<long long>(r.final_chip_area),
+              r.teil_change_pct(), r.area_change_pct());
+
+  std::printf("\nfinal placement (chip %s):\n", r.final_chip_bbox.str().c_str());
+  for (const auto& cell : nl.cells()) {
+    const CellState& st = placement.state(cell.id);
+    std::printf("  %-10s at (%5lld, %5lld) orient %-2s\n", cell.name.c_str(),
+                static_cast<long long>(st.center.x),
+                static_cast<long long>(st.center.y), to_string(st.orient));
+  }
+  std::printf("\n");
+  tw::examples::render_placement(placement, r.final_chip_bbox);
+  return 0;
+}

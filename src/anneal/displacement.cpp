@@ -1,0 +1,28 @@
+#include "anneal/displacement.hpp"
+
+#include <algorithm>
+
+namespace tw {
+
+Point select_displacement(Rng& rng, Coord wx, Coord wy, PointSelect mode) {
+  if (mode == PointSelect::kStructured) {
+    const Coord sx = std::max<Coord>(1, wx / (2 * kStepLevels));
+    const Coord sy = std::max<Coord>(1, wy / (2 * kStepLevels));
+    Coord ix = 0, iy = 0;
+    while (ix == 0 && iy == 0) {
+      ix = rng.uniform_int(-kStepLevels, kStepLevels);
+      iy = rng.uniform_int(-kStepLevels, kStepLevels);
+    }
+    return {ix * sx, iy * sy};
+  }
+  const Coord hx = std::max<Coord>(1, wx / 2);
+  const Coord hy = std::max<Coord>(1, wy / 2);
+  Coord dx = 0, dy = 0;
+  while (dx == 0 && dy == 0) {
+    dx = rng.uniform_int(-hx, hx);
+    dy = rng.uniform_int(-hy, hy);
+  }
+  return {dx, dy};
+}
+
+}  // namespace tw

@@ -1,0 +1,37 @@
+#include "anneal/schedule.hpp"
+
+#include <stdexcept>
+
+namespace tw {
+
+CoolingSchedule::CoolingSchedule(std::vector<Step> steps)
+    : steps_(std::move(steps)) {
+  if (steps_.empty())
+    throw std::invalid_argument("CoolingSchedule: empty step list");
+  for (std::size_t i = 1; i < steps_.size(); ++i)
+    if (steps_[i].threshold >= steps_[i - 1].threshold)
+      throw std::invalid_argument(
+          "CoolingSchedule: thresholds must strictly descend");
+  if (steps_.back().threshold != 0.0)
+    throw std::invalid_argument(
+        "CoolingSchedule: last step must have threshold 0");
+  for (const auto& s : steps_)
+    if (s.alpha <= 0.0 || s.alpha >= 1.0)
+      throw std::invalid_argument("CoolingSchedule: alpha must be in (0,1)");
+}
+
+CoolingSchedule CoolingSchedule::stage1() {
+  return CoolingSchedule({{7000.0, 0.85}, {200.0, 0.92}, {10.0, 0.85}, {0.0, 0.80}});
+}
+
+CoolingSchedule CoolingSchedule::stage2() {
+  return CoolingSchedule({{10.0, 0.82}, {0.0, 0.70}});
+}
+
+double CoolingSchedule::alpha_at(double t, double scale) const {
+  for (const auto& s : steps_)
+    if (t >= s.threshold * scale) return s.alpha;
+  return steps_.back().alpha;
+}
+
+}  // namespace tw

@@ -1,0 +1,73 @@
+// Cooling schedules and temperature scaling (Section 3.3, Tables 1-2).
+//
+// TimberWolfMC cools with T_new = alpha(T_old) * T_old where alpha is a
+// piecewise-constant function of T_old: fast cooling at very high T (where
+// nearly everything is accepted), slow cooling through the critical range,
+// and fast cooling again at the end so the cost firmly converges.
+//
+// Temperatures are scaled by S_T = c_a / c_a* (Eqns 19-21) where c_a is the
+// circuit's average effective cell area, so the same schedule thresholds
+// apply to circuits of any size or grid resolution. The reference values
+// are c_a* = 1e4 and T_inf* = 1e5 (from 25-cell industrial circuits).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace tw {
+
+inline constexpr double kRefCellArea = 1e4;   ///< c_a* in Eqn 19
+inline constexpr double kRefTInfinity = 1e5;  ///< T_inf* in Eqn 19
+
+/// S_T = avg_cell_area / c_a* (Eqn 20).
+inline double temperature_scale(double avg_cell_area) {
+  return avg_cell_area / kRefCellArea;
+}
+
+/// T_infinity = S_T * T_inf* (Eqn 21).
+inline double t_infinity(double scale) { return scale * kRefTInfinity; }
+
+/// Piecewise-constant alpha(T) lookup. Thresholds are expressed in
+/// *unscaled* units and multiplied by S_T at query time, exactly as the
+/// paper's tables list them ("For T_old >= S_T * 7000: 0.85").
+class CoolingSchedule {
+public:
+  struct Step {
+    double threshold;  ///< smallest unscaled T_old this alpha applies to
+    double alpha;
+  };
+
+  /// `steps` must be sorted by descending threshold and end with a
+  /// threshold-0 fallback entry.
+  explicit CoolingSchedule(std::vector<Step> steps);
+
+  /// Table 1 (stage 1): 0.85 above 7000, 0.92 above 200, 0.85 above 10,
+  /// 0.80 below.
+  static CoolingSchedule stage1();
+
+  /// Table 2 (stage 2): 0.82 above 10, 0.70 below.
+  static CoolingSchedule stage2();
+
+  /// alpha(T_old) for temperature scale S_T.
+  double alpha_at(double t, double scale) const;
+
+  /// One update step (Eqn 18).
+  double next(double t, double scale) const { return t * alpha_at(t, scale); }
+
+  const std::vector<Step>& steps() const { return steps_; }
+
+private:
+  std::vector<Step> steps_;
+};
+
+/// The Metropolis acceptance rule used by every annealer in the package:
+/// downhill moves always accepted, uphill with probability exp(-dC/T).
+inline bool metropolis_accept(double delta_cost, double t, Rng& rng) {
+  if (delta_cost <= 0.0) return true;
+  if (t <= 0.0) return false;
+  return rng.uniform01() < std::exp(-delta_cost / t);
+}
+
+}  // namespace tw

@@ -1,0 +1,146 @@
+#include "baseline/quadratic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "place/legalize.hpp"
+
+namespace tw {
+namespace {
+
+/// One Gauss-Seidel sweep of the resistive network: every cell moves to
+/// the mean of its nets' centroids (centroids computed without the cell
+/// itself to avoid self-reinforcement).
+void relax_sweep(const Netlist& nl, const Placement& placement,
+                 std::vector<double>& x, std::vector<double>& y) {
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    double sx = 0.0, sy = 0.0;
+    int cnt = 0;
+    for (NetId nid : placement.nets_of_cell(static_cast<CellId>(c))) {
+      const Net& net = nl.net(nid);
+      double cx = 0.0, cy = 0.0;
+      int others = 0;
+      for (PinId pid : net.pins) {
+        const auto oc = static_cast<std::size_t>(nl.pin(pid).cell);
+        if (oc == c) continue;
+        cx += x[oc];
+        cy += y[oc];
+        ++others;
+      }
+      if (others == 0) continue;
+      sx += cx / others;
+      sy += cy / others;
+      ++cnt;
+    }
+    if (cnt > 0) {
+      x[c] = sx / cnt;
+      y[c] = sy / cnt;
+    }
+  }
+}
+
+/// Rank spreading: re-distributes one coordinate evenly over [0, side]
+/// while preserving the cells' relative order — the standard trick to keep
+/// an unanchored resistive network from collapsing to its centroid while
+/// retaining the ordering information the relaxation produced.
+void spread_ranks(std::vector<double>& v, double side) {
+  const std::size_t n = v.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return v[a] < v[b]; });
+  for (std::size_t r = 0; r < n; ++r)
+    v[order[r]] = side * (2.0 * static_cast<double>(r) + 1.0) /
+                  (2.0 * static_cast<double>(n));
+}
+
+}  // namespace
+
+BaselineResult place_quadratic(Placement& placement,
+                               const QuadraticParams& params) {
+  const Netlist& nl = placement.netlist();
+  const auto n = nl.num_cells();
+  Rng rng(params.seed);
+
+  // Initial spread inside a square sized to the total cell area.
+  const double side =
+      std::sqrt(static_cast<double>(nl.total_cell_area())) * 1.2;
+  std::vector<double> x(n), y(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    x[c] = rng.uniform_real(0.0, side);
+    y[c] = rng.uniform_real(0.0, side);
+  }
+
+  // Alternate relaxation and rank spreading: the network pulls connected
+  // cells together, the spreading re-opens the density, and the cycle
+  // converges to a meaningful global ordering (Cheng-Kuh's resistive
+  // network with the pad boundary conditions replaced by a density
+  // constraint).
+  const int rounds = std::max(1, params.iterations / 20);
+  for (int round = 0; round < rounds; ++round) {
+    for (int sweep = 0; sweep < 20; ++sweep) relax_sweep(nl, placement, x, y);
+    spread_ranks(x, side);
+    spread_ranks(y, side);
+  }
+  // Final relaxation sharpens local order within the spread layout.
+  for (int sweep = 0; sweep < 5; ++sweep) relax_sweep(nl, placement, x, y);
+
+  // Two legalizations of the analytical solution are tried and the better
+  // kept (they trade off differently: geometric spreading preserves the
+  // network's relative geometry, rank-ordered shelf rows pack tighter):
+  //
+  // (a) geometric: scale into a box with a little slack, then remove the
+  //     overlaps by local spreading;
+  double padded = 0.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const CellInstance& g = placement.geometry(static_cast<CellId>(c));
+    padded += static_cast<double>(g.width + 2 * params.legalize.spacing) *
+              static_cast<double>(g.height + 2 * params.legalize.spacing);
+  }
+  const double box = std::sqrt(padded * 1.15);
+  for (std::size_t c = 0; c < n; ++c) {
+    placement.set_orient(static_cast<CellId>(c), Orient::N);
+    placement.set_center(
+        static_cast<CellId>(c),
+        Point{static_cast<Coord>(std::llround(x[c] / side * box)),
+              static_cast<Coord>(std::llround(y[c] / side * box))});
+  }
+  const Coord b = static_cast<Coord>(std::llround(box));
+  legalize_spread(placement, Rect{0, 0, b, b}.inflated(b / 4),
+                  params.legalize.spacing);
+  const BaselineResult geometric = measure_placement(placement);
+  std::vector<Point> geometric_centers(n);
+  for (std::size_t c = 0; c < n; ++c)
+    geometric_centers[c] = placement.state(static_cast<CellId>(c)).center;
+
+  // (b) rank rows: slice into ~sqrt(n) rows by analytical y, order each by
+  //     analytical x, shelf-pack in that order.
+  std::vector<CellId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const auto rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(n)))));
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b2) {
+    return y[static_cast<std::size_t>(a)] < y[static_cast<std::size_t>(b2)];
+  });
+  const std::size_t per_row = (n + rows - 1) / rows;
+  for (std::size_t r = 0; r * per_row < n; ++r) {
+    const auto lo = order.begin() + static_cast<std::ptrdiff_t>(r * per_row);
+    const auto hi = order.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(n, (r + 1) * per_row));
+    std::sort(lo, hi, [&](CellId a, CellId b2) {
+      return x[static_cast<std::size_t>(a)] < x[static_cast<std::size_t>(b2)];
+    });
+  }
+  shelf_pack(placement, order, params.legalize);
+  const BaselineResult rows_result = measure_placement(placement);
+
+  if (geometric.teil < rows_result.teil) {
+    for (std::size_t c = 0; c < n; ++c)
+      placement.set_center(static_cast<CellId>(c), geometric_centers[c]);
+    return geometric;
+  }
+  return rows_result;
+}
+
+}  // namespace tw

@@ -1,0 +1,27 @@
+// Quadratic ("resistive network") placement baseline.
+//
+// Circuit i1 in Table 4 was compared against a placement produced by
+// resistive-network optimization (Cheng & Kuh 1984). This module provides
+// the closest open stand-in: the netlist is modeled as a resistive network
+// (each net a star of unit conductances to the net's centroid) whose
+// minimum-power node voltages — i.e. the minimizer of the quadratic
+// wirelength — are found by Gauss-Seidel relaxation, then the overlapping
+// analytical solution is legalized by slicing into rows that preserve the
+// relative order (y then x), shelf-packing each row.
+#pragma once
+
+#include "baseline/shelf.hpp"
+#include "util/rng.hpp"
+
+namespace tw {
+
+struct QuadraticParams {
+  int iterations = 200;       ///< Gauss-Seidel sweeps
+  ShelfParams legalize;       ///< spacing/aspect for the legalization
+  std::uint64_t seed = 1;     ///< initial spread
+};
+
+BaselineResult place_quadratic(Placement& placement,
+                               const QuadraticParams& params = {});
+
+}  // namespace tw

@@ -1,0 +1,17 @@
+#include "baseline/random_place.hpp"
+
+#include <numeric>
+
+namespace tw {
+
+BaselineResult place_random(Placement& placement, std::uint64_t seed,
+                            const ShelfParams& params) {
+  Rng rng(seed);
+  std::vector<CellId> order(placement.netlist().num_cells());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(order);
+  shelf_pack(placement, order, params);
+  return measure_placement(placement);
+}
+
+}  // namespace tw

@@ -1,0 +1,14 @@
+// Random legalized placement: cells in random order, shelf-packed. The
+// weakest Table 4 comparator — a placement with no wirelength optimization
+// at all, against which any method should win.
+#pragma once
+
+#include "baseline/shelf.hpp"
+#include "util/rng.hpp"
+
+namespace tw {
+
+BaselineResult place_random(Placement& placement, std::uint64_t seed,
+                            const ShelfParams& params = {});
+
+}  // namespace tw

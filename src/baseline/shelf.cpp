@@ -1,0 +1,78 @@
+#include "baseline/shelf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "estimator/area_estimator.hpp"
+
+namespace tw {
+
+Coord nominal_spacing(const Netlist& nl) {
+  DynamicAreaEstimator est(nl);
+  est.compute_initial_core();
+  return static_cast<Coord>(std::ceil(est.nominal_expansion()));
+}
+
+void shelf_pack(Placement& placement, std::span<const CellId> order,
+                const ShelfParams& params) {
+  double padded_area = 0.0;
+  for (CellId c : order) {
+    const CellInstance& g = placement.geometry(c);
+    padded_area += static_cast<double>(g.width + 2 * params.spacing) *
+                   static_cast<double>(g.height + 2 * params.spacing);
+  }
+  const Coord row_width = std::max<Coord>(
+      1, static_cast<Coord>(std::llround(
+             std::sqrt(padded_area / std::max(params.aspect, 1e-6)))));
+
+  Coord x = 0;
+  Coord y = 0;
+  Coord row_height = 0;
+  for (CellId c : order) {
+    placement.set_orient(c, Orient::N);
+    const CellInstance& g = placement.geometry(c);
+    const Coord w = g.width + 2 * params.spacing;
+    const Coord h = g.height + 2 * params.spacing;
+    if (x > 0 && x + w > row_width) {
+      x = 0;
+      y += row_height;
+      row_height = 0;
+    }
+    placement.set_center(c, Point{x + w / 2, y + h / 2});
+    x += w;
+    row_height = std::max(row_height, h);
+  }
+}
+
+BaselineResult place_shelf(Placement& placement, const ShelfParams& params) {
+  const Netlist& nl = placement.netlist();
+  std::vector<CellId> order(nl.num_cells());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    const Coord ha = placement.geometry(a).height;
+    const Coord hb = placement.geometry(b).height;
+    if (ha != hb) return ha > hb;
+    return a < b;
+  });
+  shelf_pack(placement, order, params);
+  return measure_placement(placement);
+}
+
+BaselineResult measure_placement(const Placement& placement) {
+  BaselineResult r;
+  r.teil = placement.teil();
+  Rect bb;
+  bool first = true;
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c)
+    for (const Rect& t : placement.absolute_tiles(c)) {
+      bb = first ? t : bb.bounding_union(t);
+      first = false;
+    }
+  r.chip_bbox = bb;
+  r.chip_area = bb.area();
+  return r;
+}
+
+}  // namespace tw

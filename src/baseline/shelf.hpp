@@ -1,0 +1,44 @@
+// Shelf/row packing: the legalizer shared by all baseline placers and a
+// (greedy, best-fit-decreasing) placement method in its own right — a
+// stand-in for the row-based constructive placements TimberWolfMC was
+// compared against in Table 4.
+#pragma once
+
+#include <span>
+
+#include "place/placement.hpp"
+
+namespace tw {
+
+struct BaselineResult {
+  double teil = 0.0;
+  Coord chip_area = 0;
+  Rect chip_bbox;
+};
+
+struct ShelfParams {
+  /// Uniform spacing inserted around every cell (routing allowance). Use
+  /// nominal_spacing() for a technology-consistent value.
+  Coord spacing = 0;
+  /// Target chip height/width ratio.
+  double aspect = 1.0;
+};
+
+/// A uniform per-side routing allowance consistent with the interconnect
+/// estimator: the Eqn 5 nominal expansion for this circuit.
+Coord nominal_spacing(const Netlist& nl);
+
+/// Packs the cells into shelves (rows) in the given order, writing centers
+/// and N orientations into `placement`. Rows are filled left to right up to
+/// a width derived from the total area and `aspect`.
+void shelf_pack(Placement& placement, std::span<const CellId> order,
+                const ShelfParams& params);
+
+/// Greedy placement: cells sorted by decreasing height, shelf-packed.
+BaselineResult place_shelf(Placement& placement, const ShelfParams& params);
+
+/// TEIL + chip-bbox area of the current placement (the common measure used
+/// for all Table 4 comparisons).
+BaselineResult measure_placement(const Placement& placement);
+
+}  // namespace tw

@@ -1,0 +1,99 @@
+#include "channel/critical_region.hpp"
+
+namespace tw {
+namespace {
+
+/// True when segment-shaped edge `e` intersects the open interior of `r`.
+bool edge_cuts_interior(const BoundaryEdge& e, const Rect& r) {
+  if (is_vertical(e.side)) {
+    if (e.pos <= r.xlo || e.pos >= r.xhi) return false;
+    return e.span.overlap(r.yspan()) > 0;
+  }
+  if (e.pos <= r.ylo || e.pos >= r.yhi) return false;
+  return e.span.overlap(r.xspan()) > 0;
+}
+
+}  // namespace
+
+std::vector<CriticalRegion> find_critical_regions(
+    const std::vector<PlacedEdge>& edges) {
+  std::vector<CriticalRegion> regions;
+
+  for (std::size_t a = 0; a < edges.size(); ++a) {
+    for (std::size_t b = 0; b < edges.size(); ++b) {
+      if (a == b) continue;
+      const PlacedEdge& ea = edges[a];
+      const PlacedEdge& eb = edges[b];
+      // Different owners (two core edges never bound a channel together —
+      // that degenerate case only arises for an empty core).
+      if (ea.cell == eb.cell) continue;
+      if (ea.is_core() && eb.is_core()) continue;
+
+      Rect r;
+      bool vertical;
+      if (ea.edge.side == Side::kRight && eb.edge.side == Side::kLeft) {
+        // `a` faces right, `b` faces left, `a` strictly to the left of `b`.
+        if (ea.edge.pos > eb.edge.pos) continue;  // touching edges form a zero-thickness region
+        const Span common = ea.edge.span.intersect(eb.edge.span);
+        if (!common.valid() || common.length() <= 0) continue;
+        r = {ea.edge.pos, common.lo, eb.edge.pos, common.hi};
+        vertical = true;
+      } else if (ea.edge.side == Side::kTop && eb.edge.side == Side::kBottom) {
+        if (ea.edge.pos > eb.edge.pos) continue;  // touching edges form a zero-thickness region
+        const Span common = ea.edge.span.intersect(eb.edge.span);
+        if (!common.valid() || common.length() <= 0) continue;
+        r = {common.lo, ea.edge.pos, common.hi, eb.edge.pos};
+        vertical = false;
+      } else {
+        continue;  // only facing pairs, generated once per pair
+      }
+
+      bool clean = true;
+      for (std::size_t o = 0; o < edges.size() && clean; ++o) {
+        if (o == a || o == b) continue;
+        if (edge_cuts_interior(edges[o].edge, r)) clean = false;
+      }
+      if (clean) regions.push_back({r, a, b, vertical});
+    }
+  }
+
+  // Junction regions: where a vertical and a horizontal channel meet at a
+  // crossing, the empty square between them (V.xspan x H.yspan) may belong
+  // to no edge-bounded region (e.g. four cells in a symmetric cross). Add
+  // it so routes can turn the corner. Only crossings adjacent to both
+  // parent channels with positive contact are kept.
+  const std::size_t base = regions.size();
+  for (std::size_t v = 0; v < base; ++v) {
+    if (!regions[v].vertical) continue;
+    for (std::size_t h = 0; h < base; ++h) {
+      if (regions[h].vertical) continue;
+      const Rect& rv = regions[v].rect;
+      const Rect& rh = regions[h].rect;
+      const Rect cand{rv.xlo, rh.ylo, rv.xhi, rh.yhi};
+      if (!cand.valid() || cand.area() == 0) continue;
+      // Skip when the candidate is already covered by a parent region.
+      if (rv.contains(cand) || rh.contains(cand)) continue;
+      // Must touch both parents with positive-length contact.
+      const Rect iv = cand.intersect(rv);
+      const Rect ih = cand.intersect(rh);
+      if (!iv.valid() || (iv.width() <= 0 && iv.height() <= 0)) continue;
+      if (!ih.valid() || (ih.width() <= 0 && ih.height() <= 0)) continue;
+      // Must be empty.
+      bool clean = true;
+      for (std::size_t o = 0; o < edges.size() && clean; ++o)
+        if (edge_cuts_interior(edges[o].edge, cand)) clean = false;
+      if (!clean) continue;
+      // Deduplicate against existing regions (including prior junctions).
+      bool dup = false;
+      for (const auto& r : regions)
+        if (r.rect == cand) {
+          dup = true;
+          break;
+        }
+      if (!dup) regions.push_back({cand, kNoEdge, kNoEdge, true});
+    }
+  }
+  return regions;
+}
+
+}  // namespace tw

@@ -1,0 +1,57 @@
+// Critical regions (Section 4.1).
+//
+// Traditional channel generators produce channels bounded by many cell
+// edges (Figure 7), which makes local congestion impossible to summarize
+// with a single density parameter. TimberWolfMC instead defines a channel
+// — a *critical region* — between every pair of facing parallel cell edges
+// (belonging to different cells, or a cell and the core boundary) such that
+//   (1) the spans of the two edges overlap, bounding a rectangular empty
+//       region whose extent is the common span, and
+//   (2) no other cell edge intersects that region.
+// Every critical region therefore has exactly two bounding edges, so its
+// expected width after routing is the single parameter w = (d + 2) * t_s
+// (Eqn 22) and the spacing requirement between the two edges is immediate.
+//
+// Unlike Chen's bottlenecks, *overlapping* critical regions (one from a
+// vertical edge pair and one from a horizontal pair) are all kept.
+#pragma once
+
+#include "channel/edges.hpp"
+
+namespace tw {
+
+inline constexpr std::size_t kNoEdge = static_cast<std::size_t>(-1);
+
+struct CriticalRegion {
+  Rect rect;           ///< the empty rectangular region
+  std::size_t edge_a;  ///< index into the PlacedEdge list (lower coordinate);
+                       ///< kNoEdge for junction regions
+  std::size_t edge_b;  ///< index of the facing edge (higher coordinate)
+  bool vertical;       ///< true when bounded by vertical edges (left/right)
+
+  /// True for a channel-crossing (junction) region: the empty rectangle
+  /// where a vertical and a horizontal channel meet. Junctions have no
+  /// bounding cell edges of their own; they exist so the channel graph is
+  /// connected across crossings.
+  bool is_junction() const { return edge_a == kNoEdge; }
+
+  /// Separation between the two bounding edges — the channel's thickness,
+  /// i.e. its capacity dimension. For junctions: the smaller rect side.
+  Coord thickness() const {
+    if (is_junction()) return std::min(rect.width(), rect.height());
+    return vertical ? rect.width() : rect.height();
+  }
+
+  /// Common span of the two edges — the channel length.
+  Coord length() const { return vertical ? rect.height() : rect.width(); }
+
+  Point center() const { return rect.center(); }
+};
+
+/// Finds all critical regions among `edges` (as produced by collect_edges),
+/// then adds junction regions so that every channel crossing is covered.
+/// O(E^2 * E) worst case, fine for the cell counts of macro layouts.
+std::vector<CriticalRegion> find_critical_regions(
+    const std::vector<PlacedEdge>& edges);
+
+}  // namespace tw

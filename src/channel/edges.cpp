@@ -1,0 +1,57 @@
+#include "channel/edges.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tw {
+
+std::vector<PlacedEdge> collect_edges(const Placement& placement,
+                                      const Rect& core) {
+  std::vector<PlacedEdge> out;
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    for (const auto& e : exposed_edges(placement.absolute_tiles(c)))
+      out.push_back({c, e});
+  }
+  // Core boundary: the solid lies *outside* the core, so the outward
+  // normals of these edges point into the core.
+  out.push_back({kInvalidCell, {Side::kRight, core.xlo, core.yspan()}});
+  out.push_back({kInvalidCell, {Side::kLeft, core.xhi, core.yspan()}});
+  out.push_back({kInvalidCell, {Side::kTop, core.ylo, core.xspan()}});
+  out.push_back({kInvalidCell, {Side::kBottom, core.yhi, core.xspan()}});
+  return out;
+}
+
+std::vector<std::size_t> map_pins_to_edges(
+    const Placement& placement, const std::vector<PlacedEdge>& edges) {
+  const Netlist& nl = placement.netlist();
+  std::vector<std::size_t> out(nl.num_pins(),
+                               std::numeric_limits<std::size_t>::max());
+
+  for (const auto& pin : nl.pins()) {
+    const Point pos = placement.pin_position(pin.id);
+    // Find the owning cell's edge nearest to the pin position (distance to
+    // the edge line, measured at the clamped span position).
+    Coord best = std::numeric_limits<Coord>::max();
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      if (edges[e].cell != pin.cell) continue;
+      const BoundaryEdge& be = edges[e].edge;
+      Coord d;
+      if (is_vertical(be.side)) {
+        const Coord along = std::clamp(pos.y, be.span.lo, be.span.hi);
+        d = std::abs(pos.x - be.pos) + std::abs(pos.y - along);
+      } else {
+        const Coord along = std::clamp(pos.x, be.span.lo, be.span.hi);
+        d = std::abs(pos.y - be.pos) + std::abs(pos.x - along);
+      }
+      if (d < best) {
+        best = d;
+        out[static_cast<std::size_t>(pin.id)] = e;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tw

@@ -1,0 +1,33 @@
+// Placed-edge extraction: the channel-definition algorithm (Section 4.1)
+// operates on the exposed boundary edges of every placed cell, in chip
+// coordinates, plus the four core-boundary edges (the core border also
+// bounds channels).
+#pragma once
+
+#include "geom/polygon.hpp"
+#include "place/placement.hpp"
+
+namespace tw {
+
+struct PlacedEdge {
+  /// Owning cell, or kInvalidCell for a core-boundary edge.
+  CellId cell = kInvalidCell;
+  /// Edge in chip coordinates; `side` is the direction of the outward
+  /// normal (pointing away from the solid, i.e. into the empty space).
+  BoundaryEdge edge;
+
+  bool is_core() const { return cell == kInvalidCell; }
+};
+
+/// Collects the exposed edges of all placed cells and the four inward-facing
+/// core-boundary edges.
+std::vector<PlacedEdge> collect_edges(const Placement& placement,
+                                      const Rect& core);
+
+/// Pins of the placement mapped to the placed edge they sit on: for each
+/// pin, the index into `edges` of the owning cell's edge whose line contains
+/// (or is nearest to) the pin position. Used to project pins into channels.
+std::vector<std::size_t> map_pins_to_edges(const Placement& placement,
+                                           const std::vector<PlacedEdge>& edges);
+
+}  // namespace tw

@@ -1,0 +1,105 @@
+#include "flow/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "place/legalize.hpp"
+#include "util/tableio.hpp"
+
+namespace tw {
+
+PlacementSummary summarize_placement(const Placement& placement) {
+  const Netlist& nl = placement.netlist();
+  PlacementSummary s;
+  s.teil = placement.teil();
+  s.teic = placement.teic();
+
+  Rect bb;
+  bool first = true;
+  Coord cell_area = 0;
+  for (const auto& cell : nl.cells()) {
+    for (const Rect& t : placement.absolute_tiles(cell.id)) {
+      bb = first ? t : bb.bounding_union(t);
+      first = false;
+      cell_area += t.area();
+    }
+  }
+  s.chip_bbox = bb;
+  s.chip_area = bb.area();
+  s.cell_area = cell_area;
+  s.utilization = s.chip_area > 0 ? static_cast<double>(cell_area) /
+                                        static_cast<double>(s.chip_area)
+                                  : 0.0;
+  s.bare_overlap = bare_overlap(placement);
+  s.overloaded_sites = placement.overloaded_sites();
+  s.cells = nl.num_cells();
+  s.nets = nl.num_nets();
+  s.pins = nl.num_pins();
+  return s;
+}
+
+std::string flow_report(const Netlist& nl, const Placement& placement,
+                        const FlowResult& result) {
+  std::ostringstream os;
+  const PlacementSummary s = summarize_placement(placement);
+
+  os << "TimberWolfMC run report\n";
+  os << "=======================\n\n";
+  os << "circuit: " << s.cells << " cells, " << s.nets << " nets, " << s.pins
+     << " pins (total cell area " << s.cell_area << ")\n\n";
+
+  os << "stage 1 (annealing placement)\n";
+  os << "  T_infinity " << result.stage1.t_infinity << "  (S_T "
+     << result.stage1.temperature_scale << ",  p2 " << result.stage1.p2
+     << ")\n";
+  os << "  temperature steps " << result.stage1.temperature_steps
+     << ", attempts " << result.stage1.attempts << ", accepted "
+     << result.stage1.accepts << "\n";
+  os << "  core " << result.stage1.core.str() << "\n";
+  os << "  TEIL " << result.stage1_teil << ", chip area "
+     << result.stage1_chip_area << ", residual overlap "
+     << result.stage1.residual_overlap << "\n\n";
+
+  os << "stage 2 (channel definition / global routing / refinement)\n";
+  Table passes({"pass", "TEIL", "chip area", "route len", "overflow",
+                "regions", "T steps"});
+  for (std::size_t i = 0; i < result.stage2.passes.size(); ++i) {
+    const RefinementPass& p = result.stage2.passes[i];
+    passes.add_row({Table::integer(static_cast<long long>(i) + 1),
+                    Table::num(p.teil, 0),
+                    Table::integer(p.chip_area),
+                    Table::num(p.route_length, 0),
+                    Table::integer(p.route_overflow),
+                    Table::integer(static_cast<long long>(p.regions)),
+                    Table::integer(p.temperature_steps)});
+  }
+  os << passes.str() << "\n";
+
+  os << "final\n";
+  os << "  TEIL " << s.teil << " (TEIC " << s.teic << ")\n";
+  os << "  chip " << s.chip_bbox.width() << " x " << s.chip_bbox.height()
+     << " = " << s.chip_area << " (utilization "
+     << Table::percent(100.0 * s.utilization, 1) << ")\n";
+  os << "  stage1 -> stage2 change: TEIL "
+     << Table::num(result.teil_change_pct(), 1) << "%, area "
+     << Table::num(result.area_change_pct(), 1) << "%\n";
+  os << "  bare overlap " << s.bare_overlap << ", overloaded pin sites "
+     << s.overloaded_sites << "\n";
+
+  // Largest nets for quick inspection.
+  std::vector<NetId> by_span;
+  for (const auto& n : nl.nets()) by_span.push_back(n.id);
+  std::sort(by_span.begin(), by_span.end(), [&](NetId a, NetId b) {
+    return placement.net_cost(a) > placement.net_cost(b);
+  });
+  os << "\nlongest nets:\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(5, by_span.size()); ++i) {
+    const Net& n = nl.net(by_span[i]);
+    const Rect bb = placement.net_bbox(n.id);
+    os << "  " << n.name << " (" << n.degree() << " pins): span "
+       << bb.width() << " x " << bb.height() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace tw

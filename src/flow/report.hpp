@@ -1,0 +1,33 @@
+// Human-readable run reports: a structured text summary of a FlowResult
+// (per-stage metrics, cooling profile, refinement passes, final layout
+// statistics) suitable for logs or regression archiving.
+#pragma once
+
+#include <string>
+
+#include "flow/timberwolf.hpp"
+
+namespace tw {
+
+/// Summary statistics of a finished placement.
+struct PlacementSummary {
+  double teil = 0.0;
+  double teic = 0.0;
+  Coord chip_area = 0;
+  Rect chip_bbox;
+  Coord cell_area = 0;
+  double utilization = 0.0;  ///< cell area / chip bbox area
+  Coord bare_overlap = 0;
+  int overloaded_sites = 0;
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::size_t pins = 0;
+};
+
+PlacementSummary summarize_placement(const Placement& placement);
+
+/// Multi-section text report of a full flow run.
+std::string flow_report(const Netlist& nl, const Placement& placement,
+                        const FlowResult& result);
+
+}  // namespace tw

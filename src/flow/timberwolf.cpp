@@ -1,0 +1,66 @@
+#include "flow/timberwolf.hpp"
+
+#include "util/log.hpp"
+
+namespace tw {
+namespace {
+
+/// Chip bbox area of the bare placed cells (no expansions): the common
+/// measure applied to both stages and to the baseline placers.
+Rect chip_bbox(const Placement& placement) {
+  Rect bb;
+  bool first = true;
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    for (const Rect& t : placement.absolute_tiles(c)) {
+      bb = first ? t : bb.bounding_union(t);
+      first = false;
+    }
+  }
+  return bb;
+}
+
+}  // namespace
+
+TimberWolfMC::TimberWolfMC(const Netlist& nl, FlowParams params)
+    : nl_(nl), params_(params) {}
+
+Stage1Result TimberWolfMC::run_stage1(Placement& placement) {
+  Stage1Placer stage1(nl_, params_.stage1, params_.seed);
+  return stage1.run(placement);
+}
+
+FlowResult TimberWolfMC::run(Placement& placement) {
+  FlowResult r;
+
+  Stage1Placer stage1(nl_, params_.stage1, params_.seed);
+  r.stage1 = stage1.run(placement);
+  r.stage1_teil = r.stage1.final_teil;
+
+  // Stage-1 chip area: the cells plus the space the estimator reserved.
+  {
+    OverlapEngine ov(placement, stage1.estimator());
+    Rect bb;
+    bool first = true;
+    const auto n = static_cast<CellId>(nl_.num_cells());
+    for (CellId c = 0; c < n; ++c)
+      for (const Rect& t : ov.expanded_tiles(c)) {
+        bb = first ? t : bb.bounding_union(t);
+        first = false;
+      }
+    r.stage1_chip_area = bb.area();
+  }
+  log_info("stage1 done: teil=", r.stage1_teil,
+           " area=", r.stage1_chip_area,
+           " overlap=", r.stage1.residual_overlap);
+
+  Stage2Refiner stage2(nl_, params_.stage2, params_.seed + 0x9E3779B9ull);
+  r.stage2 = stage2.run(placement, r.stage1.core, r.stage1.t_infinity,
+                        r.stage1.temperature_scale);
+  r.final_teil = r.stage2.final_teil;
+  r.final_chip_area = r.stage2.final_chip_area;
+  r.final_chip_bbox = chip_bbox(placement);
+  return r;
+}
+
+}  // namespace tw

@@ -1,0 +1,66 @@
+// The TimberWolfMC flow: the package's public entry point.
+//
+//   Netlist nl = ...;                       // or parse_netlist_file(...)
+//   TimberWolfMC tw(nl, {});                // default parameters
+//   Placement placement(nl);
+//   FlowResult r = tw.run(placement);       // stage 1 + 3 refinements
+//
+// The result carries the per-stage metrics the paper reports: the TEIL and
+// chip area at the end of stage 1 and stage 2 (whose relative change is
+// the estimator-accuracy experiment of Table 3) and the final values used
+// for the comparisons of Table 4.
+#pragma once
+
+#include "place/stage1.hpp"
+#include "refine/stage2.hpp"
+
+namespace tw {
+
+struct FlowParams {
+  Stage1Params stage1;
+  Stage2Params stage2;
+  std::uint64_t seed = 1;
+};
+
+struct FlowResult {
+  Stage1Result stage1;
+  Stage2Result stage2;
+
+  double stage1_teil = 0.0;
+  Coord stage1_chip_area = 0;
+  double final_teil = 0.0;
+  Coord final_chip_area = 0;
+  Rect final_chip_bbox;
+
+  /// Table 3 metrics: percentage change from the end of stage 1 to the end
+  /// of stage 2 (positive = reduction, matching the paper's sign).
+  double teil_change_pct() const {
+    return stage1_teil > 0.0
+               ? 100.0 * (stage1_teil - final_teil) / stage1_teil
+               : 0.0;
+  }
+  double area_change_pct() const {
+    return stage1_chip_area > 0
+               ? 100.0 *
+                     static_cast<double>(stage1_chip_area - final_chip_area) /
+                     static_cast<double>(stage1_chip_area)
+               : 0.0;
+  }
+};
+
+class TimberWolfMC {
+public:
+  TimberWolfMC(const Netlist& nl, FlowParams params = {});
+
+  /// Runs the full flow, leaving the final configuration in `placement`.
+  FlowResult run(Placement& placement);
+
+  /// Runs only stage 1 (useful for experiments that refine separately).
+  Stage1Result run_stage1(Placement& placement);
+
+private:
+  const Netlist& nl_;
+  FlowParams params_;
+};
+
+}  // namespace tw

@@ -1,0 +1,34 @@
+// SVG visualization of placements, channel structures and global
+// routings — the fastest way to inspect what the annealer and router
+// actually produced.
+#pragma once
+
+#include <string>
+
+#include "channel/channel_graph.hpp"
+#include "place/placement.hpp"
+#include "route/interchange.hpp"
+
+namespace tw {
+
+struct VisualizeOptions {
+  bool show_pins = true;
+  bool show_names = true;
+  bool show_core = true;
+  /// Draw critical regions (channel structure) shaded by density when a
+  /// routing result is supplied.
+  bool show_channels = true;
+};
+
+/// The placed cells (macros blue, custom cells green, with pins and
+/// names) inside the core.
+std::string placement_svg(const Placement& placement, const Rect& core,
+                          const VisualizeOptions& opts = {});
+
+/// Placement plus channel structure and the selected global routes (drawn
+/// through the slab centers).
+std::string routing_svg(const Placement& placement, const Rect& core,
+                        const ChannelGraph& cg, const GlobalRouteResult& routed,
+                        const VisualizeOptions& opts = {});
+
+}  // namespace tw

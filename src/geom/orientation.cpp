@@ -1,0 +1,95 @@
+#include "geom/orientation.hpp"
+
+#include <stdexcept>
+
+namespace tw {
+
+bool swaps_axes(Orient o) {
+  switch (o) {
+    case Orient::W:
+    case Orient::E:
+    case Orient::FW:
+    case Orient::FE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Point apply_orient(Orient o, Point p, Coord w, Coord h) {
+  switch (o) {
+    case Orient::N: return p;
+    case Orient::W: return {h - p.y, p.x};          // rotate 90 CCW
+    case Orient::S: return {w - p.x, h - p.y};      // rotate 180
+    case Orient::E: return {p.y, w - p.x};          // rotate 270 CCW
+    case Orient::FN: return {w - p.x, p.y};         // mirror about Y
+    case Orient::FW: return {h - p.y, w - p.x};     // mirror then 90 CCW
+    case Orient::FS: return {p.x, h - p.y};         // mirror then 180
+    case Orient::FE: return {p.y, p.x};             // mirror then 270 CCW
+  }
+  throw std::logic_error("bad orient");
+}
+
+Orient inverse_orient(Orient o) {
+  switch (o) {
+    case Orient::W: return Orient::E;
+    case Orient::E: return Orient::W;
+    default: return o;  // N, S and all mirrored orients are involutions
+  }
+}
+
+Orient compose(Orient a, Orient b) {
+  // Represent each orientation as (mirror m, rotation r) acting as
+  // p -> R(r) * M(m) * p. Composition: (m1,r1)∘(m2,r2) applies (m2,r2)
+  // first. R(r1) M(m1) R(r2) M(m2) = R(r1 + s1*r2) M(m1 xor m2) where
+  // s1 = -1 if m1 else +1 (mirror conjugates rotation to its inverse).
+  auto decompose = [](Orient o, int& m, int& r) {
+    const int v = static_cast<int>(o);
+    m = v >= 4 ? 1 : 0;
+    r = v % 4;
+  };
+  int m1, r1, m2, r2;
+  decompose(a, m1, r1);
+  decompose(b, m2, r2);
+  const int r = ((m1 ? (r1 - r2) : (r1 + r2)) % 4 + 4) % 4;
+  const int m = m1 ^ m2;
+  return static_cast<Orient>(m * 4 + r);
+}
+
+Orient aspect_inverted(Orient o) { return compose(Orient::W, o); }
+
+Point apply_orient_vec(Orient o, Point v) {
+  switch (o) {
+    case Orient::N: return v;
+    case Orient::W: return {-v.y, v.x};
+    case Orient::S: return {-v.x, -v.y};
+    case Orient::E: return {v.y, -v.x};
+    case Orient::FN: return {-v.x, v.y};
+    case Orient::FW: return {-v.y, -v.x};
+    case Orient::FS: return {v.x, -v.y};
+    case Orient::FE: return {v.y, v.x};
+  }
+  throw std::logic_error("bad orient");
+}
+
+const char* to_string(Orient o) {
+  switch (o) {
+    case Orient::N: return "N";
+    case Orient::W: return "W";
+    case Orient::S: return "S";
+    case Orient::E: return "E";
+    case Orient::FN: return "FN";
+    case Orient::FW: return "FW";
+    case Orient::FS: return "FS";
+    case Orient::FE: return "FE";
+  }
+  return "?";
+}
+
+Orient orient_from_string(const std::string& s) {
+  for (Orient o : kAllOrients)
+    if (s == to_string(o)) return o;
+  throw std::invalid_argument("unknown orientation: " + s);
+}
+
+}  // namespace tw

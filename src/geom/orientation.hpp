@@ -1,0 +1,61 @@
+// The eight orientations of a cell (the dihedral group D4): four rotations
+// plus four mirrored rotations. TimberWolfMC considers all eight for every
+// cell because the TEIC is computed from exact pin locations (Section 1).
+//
+// Naming follows the LEF/DEF convention: N/W/S/E are counter-clockwise
+// rotations by 0/90/180/270 degrees; FN/FW/FS/FE are the same preceded by a
+// mirror about the Y axis (x -> -x).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geom/point.hpp"
+
+namespace tw {
+
+enum class Orient : std::uint8_t { N = 0, W, S, E, FN, FW, FS, FE };
+
+inline constexpr std::array<Orient, 8> kAllOrients = {
+    Orient::N,  Orient::W,  Orient::S,  Orient::E,
+    Orient::FN, Orient::FW, Orient::FS, Orient::FE};
+
+/// True if the orientation swaps the cell's width and height (a 90- or
+/// 270-degree rotation, mirrored or not). The paper's "aspect-ratio
+/// inversion" move switches between a swapping and a non-swapping orient.
+bool swaps_axes(Orient o);
+
+/// Transforms a point given in the cell's local frame (bounding box
+/// [0,w] x [0,h], origin at the lower-left corner) into the oriented local
+/// frame, re-normalized so the oriented bounding box again has its
+/// lower-left corner at the origin.
+Point apply_orient(Orient o, Point p, Coord w, Coord h);
+
+/// Bounding-box dimensions after orientation.
+inline Coord oriented_width(Orient o, Coord w, Coord h) {
+  return swaps_axes(o) ? h : w;
+}
+inline Coord oriented_height(Orient o, Coord w, Coord h) {
+  return swaps_axes(o) ? w : h;
+}
+
+/// The orientation whose apply_orient undoes this one.
+Orient inverse_orient(Orient o);
+
+/// apply_orient(compose(a, b), ...) == apply first b, then a.
+Orient compose(Orient a, Orient b);
+
+/// An orientation that inverts the aspect ratio relative to `o` (composes a
+/// 90-degree rotation on top of `o`). Used by the generate function's
+/// aspect-ratio-inversion retry.
+Orient aspect_inverted(Orient o);
+
+/// Applies only the linear part of the orientation to a direction vector
+/// (no bounding-box renormalization). Used to map outward edge normals.
+Point apply_orient_vec(Orient o, Point v);
+
+const char* to_string(Orient o);
+Orient orient_from_string(const std::string& s);
+
+}  // namespace tw

@@ -1,0 +1,52 @@
+// Integer-grid points and 1-D spans. All layout geometry in this library
+// lives on the integer grid inherent in the netlist specification (the
+// paper expresses cell geometry, pin locations and the minimum range-
+// limiter window in those grid units).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace tw {
+
+using Coord = std::int64_t;
+
+struct Point {
+  Coord x = 0;
+  Coord y = 0;
+
+  friend bool operator==(const Point&, const Point&) = default;
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+};
+
+/// Manhattan distance between two points.
+inline Coord manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Closed 1-D interval [lo, hi] on one axis.
+struct Span {
+  Coord lo = 0;
+  Coord hi = 0;
+
+  friend bool operator==(const Span&, const Span&) = default;
+
+  Coord length() const { return hi - lo; }
+  bool valid() const { return hi >= lo; }
+  bool contains(Coord v) const { return v >= lo && v <= hi; }
+
+  /// Intersection (may be invalid if the spans are disjoint).
+  Span intersect(const Span& o) const {
+    return {std::max(lo, o.lo), std::min(hi, o.hi)};
+  }
+
+  /// Length of the overlap with `o` (0 when disjoint or merely touching).
+  Coord overlap(const Span& o) const {
+    const Coord v = std::min(hi, o.hi) - std::max(lo, o.lo);
+    return v > 0 ? v : 0;
+  }
+};
+
+}  // namespace tw

@@ -1,0 +1,172 @@
+#include "geom/polygon.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace tw {
+
+const char* to_string(Side s) {
+  switch (s) {
+    case Side::kLeft: return "left";
+    case Side::kRight: return "right";
+    case Side::kBottom: return "bottom";
+    case Side::kTop: return "top";
+  }
+  return "?";
+}
+
+Side opposite(Side s) {
+  switch (s) {
+    case Side::kLeft: return Side::kRight;
+    case Side::kRight: return Side::kLeft;
+    case Side::kBottom: return Side::kTop;
+    case Side::kTop: return Side::kBottom;
+  }
+  throw std::logic_error("bad side");
+}
+
+std::vector<Rect> decompose_rectilinear(const std::vector<Point>& vertices) {
+  if (vertices.size() < 4)
+    throw std::invalid_argument("decompose_rectilinear: need >= 4 vertices");
+
+  // Collect vertical edges; validate rectilinearity along the way.
+  struct VEdge {
+    Coord x;
+    Coord ylo, yhi;
+  };
+  std::vector<VEdge> vedges;
+  std::vector<Coord> ys;
+  const std::size_t n = vertices.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = vertices[i];
+    const Point& b = vertices[(i + 1) % n];
+    if (a.x != b.x && a.y != b.y)
+      throw std::invalid_argument(
+          "decompose_rectilinear: non-axis-parallel edge");
+    if (a.x == b.x && a.y == b.y)
+      throw std::invalid_argument("decompose_rectilinear: zero-length edge");
+    if (a.x == b.x)
+      vedges.push_back({a.x, std::min(a.y, b.y), std::max(a.y, b.y)});
+    ys.push_back(a.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  // Horizontal slabs between consecutive distinct y values. Within a slab,
+  // the vertical edges crossing it, sorted by x, alternate
+  // outside->inside->outside... so consecutive pairs bound interior runs.
+  std::vector<Rect> tiles;
+  for (std::size_t s = 0; s + 1 < ys.size(); ++s) {
+    const Coord ylo = ys[s];
+    const Coord yhi = ys[s + 1];
+    std::vector<Coord> xs;
+    for (const auto& e : vedges)
+      if (e.ylo <= ylo && e.yhi >= yhi) xs.push_back(e.x);
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() % 2 != 0)
+      throw std::invalid_argument(
+          "decompose_rectilinear: polygon is self-intersecting or malformed");
+    for (std::size_t i = 0; i + 1 < xs.size(); i += 2)
+      if (xs[i + 1] > xs[i]) tiles.push_back({xs[i], ylo, xs[i + 1], yhi});
+  }
+
+  // Merge vertically stackable tiles (same x-range, touching in y) so simple
+  // shapes come out as few tiles (a rectangle decomposes to exactly one).
+  std::sort(tiles.begin(), tiles.end(), [](const Rect& a, const Rect& b) {
+    if (a.xlo != b.xlo) return a.xlo < b.xlo;
+    if (a.xhi != b.xhi) return a.xhi < b.xhi;
+    return a.ylo < b.ylo;
+  });
+  std::vector<Rect> merged;
+  for (const auto& t : tiles) {
+    if (!merged.empty() && merged.back().xlo == t.xlo &&
+        merged.back().xhi == t.xhi && merged.back().yhi == t.ylo) {
+      merged.back().yhi = t.yhi;
+    } else {
+      merged.push_back(t);
+    }
+  }
+  return merged;
+}
+
+std::vector<Span> subtract_spans(const Span& base,
+                                 const std::vector<Span>& covers) {
+  std::vector<Span> sorted;
+  for (const auto& c : covers) {
+    const Span clipped = c.intersect(base);
+    if (clipped.valid() && clipped.length() > 0) sorted.push_back(clipped);
+  }
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Span& a, const Span& b) { return a.lo < b.lo; });
+
+  std::vector<Span> out;
+  Coord cursor = base.lo;
+  for (const auto& c : sorted) {
+    if (c.lo > cursor) out.push_back({cursor, c.lo});
+    cursor = std::max(cursor, c.hi);
+  }
+  if (cursor < base.hi) out.push_back({cursor, base.hi});
+  return out;
+}
+
+namespace {
+
+/// Merges sorted, same-(side,pos) collinear segments that touch.
+void merge_collinear(std::vector<BoundaryEdge>& edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const BoundaryEdge& a, const BoundaryEdge& b) {
+              if (a.side != b.side) return a.side < b.side;
+              if (a.pos != b.pos) return a.pos < b.pos;
+              return a.span.lo < b.span.lo;
+            });
+  std::vector<BoundaryEdge> merged;
+  for (const auto& e : edges) {
+    if (!merged.empty() && merged.back().side == e.side &&
+        merged.back().pos == e.pos && merged.back().span.hi >= e.span.lo) {
+      merged.back().span.hi = std::max(merged.back().span.hi, e.span.hi);
+    } else {
+      merged.push_back(e);
+    }
+  }
+  edges = std::move(merged);
+}
+
+}  // namespace
+
+std::vector<BoundaryEdge> exposed_edges(const std::vector<Rect>& tiles) {
+  std::vector<BoundaryEdge> out;
+  for (std::size_t i = 0; i < tiles.size(); ++i) {
+    const Rect& t = tiles[i];
+
+    // For each side of tile i, collect the spans of other tiles that abut
+    // it exactly, then keep what remains uncovered.
+    std::vector<Span> left, right, bottom, top;
+    for (std::size_t j = 0; j < tiles.size(); ++j) {
+      if (j == i) continue;
+      const Rect& o = tiles[j];
+      if (o.xhi == t.xlo) left.push_back(o.yspan());
+      if (o.xlo == t.xhi) right.push_back(o.yspan());
+      if (o.yhi == t.ylo) bottom.push_back(o.xspan());
+      if (o.ylo == t.yhi) top.push_back(o.xspan());
+    }
+    for (const Span& s : subtract_spans(t.yspan(), left))
+      out.push_back({Side::kLeft, t.xlo, s});
+    for (const Span& s : subtract_spans(t.yspan(), right))
+      out.push_back({Side::kRight, t.xhi, s});
+    for (const Span& s : subtract_spans(t.xspan(), bottom))
+      out.push_back({Side::kBottom, t.ylo, s});
+    for (const Span& s : subtract_spans(t.xspan(), top))
+      out.push_back({Side::kTop, t.yhi, s});
+  }
+  merge_collinear(out);
+  return out;
+}
+
+Coord exposed_perimeter(const std::vector<Rect>& tiles) {
+  Coord p = 0;
+  for (const auto& e : exposed_edges(tiles)) p += e.length();
+  return p;
+}
+
+}  // namespace tw

@@ -1,0 +1,56 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace tw {
+
+Rect Rect::intersect(const Rect& o) const {
+  return {std::max(xlo, o.xlo), std::max(ylo, o.ylo), std::min(xhi, o.xhi),
+          std::min(yhi, o.yhi)};
+}
+
+Coord Rect::overlap_area(const Rect& o) const {
+  const Coord w = std::min(xhi, o.xhi) - std::max(xlo, o.xlo);
+  if (w <= 0) return 0;
+  const Coord h = std::min(yhi, o.yhi) - std::max(ylo, o.ylo);
+  if (h <= 0) return 0;
+  return w * h;
+}
+
+Rect Rect::bounding_union(const Rect& o) const {
+  return {std::min(xlo, o.xlo), std::min(ylo, o.ylo), std::max(xhi, o.xhi),
+          std::max(yhi, o.yhi)};
+}
+
+std::string Rect::str() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%lld,%lld]x[%lld,%lld]",
+                static_cast<long long>(xlo), static_cast<long long>(xhi),
+                static_cast<long long>(ylo), static_cast<long long>(yhi));
+  return buf;
+}
+
+Rect apply_orient(Orient o, const Rect& r, Coord w, Coord h) {
+  const Point a = apply_orient(o, Point{r.xlo, r.ylo}, w, h);
+  const Point b = apply_orient(o, Point{r.xhi, r.yhi}, w, h);
+  return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+          std::max(a.y, b.y)};
+}
+
+Rect bounding_box(const std::vector<Rect>& rects) {
+  if (rects.empty()) throw std::invalid_argument("bounding_box: empty");
+  Rect bb = rects.front();
+  for (std::size_t i = 1; i < rects.size(); ++i)
+    bb = bb.bounding_union(rects[i]);
+  return bb;
+}
+
+Coord total_area(const std::vector<Rect>& rects) {
+  Coord a = 0;
+  for (const auto& r : rects) a += r.area();
+  return a;
+}
+
+}  // namespace tw

@@ -1,0 +1,85 @@
+// Axis-aligned rectangles on the integer grid. Cells are stored as unions
+// of non-overlapping rectangular tiles (Section 3.1.2 of the paper); the
+// overlap penalty C2 and the channel-definition step both operate on
+// rectangles, so this type carries the bulk of the geometric work.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/orientation.hpp"
+#include "geom/point.hpp"
+
+namespace tw {
+
+/// Closed axis-aligned rectangle [xlo,xhi] x [ylo,yhi].
+/// An "empty" rectangle has xhi < xlo or yhi < ylo; width/height/area of an
+/// empty rectangle are 0.
+struct Rect {
+  Coord xlo = 0;
+  Coord ylo = 0;
+  Coord xhi = 0;
+  Coord yhi = 0;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+
+  static Rect from_center(Point center, Coord w, Coord h) {
+    return {center.x - w / 2, center.y - h / 2, center.x - w / 2 + w,
+            center.y - h / 2 + h};
+  }
+
+  bool valid() const { return xhi >= xlo && yhi >= ylo; }
+  Coord width() const { return xhi > xlo ? xhi - xlo : 0; }
+  Coord height() const { return yhi > ylo ? yhi - ylo : 0; }
+  Coord area() const { return width() * height(); }
+  Coord half_perimeter() const { return width() + height(); }
+  Point center() const { return {(xlo + xhi) / 2, (ylo + yhi) / 2}; }
+  Span xspan() const { return {xlo, xhi}; }
+  Span yspan() const { return {ylo, yhi}; }
+
+  bool contains(Point p) const {
+    return p.x >= xlo && p.x <= xhi && p.y >= ylo && p.y <= yhi;
+  }
+  bool contains(const Rect& r) const {
+    return r.xlo >= xlo && r.xhi <= xhi && r.ylo >= ylo && r.yhi <= yhi;
+  }
+
+  /// Intersection rectangle (possibly invalid when disjoint).
+  Rect intersect(const Rect& o) const;
+
+  /// Area of the geometric intersection (0 when disjoint or only touching
+  /// along an edge). This is the O_t(t_i, t_j) of Eqn 8.
+  Coord overlap_area(const Rect& o) const;
+
+  /// True when interiors intersect (positive-area overlap).
+  bool overlaps(const Rect& o) const { return overlap_area(o) > 0; }
+
+  /// Smallest rectangle containing both.
+  Rect bounding_union(const Rect& o) const;
+
+  /// Expands each side outward by the given (non-negative) amounts. This is
+  /// how interconnect area is appended around cell contours (Section 2.2).
+  Rect inflated(Coord left, Coord right, Coord bottom, Coord top) const {
+    return {xlo - left, ylo - bottom, xhi + right, yhi + top};
+  }
+  Rect inflated(Coord all) const { return inflated(all, all, all, all); }
+
+  Rect translated(Point d) const {
+    return {xlo + d.x, ylo + d.y, xhi + d.x, yhi + d.y};
+  }
+
+  std::string str() const;
+};
+
+/// Orients a rectangle given in a cell's local frame with bounding box
+/// [0,w] x [0,h] (see apply_orient for the frame convention).
+Rect apply_orient(Orient o, const Rect& r, Coord w, Coord h);
+
+/// Bounding box of a non-empty list of rectangles.
+Rect bounding_box(const std::vector<Rect>& rects);
+
+/// Total area of a set of *non-overlapping* rectangles.
+Coord total_area(const std::vector<Rect>& rects);
+
+}  // namespace tw

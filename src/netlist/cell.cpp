@@ -1,0 +1,54 @@
+#include "netlist/cell.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tw {
+
+SideMask side_to_mask(Side s) {
+  switch (s) {
+    case Side::kLeft: return kSideLeft;
+    case Side::kRight: return kSideRight;
+    case Side::kBottom: return kSideBottom;
+    case Side::kTop: return kSideTop;
+  }
+  throw std::logic_error("bad side");
+}
+
+std::vector<Side> sides_in_mask(std::uint8_t mask) {
+  std::vector<Side> out;
+  for (Side s : {Side::kLeft, Side::kRight, Side::kBottom, Side::kTop})
+    if (mask & side_to_mask(s)) out.push_back(s);
+  return out;
+}
+
+CellInstance Cell::realize_custom(Coord target_area, double aspect) {
+  if (target_area <= 0)
+    throw std::invalid_argument("realize_custom: non-positive area");
+  if (aspect <= 0.0)
+    throw std::invalid_argument("realize_custom: non-positive aspect");
+  // aspect = h / w and w * h = area  =>  w = sqrt(area / aspect).
+  const double wf = std::sqrt(static_cast<double>(target_area) / aspect);
+  const Coord w = std::max<Coord>(1, static_cast<Coord>(std::llround(wf)));
+  const Coord h = std::max<Coord>(
+      1, static_cast<Coord>(std::llround(static_cast<double>(target_area) /
+                                         static_cast<double>(w))));
+  CellInstance inst;
+  inst.tiles = {Rect{0, 0, w, h}};
+  inst.width = w;
+  inst.height = h;
+  return inst;
+}
+
+double Cell::clamp_aspect(double aspect) const {
+  if (!discrete_aspects.empty()) {
+    double best = discrete_aspects.front();
+    for (double a : discrete_aspects)
+      if (std::abs(a - aspect) < std::abs(best - aspect)) best = a;
+    return best;
+  }
+  return std::clamp(aspect, aspect_lo, aspect_hi);
+}
+
+}  // namespace tw

@@ -1,0 +1,122 @@
+// Cells: the placeable objects of TimberWolfMC.
+//
+// The paper distinguishes
+//   * macro cells  — fixed rectilinear geometry, fixed pin locations;
+//   * custom cells — estimated area with an aspect-ratio range (continuous
+//     or discrete) and pins that still need to be placed on the boundary.
+// Either kind may offer several *instances* (alternative realizations);
+// TimberWolfMC selects the instance, aspect ratio, orientation and pin
+// placement during annealing, guided by the TEIC and the geometry of the
+// empty space allotted for the cell.
+//
+// Geometry convention: every instance's geometry lives in a local frame
+// whose bounding box has its lower-left corner at the origin. A cell's
+// position in the placement is the *center* of its oriented bounding box
+// (the generate function displaces cell centers).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/rect.hpp"
+
+namespace tw {
+
+using CellId = std::int32_t;
+using NetId = std::int32_t;
+using PinId = std::int32_t;
+using InstanceId = std::int32_t;
+using GroupId = std::int32_t;
+
+inline constexpr CellId kInvalidCell = -1;
+inline constexpr NetId kInvalidNet = -1;
+inline constexpr GroupId kNoGroup = -1;
+
+enum class CellKind : std::uint8_t { kMacro, kCustom };
+
+/// Bitmask of cell sides a pin (or pin group) may be assigned to.
+enum SideMask : std::uint8_t {
+  kSideLeft = 1u << 0,
+  kSideRight = 1u << 1,
+  kSideBottom = 1u << 2,
+  kSideTop = 1u << 3,
+  kSideAny = kSideLeft | kSideRight | kSideBottom | kSideTop,
+};
+
+SideMask side_to_mask(Side s);
+/// Sides present in `mask`, in kLeft, kRight, kBottom, kTop order.
+std::vector<Side> sides_in_mask(std::uint8_t mask);
+
+/// How a pin's location is determined (Section 2.4's cases 1-4).
+enum class PinCommit : std::uint8_t {
+  kFixed,      ///< case 1: fixed offset in the instance's local frame
+  kEdge,       ///< case 2: assigned to an edge / edges, free position
+  kGrouped,    ///< case 3: member of a group restricted to an edge / edges
+  kSequenced,  ///< case 4: member of a group with a fixed internal order
+};
+
+/// One alternative geometric realization of a cell.
+struct CellInstance {
+  std::string name;
+
+  /// Non-overlapping tiles in the local frame (bbox lower-left at origin).
+  /// For a custom instance this is the single rectangle realizing the
+  /// current aspect ratio and is recomputed when the aspect ratio changes.
+  std::vector<Rect> tiles;
+
+  /// Fixed pin offsets, indexed by position in Cell::pins; entries for
+  /// uncommitted pins are ignored (their location comes from pin sites).
+  std::vector<Point> pin_offsets;
+
+  Coord width = 0;   ///< bounding-box width in the local frame
+  Coord height = 0;  ///< bounding-box height
+
+  Coord area() const { return total_area(tiles); }
+};
+
+/// A group of uncommitted pins placed together (cases 3 and 4).
+struct PinGroup {
+  std::string name;
+  std::vector<PinId> pins;   ///< in sequence order when `sequenced`
+  std::uint8_t side_mask = kSideAny;
+  bool sequenced = false;
+};
+
+struct Cell {
+  CellId id = kInvalidCell;
+  std::string name;
+  CellKind kind = CellKind::kMacro;
+
+  std::vector<CellInstance> instances;  ///< at least one
+
+  /// Pins owned by this cell (indices into Netlist::pins), in the order
+  /// matching CellInstance::pin_offsets.
+  std::vector<PinId> pins;
+
+  std::vector<PinGroup> groups;  ///< uncommitted pin groups (custom cells)
+
+  // --- custom-cell parameters -------------------------------------------
+  Coord target_area = 0;        ///< estimated area (custom cells)
+  double aspect_lo = 1.0;       ///< allowed aspect-ratio range h/w
+  double aspect_hi = 1.0;
+  /// If non-empty, the aspect ratio is restricted to these discrete values.
+  std::vector<double> discrete_aspects;
+  int sites_per_edge = 8;       ///< pin sites per boundary edge
+
+  bool is_custom() const { return kind == CellKind::kCustom; }
+  bool has_aspect_freedom() const {
+    return is_custom() && (aspect_hi > aspect_lo || discrete_aspects.size() > 1);
+  }
+
+  /// Realizes a custom-cell rectangle of `target_area` with aspect ratio
+  /// (height/width) as close to `aspect` as the integer grid allows.
+  static CellInstance realize_custom(Coord target_area, double aspect);
+
+  /// Clamps `aspect` into the legal range (snapping to the nearest discrete
+  /// value when the range is discrete).
+  double clamp_aspect(double aspect) const;
+};
+
+}  // namespace tw

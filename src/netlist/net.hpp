@@ -1,0 +1,45 @@
+// Pins and nets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace tw {
+
+/// A pin is a connection point on a cell. Its absolute location depends on
+/// the owning cell's position, orientation, selected instance, and (for
+/// uncommitted pins) the pin-site assignment.
+struct Pin {
+  PinId id = -1;
+  std::string name;
+  CellId cell = kInvalidCell;
+  NetId net = kInvalidNet;
+
+  PinCommit commit = PinCommit::kFixed;
+  std::uint8_t side_mask = kSideAny;  ///< for kEdge pins
+  GroupId group = kNoGroup;           ///< for kGrouped / kSequenced pins
+
+  /// Electrical-equivalence class within the net (pins sharing a nonzero
+  /// class are interchangeable targets for the global router, e.g. the two
+  /// ends of an internal feed-through). 0 means "no equivalent pins".
+  std::int32_t equiv_class = 0;
+
+  bool committed() const { return commit == PinCommit::kFixed; }
+};
+
+/// A net connects two or more pins. The TEIC weighs each net's horizontal
+/// and vertical spans independently (Eqn 6).
+struct Net {
+  NetId id = kInvalidNet;
+  std::string name;
+  std::vector<PinId> pins;
+  double weight_h = 1.0;  ///< h(n) in Eqn 6
+  double weight_v = 1.0;  ///< v(n) in Eqn 6
+
+  std::size_t degree() const { return pins.size(); }
+};
+
+}  // namespace tw

@@ -1,0 +1,44 @@
+// A small human-readable netlist format, so circuits can be stored on disk
+// and the examples can ship self-contained inputs. Grammar (one directive
+// per line, '#' comments):
+//
+//   tech track_separation <int>
+//   tech modulation <Mmax> <Bmin>
+//   net <name> [hweight <f>] [vweight <f>]          # optional pre-declare
+//   macro <name>
+//     rect <w> <h>
+//     polygon <x> <y> <x> <y> ...                   # rectilinear outline
+//     pin <name> net <net> at <x> <y>
+//   end
+//   custom <name> area <A> aspect <lo> <hi> [sites <k>]
+//     aspects <a1> <a2> ...                         # discrete aspect set
+//     pin <name> net <net> fixed <x> <y>
+//     pin <name> net <net> edges <sides>            # sides in {L,R,B,T,*}
+//     group <name> edges <sides> [seq]
+//       pin <name> net <net>
+//     endgroup
+//   end
+//   equiv <cell>.<pin> <cell>.<pin>
+//
+// Nets are created on first reference. Pin offsets for `at`/`fixed` are in
+// the cell's local frame (bbox lower-left at origin).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace tw {
+
+/// Parses the format above. Throws std::runtime_error with a line number
+/// on malformed input. The returned netlist has been validate()d.
+Netlist parse_netlist(std::istream& in);
+Netlist parse_netlist_string(const std::string& text);
+Netlist parse_netlist_file(const std::string& path);
+
+/// Serializes a netlist back to the same format (round-trippable).
+std::string write_netlist(const Netlist& nl);
+void write_netlist_file(const Netlist& nl, const std::string& path);
+
+}  // namespace tw

@@ -1,0 +1,40 @@
+// Pin sites (Section 2.4).
+//
+// The exact set of legal pin locations on a custom cell can number in the
+// thousands per edge and would have to be stored for all eight
+// orientations; TimberWolfMC instead defines a modest number of
+// approximately evenly spaced *pin sites* per edge. Each site has a
+// capacity equal to the number of real pin locations it encompasses, and
+// the stage-1 penalty C3 discourages assigning more pins to a site than
+// its capacity.
+#pragma once
+
+#include <vector>
+
+#include "netlist/cell.hpp"
+
+namespace tw {
+
+struct PinSite {
+  Side side;        ///< which bbox edge the site lies on
+  Point offset;     ///< site location in the instance's local frame
+  int capacity;     ///< pin locations encompassed by this site
+};
+
+/// Builds the pin sites for a (rectangular) custom-cell instance:
+/// `sites_per_edge` sites per bbox edge, evenly spaced, with capacity
+/// edge_length / sites_per_edge / pitch (at least 1).
+///
+/// Sites are indexed edge-major in kLeft, kRight, kBottom, kTop order and
+/// ascending along each edge, so site index = side_index * sites_per_edge +
+/// position. site_index_of() encodes that mapping.
+std::vector<PinSite> make_pin_sites(const CellInstance& inst,
+                                    int sites_per_edge, Coord pitch);
+
+/// Index of site `k` (0-based along the edge) on `side`.
+int site_index_of(Side side, int k, int sites_per_edge);
+
+/// Indices of all sites whose side is within `mask`.
+std::vector<int> sites_in_mask(std::uint8_t mask, int sites_per_edge);
+
+}  // namespace tw

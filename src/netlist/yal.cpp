@@ -1,0 +1,333 @@
+#include "netlist/yal.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace tw {
+namespace {
+
+/// Tokenizer: YAL statements are ';'-terminated, whitespace-separated,
+/// with '/* ... */' comments. Tracks line numbers for error reporting.
+class Lexer {
+public:
+  explicit Lexer(std::istream& in) : in_(in) {}
+
+  /// Next token, or empty string at end of input. ';' is its own token.
+  std::string next() {
+    skip_space_and_comments();
+    if (!in_.good()) return {};
+    const int c = in_.peek();
+    if (c == EOF) return {};
+    if (c == ';') {
+      in_.get();
+      return ";";
+    }
+    std::string tok;
+    while (in_.good()) {
+      const int ch = in_.peek();
+      if (ch == EOF || std::isspace(ch) || ch == ';') break;
+      tok.push_back(static_cast<char>(in_.get()));
+    }
+    return tok;
+  }
+
+  int line() const { return line_; }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::runtime_error("YAL parse error at line " +
+                             std::to_string(line_) + ": " + msg);
+  }
+
+private:
+  void skip_space_and_comments() {
+    while (in_.good()) {
+      int c = in_.peek();
+      if (c == '\n') {
+        ++line_;
+        in_.get();
+      } else if (std::isspace(c)) {
+        in_.get();
+      } else if (c == '/') {
+        in_.get();
+        if (in_.peek() == '*') {
+          in_.get();
+          int prev = 0;
+          while (in_.good()) {
+            c = in_.get();
+            if (c == '\n') ++line_;
+            if (prev == '*' && c == '/') break;
+            prev = c;
+          }
+        } else {
+          in_.unget();
+          return;
+        }
+      } else {
+        return;
+      }
+    }
+  }
+
+  std::istream& in_;
+  int line_ = 1;
+};
+
+std::string upper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(c));
+  return s;
+}
+
+struct YalTerminal {
+  std::string name;
+  Point at;
+};
+
+struct YalModule {
+  std::string name;
+  std::string type;                 ///< GENERAL / STANDARD / PAD / PARENT
+  std::vector<Point> outline;       ///< DIMENSIONS vertices (raw coords)
+  std::vector<YalTerminal> terminals;
+  // PARENT only:
+  struct Instance {
+    std::string name;
+    std::string module;
+    std::vector<std::string> signals;
+  };
+  std::vector<Instance> instances;
+};
+
+Coord parse_coord(Lexer& lex, const std::string& tok) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(tok, &used);
+    if (used != tok.size()) lex.fail("bad number '" + tok + "'");
+    return static_cast<Coord>(std::llround(v));
+  } catch (const std::invalid_argument&) {
+    lex.fail("bad number '" + tok + "'");
+  } catch (const std::out_of_range&) {
+    lex.fail("number out of range '" + tok + "'");
+  }
+}
+
+bool is_number(const std::string& tok) {
+  if (tok.empty()) return false;
+  const char c = tok[0];
+  return std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+         c == '.';
+}
+
+YalModule parse_module(Lexer& lex) {
+  YalModule mod;
+  mod.name = lex.next();
+  if (mod.name.empty()) lex.fail("MODULE without a name");
+  if (lex.next() != ";") lex.fail("expected ';' after module name");
+
+  for (std::string tok = upper(lex.next()); tok != "ENDMODULE";
+       tok = upper(lex.next())) {
+    if (tok.empty()) lex.fail("unexpected end of input inside MODULE");
+    if (tok == "TYPE") {
+      mod.type = upper(lex.next());
+      if (lex.next() != ";") lex.fail("expected ';' after TYPE");
+    } else if (tok == "DIMENSIONS") {
+      std::vector<Coord> coords;
+      for (std::string t = lex.next(); t != ";"; t = lex.next()) {
+        if (t.empty()) lex.fail("unexpected end of input in DIMENSIONS");
+        coords.push_back(parse_coord(lex, t));
+      }
+      if (coords.size() % 2 != 0 || coords.size() < 8)
+        lex.fail("DIMENSIONS needs an even number (>= 8) of coordinates");
+      for (std::size_t i = 0; i + 1 < coords.size(); i += 2)
+        mod.outline.push_back({coords[i], coords[i + 1]});
+    } else if (tok == "IOLIST") {
+      if (lex.next() != ";") lex.fail("expected ';' after IOLIST");
+      for (std::string t = lex.next(); upper(t) != "ENDIOLIST";
+           t = lex.next()) {
+        if (t.empty()) lex.fail("unexpected end of input in IOLIST");
+        // <term> <dir> <x> <y> [width [layer]] ;
+        YalTerminal term;
+        term.name = t;
+        lex.next();  // direction (B/I/O/PI/PO/F/...) — unused
+        term.at.x = parse_coord(lex, lex.next());
+        term.at.y = parse_coord(lex, lex.next());
+        // Optional width / layer trail up to ';'.
+        for (std::string rest = lex.next(); rest != ";"; rest = lex.next()) {
+          if (rest.empty()) lex.fail("unterminated IOLIST entry");
+          if (!is_number(rest) && rest.size() > 8)
+            lex.fail("unexpected token '" + rest + "' in IOLIST entry");
+        }
+        mod.terminals.push_back(std::move(term));
+      }
+      if (lex.next() != ";") lex.fail("expected ';' after ENDIOLIST");
+    } else if (tok == "NETWORK") {
+      if (lex.next() != ";") lex.fail("expected ';' after NETWORK");
+      for (std::string t = lex.next(); upper(t) != "ENDNETWORK";
+           t = lex.next()) {
+        if (t.empty()) lex.fail("unexpected end of input in NETWORK");
+        YalModule::Instance inst;
+        inst.name = t;
+        inst.module = lex.next();
+        for (std::string sig = lex.next(); sig != ";"; sig = lex.next()) {
+          if (sig.empty()) lex.fail("unterminated NETWORK entry");
+          inst.signals.push_back(sig);
+        }
+        mod.instances.push_back(std::move(inst));
+      }
+      if (lex.next() != ";") lex.fail("expected ';' after ENDNETWORK");
+    } else if (tok == "CURRENT" || tok == "VOLTAGE" || tok == "PROFILE") {
+      // Electrical annotations: skip to ';'.
+      for (std::string t = lex.next(); t != ";"; t = lex.next())
+        if (t.empty()) lex.fail("unterminated statement");
+    } else {
+      lex.fail("unknown statement '" + tok + "'");
+    }
+  }
+  if (lex.next() != ";") lex.fail("expected ';' after ENDMODULE");
+  return mod;
+}
+
+}  // namespace
+
+Netlist parse_yal(std::istream& in, const YalOptions& opts) {
+  Lexer lex(in);
+  std::map<std::string, YalModule> modules;
+  const YalModule* parent = nullptr;
+
+  for (std::string tok = lex.next(); !tok.empty(); tok = lex.next()) {
+    if (upper(tok) != "MODULE") lex.fail("expected MODULE, got '" + tok + "'");
+    YalModule mod = parse_module(lex);
+    const std::string name = mod.name;
+    auto [it, fresh] = modules.emplace(name, std::move(mod));
+    if (!fresh) lex.fail("duplicate module " + name);
+    if (it->second.type == "PARENT") {
+      if (parent) lex.fail("multiple PARENT modules");
+      parent = &it->second;
+    }
+  }
+  if (!parent) throw std::runtime_error("YAL: no PARENT module found");
+
+  Netlist nl;
+  std::map<std::string, NetId> nets;
+  auto net_id = [&](const std::string& sig) {
+    auto it = nets.find(sig);
+    if (it != nets.end()) return it->second;
+    const NetId id = nl.add_net(sig);
+    nets.emplace(sig, id);
+    return id;
+  };
+
+  // Instantiate cells; remember (cell, pin offset, signal) bindings and
+  // attach pins afterwards so singleton/power nets can be filtered.
+  struct Binding {
+    CellId cell;
+    std::string terminal;
+    Point offset;
+    std::string signal;
+  };
+  std::vector<Binding> bindings;
+
+  for (const auto& inst : parent->instances) {
+    const auto mit = modules.find(inst.module);
+    if (mit == modules.end())
+      throw std::runtime_error("YAL: instance " + inst.name +
+                               " references unknown module " + inst.module);
+    const YalModule& proto = mit->second;
+    if (proto.type == "PARENT")
+      throw std::runtime_error("YAL: cannot instantiate the PARENT module");
+    if (proto.outline.empty())
+      throw std::runtime_error("YAL: module " + proto.name +
+                               " has no DIMENSIONS");
+    if (inst.signals.size() != proto.terminals.size())
+      throw std::runtime_error(
+          "YAL: instance " + inst.name + " binds " +
+          std::to_string(inst.signals.size()) + " signals to module " +
+          proto.name + " with " + std::to_string(proto.terminals.size()) +
+          " terminals");
+
+    // Normalize outline to the origin; shift terminals identically.
+    const CellId cell = nl.add_macro_polygon(inst.name, proto.outline);
+    Coord min_x = proto.outline[0].x, min_y = proto.outline[0].y;
+    for (const Point& v : proto.outline) {
+      min_x = std::min(min_x, v.x);
+      min_y = std::min(min_y, v.y);
+    }
+    for (std::size_t k = 0; k < proto.terminals.size(); ++k) {
+      const std::string& sig = inst.signals[k];
+      if (opts.power_names.count(sig)) continue;
+      bindings.push_back({cell, proto.terminals[k].name,
+                          proto.terminals[k].at - Point{min_x, min_y}, sig});
+    }
+  }
+
+  // Filter singleton signals, then attach pins.
+  std::map<std::string, int> fanout;
+  for (const auto& b : bindings) ++fanout[b.signal];
+  std::map<std::string, int> pin_counter;
+  for (const auto& b : bindings) {
+    if (opts.drop_singleton_nets && fanout[b.signal] < 2) continue;
+    const int k = pin_counter[b.terminal + "@" +
+                              std::to_string(b.cell)]++;
+    nl.add_fixed_pin(b.cell, k == 0 ? b.terminal
+                                    : b.terminal + "_" + std::to_string(k),
+                     net_id(b.signal), b.offset);
+  }
+
+  nl.validate();
+  return nl;
+}
+
+Netlist parse_yal_string(const std::string& text, const YalOptions& opts) {
+  std::istringstream is(text);
+  return parse_yal(is, opts);
+}
+
+Netlist parse_yal_file(const std::string& path, const YalOptions& opts) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open YAL file " + path);
+  return parse_yal(in, opts);
+}
+
+std::string write_yal(const Netlist& nl, const std::string& chip_name) {
+  std::ostringstream os;
+  for (const auto& cell : nl.cells()) {
+    const CellInstance& inst = cell.instances.front();
+    os << "MODULE " << cell.name << "_t;\n";
+    os << "  TYPE GENERAL;\n";
+    // Emit the bounding box as the outline (tile-exact outlines would need
+    // a contour walk; the bbox is what the classic benchmarks use for
+    // their mostly-rectangular macros).
+    os << "  DIMENSIONS 0 0 " << inst.width << " 0 " << inst.width << " "
+       << inst.height << " 0 " << inst.height << ";\n";
+    os << "  IOLIST;\n";
+    for (std::size_t k = 0; k < cell.pins.size(); ++k) {
+      const Pin& p = nl.pin(cell.pins[k]);
+      // Uncommitted pins are emitted at the bbox center (YAL has no
+      // uncommitted-pin concept).
+      const Point at = p.commit == PinCommit::kFixed ? inst.pin_offsets[k]
+                                                     : Point{inst.width / 2,
+                                                             inst.height / 2};
+      os << "    " << p.name << " B " << at.x << " " << at.y << " 1 PDIFF;\n";
+    }
+    os << "  ENDIOLIST;\n";
+    os << "ENDMODULE;\n\n";
+  }
+
+  os << "MODULE " << chip_name << ";\n";
+  os << "  TYPE PARENT;\n";
+  os << "  DIMENSIONS 0 0 1 0 1 1 0 1;\n";
+  os << "  IOLIST;\n  ENDIOLIST;\n";
+  os << "  NETWORK;\n";
+  for (const auto& cell : nl.cells()) {
+    os << "    " << cell.name << " " << cell.name << "_t";
+    for (PinId pid : cell.pins) os << " " << nl.net(nl.pin(pid).net).name;
+    os << ";\n";
+  }
+  os << "  ENDNETWORK;\n";
+  os << "ENDMODULE;\n";
+  return os.str();
+}
+
+}  // namespace tw

@@ -1,0 +1,80 @@
+#include "place/cost.hpp"
+
+#include <algorithm>
+
+namespace tw {
+
+CostModel::CostModel(const Placement& placement, const OverlapEngine& overlap,
+                     CostParams params)
+    : placement_(&placement), overlap_(&overlap), params_(params) {}
+
+double CostModel::calibrate_p2(Placement& placement, OverlapEngine& overlap,
+                               const Rect& core, Rng& rng, int samples) {
+  double sum_c1 = 0.0;
+  double sum_c2 = 0.0;
+  for (int s = 0; s < samples; ++s) {
+    placement.randomize(rng, core);
+    overlap.refresh_all();
+    sum_c1 += placement.teic();
+    sum_c2 += static_cast<double>(overlap.total_overlap());
+  }
+  p2_ = sum_c2 > 0.0 ? params_.eta * sum_c1 / sum_c2 : 1.0;
+  return p2_;
+}
+
+CostTerms CostModel::full() const {
+  CostTerms t;
+  t.c1 = placement_->teic();
+  t.c2_raw = static_cast<double>(overlap_->total_overlap());
+  for (const auto& cell : placement_->netlist().cells())
+    if (cell.is_custom())
+      t.c3 += placement_->site_penalty(cell.id, params_.kappa);
+  return t;
+}
+
+double CostModel::partial_c1(std::span<const CellId> cells) const {
+  if (cells.size() == 1) {
+    double sum = 0.0;
+    for (NetId n : placement_->nets_of_cell(cells[0]))
+      sum += placement_->net_cost(n);
+    return sum;
+  }
+  // Deduplicate nets across the affected cells.
+  std::vector<NetId> nets;
+  for (CellId c : cells) {
+    const auto& cn = placement_->nets_of_cell(c);
+    nets.insert(nets.end(), cn.begin(), cn.end());
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  double sum = 0.0;
+  for (NetId n : nets) sum += placement_->net_cost(n);
+  return sum;
+}
+
+double CostModel::net_cost_sum(std::span<const NetId> nets) const {
+  double sum = 0.0;
+  for (NetId n : nets) sum += placement_->net_cost(n);
+  return sum;
+}
+
+double CostModel::partial_c2_raw(std::span<const CellId> cells) const {
+  Coord sum = 0;
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    sum += overlap_->cell_overlap(cells[a]);
+    // cell_overlap(i) + cell_overlap(j) counts O(i,j) twice.
+    for (std::size_t b = a + 1; b < cells.size(); ++b)
+      sum -= overlap_->pair_overlap(cells[a], cells[b]);
+  }
+  return static_cast<double>(sum);
+}
+
+double CostModel::partial_c3(std::span<const CellId> cells) const {
+  double sum = 0.0;
+  for (CellId c : cells)
+    if (placement_->netlist().cell(c).is_custom())
+      sum += placement_->site_penalty(c, params_.kappa);
+  return sum;
+}
+
+}  // namespace tw

@@ -1,0 +1,272 @@
+#include "place/legalize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace tw {
+
+Coord bare_overlap(const Placement& placement) {
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  Coord sum = 0;
+  for (CellId i = 0; i < n; ++i) {
+    const auto ti = placement.absolute_tiles(i);
+    for (CellId j = i + 1; j < n; ++j)
+      for (const Rect& a : ti)
+        for (const Rect& b : placement.absolute_tiles(j))
+          sum += a.overlap_area(b);
+  }
+  return sum;
+}
+
+LegalizeResult legalize_spread(Placement& placement, const Rect& core,
+                               Coord margin, int max_iterations,
+                               bool allow_repack) {
+  LegalizeResult result;
+  result.initial_overlap = bare_overlap(placement);
+
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  const Coord m2 = (margin + 1) / 2;  // per-cell share of the margin
+
+  // Progress is measured on the quantity the sweeps actually optimize:
+  // overlap of the margin-inflated tiles.
+  const auto margin_overlap = [&]() {
+    const auto nn = static_cast<CellId>(placement.netlist().num_cells());
+    const Coord mm = (margin + 1) / 2;
+    Coord sum = 0;
+    for (CellId i = 0; i < nn; ++i) {
+      const auto ti = placement.absolute_tiles(i);
+      for (CellId j = static_cast<CellId>(i + 1); j < nn; ++j)
+        for (const Rect& a : ti)
+          for (const Rect& b : placement.absolute_tiles(j))
+            sum += a.inflated(mm).overlap_area(b.inflated(mm));
+    }
+    return sum;
+  };
+
+  Coord best_seen = margin_overlap();
+  int stalled = 0;
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Stop early when the sweeps cycle without progress — continuing only
+    // random-walks the cells and degrades the wirelength.
+    if (iter % 5 == 4) {
+      const Coord now = margin_overlap();
+      if (now == 0) break;
+      if (now < best_seen) {
+        best_seen = now;
+        stalled = 0;
+      } else if (++stalled >= 3) {
+        break;
+      }
+    }
+    bool moved = false;
+
+    // Clamp into the (margin-shrunk) core first so separations push
+    // against a fixed wall.
+    const Rect wall = core.inflated(-m2);
+    for (CellId c = 0; c < n; ++c) {
+      const Rect bb = placement.bbox(c);
+      Coord dx = 0, dy = 0;
+      if (bb.xlo < wall.xlo) dx = wall.xlo - bb.xlo;
+      if (bb.xhi > wall.xhi) dx = wall.xhi - bb.xhi;
+      if (bb.ylo < wall.ylo) dy = wall.ylo - bb.ylo;
+      if (bb.yhi > wall.yhi) dy = wall.yhi - bb.yhi;
+      if (dx != 0 || dy != 0) {
+        placement.set_center(c, placement.state(c).center + Point{dx, dy});
+        moved = true;
+      }
+    }
+
+    for (CellId i = 0; i < n; ++i) {
+      for (CellId j = static_cast<CellId>(i + 1); j < n; ++j) {
+        // Deepest colliding tile pair (with the margin applied), measured
+        // by the smaller of its two axis penetrations. Tile-level
+        // penetration keeps moves small for rectilinear cells, whose
+        // bounding boxes can overlap legally.
+        Coord sep_x = 0, sep_y = 0;
+        for (const Rect& ta : placement.absolute_tiles(i)) {
+          const Rect am = ta.inflated(m2);
+          for (const Rect& tb : placement.absolute_tiles(j)) {
+            const Rect bm = tb.inflated(m2);
+            const Coord px = std::min(am.xhi, bm.xhi) - std::max(am.xlo, bm.xlo);
+            const Coord py = std::min(am.yhi, bm.yhi) - std::max(am.ylo, bm.ylo);
+            if (px <= 0 || py <= 0) continue;
+            if (px <= py) {
+              sep_x = std::max(sep_x, px);
+            } else {
+              sep_y = std::max(sep_y, py);
+            }
+          }
+        }
+        if (sep_x == 0 && sep_y == 0) continue;
+
+        moved = true;
+        const Rect a = placement.bbox(i);
+        const Rect b = placement.bbox(j);
+        // Separate along the axis needing the smaller nonzero move.
+        if (sep_x != 0 && (sep_y == 0 || sep_x <= sep_y)) {
+          const Coord half = (sep_x + 1) / 2;
+          const Coord dir = a.center().x <= b.center().x ? 1 : -1;
+          placement.set_center(i, placement.state(i).center + Point{-dir * half, 0});
+          placement.set_center(j, placement.state(j).center + Point{dir * (sep_x - half), 0});
+        } else {
+          const Coord half = (sep_y + 1) / 2;
+          const Coord dir = a.center().y <= b.center().y ? 1 : -1;
+          placement.set_center(i, placement.state(i).center + Point{0, -dir * half});
+          placement.set_center(j, placement.state(j).center + Point{0, dir * (sep_y - half)});
+        }
+      }
+    }
+
+    ++result.iterations;
+    if (!moved) break;
+  }
+  result.final_overlap = bare_overlap(placement);
+
+  if (result.final_overlap > 0) {
+    // The spreading pass can cycle in tightly packed clusters (a cell
+    // squeezed wall-to-wall between neighbors). Escalate gently: move each
+    // still-overlapping cell to the nearest free pocket that fits it.
+    relocate_overlapping(placement, core, margin);
+    result.final_overlap = bare_overlap(placement);
+  }
+  // The row repack is destructive (it rebuilds the whole arrangement), so
+  // it is reserved for substantial failures; sliver overlaps — well under
+  // the area a detailed router absorbs in one channel — are tolerated.
+  const Coord tolerance =
+      std::max<Coord>(1, placement.netlist().total_cell_area() / 50);
+  if (allow_repack && result.final_overlap > tolerance) {
+    legalize_repack(placement, core, margin);
+    result.repacked = true;
+    result.final_overlap = bare_overlap(placement);
+  }
+  return result;
+}
+
+bool relocate_overlapping(Placement& placement, const Rect& core,
+                          Coord margin) {
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+
+  auto cell_overlap = [&](CellId c) {
+    Coord sum = 0;
+    const auto tc = placement.absolute_tiles(c);
+    for (CellId o = 0; o < n; ++o) {
+      if (o == c) continue;
+      for (const Rect& a : tc)
+        for (const Rect& b : placement.absolute_tiles(o))
+          sum += a.overlap_area(b);
+    }
+    return sum;
+  };
+
+  /// Would cell `c` centered at `pos` sit margin-clear of every other cell
+  /// and inside the core?
+  auto fits_at = [&](CellId c, Point pos) {
+    const Point cur = placement.state(c).center;
+    const Point d = pos - cur;
+    for (Rect t : placement.absolute_tiles(c)) {
+      t = t.translated(d);
+      if (!core.contains(t)) return false;
+      const Rect tm = t.inflated(margin);
+      for (CellId o = 0; o < n; ++o) {
+        if (o == c) continue;
+        for (const Rect& ot : placement.absolute_tiles(o))
+          if (tm.overlaps(ot)) return false;
+      }
+    }
+    return true;
+  };
+
+  bool all_fixed = true;
+  for (CellId c = 0; c < n; ++c) {
+    if (cell_overlap(c) == 0) continue;
+    const Point cur = placement.state(c).center;
+    const Rect bb = placement.bbox(c);
+
+    // Candidate scan, nearest fitting position wins. Three passes bound
+    // the work on large cores: a fine lattice near the cell (pockets just
+    // big enough are pitch-sensitive), then coarse and half-coarse
+    // lattices over the whole core.
+    const Coord fine = std::max<Coord>(
+        {Coord{1}, margin, std::min(bb.width(), bb.height()) / 16});
+    const Coord coarse =
+        std::max<Coord>(2 * fine, std::min(bb.width(), bb.height()) / 4);
+    const Rect local{cur.x - 2 * bb.width(), cur.y - 2 * bb.height(),
+                     cur.x + 2 * bb.width(), cur.y + 2 * bb.height()};
+    struct Scan {
+      Rect area;
+      Coord step;
+    };
+    const Scan scans[] = {{local.intersect(core), fine},
+                          {core, coarse},
+                          {core, std::max<Coord>(fine, coarse / 2)}};
+
+    bool placed = false;
+    for (const Scan& scan : scans) {
+      if (!scan.area.valid()) continue;
+      Point best = cur;
+      Coord best_dist = -1;
+      for (Coord cx = scan.area.xlo; cx <= scan.area.xhi; cx += scan.step) {
+        for (Coord cy = scan.area.ylo; cy <= scan.area.yhi; cy += scan.step) {
+          const Point cand{cx, cy};
+          const Coord d = manhattan(cur, cand);
+          if (best_dist >= 0 && d >= best_dist) continue;
+          if (fits_at(c, cand)) {
+            best = cand;
+            best_dist = d;
+          }
+        }
+      }
+      if (best_dist >= 0) {
+        placement.set_center(c, best);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) all_fixed = false;
+  }
+  return all_fixed && bare_overlap(placement) == 0;
+}
+
+void legalize_repack(Placement& placement, const Rect& core, Coord margin) {
+  const auto n = placement.netlist().num_cells();
+  if (n == 0) return;
+
+  std::vector<CellId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](CellId a, CellId b) {
+    const Point ca = placement.state(a).center;
+    const Point cb = placement.state(b).center;
+    if (ca.y != cb.y) return ca.y < cb.y;
+    return ca.x < cb.x;
+  });
+  const auto rows = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(std::sqrt(static_cast<double>(n)))));
+  const std::size_t per_row = (n + rows - 1) / rows;
+
+  Coord y = core.ylo + margin;
+  for (std::size_t r = 0; r * per_row < n; ++r) {
+    const std::size_t lo = r * per_row;
+    const std::size_t hi = std::min(n, (r + 1) * per_row);
+    std::sort(order.begin() + static_cast<std::ptrdiff_t>(lo),
+              order.begin() + static_cast<std::ptrdiff_t>(hi),
+              [&](CellId a, CellId b) {
+                return placement.state(a).center.x < placement.state(b).center.x;
+              });
+    Coord x = core.xlo + margin;
+    Coord row_h = 0;
+    for (std::size_t k = lo; k < hi; ++k) {
+      const CellId c = order[k];
+      const CellInstance& g = placement.geometry(c);
+      const CellState& st = placement.state(c);
+      const Coord w = oriented_width(st.orient, g.width, g.height);
+      const Coord h = oriented_height(st.orient, g.width, g.height);
+      placement.set_center(c, Point{x + w / 2, y + h / 2});
+      x += w + margin;
+      row_h = std::max(row_h, h);
+    }
+    y += row_h + margin;
+  }
+}
+
+}  // namespace tw

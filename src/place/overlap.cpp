@@ -1,0 +1,88 @@
+#include "place/overlap.hpp"
+
+#include <stdexcept>
+
+namespace tw {
+
+OverlapEngine::OverlapEngine(const Placement& placement,
+                             const DynamicAreaEstimator& est)
+    : placement_(&placement), estimator_(&est), core_(est.core()) {
+  const std::size_t n = placement.netlist().num_cells();
+  expansion_.assign(n, {0, 0, 0, 0});
+  tiles_.resize(n);
+  refresh_all();
+}
+
+OverlapEngine::OverlapEngine(const Placement& placement, Rect core,
+                             std::vector<std::array<Coord, 4>> static_expansions)
+    : placement_(&placement), core_(core) {
+  const std::size_t n = placement.netlist().num_cells();
+  if (static_expansions.empty()) static_expansions.assign(n, {0, 0, 0, 0});
+  if (static_expansions.size() != n)
+    throw std::invalid_argument("OverlapEngine: expansion count mismatch");
+  expansion_ = std::move(static_expansions);
+  tiles_.resize(n);
+  refresh_all();
+}
+
+void OverlapEngine::refresh(CellId c) {
+  if (estimator_) {
+    const CellState& st = placement_->state(c);
+    expansion_[static_cast<std::size_t>(c)] = estimator_->side_expansions(
+        c, st.instance, st.orient, st.center);
+  }
+  recache_tiles(c);
+}
+
+void OverlapEngine::refresh_all() {
+  const auto n = static_cast<CellId>(placement_->netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) refresh(c);
+}
+
+void OverlapEngine::recache_tiles(CellId c) {
+  const auto& e = expansion_[static_cast<std::size_t>(c)];
+  auto tiles = placement_->absolute_tiles(c);
+  for (auto& t : tiles) t = t.inflated(e[0], e[1], e[2], e[3]);
+  tiles_[static_cast<std::size_t>(c)] = std::move(tiles);
+}
+
+void OverlapEngine::set_expansions(CellId c, std::array<Coord, 4> e) {
+  expansion_[static_cast<std::size_t>(c)] = e;
+  recache_tiles(c);
+}
+
+Coord OverlapEngine::pair_overlap(CellId i, CellId j) const {
+  const auto& ti = tiles_[static_cast<std::size_t>(i)];
+  const auto& tj = tiles_[static_cast<std::size_t>(j)];
+  Coord sum = 0;
+  for (const auto& a : ti)
+    for (const auto& b : tj) sum += a.overlap_area(b);
+  return sum;
+}
+
+Coord OverlapEngine::border_overlap(CellId c) const {
+  Coord sum = 0;
+  for (const auto& t : tiles_[static_cast<std::size_t>(c)])
+    sum += t.area() - t.intersect(core_).area();
+  return sum;
+}
+
+Coord OverlapEngine::cell_overlap(CellId c) const {
+  const auto n = static_cast<CellId>(tiles_.size());
+  Coord sum = border_overlap(c);
+  for (CellId j = 0; j < n; ++j)
+    if (j != c) sum += pair_overlap(c, j);
+  return sum;
+}
+
+Coord OverlapEngine::total_overlap() const {
+  const auto n = static_cast<CellId>(tiles_.size());
+  Coord sum = 0;
+  for (CellId i = 0; i < n; ++i) {
+    sum += border_overlap(i);
+    for (CellId j = i + 1; j < n; ++j) sum += pair_overlap(i, j);
+  }
+  return sum;
+}
+
+}  // namespace tw

@@ -1,0 +1,83 @@
+// The overlap penalty engine (Section 3.1.2, Eqns 7-8).
+//
+// A rectilinear cell is a union of non-overlapping rectangular tiles;
+// O(i, j) is the total common area of the tiles of cells i and j, where
+// each tile has first been expanded outward by the interconnect-area
+// estimate for its cell's sides. Keeping the expanded tiles cached per
+// cell makes each pairwise evaluation a handful of rectangle
+// intersections.
+//
+// Core containment (footnote 16) is handled by four conceptual dummy
+// cells extending outward from the core sides: a cell's "border overlap"
+// is the area of its expanded tiles lying outside the core rectangle.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "estimator/area_estimator.hpp"
+#include "place/placement.hpp"
+
+namespace tw {
+
+class OverlapEngine {
+public:
+  /// Dynamic mode (stage 1): expansions come from the estimator and are
+  /// refreshed whenever a cell participates in a move.
+  OverlapEngine(const Placement& placement, const DynamicAreaEstimator& est);
+
+  /// Static mode (stage 2) or no-expansion mode: per-cell side expansions
+  /// fixed by the caller (empty vector -> all zero).
+  OverlapEngine(const Placement& placement, Rect core,
+                std::vector<std::array<Coord, 4>> static_expansions);
+
+  void set_core(Rect core) { core_ = core; }
+  const Rect& core() const { return core_; }
+
+  /// Re-derives cell `c`'s expansion (dynamic mode) and re-caches its
+  /// expanded absolute tiles. Must be called after any mutation of the
+  /// cell's placement state.
+  void refresh(CellId c);
+
+  /// Refreshes every cell (after randomize() or a bulk restore).
+  void refresh_all();
+
+  /// O(i, j): overlap area between the expanded tiles of two cells.
+  Coord pair_overlap(CellId i, CellId j) const;
+
+  /// Area of cell `c`'s expanded tiles outside the core (the dummy-cell
+  /// overlap of footnote 16).
+  Coord border_overlap(CellId c) const;
+
+  /// Sum of O(c, j) over all j != c, plus border overlap.
+  Coord cell_overlap(CellId c) const;
+
+  /// Sum over unordered pairs of O(i, j) plus all border overlaps: the raw
+  /// (unnormalized) value inside Eqn 7.
+  Coord total_overlap() const;
+
+  /// The expanded tiles currently cached for a cell.
+  const std::vector<Rect>& expanded_tiles(CellId c) const {
+    return tiles_[static_cast<std::size_t>(c)];
+  }
+
+  /// The per-side expansions currently applied to a cell (L, R, B, T).
+  const std::array<Coord, 4>& expansions(CellId c) const {
+    return expansion_[static_cast<std::size_t>(c)];
+  }
+
+  /// Overrides the expansions for one cell (used by stage 2 when channel
+  /// densities prescribe the spacing).
+  void set_expansions(CellId c, std::array<Coord, 4> e);
+
+private:
+  void recache_tiles(CellId c);
+
+  const Placement* placement_;
+  const DynamicAreaEstimator* estimator_ = nullptr;  ///< null in static mode
+  Rect core_;
+  std::vector<std::array<Coord, 4>> expansion_;
+  std::vector<std::vector<Rect>> tiles_;  ///< expanded absolute tiles
+};
+
+}  // namespace tw

@@ -1,0 +1,272 @@
+#include "place/placement.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace tw {
+
+Placement::Placement(const Netlist& nl) : nl_(&nl) {
+  states_.resize(nl.num_cells());
+  cell_nets_.resize(nl.num_cells());
+  local_index_.assign(nl.num_pins(), -1);
+
+  for (const auto& c : nl.cells()) {
+    const auto ci = static_cast<std::size_t>(c.id);
+    CellState& st = states_[ci];
+    st.pin_site.assign(c.pins.size(), -1);
+
+    for (std::size_t k = 0; k < c.pins.size(); ++k)
+      local_index_[static_cast<std::size_t>(c.pins[k])] = static_cast<int>(k);
+
+    std::vector<NetId>& nets = cell_nets_[ci];
+    for (PinId pid : c.pins) nets.push_back(nl.pin(pid).net);
+    std::sort(nets.begin(), nets.end());
+    nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+    if (c.is_custom()) {
+      st.aspect = c.clamp_aspect(std::sqrt(c.aspect_lo * c.aspect_hi));
+      realize_custom_state(c.id, st.aspect);
+      // Deterministic initial pin-site assignment: groups on their first
+      // allowed side, loose pins round-robin over their allowed sites.
+      for (std::size_t g = 0; g < c.groups.size(); ++g) {
+        const Side side = sides_in_mask(c.groups[g].side_mask).front();
+        assign_group(c.id, static_cast<GroupId>(g), side, 0);
+      }
+      int rr = 0;
+      for (std::size_t k = 0; k < c.pins.size(); ++k) {
+        const Pin& p = nl.pin(c.pins[k]);
+        if (p.commit != PinCommit::kEdge) continue;
+        const auto legal = sites_in_mask(p.side_mask, c.sites_per_edge);
+        assign_pin_to_site(c.id, static_cast<int>(k),
+                           legal[static_cast<std::size_t>(rr++) % legal.size()]);
+      }
+    }
+  }
+}
+
+const CellInstance& Placement::geometry(CellId c) const {
+  const Cell& cell = nl_->cell(c);
+  const CellState& st = state(c);
+  if (cell.is_custom()) return st.realized;
+  return cell.instances.at(static_cast<std::size_t>(st.instance));
+}
+
+Rect Placement::bbox(CellId c) const {
+  const CellInstance& g = geometry(c);
+  const CellState& st = state(c);
+  const Coord w = oriented_width(st.orient, g.width, g.height);
+  const Coord h = oriented_height(st.orient, g.width, g.height);
+  return Rect::from_center(st.center, w, h);
+}
+
+Point Placement::origin(CellId c) const {
+  const Rect bb = bbox(c);
+  return {bb.xlo, bb.ylo};
+}
+
+std::vector<Rect> Placement::absolute_tiles(CellId c) const {
+  const CellInstance& g = geometry(c);
+  const CellState& st = state(c);
+  const Point o = origin(c);
+  std::vector<Rect> out;
+  out.reserve(g.tiles.size());
+  for (const auto& t : g.tiles)
+    out.push_back(apply_orient(st.orient, t, g.width, g.height).translated(o));
+  return out;
+}
+
+Point Placement::pin_position(PinId p) const {
+  const Pin& pin = nl_->pin(p);
+  const CellState& st = state(pin.cell);
+  const CellInstance& g = geometry(pin.cell);
+  const int k = local_index_[static_cast<std::size_t>(p)];
+
+  Point local;
+  if (pin.commit == PinCommit::kFixed) {
+    local = g.pin_offsets[static_cast<std::size_t>(k)];
+  } else {
+    const int site = st.pin_site[static_cast<std::size_t>(k)];
+    local = st.sites.at(static_cast<std::size_t>(site)).offset;
+  }
+  return apply_orient(st.orient, local, g.width, g.height) + origin(pin.cell);
+}
+
+Rect Placement::net_bbox(NetId n) const {
+  const Net& net = nl_->net(n);
+  Coord xlo = std::numeric_limits<Coord>::max();
+  Coord xhi = std::numeric_limits<Coord>::min();
+  Coord ylo = xlo, yhi = xhi;
+  for (PinId p : net.pins) {
+    const Point pos = pin_position(p);
+    xlo = std::min(xlo, pos.x);
+    xhi = std::max(xhi, pos.x);
+    ylo = std::min(ylo, pos.y);
+    yhi = std::max(yhi, pos.y);
+  }
+  return {xlo, ylo, xhi, yhi};
+}
+
+double Placement::net_cost(NetId n) const {
+  const Net& net = nl_->net(n);
+  const Rect bb = net_bbox(n);
+  return static_cast<double>(bb.width()) * net.weight_h +
+         static_cast<double>(bb.height()) * net.weight_v;
+}
+
+double Placement::teic() const {
+  double sum = 0.0;
+  for (const auto& n : nl_->nets()) sum += net_cost(n.id);
+  return sum;
+}
+
+double Placement::teil() const {
+  double sum = 0.0;
+  for (const auto& n : nl_->nets()) {
+    const Rect bb = net_bbox(n.id);
+    sum += static_cast<double>(bb.width() + bb.height());
+  }
+  return sum;
+}
+
+void Placement::set_center(CellId c, Point center) {
+  states_[static_cast<std::size_t>(c)].center = center;
+}
+
+void Placement::set_orient(CellId c, Orient o) {
+  states_[static_cast<std::size_t>(c)].orient = o;
+}
+
+void Placement::set_instance(CellId c, InstanceId k) {
+  const Cell& cell = nl_->cell(c);
+  if (k < 0 || static_cast<std::size_t>(k) >= cell.instances.size())
+    throw std::invalid_argument("set_instance: unknown instance");
+  states_[static_cast<std::size_t>(c)].instance = k;
+}
+
+void Placement::realize_custom_state(CellId c, double aspect) {
+  const Cell& cell = nl_->cell(c);
+  CellState& st = states_[static_cast<std::size_t>(c)];
+  st.aspect = aspect;
+  st.realized = Cell::realize_custom(cell.target_area, aspect);
+
+  // Fixed pins on custom cells scale proportionally with the realization.
+  const CellInstance& base = cell.instances.front();
+  st.realized.pin_offsets.resize(cell.pins.size(), Point{0, 0});
+  for (std::size_t k = 0; k < cell.pins.size(); ++k) {
+    if (nl_->pin(cell.pins[k]).commit != PinCommit::kFixed) continue;
+    const Point off = base.pin_offsets[k];
+    st.realized.pin_offsets[k] = {
+        base.width > 0 ? off.x * st.realized.width / base.width : 0,
+        base.height > 0 ? off.y * st.realized.height / base.height : 0};
+  }
+
+  st.sites = make_pin_sites(st.realized, cell.sites_per_edge,
+                            nl_->tech().track_separation);
+  st.site_occupancy.assign(st.sites.size(), 0);
+  rebuild_occupancy(c);
+}
+
+void Placement::rebuild_occupancy(CellId c) {
+  CellState& st = states_[static_cast<std::size_t>(c)];
+  std::fill(st.site_occupancy.begin(), st.site_occupancy.end(), 0);
+  for (std::size_t k = 0; k < st.pin_site.size(); ++k) {
+    const int s = st.pin_site[k];
+    if (s >= 0) ++st.site_occupancy[static_cast<std::size_t>(s)];
+  }
+}
+
+void Placement::set_aspect(CellId c, double aspect) {
+  const Cell& cell = nl_->cell(c);
+  if (!cell.is_custom())
+    throw std::invalid_argument("set_aspect: not a custom cell");
+  realize_custom_state(c, cell.clamp_aspect(aspect));
+}
+
+void Placement::assign_pin_to_site(CellId c, int local_pin, int site) {
+  CellState& st = states_[static_cast<std::size_t>(c)];
+  if (site < 0 || static_cast<std::size_t>(site) >= st.sites.size())
+    throw std::invalid_argument("assign_pin_to_site: bad site");
+  int& cur = st.pin_site[static_cast<std::size_t>(local_pin)];
+  if (cur >= 0) --st.site_occupancy[static_cast<std::size_t>(cur)];
+  cur = site;
+  ++st.site_occupancy[static_cast<std::size_t>(site)];
+}
+
+void Placement::assign_group(CellId c, GroupId g, Side side, int start_site) {
+  const Cell& cell = nl_->cell(c);
+  const PinGroup& group = cell.groups.at(static_cast<std::size_t>(g));
+  if (!(group.side_mask & side_to_mask(side)))
+    throw std::invalid_argument("assign_group: side not allowed for group");
+  const int spe = cell.sites_per_edge;
+  start_site = std::clamp(start_site, 0, spe - 1);
+  for (std::size_t i = 0; i < group.pins.size(); ++i) {
+    // Sequenced groups advance monotonically (clamped at the edge end, so
+    // trailing pins can share the last site); unsequenced wrap cyclically.
+    const int k = group.sequenced
+                      ? std::min<int>(start_site + static_cast<int>(i), spe - 1)
+                      : (start_site + static_cast<int>(i)) % spe;
+    const int site = site_index_of(side, k, spe);
+    const int local = local_index_[static_cast<std::size_t>(group.pins[i])];
+    assign_pin_to_site(c, local, site);
+  }
+}
+
+void Placement::restore(CellId c, CellState s) {
+  states_[static_cast<std::size_t>(c)] = std::move(s);
+}
+
+void Placement::randomize(Rng& rng, const Rect& core) {
+  for (const auto& cell : nl_->cells()) {
+    set_center(cell.id, Point{rng.uniform_int(core.xlo, core.xhi),
+                              rng.uniform_int(core.ylo, core.yhi)});
+    set_orient(cell.id,
+               kAllOrients[static_cast<std::size_t>(rng.uniform_int(0, 7))]);
+    if (cell.is_custom()) {
+      for (std::size_t g = 0; g < cell.groups.size(); ++g) {
+        const auto sides = sides_in_mask(cell.groups[g].side_mask);
+        const Side side =
+            sides[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(sides.size()) - 1))];
+        assign_group(cell.id, static_cast<GroupId>(g), side,
+                     static_cast<int>(rng.uniform_int(0, cell.sites_per_edge - 1)));
+      }
+      for (std::size_t k = 0; k < cell.pins.size(); ++k) {
+        const Pin& p = nl_->pin(cell.pins[k]);
+        if (p.commit != PinCommit::kEdge) continue;
+        const auto legal = sites_in_mask(p.side_mask, cell.sites_per_edge);
+        assign_pin_to_site(
+            cell.id, static_cast<int>(k),
+            legal[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(legal.size()) - 1))]);
+      }
+    }
+  }
+}
+
+double Placement::site_penalty(CellId c, double kappa) const {
+  const CellState& st = state(c);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < st.sites.size(); ++s) {
+    const int over = st.site_occupancy[s] - st.sites[s].capacity;
+    if (over > 0) {
+      const double e = static_cast<double>(over) + kappa;  // Eqn 10
+      sum += e * e;                                        // Eqn 11
+    }
+  }
+  return sum;
+}
+
+int Placement::overloaded_sites() const {
+  int n = 0;
+  for (const auto& cell : nl_->cells()) {
+    if (!cell.is_custom()) continue;
+    const CellState& st = state(cell.id);
+    for (std::size_t s = 0; s < st.sites.size(); ++s)
+      if (st.site_occupancy[s] > st.sites[s].capacity) ++n;
+  }
+  return n;
+}
+
+}  // namespace tw

@@ -1,0 +1,126 @@
+// Placement state: everything the annealer may change about a cell —
+// center position, orientation, selected instance, realized aspect ratio
+// (custom cells), and the assignment of uncommitted pins to pin sites.
+// The Netlist itself is never modified.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/pin_sites.hpp"
+#include "util/rng.hpp"
+
+namespace tw {
+
+struct CellState {
+  Point center;                ///< center of the oriented bounding box
+  Orient orient = Orient::N;
+  InstanceId instance = 0;
+  double aspect = 1.0;         ///< realized aspect (custom cells)
+
+  /// Realized geometry for custom cells (recomputed on aspect changes);
+  /// empty tiles for macro cells, whose geometry lives in the netlist.
+  CellInstance realized;
+
+  /// Pin sites of the current realization (custom cells only).
+  std::vector<PinSite> sites;
+  /// Per local pin index: assigned site, or -1 for fixed pins.
+  std::vector<int> pin_site;
+  /// Number of pins currently assigned to each site (C_t in Eqn 10).
+  std::vector<int> site_occupancy;
+};
+
+class Placement {
+public:
+  explicit Placement(const Netlist& nl);
+
+  const Netlist& netlist() const { return *nl_; }
+
+  // --- queries -------------------------------------------------------------
+
+  const CellState& state(CellId c) const {
+    return states_[static_cast<std::size_t>(c)];
+  }
+
+  /// The geometry realizing cell `c` right now (selected instance for
+  /// macros, aspect realization for custom cells).
+  const CellInstance& geometry(CellId c) const;
+
+  /// Oriented bounding box in chip coordinates.
+  Rect bbox(CellId c) const;
+
+  /// Lower-left corner of the oriented bbox in chip coordinates.
+  Point origin(CellId c) const;
+
+  /// Tiles in chip coordinates.
+  std::vector<Rect> absolute_tiles(CellId c) const;
+
+  /// Absolute position of a pin (committed or sited).
+  Point pin_position(PinId p) const;
+
+  /// Bounding box of a net's pin positions.
+  Rect net_bbox(NetId n) const;
+
+  /// x-span * h(n) + y-span * v(n) for one net (one term of Eqn 6).
+  double net_cost(NetId n) const;
+
+  /// Full TEIC (Eqn 6). O(total pins); used for (re)synchronisation and
+  /// tests — the annealer tracks it incrementally.
+  double teic() const;
+
+  /// Full TEIL: the TEIC with all net weights forced to 1 (Section 3).
+  double teil() const;
+
+  /// Nets that have at least one pin on cell `c` (deduplicated).
+  const std::vector<NetId>& nets_of_cell(CellId c) const {
+    return cell_nets_[static_cast<std::size_t>(c)];
+  }
+
+  // --- mutators --------------------------------------------------------------
+
+  void set_center(CellId c, Point center);
+  void set_orient(CellId c, Orient o);
+  void set_instance(CellId c, InstanceId k);
+
+  /// Re-realizes a custom cell at the given aspect ratio (clamped to the
+  /// cell's legal range). Pin sites are regenerated and existing site
+  /// assignments remapped by site index (the per-edge structure is
+  /// preserved across aspect changes).
+  void set_aspect(CellId c, double aspect);
+
+  /// Moves one uncommitted, ungrouped pin to a site.
+  void assign_pin_to_site(CellId c, int local_pin, int site);
+
+  /// Moves a pin group: sequenced groups occupy consecutive sites starting
+  /// at `start_site` along the chosen side; unsequenced groups place their
+  /// pins cyclically from `start_site`.
+  void assign_group(CellId c, GroupId g, Side side, int start_site);
+
+  /// Snapshot/restore of one cell's full state (used by the annealer to
+  /// revert rejected moves).
+  CellState snapshot(CellId c) const { return state(c); }
+  void restore(CellId c, CellState s);
+
+  /// Uniform random initial configuration inside `core`: random centers,
+  /// random orientations, random pin-site assignments. (Section 3.2.1: the
+  /// initial state has no influence on the final TEIC.)
+  void randomize(Rng& rng, const Rect& core);
+
+  /// Sum of E(s)^2 over this cell's sites (the cell's share of Eqn 11).
+  double site_penalty(CellId c, double kappa) const;
+
+  /// Number of sites with occupancy above capacity, over all cells.
+  int overloaded_sites() const;
+
+private:
+  void realize_custom_state(CellId c, double aspect);
+  void rebuild_occupancy(CellId c);
+
+  const Netlist* nl_;
+  std::vector<CellState> states_;
+  std::vector<std::vector<NetId>> cell_nets_;
+  /// pin id -> index within its cell's pin list.
+  std::vector<int> local_index_;
+};
+
+}  // namespace tw

@@ -1,0 +1,394 @@
+#include "place/stage1.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/stats.hpp"
+
+namespace tw {
+
+Stage1Placer::Stage1Placer(const Netlist& nl, Stage1Params params,
+                           std::uint64_t seed)
+    : nl_(nl), params_(params), rng_(seed), estimator_(nl, params.wire) {}
+
+Stage1Placer::MoveOutcome Stage1Placer::judge(
+    Placement& placement, OverlapEngine& overlap, CostModel& model,
+    std::span<const CellId> cells, std::span<const CellState> saved,
+    const CostTerms& before, double t) {
+  CostTerms after;
+  after.c1 = model.partial_c1(cells);
+  after.c2_raw = model.partial_c2_raw(cells);
+  after.c3 = model.partial_c3(cells);
+  const double delta = model.total(after) - model.total(before);
+
+  MoveOutcome out;
+  out.attempted_valid = true;
+  out.delta = delta;
+  if (metropolis_accept(delta, t, rng_)) {
+    out.accepted = true;
+    current_.c1 += after.c1 - before.c1;
+    current_.c2_raw += after.c2_raw - before.c2_raw;
+    current_.c3 += after.c3 - before.c3;
+  } else {
+    for (std::size_t k = 0; k < cells.size(); ++k) {
+      placement.restore(cells[k], saved[k]);
+      overlap.refresh(cells[k]);
+    }
+  }
+  return out;
+}
+
+Stage1Placer::MoveOutcome Stage1Placer::try_displacement(Placement& p,
+                                                         OverlapEngine& ov,
+                                                         CostModel& m,
+                                                         CellId i,
+                                                         Point target,
+                                                         double t) {
+  const CellId cells[] = {i};
+  const CellState saved[] = {p.snapshot(i)};
+  CostTerms before;
+  before.c1 = m.partial_c1(cells);
+  before.c2_raw = m.partial_c2_raw(cells);
+  before.c3 = m.partial_c3(cells);
+
+  p.set_center(i, target);
+  ov.refresh(i);
+  return judge(p, ov, m, cells, saved, before, t);
+}
+
+Stage1Placer::MoveOutcome Stage1Placer::try_orient_change(Placement& p,
+                                                          OverlapEngine& ov,
+                                                          CostModel& m,
+                                                          CellId i, Orient o,
+                                                          double t) {
+  const CellId cells[] = {i};
+  const CellState saved[] = {p.snapshot(i)};
+  CostTerms before;
+  before.c1 = m.partial_c1(cells);
+  before.c2_raw = m.partial_c2_raw(cells);
+  before.c3 = m.partial_c3(cells);
+
+  p.set_orient(i, o);
+  ov.refresh(i);
+  return judge(p, ov, m, cells, saved, before, t);
+}
+
+Stage1Placer::MoveOutcome Stage1Placer::try_interchange(Placement& p,
+                                                        OverlapEngine& ov,
+                                                        CostModel& m, CellId i,
+                                                        CellId j,
+                                                        bool invert_aspects,
+                                                        double t) {
+  const CellId cells[] = {i, j};
+  const CellState saved[] = {p.snapshot(i), p.snapshot(j)};
+  CostTerms before;
+  before.c1 = m.partial_c1(cells);
+  before.c2_raw = m.partial_c2_raw(cells);
+  before.c3 = m.partial_c3(cells);
+
+  const Point ci = p.state(i).center;
+  const Point cj = p.state(j).center;
+  p.set_center(i, cj);
+  p.set_center(j, ci);
+  if (invert_aspects) {
+    p.set_orient(i, aspect_inverted(p.state(i).orient));
+    p.set_orient(j, aspect_inverted(p.state(j).orient));
+  }
+  ov.refresh(i);
+  ov.refresh(j);
+  return judge(p, ov, m, cells, saved, before, t);
+}
+
+Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
+                                                     OverlapEngine& ov,
+                                                     CostModel& m, CellId i,
+                                                     double t) {
+  (void)ov;  // pin moves never change the cell outline
+  const Cell& cell = nl_.cell(i);
+
+  // Candidate movable units: groups, plus loose (kEdge) pins.
+  std::vector<int> loose;
+  for (std::size_t k = 0; k < cell.pins.size(); ++k)
+    if (nl_.pin(cell.pins[k]).commit == PinCommit::kEdge)
+      loose.push_back(static_cast<int>(k));
+  const std::size_t units = cell.groups.size() + loose.size();
+  if (units == 0) return {};
+
+  // Pick the unit first so only the moved pins' nets are (re)evaluated:
+  // C2 cannot change, and C3 is confined to this cell.
+  const auto pick = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(units) - 1));
+  std::vector<NetId> nets;
+  if (pick < cell.groups.size()) {
+    for (PinId pid : cell.groups[pick].pins) nets.push_back(nl_.pin(pid).net);
+  } else {
+    const int local = loose[pick - cell.groups.size()];
+    nets.push_back(nl_.pin(cell.pins[static_cast<std::size_t>(local)]).net);
+  }
+  std::sort(nets.begin(), nets.end());
+  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+  const CellState saved = p.snapshot(i);
+  const double c1_before = m.net_cost_sum(nets);
+  const double c3_before = p.site_penalty(i, m.params().kappa);
+
+  if (pick < cell.groups.size()) {
+    const auto g = static_cast<GroupId>(pick);
+    const auto sides = sides_in_mask(cell.groups[pick].side_mask);
+    const Side side = sides[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(sides.size()) - 1))];
+    const int start =
+        static_cast<int>(rng_.uniform_int(0, cell.sites_per_edge - 1));
+    p.assign_group(i, g, side, start);
+  } else {
+    const int local = loose[pick - cell.groups.size()];
+    const Pin& pin = nl_.pin(cell.pins[static_cast<std::size_t>(local)]);
+    const auto legal = sites_in_mask(pin.side_mask, cell.sites_per_edge);
+    const int site = legal[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(legal.size()) - 1))];
+    p.assign_pin_to_site(i, local, site);
+  }
+
+  const double c1_after = m.net_cost_sum(nets);
+  const double c3_after = p.site_penalty(i, m.params().kappa);
+  const double delta = (c1_after - c1_before) + (c3_after - c3_before);
+
+  MoveOutcome out;
+  out.attempted_valid = true;
+  out.delta = delta;
+  if (metropolis_accept(delta, t, rng_)) {
+    out.accepted = true;
+    current_.c1 += c1_after - c1_before;
+    current_.c3 += c3_after - c3_before;
+  } else {
+    p.restore(i, saved);
+  }
+  return out;
+}
+
+Stage1Placer::MoveOutcome Stage1Placer::try_aspect_change(Placement& p,
+                                                          OverlapEngine& ov,
+                                                          CostModel& m,
+                                                          CellId i, double t) {
+  const Cell& cell = nl_.cell(i);
+  if (!cell.has_aspect_freedom()) return {};
+
+  const CellId cells[] = {i};
+  const CellState saved[] = {p.snapshot(i)};
+  CostTerms before;
+  before.c1 = m.partial_c1(cells);
+  before.c2_raw = m.partial_c2_raw(cells);
+  before.c3 = m.partial_c3(cells);
+
+  double aspect;
+  if (!cell.discrete_aspects.empty()) {
+    aspect = cell.discrete_aspects[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(cell.discrete_aspects.size()) - 1))];
+  } else {
+    aspect = rng_.uniform_real(cell.aspect_lo, cell.aspect_hi);
+  }
+  p.set_aspect(i, aspect);
+  ov.refresh(i);
+  return judge(p, ov, m, cells, saved, before, t);
+}
+
+Stage1Placer::MoveOutcome Stage1Placer::try_instance_change(Placement& p,
+                                                            OverlapEngine& ov,
+                                                            CostModel& m,
+                                                            CellId i,
+                                                            double t) {
+  const Cell& cell = nl_.cell(i);
+  if (cell.instances.size() < 2) return {};
+
+  const CellId cells[] = {i};
+  const CellState saved[] = {p.snapshot(i)};
+  CostTerms before;
+  before.c1 = m.partial_c1(cells);
+  before.c2_raw = m.partial_c2_raw(cells);
+  before.c3 = m.partial_c3(cells);
+
+  // A different instance, uniformly among the alternatives.
+  InstanceId k = saved[0].instance;
+  while (k == saved[0].instance)
+    k = static_cast<InstanceId>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(cell.instances.size()) - 1));
+  p.set_instance(i, k);
+  ov.refresh(i);
+  return judge(p, ov, m, cells, saved, before, t);
+}
+
+Stage1Result Stage1Placer::run(Placement& placement) {
+  Stage1Result result;
+
+  // --- core sizing, T-infinity scaling, p2 calibration ----------------------
+  const Rect core = estimator_.compute_initial_core(params_.core_aspect);
+  result.core = core;
+
+  const double e0 = estimator_.nominal_expansion();
+  double eff_area = 0.0;
+  for (const auto& c : nl_.cells()) {
+    const CellInstance& inst = c.instances.front();
+    eff_area += (static_cast<double>(inst.width) + 2.0 * e0) *
+                (static_cast<double>(inst.height) + 2.0 * e0);
+  }
+  const double avg_cell_area = eff_area / static_cast<double>(nl_.num_cells());
+  const double scale = temperature_scale(avg_cell_area);
+  double t = t_infinity(scale);
+  result.t_infinity = t;
+  result.temperature_scale = scale;
+
+  // Overlap engine per estimator mode: the paper's dynamic estimator, or
+  // the ablation variants (uniform 0.5*C_W border / no border at all).
+  auto make_overlap = [&]() {
+    switch (params_.estimator_mode) {
+      case EstimatorMode::kDynamic:
+        return OverlapEngine(placement, estimator_);
+      case EstimatorMode::kUniform: {
+        const Coord e0 = static_cast<Coord>(
+            std::ceil(0.5 * estimator_.channel_width()));
+        return OverlapEngine(
+            placement, core,
+            std::vector<std::array<Coord, 4>>(
+                nl_.num_cells(), {e0, e0, e0, e0}));
+      }
+      case EstimatorMode::kNone:
+        return OverlapEngine(placement, core, {});
+    }
+    throw std::logic_error("bad estimator mode");
+  };
+  OverlapEngine overlap = make_overlap();
+  CostModel model(placement, overlap, params_.cost);
+  const double p2_base =
+      model.calibrate_p2(placement, overlap, core, rng_, params_.p2_samples);
+  result.p2 = p2_base;
+
+  current_ = model.full();
+
+  const CoolingSchedule schedule = CoolingSchedule::stage1();
+  RangeLimiter limiter(core.width(), core.height(), t, params_.rho);
+  const double p_displace = params_.ratio_r / (1.0 + params_.ratio_r);
+  const auto num_cells = static_cast<CellId>(nl_.num_cells());
+  const long long inner =
+      static_cast<long long>(params_.attempts_per_cell) * num_cells;  // Eqn 17
+
+  // Penalty-weight ramp: reach p2_base * growth as T crosses the stopping
+  // temperature (geometric in log T, so it tracks the cooling profile).
+  const double t_final = std::max(1e-9, scale * params_.t_stop_factor);
+  const double log_span = std::log(t / t_final);
+
+  // --- the annealing loop ----------------------------------------------------
+  for (int step = 0; step < params_.max_temperature_steps; ++step) {
+    if (params_.overlap_penalty_growth != 1.0 && log_span > 0.0) {
+      const double progress =
+          std::clamp(std::log(t / t_final) / log_span, 0.0, 1.0);
+      model.set_p2(p2_base * std::pow(params_.overlap_penalty_growth,
+                                      1.0 - progress));
+      current_ = model.full();
+    }
+    RunningStats cost_trace;
+    AcceptanceCounter acc;
+
+    for (long long it = 0; it < inner; ++it) {
+      const int move_type = rng_.one_or_two(p_displace);
+      if (move_type == 1) {
+        // --- single-cell displacement ---------------------------------------
+        const CellId i = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
+        const Point c0 = placement.state(i).center;
+        const Point d = select_displacement(rng_, limiter.window_x(t),
+                                            limiter.window_y(t),
+                                            params_.selector);
+        const Point target{std::clamp(c0.x + d.x, core.xlo, core.xhi),
+                           std::clamp(c0.y + d.y, core.ylo, core.yhi)};
+
+        MoveOutcome out = try_displacement(placement, overlap, model, i, target, t);
+        acc.record(out.accepted);
+        if (!out.accepted) {
+          // A'(i, x, y): same displacement, aspect ratio inverted.
+          const CellState saved = placement.snapshot(i);
+          const CellId cells[] = {i};
+          CostTerms before;
+          before.c1 = model.partial_c1(cells);
+          before.c2_raw = model.partial_c2_raw(cells);
+          before.c3 = model.partial_c3(cells);
+          placement.set_center(i, target);
+          placement.set_orient(i, aspect_inverted(saved.orient));
+          overlap.refresh(i);
+          const CellState savedArr[] = {saved};
+          out = judge(placement, overlap, model, cells, savedArr, before, t);
+          acc.record(out.accepted);
+          if (!out.accepted) {
+            // A_o(i): randomly-chosen orientation change in place.
+            const Orient o = kAllOrients[static_cast<std::size_t>(
+                rng_.uniform_int(0, 7))];
+            out = try_orient_change(placement, overlap, model, i, o, t);
+            acc.record(out.accepted);
+          }
+        }
+
+        if (nl_.cell(i).is_custom()) {
+          // One pin-group displacement attempt per uncommitted pin.
+          int uncommitted = 0;
+          for (PinId pid : nl_.cell(i).pins)
+            if (!nl_.pin(pid).committed()) ++uncommitted;
+          for (int k = 0; k < uncommitted; ++k) {
+            const MoveOutcome pm = try_pin_move(placement, overlap, model, i, t);
+            if (pm.attempted_valid) acc.record(pm.accepted);
+          }
+          const MoveOutcome am =
+              try_aspect_change(placement, overlap, model, i, t);
+          if (am.attempted_valid) acc.record(am.accepted);
+        } else if (nl_.cell(i).instances.size() > 1) {
+          // Instance selection (Section 1: "the cells may have several
+          // possible instances, whereby TimberWolfMC is to select the one
+          // which is most suitable").
+          const MoveOutcome im =
+              try_instance_change(placement, overlap, model, i, t);
+          if (im.attempted_valid) acc.record(im.accepted);
+        }
+      } else {
+        // --- pairwise interchange --------------------------------------------
+        if (num_cells < 2) continue;
+        const CellId i = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
+        CellId j = i;
+        while (j == i)
+          j = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
+        MoveOutcome out =
+            try_interchange(placement, overlap, model, i, j, false, t);
+        acc.record(out.accepted);
+        if (!out.accepted) {
+          out = try_interchange(placement, overlap, model, i, j, true, t);
+          acc.record(out.accepted);
+        }
+      }
+      cost_trace.add(model.total(current_));
+    }
+
+    result.attempts += acc.attempted;
+    result.accepts += acc.accepted;
+    result.trace.push_back(
+        {t, cost_trace.mean(), acc.rate(), limiter.window_x(t)});
+    ++result.temperature_steps;
+
+    // Resynchronize the running totals to kill floating-point drift.
+    current_ = model.full();
+
+    log_debug("stage1 T=", t, " cost=", model.total(current_),
+              " acc=", acc.rate(), " win=", limiter.window_x(t));
+
+    // Stopping criterion: an inner loop executed with the window at its
+    // minimum span, once the temperature has descended through the full
+    // profile (see t_stop_factor).
+    if (limiter.at_minimum(t) && t <= scale * params_.t_stop_factor) break;
+    t = schedule.next(t, scale);
+  }
+
+  result.final_teic = placement.teic();
+  result.final_teil = placement.teil();
+  result.residual_overlap = overlap.total_overlap();
+  result.overloaded_sites = placement.overloaded_sites();
+  return result;
+}
+
+}  // namespace tw

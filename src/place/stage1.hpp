@@ -1,0 +1,163 @@
+// Stage 1 of TimberWolfMC (Section 3): simulated-annealing placement with
+// the dynamic interconnect-area estimator.
+//
+// The generate function follows the paper's pseudocode:
+//   * with probability p (r = p/(1-p), the displacement:interchange ratio)
+//     a single-cell displacement to a point inside the range-limiter
+//     window, selected by D_s (or D_r);
+//       - if rejected, the displacement is retried with the cell's aspect
+//         ratio inverted (90-degree orientation change);
+//       - if that also fails, a random orientation change is attempted;
+//       - custom cells then attempt one pin-group move per uncommitted pin
+//         and one aspect-ratio change;
+//   * otherwise a pairwise interchange of two cells;
+//       - if rejected, retried with both aspect ratios inverted.
+//
+// Cooling follows Table 1 with the S_T temperature scaling; the run stops
+// after an inner loop executed with the range-limiter window at its
+// minimum span (with a step-count safety net for rho = 1, whose window
+// never contracts).
+#pragma once
+
+#include <optional>
+
+#include "anneal/displacement.hpp"
+#include "anneal/range_limiter.hpp"
+#include "anneal/schedule.hpp"
+#include "place/cost.hpp"
+
+namespace tw {
+
+/// Ablation switch for the paper's central contribution (Section 2.2).
+enum class EstimatorMode {
+  kDynamic,  ///< the paper's estimator: position + pin-density modulated
+  kUniform,  ///< static 0.5*C_W border on every edge (factor (1) only)
+  kNone,     ///< no interconnect allowance at all
+};
+
+struct Stage1Params {
+  /// r: ratio of single-cell displacements to pairwise interchanges
+  /// (Figure 3; r in [7,15] is within one percent of the best).
+  double ratio_r = 10.0;
+
+  /// A_c: attempted moves per cell per temperature (Figures 5-6; ~400
+  /// saturates quality for 30-60 cell circuits, 25 is ~13 % worse but 16x
+  /// faster). The library default favors speed; benches sweep it.
+  int attempts_per_cell = 50;
+
+  /// Range-limiter contraction exponent (Section 3.2.2).
+  double rho = 4.0;
+
+  /// Displacement-point selection: D_s (structured) or D_r (random).
+  PointSelect selector = PointSelect::kStructured;
+
+  /// eta / kappa of the cost function.
+  CostParams cost;
+
+  /// Desired core height/width ratio.
+  double core_aspect = 1.0;
+
+  /// Wire-length model driving the C_W estimate (Eqn 1). kappa calibrates
+  /// the expected *routed* length (detours included), not the bounding-box
+  /// lower bound — see WireEstimateParams.
+  WireEstimateParams wire;
+
+  /// Interconnect-area estimation mode (kDynamic = the paper; the others
+  /// exist for the ablation bench).
+  EstimatorMode estimator_mode = EstimatorMode::kDynamic;
+
+  /// Random configurations sampled for the p2 calibration (Eqn 9).
+  int p2_samples = 24;
+
+  /// Growth of the overlap-penalty weight over the run: p2 ramps
+  /// geometrically from the Eqn 9 calibration to `overlap_penalty_growth`
+  /// times it at the final temperature. Eqn 9 balances the terms at T_inf;
+  /// left constant, the penalty is too weak at low T to squeeze out the
+  /// residual overlap (the successor TimberWolf releases ramp the penalty
+  /// weight for the same reason). 1.0 disables the ramp.
+  double overlap_penalty_growth = 20.0;
+
+  /// Final-temperature factor: stage 1 cools until T <= S_T * t_stop_factor
+  /// *and* the range-limiter window has reached its minimum span. The
+  /// default reproduces the paper's ~6 decades of temperature (S_T * 1e5
+  /// down to ~S_T * 0.1, about 120 steps under Table 1). On the paper's
+  /// fine-grid industrial circuits the window minimum alone lands there;
+  /// on coarse grids the window bottoms out early and the temperature
+  /// floor carries the stopping criterion.
+  double t_stop_factor = 0.1;
+
+  /// Safety net: hard cap on temperature steps (rho=1 never reaches the
+  /// window minimum).
+  int max_temperature_steps = 200;
+};
+
+/// Per-temperature trace entry (drives tests and the cooling diagnostics).
+struct TemperaturePoint {
+  double t = 0.0;
+  double avg_cost = 0.0;
+  double acceptance_rate = 0.0;
+  Coord window_x = 0;
+};
+
+struct Stage1Result {
+  double final_teic = 0.0;
+  double final_teil = 0.0;
+  Coord residual_overlap = 0;   ///< raw C2 at the end (paper's figure of merit)
+  int overloaded_sites = 0;     ///< pin sites above capacity at the end
+  Rect core;                    ///< target core region used
+  double t_infinity = 0.0;
+  double temperature_scale = 0.0;  ///< S_T
+  double p2 = 0.0;
+  int temperature_steps = 0;
+  long long attempts = 0;
+  long long accepts = 0;
+  std::vector<TemperaturePoint> trace;
+};
+
+class Stage1Placer {
+public:
+  Stage1Placer(const Netlist& nl, Stage1Params params, std::uint64_t seed);
+
+  /// Runs stage 1: sizes the core, calibrates p2, anneals, and leaves the
+  /// final configuration in `placement`.
+  Stage1Result run(Placement& placement);
+
+  /// The estimator (valid after run()); stage 2 reuses its core region.
+  const DynamicAreaEstimator& estimator() const { return estimator_; }
+
+private:
+  struct MoveOutcome {
+    bool attempted_valid = false;
+    bool accepted = false;
+    double delta = 0.0;
+  };
+
+  /// Evaluates the placement mutation already applied to `cells`
+  /// (snapshots in `saved`), accepting or reverting it.
+  MoveOutcome judge(Placement& placement, OverlapEngine& overlap,
+                    CostModel& model, std::span<const CellId> cells,
+                    std::span<const CellState> saved,
+                    const CostTerms& before, double t);
+
+  MoveOutcome try_displacement(Placement& p, OverlapEngine& ov,
+                               CostModel& m, CellId i, Point target, double t);
+  MoveOutcome try_orient_change(Placement& p, OverlapEngine& ov, CostModel& m,
+                                CellId i, Orient o, double t);
+  MoveOutcome try_interchange(Placement& p, OverlapEngine& ov, CostModel& m,
+                              CellId i, CellId j, bool invert_aspects,
+                              double t);
+  MoveOutcome try_pin_move(Placement& p, OverlapEngine& ov, CostModel& m,
+                           CellId i, double t);
+  MoveOutcome try_aspect_change(Placement& p, OverlapEngine& ov, CostModel& m,
+                                CellId i, double t);
+  MoveOutcome try_instance_change(Placement& p, OverlapEngine& ov,
+                                  CostModel& m, CellId i, double t);
+
+  const Netlist& nl_;
+  Stage1Params params_;
+  Rng rng_;
+  DynamicAreaEstimator estimator_;
+  CostTerms current_;  ///< running totals, resynced each temperature step
+};
+
+}  // namespace tw

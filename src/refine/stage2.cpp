@@ -1,0 +1,337 @@
+#include "refine/stage2.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "anneal/displacement.hpp"
+#include "anneal/range_limiter.hpp"
+#include "place/legalize.hpp"
+#include "route/channel_router.hpp"
+#include "util/log.hpp"
+
+namespace tw {
+namespace {
+
+int side_idx(Side s) {
+  switch (s) {
+    case Side::kLeft: return 0;
+    case Side::kRight: return 1;
+    case Side::kBottom: return 2;
+    case Side::kTop: return 3;
+  }
+  return 0;
+}
+
+/// Chip bbox of all cells including their current expansions.
+Rect expanded_chip_bbox(const Placement& placement,
+                        const OverlapEngine& overlap) {
+  Rect bb;
+  bool first = true;
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    for (const Rect& t : overlap.expanded_tiles(c)) {
+      bb = first ? t : bb.bounding_union(t);
+      first = false;
+    }
+  }
+  return bb;
+}
+
+}  // namespace
+
+Stage2Refiner::Stage2Refiner(const Netlist& nl, Stage2Params params,
+                             std::uint64_t seed)
+    : nl_(nl), params_(params), rng_(seed) {}
+
+double Stage2Refiner::initial_temperature(double mu, double t_inf,
+                                          double rho) {
+  // Eqn 28: T' = mu^(log_rho 10) * T_inf  (the paper derives it for rho=4;
+  // the general form follows the same inversion of Eqn 12).
+  const double exponent = std::log(10.0) / std::log(rho);
+  return std::pow(mu, exponent) * t_inf;
+}
+
+std::vector<std::array<Coord, 4>> Stage2Refiner::derive_expansions(
+    const Netlist& nl, const ChannelGraph& cg,
+    const std::vector<int>& densities) {
+  const Coord ts = nl.tech().track_separation;
+  std::vector<std::array<Coord, 4>> exp(nl.num_cells(), {0, 0, 0, 0});
+
+  for (std::size_t r = 0; r < cg.regions.size(); ++r) {
+    if (cg.regions[r].is_junction()) continue;  // no bounding cell edges
+    // Eqn 22: w = (d + 2) t_s; each bounding cell edge takes w/2.
+    const Coord w = (static_cast<Coord>(densities[r]) + 2) * ts;
+    const Coord half = (w + 1) / 2;
+    for (std::size_t ei : {cg.regions[r].edge_a, cg.regions[r].edge_b}) {
+      const PlacedEdge& pe = cg.edges[ei];
+      if (pe.is_core()) continue;  // the chip boundary does not move
+      auto& e = exp[static_cast<std::size_t>(pe.cell)];
+      const int s = side_idx(pe.edge.side);
+      e[static_cast<std::size_t>(s)] =
+          std::max(e[static_cast<std::size_t>(s)], half);
+    }
+  }
+  return exp;
+}
+
+int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
+                          CostModel& model, const Rect& core, double t_start,
+                          double t_inf, double scale, bool final_pass) {
+  const CoolingSchedule schedule = CoolingSchedule::stage2();
+  RangeLimiter limiter(core.width(), core.height(), t_inf, params_.rho);
+  const auto num_cells = static_cast<CellId>(nl_.num_cells());
+  const long long inner =
+      static_cast<long long>(params_.attempts_per_cell) * num_cells;
+
+  CostTerms current = model.full();
+  double t = t_start;
+  int steps = 0;
+  int stall = 0;
+  double last_cost = model.total(current);
+
+  for (; steps < params_.max_temperature_steps; ++steps) {
+    for (long long it = 0; it < inner; ++it) {
+      const CellId i = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
+      const bool pin_move =
+          nl_.cell(i).is_custom() && rng_.bernoulli(0.25) &&
+          !placement.state(i).sites.empty();
+
+      if (pin_move) {
+        // Move one uncommitted pin or group to a new legal site. Only the
+        // moved pins' nets and this cell's site penalty can change.
+        const Cell& cell = nl_.cell(i);
+        std::vector<int> loose;
+        for (std::size_t k = 0; k < cell.pins.size(); ++k)
+          if (nl_.pin(cell.pins[k]).commit == PinCommit::kEdge)
+            loose.push_back(static_cast<int>(k));
+        const std::size_t units = cell.groups.size() + loose.size();
+        if (units == 0) continue;
+        const auto pick = static_cast<std::size_t>(
+            rng_.uniform_int(0, static_cast<std::int64_t>(units) - 1));
+
+        std::vector<NetId> nets;
+        if (pick < cell.groups.size()) {
+          for (PinId pid : cell.groups[pick].pins)
+            nets.push_back(nl_.pin(pid).net);
+        } else {
+          const int local = loose[pick - cell.groups.size()];
+          nets.push_back(
+              nl_.pin(cell.pins[static_cast<std::size_t>(local)]).net);
+        }
+        std::sort(nets.begin(), nets.end());
+        nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+
+        const CellState saved = placement.snapshot(i);
+        const double c1_before = model.net_cost_sum(nets);
+        const double c3_before =
+            placement.site_penalty(i, model.params().kappa);
+
+        if (pick < cell.groups.size()) {
+          const auto sides = sides_in_mask(cell.groups[pick].side_mask);
+          const Side side = sides[static_cast<std::size_t>(rng_.uniform_int(
+              0, static_cast<std::int64_t>(sides.size()) - 1))];
+          placement.assign_group(
+              i, static_cast<GroupId>(pick), side,
+              static_cast<int>(rng_.uniform_int(0, cell.sites_per_edge - 1)));
+        } else {
+          const int local = loose[pick - cell.groups.size()];
+          const Pin& pin = nl_.pin(cell.pins[static_cast<std::size_t>(local)]);
+          const auto legal = sites_in_mask(pin.side_mask, cell.sites_per_edge);
+          placement.assign_pin_to_site(
+              i, local,
+              legal[static_cast<std::size_t>(rng_.uniform_int(
+                  0, static_cast<std::int64_t>(legal.size()) - 1))]);
+        }
+
+        const double delta = (model.net_cost_sum(nets) - c1_before) +
+                             (placement.site_penalty(i, model.params().kappa) -
+                              c3_before);
+        if (metropolis_accept(delta, t, rng_)) {
+          current.c1 += model.net_cost_sum(nets) - c1_before;  // cheap resync
+        } else {
+          placement.restore(i, saved);
+        }
+        continue;
+      }
+
+      const CellId cells[] = {i};
+      const CellState saved = placement.snapshot(i);
+      CostTerms before;
+      before.c1 = model.partial_c1(cells);
+      before.c2_raw = model.partial_c2_raw(cells);
+      before.c3 = model.partial_c3(cells);
+
+      const Point c0 = placement.state(i).center;
+      const Point d =
+          select_displacement(rng_, limiter.window_x(t), limiter.window_y(t),
+                              PointSelect::kStructured);
+      placement.set_center(i, {std::clamp(c0.x + d.x, core.xlo, core.xhi),
+                               std::clamp(c0.y + d.y, core.ylo, core.yhi)});
+      overlap.refresh(i);
+
+      CostTerms after;
+      after.c1 = model.partial_c1(cells);
+      after.c2_raw = model.partial_c2_raw(cells);
+      after.c3 = model.partial_c3(cells);
+      const double delta = model.total(after) - model.total(before);
+      if (metropolis_accept(delta, t, rng_)) {
+        current.c1 += after.c1 - before.c1;
+        current.c2_raw += after.c2_raw - before.c2_raw;
+        current.c3 += after.c3 - before.c3;
+      } else {
+        placement.restore(i, saved);
+        overlap.refresh(i);
+      }
+    }
+
+    current = model.full();
+    const double cost = model.total(current);
+
+    if (final_pass) {
+      // Stop when the cost is unchanged for `final_stall_loops` inner loops.
+      if (cost == last_cost) {
+        if (++stall >= params_.final_stall_loops) {
+          ++steps;
+          break;
+        }
+      } else {
+        stall = 0;
+      }
+      last_cost = cost;
+      if (limiter.at_minimum(t) && t < scale) {
+        // Hold T near the floor while waiting for the stall criterion.
+        continue;
+      }
+    } else if (limiter.at_minimum(t)) {
+      ++steps;
+      break;
+    }
+    t = schedule.next(t, scale);
+  }
+  return steps;
+}
+
+Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
+                                double t_inf, double scale) {
+  Stage2Result result;
+  const double t_start =
+      initial_temperature(params_.mu, t_inf, params_.rho);
+
+  // The working core starts at stage 1's target and grows whenever the
+  // routed channel widths demand more space than the estimator reserved.
+  Rect working_core = core;
+
+  // Expansion state persists across passes; start with zero (the stage-1
+  // estimator's space is already baked into the cell positions).
+  OverlapEngine overlap(placement, working_core, {});
+  CostModel model(placement, overlap, params_.cost);
+
+  for (int pass = 0; pass < params_.refinement_steps; ++pass) {
+    RefinementPass rp;
+
+    // Step 0: remove stage 1's residual cell overlap — channel definition
+    // presumes non-overlapping cells (an edge cutting through a cell
+    // invalidates the critical regions around it, disconnecting the
+    // channel graph).
+    const LegalizeResult lr = legalize_spread(
+        placement, working_core, 2 * nl_.tech().track_separation);
+    if (!lr.success())
+      log_warn("stage2 pass ", pass + 1, ": ", lr.final_overlap,
+               " overlap area could not be legalized");
+    overlap.refresh_all();
+
+    // Step 1: channel definition.
+    ChannelGraph cg = build_channel_graph(placement, working_core);
+    rp.regions = cg.regions.size();
+
+    // Step 2: global routing.
+    GlobalRouterParams router_params = params_.router;
+    router_params.seed = rng_();
+    GlobalRouter router(cg.graph, router_params);
+    const auto targets = build_net_targets(nl_, cg);
+    const GlobalRouteResult routed = router.route(targets);
+    rp.route_length = routed.total_length;
+    rp.route_overflow = routed.total_overflow;
+    rp.unrouted_nets = routed.unrouted_nets;
+
+    std::vector<std::vector<EdgeId>> route_edges(targets.size());
+    for (std::size_t n = 0; n < targets.size(); ++n)
+      if (const Route* r = routed.route_of(n)) route_edges[n] = r->edges;
+    const auto densities = region_densities(cg, route_edges);
+    rp.width_rule_violations = validate_channel_widths(cg, route_edges);
+
+    // Step 3: placement refinement with static expansions.
+    const auto expansions = derive_expansions(nl_, cg, densities);
+    for (CellId c = 0; c < static_cast<CellId>(nl_.num_cells()); ++c)
+      overlap.set_expansions(c, expansions[static_cast<std::size_t>(c)]);
+
+    // Grow the working core when the expanded cells no longer fit: the
+    // refinement provides additional space as required.
+    {
+      double need = 0.0;
+      for (CellId c = 0; c < static_cast<CellId>(nl_.num_cells()); ++c) {
+        const CellInstance& g = placement.geometry(c);
+        const CellState& st = placement.state(c);
+        const Coord w = oriented_width(st.orient, g.width, g.height);
+        const Coord h = oriented_height(st.orient, g.width, g.height);
+        const auto& e = expansions[static_cast<std::size_t>(c)];
+        need += static_cast<double>(w + e[0] + e[1]) *
+                static_cast<double>(h + e[2] + e[3]);
+      }
+      need /= 0.8;  // rectangle packing never reaches 100 percent
+      const double have = static_cast<double>(working_core.area());
+      if (need > have) {
+        const double grow = std::sqrt(need / have);
+        const Coord dw = static_cast<Coord>(
+            std::ceil(0.5 * (grow - 1.0) * working_core.width()));
+        const Coord dh = static_cast<Coord>(
+            std::ceil(0.5 * (grow - 1.0) * working_core.height()));
+        working_core = working_core.inflated(dw, dw, dh, dh);
+        overlap.set_core(working_core);
+        log_info("stage2 pass ", pass + 1, ": core grown to ",
+                 working_core.str());
+      }
+    }
+
+    // p2 stays meaningful across stages: recalibrate against the *current*
+    // configuration's cost balance rather than random states (the placement
+    // is already good; we only rebalance the scale of the two terms). The
+    // placement was just legalized, so the raw overlap can be tiny or zero;
+    // floor the denominator at one percent of the cell area so p2 never
+    // collapses and overlap stays firmly discouraged.
+    const CostTerms t0 = model.full();
+    const double c2_floor =
+        0.01 * static_cast<double>(nl_.total_cell_area());
+    model.set_p2(params_.cost.eta * t0.c1 / std::max(t0.c2_raw, c2_floor));
+
+    const bool final_pass = pass == params_.refinement_steps - 1;
+    rp.temperature_steps = anneal(placement, overlap, model, working_core,
+                                  t_start, t_inf, scale, final_pass);
+
+    rp.teic = placement.teic();
+    rp.teil = placement.teil();
+    const Rect bb = expanded_chip_bbox(placement, overlap);
+    rp.chip_area = bb.area();
+    result.passes.push_back(rp);
+    log_info("stage2 pass ", pass + 1, ": teil=", rp.teil,
+             " area=", rp.chip_area, " routeL=", rp.route_length,
+             " X=", rp.route_overflow);
+  }
+
+  // The low-temperature anneal can leave a sliver of overlap; hand back a
+  // clean placement (the paper's goal is a placement needing essentially
+  // no modification during detailed routing).
+  legalize_spread(placement, working_core, 2 * nl_.tech().track_separation);
+
+  result.final_core = working_core;
+  result.final_teic = placement.teic();
+  result.final_teil = placement.teil();
+  OverlapEngine final_overlap(placement, working_core, {});
+  result.final_chip_bbox = expanded_chip_bbox(placement, final_overlap);
+  result.final_chip_area = result.passes.empty()
+                               ? result.final_chip_bbox.area()
+                               : result.passes.back().chip_area;
+  return result;
+}
+
+}  // namespace tw

@@ -1,0 +1,96 @@
+// Stage 2 of TimberWolfMC (Section 4): iterated placement refinement.
+//
+// Each refinement execution performs three steps:
+//   (1) channel definition — critical regions + channel graph (Section 4.1);
+//   (2) global routing — M alternatives per net, interchange selection
+//       (Section 4.2); routed channel densities d give every channel its
+//       required width w = (d + 2) * t_s (Eqn 22);
+//   (3) placement refinement — each of a channel's two bounding cell edges
+//       is expanded outward by w/2 (a *static* quantity for the whole
+//       step), and a low-temperature anneal with single-cell displacements
+//       and pin moves only (no orientation or aspect changes) adjusts the
+//       spacing. The initial temperature T' is chosen so the range-limiter
+//       window opens at the fraction mu of the core span (Eqns 25-28,
+//       mu = 0.03).
+//
+// Three executions suffice for the TEIL and chip area to converge; the
+// third uses a cost-unchanged stopping criterion.
+#pragma once
+
+#include "channel/channel_graph.hpp"
+#include "place/stage1.hpp"
+#include "route/interchange.hpp"
+
+namespace tw {
+
+struct Stage2Params {
+  double mu = 0.03;             ///< initial window fraction of the core span
+  int refinement_steps = 3;
+  int attempts_per_cell = 50;   ///< A_c for the refinement anneal
+  double rho = 4.0;             ///< window contraction (shared with stage 1)
+  CostParams cost;
+  GlobalRouterParams router;
+  int max_temperature_steps = 80;   ///< safety cap per refinement pass
+  int final_stall_loops = 3;    ///< pass-3 stop: cost unchanged this long
+};
+
+/// Measurements after one refinement execution.
+struct RefinementPass {
+  double teic = 0.0;
+  double teil = 0.0;
+  Coord chip_area = 0;         ///< bbox area of all expanded placed cells
+  double route_length = 0.0;   ///< L of the global routing
+  int route_overflow = 0;      ///< X
+  int unrouted_nets = 0;
+  std::size_t regions = 0;     ///< critical regions found
+  int temperature_steps = 0;
+  /// Channels whose left-edge track need exceeded d + 1 — a violation of
+  /// the Eqn 22 premise (0 in a healthy run; see route/channel_router.hpp).
+  int width_rule_violations = 0;
+};
+
+struct Stage2Result {
+  std::vector<RefinementPass> passes;
+  double final_teic = 0.0;
+  double final_teil = 0.0;
+  Coord final_chip_area = 0;
+  Rect final_chip_bbox;
+  /// The working core after growth (stage 2 enlarges the core when the
+  /// routed channel widths demand more space than stage 1 reserved — "if
+  /// insufficient space was allocated ... additional space is provided as
+  /// required").
+  Rect final_core;
+};
+
+class Stage2Refiner {
+public:
+  Stage2Refiner(const Netlist& nl, Stage2Params params, std::uint64_t seed);
+
+  /// Refines `placement` in place. `core`, `t_inf` and `scale` come from
+  /// the stage-1 result (the stage-2 temperature profile reuses the same
+  /// T_infinity and S_T).
+  Stage2Result run(Placement& placement, const Rect& core, double t_inf,
+                   double scale);
+
+  /// Initial stage-2 temperature T' for window fraction mu (Eqn 28).
+  static double initial_temperature(double mu, double t_inf, double rho);
+
+  /// Per-cell, per-side static expansions derived from routed channel
+  /// densities: max over the channels a cell side bounds of w/2 (Eqn 22).
+  static std::vector<std::array<Coord, 4>> derive_expansions(
+      const Netlist& nl, const ChannelGraph& cg,
+      const std::vector<int>& densities);
+
+private:
+  /// One low-temperature anneal (step 3). `final_pass` switches to the
+  /// cost-unchanged stopping criterion.
+  int anneal(Placement& placement, OverlapEngine& overlap, CostModel& model,
+             const Rect& core, double t_start, double t_inf, double scale,
+             bool final_pass);
+
+  const Netlist& nl_;
+  Stage2Params params_;
+  Rng rng_;
+};
+
+}  // namespace tw

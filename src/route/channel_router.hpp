@@ -1,0 +1,51 @@
+// A classical channel router (left-edge algorithm) — the detailed-routing
+// substrate behind Eqn 22.
+//
+// The paper sizes every channel as w = (d + 2) * t_s because "channel
+// routers are currently available which routinely route a channel in a
+// number of tracks t such that t <= (d + 1)" (it cites YACR2). This module
+// provides that substrate: given the net segments crossing a channel as
+// intervals along its length, the left-edge algorithm assigns each segment
+// to a track such that segments on one track never overlap; without
+// vertical constraints the algorithm is optimal, using exactly d tracks
+// (d = channel density). The flow uses it to *validate* the Eqn 22 rule on
+// routed channels (see validate_channel_widths and the Eqn 22 tests).
+#pragma once
+
+#include <vector>
+
+#include "channel/channel_graph.hpp"
+
+namespace tw {
+
+/// One horizontal (along-channel) wiring segment of a net.
+struct ChannelSegment {
+  std::int32_t net = -1;
+  Span extent;  ///< interval along the channel length
+};
+
+struct ChannelRouteResult {
+  /// Track index per input segment (0-based, bottom track first).
+  std::vector<int> track;
+  int tracks_used = 0;
+  int density = 0;  ///< max number of segments crossing any coordinate
+};
+
+/// Left-edge track assignment. Segments of the *same net* may share a
+/// track even when they touch; distinct nets on one track must be
+/// disjoint (touching endpoints are allowed — a router inserts the via
+/// between them). Optimal: tracks_used == density.
+ChannelRouteResult route_channel(const std::vector<ChannelSegment>& segments);
+
+/// Density of a segment set: the classical lower bound on track count.
+int channel_density(const std::vector<ChannelSegment>& segments);
+
+/// Extracts, for every critical region of `cg`, the along-channel segments
+/// implied by the selected global routes (each net crossing the region
+/// contributes its crossing interval), runs the left-edge router on each,
+/// and checks the Eqn 22 premise t <= d + 1. Returns the number of
+/// channels whose track need exceeded d + 1 (0 in a correct build).
+int validate_channel_widths(const ChannelGraph& cg,
+                            const std::vector<std::vector<EdgeId>>& net_routes);
+
+}  // namespace tw

@@ -1,0 +1,55 @@
+// The full global router (Section 4.2): phase one enumerates up to M
+// alternative routes per net (see steiner.hpp); phase two selects one
+// alternative per net with a random-interchange algorithm that minimizes
+// the total routing length L (Eqn 23) subject to the channel-edge capacity
+// constraints, using the total excess X (Eqn 24) as the feasibility
+// measure. Because all alternatives exist up front and the interchange
+// visits nets in random order driven by the current congestion, the
+// classical net-routing-order dependence problem is avoided (bench_router_order
+// demonstrates this against the sequential baseline).
+#pragma once
+
+#include "route/steiner.hpp"
+#include "util/rng.hpp"
+
+namespace tw {
+
+struct GlobalRouterParams {
+  SteinerParams steiner;
+  std::uint64_t seed = 1;
+};
+
+struct GlobalRouteResult {
+  /// Alternatives per net, ascending by length (k = 0 is the shortest).
+  std::vector<std::vector<Route>> alternatives;
+  /// Selected alternative per net (-1 when the net could not be routed).
+  std::vector<int> choice;
+  /// D_j: number of nets whose selected route uses each graph edge.
+  std::vector<int> edge_usage;
+  double total_length = 0.0;  ///< L over routed nets
+  int total_overflow = 0;     ///< X
+  int unrouted_nets = 0;
+  long long interchange_attempts = 0;
+
+  /// The selected route of a net (nullptr when unrouted).
+  const Route* route_of(std::size_t net) const {
+    if (choice[net] < 0) return nullptr;
+    return &alternatives[net][static_cast<std::size_t>(choice[net])];
+  }
+};
+
+class GlobalRouter {
+public:
+  GlobalRouter(const RoutingGraph& g, GlobalRouterParams params = {});
+
+  GlobalRouteResult route(const std::vector<NetTargets>& nets);
+
+private:
+  const RoutingGraph& g_;
+  GlobalRouterParams params_;
+};
+
+/// X (Eqn 24) from per-edge usage and capacities.
+int total_overflow(const RoutingGraph& g, const std::vector<int>& usage);
+
+}  // namespace tw

@@ -1,0 +1,132 @@
+#include "route/kshortest.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tw {
+namespace {
+
+/// Candidate ordering for the deviation heap: by length, ties broken by the
+/// edge sequence so the algorithm is fully deterministic.
+struct CandidateLess {
+  bool operator()(const PathResult& a, const PathResult& b) const {
+    if (a.length != b.length) return a.length < b.length;
+    return a.edges < b.edges;
+  }
+};
+
+}  // namespace
+
+std::vector<PathResult> k_shortest_paths(const RoutingGraph& g, NodeId s,
+                                         NodeId t, int k) {
+  std::vector<PathResult> found;
+  if (k <= 0) return found;
+  if (s == t) return found;
+
+  auto first = shortest_path(g, s, t);
+  if (!first) return found;
+  found.push_back(std::move(*first));
+
+  std::set<PathResult, CandidateLess> candidates;
+  std::set<std::vector<EdgeId>> seen;
+  seen.insert(found[0].edges);
+
+  std::vector<char> blocked_edges(g.num_edges(), 0);
+  std::vector<char> blocked_nodes(g.num_nodes(), 0);
+
+  while (static_cast<int>(found.size()) < k) {
+    const PathResult& prev = found.back();
+    const std::vector<NodeId> prev_nodes = g.walk_nodes(s, prev.edges);
+
+    for (std::size_t i = 0; i < prev.edges.size(); ++i) {
+      const NodeId spur = prev_nodes[i];
+
+      std::fill(blocked_edges.begin(), blocked_edges.end(), 0);
+      std::fill(blocked_nodes.begin(), blocked_nodes.end(), 0);
+
+      // Block the next edge of every found path sharing this root prefix.
+      for (const PathResult& p : found) {
+        if (p.edges.size() <= i) continue;
+        if (!std::equal(p.edges.begin(), p.edges.begin() + static_cast<std::ptrdiff_t>(i),
+                        prev.edges.begin()))
+          continue;
+        blocked_edges[static_cast<std::size_t>(p.edges[i])] = 1;
+      }
+      // Block the root path's nodes (loopless requirement).
+      for (std::size_t j = 0; j < i; ++j)
+        blocked_nodes[static_cast<std::size_t>(prev_nodes[j])] = 1;
+
+      PathQuery q;
+      q.blocked_edges = &blocked_edges;
+      q.blocked_nodes = &blocked_nodes;
+      auto spur_path = shortest_path(g, spur, t, q);
+      if (!spur_path) continue;
+
+      PathResult cand;
+      cand.src = s;
+      cand.dst = t;
+      cand.edges.assign(prev.edges.begin(),
+                        prev.edges.begin() + static_cast<std::ptrdiff_t>(i));
+      cand.edges.insert(cand.edges.end(), spur_path->edges.begin(),
+                        spur_path->edges.end());
+      cand.length = g.path_length(cand.edges);
+      if (seen.insert(cand.edges).second) candidates.insert(std::move(cand));
+    }
+
+    if (candidates.empty()) break;
+    found.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return found;
+}
+
+std::vector<PathResult> k_shortest_between_sets(
+    const RoutingGraph& g, std::span<const NodeId> sources,
+    std::span<const NodeId> targets, int k) {
+  if (sources.empty() || targets.empty() || k <= 0) return {};
+
+  // Degenerate case: a target already in the source set -> zero-length path.
+  std::vector<char> is_source(g.num_nodes(), 0);
+  for (NodeId s : sources) is_source[static_cast<std::size_t>(s)] = 1;
+  for (NodeId t : targets)
+    if (is_source[static_cast<std::size_t>(t)]) {
+      PathResult r;
+      r.src = r.dst = t;
+      return {r};
+    }
+
+  // Single endpoints need no augmented graph — the common case (a two-pin
+  // net's first connection) goes straight to the deviation algorithm.
+  if (sources.size() == 1 && targets.size() == 1)
+    return k_shortest_paths(g, sources[0], targets[0], k);
+
+  // Augment a copy of the graph with virtual terminals.
+  RoutingGraph aug;
+  for (std::size_t n = 0; n < g.num_nodes(); ++n)
+    aug.add_node(g.node_pos(static_cast<NodeId>(n)));
+  for (const auto& e : g.edges()) aug.add_edge(e.a, e.b, e.length, e.capacity);
+  const NodeId super_s = aug.add_node(Point{0, 0});
+  const NodeId super_t = aug.add_node(Point{0, 0});
+  for (NodeId s : sources) aug.add_edge(super_s, s, 0.0, 1 << 20);
+  for (NodeId t : targets) aug.add_edge(super_t, t, 0.0, 1 << 20);
+
+  auto paths = k_shortest_paths(aug, super_s, super_t, k);
+
+  // Strip the virtual first/last edges and recover real endpoints.
+  std::vector<PathResult> out;
+  std::set<std::vector<EdgeId>> seen;
+  for (auto& p : paths) {
+    if (p.edges.size() < 2) continue;
+    PathResult r;
+    r.src = aug.edge(p.edges.front()).other(super_s);
+    r.dst = aug.edge(p.edges.back()).other(super_t);
+    r.edges.assign(p.edges.begin() + 1, p.edges.end() - 1);
+    r.length = g.path_length(r.edges);
+    // Distinct augmented paths can collapse to the same real path (e.g.
+    // when they differ only in the virtual terminals); keep one.
+    if (seen.insert(r.edges).second) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace tw

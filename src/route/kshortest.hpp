@@ -1,0 +1,33 @@
+// M-shortest loopless paths (Section 4.2.1).
+//
+// The paper generates the M shortest routes for two-pin nets with Lawler's
+// algorithm; we implement the classical deviation scheme (Yen's algorithm,
+// of which Lawler's is the standard refinement): the best path is found by
+// Dijkstra, and each subsequent path is the cheapest "deviation" from an
+// already-found path, obtained by blocking the deviating edge and the root
+// prefix's nodes and re-running Dijkstra from the spur node.
+//
+// k_shortest_between_sets generalizes to node *sets* on both ends (the
+// grown Steiner tree on one side, a pin's electrically-equivalent
+// alternatives on the other) by augmenting the graph with zero-length
+// virtual terminals.
+#pragma once
+
+#include <span>
+
+#include "route/shortest_path.hpp"
+
+namespace tw {
+
+/// Up to `k` shortest simple paths from `s` to `t`, ascending by length.
+std::vector<PathResult> k_shortest_paths(const RoutingGraph& g, NodeId s,
+                                         NodeId t, int k);
+
+/// Up to `k` shortest simple paths from any source to any target node.
+/// Sources and targets must be disjoint; paths are reported in the original
+/// graph (virtual terminals stripped).
+std::vector<PathResult> k_shortest_between_sets(
+    const RoutingGraph& g, std::span<const NodeId> sources,
+    std::span<const NodeId> targets, int k);
+
+}  // namespace tw

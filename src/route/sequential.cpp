@@ -1,0 +1,53 @@
+#include "route/sequential.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "route/interchange.hpp"
+
+namespace tw {
+namespace {
+
+}  // namespace
+
+SequentialResult route_sequential(const RoutingGraph& g,
+                                  const std::vector<NetTargets>& nets,
+                                  std::span<const int> order,
+                                  const SequentialParams& params) {
+  SequentialResult r;
+  r.routes.resize(nets.size());
+  r.edge_usage.assign(g.num_edges(), 0);
+
+  std::vector<int> natural;
+  if (order.empty()) {
+    natural.resize(nets.size());
+    std::iota(natural.begin(), natural.end(), 0);
+    order = natural;
+  }
+
+  std::vector<double> extra(g.num_edges(), 0.0);
+  for (int idx : order) {
+    const auto i = static_cast<std::size_t>(idx);
+    auto route = greedy_route(g, nets[i], &extra);
+    if (!route) {
+      ++r.unrouted_nets;
+      continue;
+    }
+    r.routes[i] = std::move(*route);
+    r.total_length += r.routes[i].length;
+    for (EdgeId e : r.routes[i].edges) {
+      const auto ei = static_cast<std::size_t>(e);
+      ++r.edge_usage[ei];
+      // Penalize edges at or beyond capacity for subsequent nets.
+      const int cap = g.edge(e).capacity;
+      if (r.edge_usage[ei] >= cap)
+        extra[ei] = params.congestion_penalty *
+                    static_cast<double>(r.edge_usage[ei] - cap + 1);
+    }
+  }
+  r.total_overflow = total_overflow(g, r.edge_usage);
+  return r;
+}
+
+}  // namespace tw

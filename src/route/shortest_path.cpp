@@ -1,0 +1,120 @@
+#include "route/shortest_path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace tw {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct QueueEntry {
+  double dist;
+  NodeId node;
+  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+};
+
+/// Dijkstra from a set of sources; fills dist[] and the (edge, parent)
+/// arrays. Stops early once every target has been settled (when targets is
+/// non-empty).
+void run_dijkstra(const RoutingGraph& g, std::span<const NodeId> sources,
+                  std::span<const NodeId> targets, const PathQuery& q,
+                  std::vector<double>& dist, std::vector<EdgeId>& via_edge) {
+  const std::size_t n = g.num_nodes();
+  dist.assign(n, kInf);
+  via_edge.assign(n, -1);
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
+  for (NodeId s : sources) {
+    if (q.blocked_nodes && (*q.blocked_nodes)[static_cast<std::size_t>(s)])
+      continue;
+    dist[static_cast<std::size_t>(s)] = 0.0;
+    pq.push({0.0, s});
+  }
+
+  std::size_t targets_left = targets.size();
+  std::vector<char> is_target(n, 0);
+  for (NodeId t : targets) is_target[static_cast<std::size_t>(t)] = 1;
+
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<std::size_t>(u)]) continue;
+    if (!targets.empty() && is_target[static_cast<std::size_t>(u)]) {
+      is_target[static_cast<std::size_t>(u)] = 0;
+      if (--targets_left == 0) break;
+    }
+    for (EdgeId eid : g.incident(u)) {
+      if (q.blocked_edges && (*q.blocked_edges)[static_cast<std::size_t>(eid)])
+        continue;
+      const GraphEdge& e = g.edge(eid);
+      const NodeId v = e.other(u);
+      if (q.blocked_nodes && (*q.blocked_nodes)[static_cast<std::size_t>(v)])
+        continue;
+      double w = e.length;
+      if (q.extra_cost) w += (*q.extra_cost)[static_cast<std::size_t>(eid)];
+      const double nd = d + w;
+      if (nd < dist[static_cast<std::size_t>(v)]) {
+        dist[static_cast<std::size_t>(v)] = nd;
+        via_edge[static_cast<std::size_t>(v)] = eid;
+        pq.push({nd, v});
+      }
+    }
+  }
+}
+
+PathResult extract_path(const RoutingGraph& g,
+                        const std::vector<double>& dist,
+                        const std::vector<EdgeId>& via_edge, NodeId target) {
+  PathResult r;
+  r.dst = target;
+  r.length = dist[static_cast<std::size_t>(target)];
+  NodeId cur = target;
+  while (via_edge[static_cast<std::size_t>(cur)] >= 0) {
+    const EdgeId eid = via_edge[static_cast<std::size_t>(cur)];
+    r.edges.push_back(eid);
+    cur = g.edge(eid).other(cur);
+  }
+  r.src = cur;
+  std::reverse(r.edges.begin(), r.edges.end());
+  return r;
+}
+
+}  // namespace
+
+std::optional<PathResult> shortest_path(const RoutingGraph& g, NodeId s,
+                                        NodeId t, const PathQuery& q) {
+  const NodeId sources[] = {s};
+  const NodeId targets[] = {t};
+  return shortest_path_between_sets(g, sources, targets, q);
+}
+
+std::vector<double> shortest_distances(const RoutingGraph& g,
+                                       std::span<const NodeId> sources,
+                                       const PathQuery& q) {
+  std::vector<double> dist;
+  std::vector<EdgeId> via_edge;
+  run_dijkstra(g, sources, {}, q, dist, via_edge);
+  return dist;
+}
+
+std::optional<PathResult> shortest_path_between_sets(
+    const RoutingGraph& g, std::span<const NodeId> sources,
+    std::span<const NodeId> targets, const PathQuery& q) {
+  std::vector<double> dist;
+  std::vector<EdgeId> via_edge;
+  run_dijkstra(g, sources, targets, q, dist, via_edge);
+
+  NodeId best = kInvalidNode;
+  for (NodeId t : targets) {
+    if (dist[static_cast<std::size_t>(t)] == kInf) continue;
+    if (best == kInvalidNode ||
+        dist[static_cast<std::size_t>(t)] < dist[static_cast<std::size_t>(best)])
+      best = t;
+  }
+  if (best == kInvalidNode) return std::nullopt;
+  return extract_path(g, dist, via_edge, best);
+}
+
+}  // namespace tw

@@ -1,0 +1,52 @@
+// Dijkstra shortest paths on the routing graph, with optional blocked
+// edges/nodes (needed by the Lawler/Yen deviation scheme) and optional
+// per-edge extra costs (used by the sequential baseline router to model
+// congestion).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "route/graph.hpp"
+
+namespace tw {
+
+struct PathResult {
+  std::vector<EdgeId> edges;  ///< in walk order from `src`
+  double length = 0.0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  friend bool operator==(const PathResult&, const PathResult&) = default;
+};
+
+struct PathQuery {
+  /// Edges that may not be used (size num_edges, or empty for none).
+  const std::vector<char>* blocked_edges = nullptr;
+  /// Nodes that may not be visited (size num_nodes, or empty for none).
+  /// Source/target nodes themselves must not be blocked.
+  const std::vector<char>* blocked_nodes = nullptr;
+  /// Additive per-edge cost on top of the edge length (congestion models).
+  const std::vector<double>* extra_cost = nullptr;
+};
+
+/// Shortest path between two nodes. nullopt when unreachable.
+std::optional<PathResult> shortest_path(const RoutingGraph& g, NodeId s,
+                                        NodeId t, const PathQuery& q = {});
+
+/// Shortest path from any node in `sources` to any node in `targets`
+/// (multi-source, multi-target). The returned PathResult records which
+/// source and target were used.
+std::optional<PathResult> shortest_path_between_sets(
+    const RoutingGraph& g, std::span<const NodeId> sources,
+    std::span<const NodeId> targets, const PathQuery& q = {});
+
+/// Distances from the source set to every node (infinity when
+/// unreachable). One Dijkstra answers "which pin is nearest to the tree"
+/// for all pins at once — the Prim-ordering hot path.
+std::vector<double> shortest_distances(const RoutingGraph& g,
+                                       std::span<const NodeId> sources,
+                                       const PathQuery& q = {});
+
+}  // namespace tw

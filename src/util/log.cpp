@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace tw {
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "[debug]";
+    case LogLevel::kInfo: return "[info ]";
+    case LogLevel::kWarn: return "[warn ]";
+    case LogLevel::kError: return "[error]";
+    case LogLevel::kOff: return "[off  ]";
+  }
+  return "[?    ]";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "%s %s\n", prefix(level), msg.c_str());
+}
+
+}  // namespace tw

@@ -1,0 +1,54 @@
+// Minimal leveled logger. Experiments and the flow driver report progress
+// through this so library code never writes to stdout unconditionally.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace tw {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line to stderr with a level prefix if `level` passes the
+/// threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+inline void append_all(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void append_all(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  append_all(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::append_all(os, args...);
+  log_line(level, os.str());
+}
+
+template <typename... Args>
+void log_debug(const Args&... args) {
+  log(LogLevel::kDebug, args...);
+}
+template <typename... Args>
+void log_info(const Args&... args) {
+  log(LogLevel::kInfo, args...);
+}
+template <typename... Args>
+void log_warn(const Args&... args) {
+  log(LogLevel::kWarn, args...);
+}
+template <typename... Args>
+void log_error(const Args&... args) {
+  log(LogLevel::kError, args...);
+}
+
+}  // namespace tw

@@ -1,0 +1,52 @@
+// Small statistics accumulators used by the annealer (average cost per
+// temperature step, acceptance rates) and by the benchmark harness
+// (mean/stddev over trials).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tw {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;   ///< sample variance (n-1 denominator)
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Acceptance-ratio counter for one temperature step of the annealer.
+struct AcceptanceCounter {
+  std::size_t attempted = 0;
+  std::size_t accepted = 0;
+
+  void record(bool was_accepted) {
+    ++attempted;
+    if (was_accepted) ++accepted;
+  }
+  double rate() const {
+    return attempted ? static_cast<double>(accepted) / attempted : 0.0;
+  }
+  void clear() { attempted = accepted = 0; }
+};
+
+/// Median of a copy of `v` (empty vector -> 0).
+double median(std::vector<double> v);
+
+}  // namespace tw

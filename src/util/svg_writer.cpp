@@ -1,0 +1,64 @@
+#include "util/svg_writer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace tw {
+
+SvgWriter::SvgWriter(Rect world, Coord margin)
+    : world_(world), margin_(margin) {}
+
+double SvgWriter::flip(Coord y) const {
+  return static_cast<double>(world_.yhi - y);
+}
+
+void SvgWriter::rect(const Rect& r, const std::string& fill,
+                     const std::string& stroke, double stroke_width,
+                     double opacity) {
+  if (!r.valid()) return;
+  body_ << "  <rect x=\"" << r.xlo << "\" y=\"" << flip(r.yhi) << "\" width=\""
+        << r.width() << "\" height=\"" << r.height() << "\" fill=\"" << fill
+        << "\" stroke=\"" << stroke << "\" stroke-width=\"" << stroke_width
+        << "\" fill-opacity=\"" << opacity << "\"/>\n";
+}
+
+void SvgWriter::line(Point a, Point b, const std::string& color, double width,
+                     double opacity) {
+  body_ << "  <line x1=\"" << a.x << "\" y1=\"" << flip(a.y) << "\" x2=\""
+        << b.x << "\" y2=\"" << flip(b.y) << "\" stroke=\"" << color
+        << "\" stroke-width=\"" << width << "\" stroke-opacity=\"" << opacity
+        << "\"/>\n";
+}
+
+void SvgWriter::circle(Point center, double radius, const std::string& fill) {
+  body_ << "  <circle cx=\"" << center.x << "\" cy=\"" << flip(center.y)
+        << "\" r=\"" << radius << "\" fill=\"" << fill << "\"/>\n";
+}
+
+void SvgWriter::text(Point at, const std::string& content, double size,
+                     const std::string& color) {
+  body_ << "  <text x=\"" << at.x << "\" y=\"" << flip(at.y)
+        << "\" font-size=\"" << size << "\" fill=\"" << color
+        << "\" font-family=\"monospace\" text-anchor=\"middle\">" << content
+        << "</text>\n";
+}
+
+std::string SvgWriter::str() const {
+  std::ostringstream os;
+  const Coord w = world_.width() + 2 * margin_;
+  const Coord h = world_.height() + 2 * margin_;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\""
+     << (world_.xlo - margin_) << " " << (-margin_) << " " << w << " " << h
+     << "\" width=\"" << w << "\" height=\"" << h << "\">\n";
+  os << body_.str();
+  os << "</svg>\n";
+  return os.str();
+}
+
+void SvgWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write SVG file " + path);
+  out << str();
+}
+
+}  // namespace tw

@@ -1,0 +1,41 @@
+// Minimal SVG document builder, used by flow/visualize to dump placements
+// and routings as browsable figures (no external dependencies).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "geom/rect.hpp"
+
+namespace tw {
+
+class SvgWriter {
+public:
+  /// The viewBox covers `world` with a margin; y is flipped so chip
+  /// coordinates render with +y up.
+  explicit SvgWriter(Rect world, Coord margin = 10);
+
+  void rect(const Rect& r, const std::string& fill,
+            const std::string& stroke = "none", double stroke_width = 1.0,
+            double opacity = 1.0);
+  void line(Point a, Point b, const std::string& color, double width = 1.0,
+            double opacity = 1.0);
+  void circle(Point center, double radius, const std::string& fill);
+  void text(Point at, const std::string& content, double size = 10.0,
+            const std::string& color = "#333");
+
+  /// Closes the document and returns the SVG source.
+  std::string str() const;
+
+  /// Writes to a file (throws std::runtime_error on I/O failure).
+  void save(const std::string& path) const;
+
+private:
+  double flip(Coord y) const;  ///< world y -> svg y
+
+  Rect world_;
+  Coord margin_;
+  std::ostringstream body_;
+};
+
+}  // namespace tw

@@ -1,0 +1,36 @@
+// Aligned-column table printer used by the bench harness to emit the
+// paper's tables and figure series in a readable, diffable text form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace tw {
+
+/// Collects rows of string cells and prints them with aligned columns.
+class Table {
+public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded empty).
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimal places.
+  static std::string num(double v, int precision = 2);
+  static std::string integer(long long v);
+  static std::string percent(double v, int precision = 1);
+
+  /// Renders the table (header, rule, rows) to a string.
+  std::string str() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tw

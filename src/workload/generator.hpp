@@ -1,0 +1,47 @@
+// Synthetic circuit generation.
+//
+// The nine industrial circuits of the paper's evaluation (Gould-AMI, Intel,
+// HP and AMD test cases) were never published; this generator produces
+// circuits with the same published statistics — cell, net and pin counts —
+// and with the structural properties of macro-cell chips of that era:
+// log-normal cell dimensions, a fraction of rectilinear (L-shaped) macros,
+// a fraction of soft custom cells with uncommitted/grouped pins, a long-tail
+// net-degree distribution (mostly 2-3 pin nets plus a few wide nets), and
+// Rent-style connection locality (nets preferentially connect cells that
+// are close in a latent cluster space, so a good placer has real structure
+// to exploit). A small fraction of pins get electrically-equivalent
+// partners (feed-through pairs) to exercise the router's equivalence
+// handling.
+//
+// All randomness flows from CircuitSpec::seed, so every experiment is
+// reproducible.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace tw {
+
+struct CircuitSpec {
+  std::string name = "synthetic";
+  int num_cells = 20;
+  int num_nets = 100;
+  int num_pins = 400;          ///< total pin count, matched exactly
+
+  double mean_cell_dim = 60.0; ///< mean cell side length (grid units)
+  double dim_sigma = 0.45;     ///< log-normal sigma of cell dimensions
+  double rectilinear_fraction = 0.25;  ///< macros that are L-shaped
+  double custom_fraction = 0.2;        ///< soft (custom) cells
+  /// Rectangular macros offered in two alternative instances (the original
+  /// and a transposed layout) for the annealer's instance selection.
+  double multi_instance_fraction = 0.15;
+  double group_fraction = 0.3;  ///< custom pins assigned to pin groups
+  double equiv_fraction = 0.03; ///< pins that get an equivalent partner
+  double locality = 0.35;       ///< cluster radius for net locality (0..1]
+  std::uint64_t seed = 1;
+};
+
+/// Generates a circuit with exactly the requested cell/net/pin counts.
+/// The returned netlist passes Netlist::validate().
+Netlist generate_circuit(const CircuitSpec& spec);
+
+}  // namespace tw

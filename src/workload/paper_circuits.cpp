@@ -1,0 +1,80 @@
+#include "workload/paper_circuits.hpp"
+
+#include <stdexcept>
+
+namespace tw {
+namespace {
+
+PaperCircuit make(const char* name, int cells, int nets, int pins,
+                  double mean_dim, int trials, double custom_fraction) {
+  PaperCircuit pc;
+  pc.spec.name = name;
+  pc.spec.num_cells = cells;
+  pc.spec.num_nets = nets;
+  pc.spec.num_pins = pins;
+  pc.spec.mean_cell_dim = mean_dim;
+  pc.spec.custom_fraction = custom_fraction;
+  // Per-circuit deterministic seed derived from the name.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char* p = name; *p; ++p) h = (h ^ static_cast<std::uint64_t>(*p)) * 1099511628211ull;
+  pc.spec.seed = h;
+  pc.trials = trials;
+  return pc;
+}
+
+}  // namespace
+
+std::vector<PaperCircuit> paper_circuits() {
+  // Columns: cells, nets, pins (Tables 3-4); mean cell dim from Table 4's
+  // chip dimensions; trials from Table 3. Circuits compared against manual
+  // layouts (p1, l1, d1-d3) get a custom-cell fraction to exercise chip
+  // planning; the others are pure macro circuits.
+  return {
+      make("i1", 33, 121, 452, 30, 5, 0.0),
+      make("p1", 11, 83, 309, 60, 6, 0.3),
+      make("x1", 10, 267, 762, 180, 4, 0.0),
+      make("i2", 23, 127, 577, 400, 5, 0.0),
+      make("i3", 18, 38, 102, 110, 2, 0.0),
+      make("l1", 62, 570, 4309, 90, 4, 0.2),
+      make("d2", 20, 656, 1776, 210, 4, 0.2),
+      make("d1", 17, 288, 837, 45, 4, 0.2),
+      make("d3", 17, 136, 665, 560, 2, 0.2),
+  };
+}
+
+PaperCircuit paper_circuit(const std::string& name) {
+  for (const auto& pc : paper_circuits())
+    if (pc.spec.name == name) return pc;
+  throw std::invalid_argument("unknown paper circuit: " + name);
+}
+
+CircuitSpec tiny_circuit(std::uint64_t seed) {
+  CircuitSpec s;
+  s.name = "tiny";
+  s.num_cells = 12;
+  s.num_nets = 30;
+  s.num_pins = 96;
+  // Cell dimensions in grid units stay realistic (the paper's chips are
+  // hundreds to thousands of units across): channel widths are a few t_s,
+  // so routing space must be small *relative* to the cells, or area
+  // metrics drown in routing overhead. Fine grids cost no extra runtime —
+  // the annealing move count is size-independent.
+  s.mean_cell_dim = 80;
+  s.custom_fraction = 0.25;
+  s.seed = seed;
+  return s;
+}
+
+CircuitSpec medium_circuit(std::uint64_t seed) {
+  CircuitSpec s;
+  s.name = "medium";
+  s.num_cells = 25;
+  s.num_nets = 110;
+  s.num_pins = 420;
+  s.mean_cell_dim = 100;
+  s.custom_fraction = 0.2;
+  s.seed = seed;
+  return s;
+}
+
+}  // namespace tw

@@ -1,0 +1,32 @@
+// The nine industrial circuits of the paper's evaluation (Tables 3-4),
+// reproduced synthetically with the published cell, net and pin counts.
+// Mean cell dimensions are back-solved from Table 4's chip dimensions
+// (area / cell count), so the generated circuits also land in the paper's
+// coordinate ranges.
+#pragma once
+
+#include <vector>
+
+#include "workload/generator.hpp"
+
+namespace tw {
+
+struct PaperCircuit {
+  CircuitSpec spec;
+  int trials = 1;  ///< the per-circuit trial count of Table 3
+};
+
+/// All nine circuits: i1, p1, x1, i2, i3, l1, d2, d1, d3.
+std::vector<PaperCircuit> paper_circuits();
+
+/// A single circuit by name (throws std::invalid_argument on unknown name).
+PaperCircuit paper_circuit(const std::string& name);
+
+/// A small, fast circuit for unit tests and the quickstart example
+/// (~12 cells). `seed` varies the instance.
+CircuitSpec tiny_circuit(std::uint64_t seed = 1);
+
+/// A mid-size circuit (~25 cells, the size of the Figure 3 experiments).
+CircuitSpec medium_circuit(std::uint64_t seed = 1);
+
+}  // namespace tw

@@ -1,0 +1,225 @@
+// Tests for the annealing framework: Tables 1-2 cooling schedules, the S_T
+// temperature scaling (Eqns 19-21), the range limiter (Eqns 12-14), the
+// displacement selectors (D_s / D_r), and the Metropolis rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "anneal/displacement.hpp"
+#include "anneal/range_limiter.hpp"
+#include "anneal/schedule.hpp"
+
+namespace tw {
+namespace {
+
+TEST(Schedule, Table1Entries) {
+  const CoolingSchedule s = CoolingSchedule::stage1();
+  // S_T = 1: thresholds apply directly.
+  EXPECT_DOUBLE_EQ(s.alpha_at(1e5, 1.0), 0.85);
+  EXPECT_DOUBLE_EQ(s.alpha_at(7000.0, 1.0), 0.85);
+  EXPECT_DOUBLE_EQ(s.alpha_at(6999.0, 1.0), 0.92);
+  EXPECT_DOUBLE_EQ(s.alpha_at(200.0, 1.0), 0.92);
+  EXPECT_DOUBLE_EQ(s.alpha_at(199.0, 1.0), 0.85);
+  EXPECT_DOUBLE_EQ(s.alpha_at(10.0, 1.0), 0.85);
+  EXPECT_DOUBLE_EQ(s.alpha_at(9.9, 1.0), 0.80);
+}
+
+TEST(Schedule, Table2Entries) {
+  const CoolingSchedule s = CoolingSchedule::stage2();
+  EXPECT_DOUBLE_EQ(s.alpha_at(100.0, 1.0), 0.82);
+  EXPECT_DOUBLE_EQ(s.alpha_at(10.0, 1.0), 0.82);
+  EXPECT_DOUBLE_EQ(s.alpha_at(9.0, 1.0), 0.70);
+}
+
+TEST(Schedule, ScaleShiftsThresholds) {
+  const CoolingSchedule s = CoolingSchedule::stage1();
+  // With S_T = 10, the 200 threshold sits at 2000.
+  EXPECT_DOUBLE_EQ(s.alpha_at(2000.0, 10.0), 0.92);
+  EXPECT_DOUBLE_EQ(s.alpha_at(1999.0, 10.0), 0.85);
+}
+
+TEST(Schedule, NextMultiplies) {
+  const CoolingSchedule s = CoolingSchedule::stage1();
+  EXPECT_DOUBLE_EQ(s.next(1000.0, 1.0), 920.0);
+}
+
+TEST(Schedule, TemperatureScaling) {
+  // Eqns 19-21: a 25-cell circuit with avg effective cell area 1e4 gets
+  // T_inf = 1e5; areas scale linearly.
+  EXPECT_DOUBLE_EQ(temperature_scale(1e4), 1.0);
+  EXPECT_DOUBLE_EQ(t_infinity(temperature_scale(1e4)), 1e5);
+  EXPECT_DOUBLE_EQ(t_infinity(temperature_scale(2e4)), 2e5);
+}
+
+TEST(Schedule, ValidatesStepLists) {
+  EXPECT_THROW(CoolingSchedule({}), std::invalid_argument);
+  EXPECT_THROW(CoolingSchedule({{100.0, 0.9}}), std::invalid_argument);
+  EXPECT_THROW(CoolingSchedule({{0.0, 1.5}}), std::invalid_argument);
+  EXPECT_THROW(CoolingSchedule({{10.0, 0.9}, {10.0, 0.8}, {0.0, 0.7}}),
+               std::invalid_argument);
+}
+
+TEST(Schedule, RoughlyPaperStepCountOverSixDecades) {
+  // The paper considers ~120 temperature values over ~6 decades.
+  const CoolingSchedule s = CoolingSchedule::stage1();
+  double t = 1e5;
+  int steps = 0;
+  while (t > 0.1 && steps < 1000) {
+    t = s.next(t, 1.0);
+    ++steps;
+  }
+  EXPECT_GT(steps, 80);
+  EXPECT_LT(steps, 180);
+}
+
+TEST(Metropolis, DownhillAlwaysAccepted) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(metropolis_accept(-1.0, 1.0, rng));
+    EXPECT_TRUE(metropolis_accept(0.0, 1.0, rng));
+  }
+}
+
+TEST(Metropolis, UphillRateMatchesBoltzmann) {
+  Rng rng(2);
+  const double dc = 2.0, t = 4.0;
+  int acc = 0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i)
+    if (metropolis_accept(dc, t, rng)) ++acc;
+  EXPECT_NEAR(static_cast<double>(acc) / n, std::exp(-dc / t), 0.01);
+}
+
+TEST(Metropolis, ZeroTemperatureRejectsUphill) {
+  Rng rng(3);
+  EXPECT_FALSE(metropolis_accept(1.0, 0.0, rng));
+  EXPECT_TRUE(metropolis_accept(-1.0, 0.0, rng));
+}
+
+TEST(RangeLimiter, FullWindowAtTInfinity) {
+  RangeLimiter rl(1000, 600, 1e5, 4.0);
+  EXPECT_EQ(rl.window_x(1e5), 1000);
+  EXPECT_EQ(rl.window_y(1e5), 600);
+  EXPECT_FALSE(rl.at_minimum(1e5));
+}
+
+TEST(RangeLimiter, MonotoneShrinkWithT) {
+  RangeLimiter rl(1000, 600, 1e5, 4.0);
+  Coord prev = rl.window_x(1e5);
+  for (double t = 1e5; t > 0.1; t *= 0.8) {
+    const Coord w = rl.window_x(t);
+    EXPECT_LE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(RangeLimiter, ReachesMinimumSpan) {
+  RangeLimiter rl(1000, 600, 1e5, 4.0);
+  EXPECT_TRUE(rl.at_minimum(0.01));
+  EXPECT_EQ(rl.window_x(0.01), 6);
+  EXPECT_EQ(rl.window_y(0.01), 6);
+}
+
+TEST(RangeLimiter, MatchesEqn12) {
+  // W_x(T) = W_inf * rho^log10(T) / rho^log10(T_inf).
+  const double rho = 4.0, t_inf = 1e5;
+  RangeLimiter rl(1000, 1000, t_inf, rho);
+  for (double t : {1e4, 1e3, 1e2}) {
+    const double expect =
+        1000.0 * std::pow(rho, std::log10(t)) / std::pow(rho, std::log10(t_inf));
+    EXPECT_NEAR(static_cast<double>(rl.window_x(t)), expect, 1.0) << t;
+  }
+}
+
+TEST(RangeLimiter, RhoOneNeverShrinks) {
+  RangeLimiter rl(1000, 600, 1e5, 1.0);
+  EXPECT_EQ(rl.window_x(0.1), 1000);
+  EXPECT_FALSE(rl.at_minimum(0.1));
+}
+
+TEST(RangeLimiter, LargerRhoShrinksFaster) {
+  RangeLimiter slow(1000, 1000, 1e5, 2.0);
+  RangeLimiter fast(1000, 1000, 1e5, 8.0);
+  EXPECT_LT(fast.window_x(1e3), slow.window_x(1e3));
+}
+
+TEST(RangeLimiter, WindowCenteredOnCell) {
+  RangeLimiter rl(100, 60, 1e5, 4.0);
+  const Rect w = rl.window(Point{10, 20}, 1e5);
+  EXPECT_EQ(w.center(), (Point{10, 20}));
+  EXPECT_EQ(w.width(), 100);
+  EXPECT_EQ(w.height(), 60);
+}
+
+TEST(RangeLimiter, Validation) {
+  EXPECT_THROW(RangeLimiter(4, 100, 1e5, 4.0), std::invalid_argument);
+  EXPECT_THROW(RangeLimiter(100, 100, 0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(RangeLimiter(100, 100, 1e5, 0.5), std::invalid_argument);
+  EXPECT_THROW(RangeLimiter(100, 100, 1e5, 11.0), std::invalid_argument);
+}
+
+TEST(Displacement, NeverZero) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Point d = select_displacement(rng, 60, 60, PointSelect::kStructured);
+    EXPECT_FALSE(d.x == 0 && d.y == 0);
+    const Point r = select_displacement(rng, 60, 60, PointSelect::kRandom);
+    EXPECT_FALSE(r.x == 0 && r.y == 0);
+  }
+}
+
+TEST(Displacement, StructuredHits48Points) {
+  Rng rng(6);
+  std::set<std::pair<Coord, Coord>> pts;
+  for (int i = 0; i < 5000; ++i) {
+    const Point d = select_displacement(rng, 60, 60, PointSelect::kStructured);
+    pts.insert({d.x, d.y});
+  }
+  EXPECT_EQ(pts.size(), 48u);  // 7x7 lattice minus the origin
+}
+
+TEST(Displacement, StructuredStepsAreMultiples) {
+  Rng rng(7);
+  const Coord step = 60 / 6;
+  for (int i = 0; i < 500; ++i) {
+    const Point d = select_displacement(rng, 60, 60, PointSelect::kStructured);
+    EXPECT_EQ(d.x % step, 0);
+    EXPECT_EQ(d.y % step, 0);
+    EXPECT_LE(std::abs(d.x), 30);
+    EXPECT_LE(std::abs(d.y), 30);
+  }
+}
+
+TEST(Displacement, MinimumWindowUnitSteps) {
+  Rng rng(8);
+  for (int i = 0; i < 500; ++i) {
+    const Point d = select_displacement(rng, 6, 6, PointSelect::kStructured);
+    EXPECT_LE(std::abs(d.x), 3);
+    EXPECT_LE(std::abs(d.y), 3);
+  }
+}
+
+TEST(Displacement, RandomStaysInWindow) {
+  Rng rng(9);
+  for (int i = 0; i < 2000; ++i) {
+    const Point d = select_displacement(rng, 100, 40, PointSelect::kRandom);
+    EXPECT_LE(std::abs(d.x), 50);
+    EXPECT_LE(std::abs(d.y), 20);
+  }
+}
+
+TEST(Displacement, RandomCoversMorePointsThanStructured) {
+  Rng rng(10);
+  std::set<std::pair<Coord, Coord>> structured, random;
+  for (int i = 0; i < 4000; ++i) {
+    const Point s = select_displacement(rng, 60, 60, PointSelect::kStructured);
+    structured.insert({s.x, s.y});
+    const Point r = select_displacement(rng, 60, 60, PointSelect::kRandom);
+    random.insert({r.x, r.y});
+  }
+  EXPECT_GT(random.size(), structured.size() * 10);
+}
+
+}  // namespace
+}  // namespace tw

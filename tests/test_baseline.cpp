@@ -1,0 +1,130 @@
+// Tests for the baseline placers (Table 4 comparators): legality of the
+// shelf packing, quadratic-placement quality vs random, and the common
+// measurement helper.
+#include <gtest/gtest.h>
+
+#include "baseline/quadratic.hpp"
+#include "baseline/random_place.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+bool placement_legal(const Placement& p) {
+  const auto n = static_cast<CellId>(p.netlist().num_cells());
+  for (CellId i = 0; i < n; ++i) {
+    const auto ti = p.absolute_tiles(i);
+    for (CellId j = i + 1; j < n; ++j)
+      for (const Rect& a : ti)
+        for (const Rect& b : p.absolute_tiles(j))
+          if (a.overlaps(b)) return false;
+  }
+  return true;
+}
+
+TEST(Shelf, PackIsLegalWithoutSpacing) {
+  const Netlist nl = generate_circuit(tiny_circuit(1));
+  Placement p(nl);
+  place_shelf(p, {0, 1.0});
+  EXPECT_TRUE(placement_legal(p));
+}
+
+TEST(Shelf, PackIsLegalWithSpacing) {
+  const Netlist nl = generate_circuit(tiny_circuit(2));
+  Placement p(nl);
+  place_shelf(p, {3, 1.0});
+  EXPECT_TRUE(placement_legal(p));
+  // Spacing guarantees a margin: shrink check — no pair of bboxes closer
+  // than 2*spacing in both axes simultaneously.
+  const auto n = static_cast<CellId>(nl.num_cells());
+  for (CellId i = 0; i < n; ++i)
+    for (CellId j = i + 1; j < n; ++j) {
+      const Rect a = p.bbox(i).inflated(3);
+      const Rect b = p.bbox(j).inflated(3);
+      EXPECT_EQ(a.overlap_area(b), 0);
+    }
+}
+
+TEST(Shelf, AspectControlsShape) {
+  const Netlist nl = generate_circuit(tiny_circuit(3));
+  Placement p(nl);
+  const BaselineResult wide = place_shelf(p, {0, 0.5});
+  Placement q(nl);
+  const BaselineResult tall = place_shelf(q, {0, 2.0});
+  EXPECT_GT(static_cast<double>(tall.chip_bbox.height()) / tall.chip_bbox.width(),
+            static_cast<double>(wide.chip_bbox.height()) / wide.chip_bbox.width());
+}
+
+TEST(Shelf, MeasureMatchesPlacement) {
+  const Netlist nl = generate_circuit(tiny_circuit(4));
+  Placement p(nl);
+  const BaselineResult r = place_shelf(p, {0, 1.0});
+  EXPECT_DOUBLE_EQ(r.teil, p.teil());
+  EXPECT_EQ(r.chip_area, r.chip_bbox.area());
+}
+
+TEST(Shelf, NominalSpacingPositive) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  EXPECT_GE(nominal_spacing(nl), 1);
+}
+
+TEST(Random, LegalAndDeterministic) {
+  const Netlist nl = generate_circuit(tiny_circuit(6));
+  Placement p1(nl), p2(nl);
+  const BaselineResult r1 = place_random(p1, 42, {1, 1.0});
+  const BaselineResult r2 = place_random(p2, 42, {1, 1.0});
+  EXPECT_TRUE(placement_legal(p1));
+  EXPECT_DOUBLE_EQ(r1.teil, r2.teil);
+  Placement p3(nl);
+  const BaselineResult r3 = place_random(p3, 43, {1, 1.0});
+  EXPECT_NE(r1.teil, r3.teil);
+}
+
+TEST(Quadratic, LegalPlacement) {
+  const Netlist nl = generate_circuit(tiny_circuit(7));
+  Placement p(nl);
+  QuadraticParams params;
+  params.legalize.spacing = 1;
+  place_quadratic(p, params);
+  EXPECT_TRUE(placement_legal(p));
+}
+
+TEST(Quadratic, BeatsRandomOnAverage) {
+  // The resistive-network placer optimizes wirelength; over several seeds
+  // it must clearly beat random shelf order on the same circuit.
+  double quad = 0.0, rnd = 0.0;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    const Netlist nl = generate_circuit(medium_circuit(s));
+    Placement pq(nl), pr(nl);
+    QuadraticParams params;
+    params.seed = s;
+    quad += place_quadratic(pq, params).teil;
+    rnd += place_random(pr, s, {}).teil;
+  }
+  EXPECT_LT(quad, 0.9 * rnd);
+}
+
+TEST(Quadratic, DeterministicForSeed) {
+  const Netlist nl = generate_circuit(tiny_circuit(8));
+  Placement p1(nl), p2(nl);
+  QuadraticParams params;
+  params.seed = 5;
+  const BaselineResult r1 = place_quadratic(p1, params);
+  const BaselineResult r2 = place_quadratic(p2, params);
+  EXPECT_DOUBLE_EQ(r1.teil, r2.teil);
+}
+
+TEST(Quadratic, MoreIterationsNotWorse) {
+  const Netlist nl = generate_circuit(medium_circuit(9));
+  Placement p1(nl), p2(nl);
+  QuadraticParams few;
+  few.iterations = 2;
+  QuadraticParams many;
+  many.iterations = 300;
+  const double t_few = place_quadratic(p1, few).teil;
+  const double t_many = place_quadratic(p2, many).teil;
+  EXPECT_LT(t_many, t_few * 1.1);
+}
+
+}  // namespace
+}  // namespace tw

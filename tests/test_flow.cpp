@@ -1,0 +1,163 @@
+// Integration tests: the full TimberWolfMC flow (stage 1 + three
+// refinement executions) end to end on generated circuits.
+#include <gtest/gtest.h>
+
+#include "flow/timberwolf.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+FlowParams fast_flow(std::uint64_t seed) {
+  FlowParams p;
+  p.stage1.attempts_per_cell = 15;
+  p.stage1.p2_samples = 8;
+  p.stage2.attempts_per_cell = 10;
+  p.stage2.router.steiner.m = 4;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Flow, EndToEndProducesConsistentResult) {
+  const Netlist nl = generate_circuit(tiny_circuit(1));
+  TimberWolfMC flow(nl, fast_flow(3));
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+
+  EXPECT_GT(r.stage1_teil, 0.0);
+  EXPECT_GT(r.final_teil, 0.0);
+  EXPECT_GT(r.stage1_chip_area, 0);
+  EXPECT_GT(r.final_chip_area, 0);
+  EXPECT_EQ(r.stage2.passes.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.final_teil, placement.teil());
+}
+
+TEST(Flow, Table3MetricsAreSmallChanges) {
+  // The estimator-accuracy property: TEIL and area change little between
+  // the two stages (paper: avg 4.4% TEIL, 4.1% area over 9 circuits; we
+  // allow a wide band per single tiny circuit).
+  const Netlist nl = generate_circuit(tiny_circuit(2));
+  TimberWolfMC flow(nl, fast_flow(5));
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+  EXPECT_LT(std::abs(r.teil_change_pct()), 40.0);
+  EXPECT_LT(std::abs(r.area_change_pct()), 40.0);
+}
+
+TEST(Flow, FinalPlacementNearlyLegal) {
+  const Netlist nl = generate_circuit(tiny_circuit(3));
+  TimberWolfMC flow(nl, fast_flow(7));
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+  OverlapEngine bare(placement, r.stage1.core, {});
+  EXPECT_LT(static_cast<double>(bare.total_overlap()),
+            0.08 * static_cast<double>(nl.total_cell_area()));
+}
+
+TEST(Flow, DeterministicForSeed) {
+  const Netlist nl = generate_circuit(tiny_circuit(4));
+  Placement p1(nl), p2(nl);
+  const FlowResult r1 = TimberWolfMC(nl, fast_flow(9)).run(p1);
+  const FlowResult r2 = TimberWolfMC(nl, fast_flow(9)).run(p2);
+  EXPECT_DOUBLE_EQ(r1.final_teil, r2.final_teil);
+  EXPECT_EQ(r1.final_chip_area, r2.final_chip_area);
+  for (const auto& c : nl.cells())
+    EXPECT_EQ(p1.state(c.id).center, p2.state(c.id).center);
+}
+
+TEST(Flow, Stage1OnlyEntryPoint) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  TimberWolfMC flow(nl, fast_flow(2));
+  Placement placement(nl);
+  const Stage1Result r = flow.run_stage1(placement);
+  EXPECT_GT(r.final_teil, 0.0);
+  EXPECT_GT(r.temperature_steps, 50);
+}
+
+TEST(Flow, HandlesMixedMacroCustomChipPlanning) {
+  // The chip-planning case the paper emphasizes: macros + soft cells with
+  // groups, discrete aspects and equivalent pins, all in one run.
+  CircuitSpec spec = tiny_circuit(6);
+  spec.custom_fraction = 0.5;
+  spec.equiv_fraction = 0.05;
+  Netlist nl = generate_circuit(spec);
+  // Force one custom cell to discrete aspects.
+  for (const auto& c : nl.cells())
+    if (c.is_custom()) {
+      nl.set_discrete_aspects(c.id, {0.5, 1.0, 2.0});
+      break;
+    }
+  TimberWolfMC flow(nl, fast_flow(4));
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+  EXPECT_GT(r.final_teil, 0.0);
+  EXPECT_EQ(placement.overloaded_sites(), 0);
+  // Discrete-aspect cell realized one of its allowed values.
+  for (const auto& c : nl.cells())
+    if (!c.discrete_aspects.empty()) {
+      bool legal = false;
+      for (double a : c.discrete_aspects)
+        if (std::abs(placement.state(c.id).aspect - a) < 1e-9) legal = true;
+      EXPECT_TRUE(legal);
+    }
+}
+
+TEST(Flow, ChannelWidthRuleHoldsInEveryPass) {
+  const Netlist nl = generate_circuit(tiny_circuit(8));
+  TimberWolfMC flow(nl, fast_flow(6));
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+  for (const auto& pass : r.stage2.passes)
+    EXPECT_EQ(pass.width_rule_violations, 0);
+}
+
+class PaperCircuitFlow : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperCircuitFlow, FullFlowBehavesLikeTable3) {
+  // The three fastest paper circuits, end to end: the flow must terminate,
+  // route every net, keep the stage1 -> stage2 change inside a generous
+  // Table-3 band, and deliver a near-legal placement.
+  const PaperCircuit pc = paper_circuit(GetParam());
+  const Netlist nl = generate_circuit(pc.spec);
+  FlowParams params;
+  params.stage1.attempts_per_cell = 15;
+  params.stage1.p2_samples = 8;
+  params.stage2.attempts_per_cell = 10;
+  params.stage2.router.steiner.m = 4;
+  params.seed = 31;
+  TimberWolfMC flow(nl, params);
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+
+  EXPECT_LT(std::abs(r.teil_change_pct()), 30.0);
+  EXPECT_LT(std::abs(r.area_change_pct()), 35.0);
+  for (const auto& pass : r.stage2.passes) {
+    EXPECT_EQ(pass.unrouted_nets, 0);
+    EXPECT_EQ(pass.width_rule_violations, 0);
+  }
+  OverlapEngine bare(placement, r.stage2.final_core, {});
+  Coord pair_overlap = 0;
+  const auto n = static_cast<CellId>(nl.num_cells());
+  for (CellId i = 0; i < n; ++i)
+    for (CellId j = static_cast<CellId>(i + 1); j < n; ++j)
+      pair_overlap += bare.pair_overlap(i, j);
+  EXPECT_LT(static_cast<double>(pair_overlap),
+            0.02 * static_cast<double>(nl.total_cell_area()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Papers, PaperCircuitFlow,
+                         ::testing::Values("p1", "x1", "i3"));
+
+TEST(Flow, RouteOverflowLowAfterRefinement) {
+  const Netlist nl = generate_circuit(tiny_circuit(7));
+  TimberWolfMC flow(nl, fast_flow(11));
+  Placement placement(nl);
+  const FlowResult r = flow.run(placement);
+  // After refinement the channels were sized from real densities, so the
+  // final pass should route with little or no overflow.
+  EXPECT_LE(r.stage2.passes.back().route_overflow,
+            r.stage2.passes.front().route_overflow + 2);
+}
+
+}  // namespace
+}  // namespace tw

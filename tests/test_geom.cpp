@@ -1,0 +1,127 @@
+// Tests for points, spans and rectangles: the exact integer geometry the
+// overlap penalty (Eqn 8) and the channel definition depend on.
+#include <gtest/gtest.h>
+
+#include "geom/rect.hpp"
+
+namespace tw {
+namespace {
+
+TEST(Point, Arithmetic) {
+  const Point a{3, 4}, b{-1, 2};
+  EXPECT_EQ((a + b), (Point{2, 6}));
+  EXPECT_EQ((a - b), (Point{4, 2}));
+  EXPECT_EQ(manhattan(a, b), 4 + 2);
+}
+
+TEST(Span, OverlapCases) {
+  const Span a{0, 10};
+  EXPECT_EQ(a.overlap({5, 15}), 5);
+  EXPECT_EQ(a.overlap({10, 20}), 0);  // touching only
+  EXPECT_EQ(a.overlap({11, 20}), 0);  // disjoint
+  EXPECT_EQ(a.overlap({2, 8}), 6);    // contained
+  EXPECT_EQ(a.overlap({-5, 25}), 10); // containing
+}
+
+TEST(Span, IntersectAndContains) {
+  const Span a{0, 10};
+  EXPECT_EQ(a.intersect({5, 15}), (Span{5, 10}));
+  EXPECT_FALSE(a.intersect({12, 15}).valid());
+  EXPECT_TRUE(a.contains(0));
+  EXPECT_TRUE(a.contains(10));
+  EXPECT_FALSE(a.contains(11));
+}
+
+TEST(Rect, BasicMeasures) {
+  const Rect r{1, 2, 5, 9};
+  EXPECT_EQ(r.width(), 4);
+  EXPECT_EQ(r.height(), 7);
+  EXPECT_EQ(r.area(), 28);
+  EXPECT_EQ(r.half_perimeter(), 11);
+  EXPECT_EQ(r.center(), (Point{3, 5}));
+  EXPECT_TRUE(r.valid());
+}
+
+TEST(Rect, InvalidRectHasZeroMeasures) {
+  const Rect r{5, 5, 1, 1};
+  EXPECT_FALSE(r.valid());
+  EXPECT_EQ(r.width(), 0);
+  EXPECT_EQ(r.area(), 0);
+}
+
+TEST(Rect, FromCenterOddAndEven) {
+  const Rect e = Rect::from_center({0, 0}, 10, 4);
+  EXPECT_EQ(e, (Rect{-5, -2, 5, 2}));
+  const Rect o = Rect::from_center({0, 0}, 5, 3);
+  EXPECT_EQ(o.width(), 5);
+  EXPECT_EQ(o.height(), 3);
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.overlap_area({5, 5, 15, 15}), 25);
+  EXPECT_EQ(a.overlap_area({10, 0, 20, 10}), 0);  // edge contact
+  EXPECT_EQ(a.overlap_area({20, 20, 30, 30}), 0);
+  EXPECT_EQ(a.overlap_area({2, 2, 4, 4}), 4);     // contained
+  EXPECT_EQ(a.overlap_area(a), 100);              // identical
+}
+
+TEST(Rect, OverlapIsSymmetric) {
+  const Rect a{0, 0, 7, 9}, b{3, -2, 12, 5};
+  EXPECT_EQ(a.overlap_area(b), b.overlap_area(a));
+}
+
+TEST(Rect, IntersectAndUnion) {
+  const Rect a{0, 0, 10, 10}, b{5, 5, 15, 15};
+  EXPECT_EQ(a.intersect(b), (Rect{5, 5, 10, 10}));
+  EXPECT_EQ(a.bounding_union(b), (Rect{0, 0, 15, 15}));
+}
+
+TEST(Rect, ContainsPointAndRect) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.contains(Point{0, 10}));
+  EXPECT_FALSE(a.contains(Point{11, 0}));
+  EXPECT_TRUE(a.contains(Rect{2, 2, 8, 8}));
+  EXPECT_FALSE(a.contains(Rect{2, 2, 12, 8}));
+}
+
+TEST(Rect, InflateAsymmetric) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_EQ(a.inflated(1, 2, 3, 4), (Rect{-1, -3, 12, 14}));
+  EXPECT_EQ(a.inflated(2), (Rect{-2, -2, 12, 12}));
+}
+
+TEST(Rect, Translate) {
+  const Rect a{0, 0, 4, 4};
+  EXPECT_EQ(a.translated({3, -2}), (Rect{3, -2, 7, 2}));
+}
+
+TEST(Rect, BoundingBoxOfMany) {
+  const std::vector<Rect> v{{0, 0, 2, 2}, {5, -3, 6, 1}, {-1, 0, 0, 4}};
+  EXPECT_EQ(bounding_box(v), (Rect{-1, -3, 6, 4}));
+  EXPECT_THROW(bounding_box({}), std::invalid_argument);
+}
+
+TEST(Rect, TotalArea) {
+  EXPECT_EQ(total_area({{0, 0, 2, 2}, {10, 10, 12, 13}}), 4 + 6);
+  EXPECT_EQ(total_area({}), 0);
+}
+
+TEST(Rect, OrientedRectRoundTripDims) {
+  const Rect r{1, 2, 4, 7};  // inside a 10 x 20 cell
+  for (Orient o : kAllOrients) {
+    const Rect t = apply_orient(o, r, 10, 20);
+    EXPECT_EQ(t.area(), r.area()) << to_string(o);
+    if (swaps_axes(o)) {
+      EXPECT_EQ(t.width(), r.height()) << to_string(o);
+    } else {
+      EXPECT_EQ(t.width(), r.width()) << to_string(o);
+    }
+    // Stays inside the oriented bbox.
+    const Rect obb{0, 0, oriented_width(o, 10, 20), oriented_height(o, 10, 20)};
+    EXPECT_TRUE(obb.contains(t)) << to_string(o);
+  }
+}
+
+}  // namespace
+}  // namespace tw

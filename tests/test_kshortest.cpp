@@ -1,0 +1,190 @@
+// Tests for the Lawler/Yen M-shortest-paths machinery (Section 4.2.1),
+// including a brute-force cross-check on a small graph.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "route/kshortest.hpp"
+
+namespace tw {
+namespace {
+
+struct Grid3 {
+  RoutingGraph g;
+  Grid3() {
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) g.add_node(Point{c * 10, r * 10});
+    for (int r = 0; r < 3; ++r)
+      for (int c = 0; c < 3; ++c) {
+        const NodeId n = static_cast<NodeId>(3 * r + c);
+        if (c + 1 < 3) g.add_edge(n, n + 1, 10.0, 2);
+        if (r + 1 < 3) g.add_edge(n, n + 3, 10.0, 2);
+      }
+  }
+};
+
+/// All simple paths s->t by DFS, sorted by length (for cross-checking).
+std::vector<double> brute_force_lengths(const RoutingGraph& g, NodeId s,
+                                        NodeId t) {
+  std::vector<double> lengths;
+  std::vector<char> visited(g.num_nodes(), 0);
+  std::function<void(NodeId, double)> dfs = [&](NodeId u, double len) {
+    if (u == t) {
+      lengths.push_back(len);
+      return;
+    }
+    visited[static_cast<std::size_t>(u)] = 1;
+    for (EdgeId e : g.incident(u)) {
+      const NodeId v = g.edge(e).other(u);
+      if (!visited[static_cast<std::size_t>(v)]) dfs(v, len + g.edge(e).length);
+    }
+    visited[static_cast<std::size_t>(u)] = 0;
+  };
+  dfs(s, 0.0);
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+TEST(KShortest, FirstIsShortest) {
+  Grid3 f;
+  const auto paths = k_shortest_paths(f.g, 0, 8, 5);
+  ASSERT_FALSE(paths.empty());
+  EXPECT_DOUBLE_EQ(paths[0].length, 40.0);
+}
+
+TEST(KShortest, LengthsNonDecreasing) {
+  Grid3 f;
+  const auto paths = k_shortest_paths(f.g, 0, 8, 12);
+  for (std::size_t i = 1; i < paths.size(); ++i)
+    EXPECT_GE(paths[i].length, paths[i - 1].length);
+}
+
+TEST(KShortest, PathsAreDistinct) {
+  Grid3 f;
+  const auto paths = k_shortest_paths(f.g, 0, 8, 12);
+  std::set<std::vector<EdgeId>> seen;
+  for (const auto& p : paths) EXPECT_TRUE(seen.insert(p.edges).second);
+}
+
+TEST(KShortest, PathsAreSimpleValidWalks)  {
+  Grid3 f;
+  for (const auto& p : k_shortest_paths(f.g, 0, 8, 12)) {
+    const auto nodes = f.g.walk_nodes(0, p.edges);
+    ASSERT_FALSE(nodes.empty());
+    EXPECT_EQ(nodes.back(), 8);
+    std::set<NodeId> uniq(nodes.begin(), nodes.end());
+    EXPECT_EQ(uniq.size(), nodes.size()) << "loop in path";
+    EXPECT_DOUBLE_EQ(p.length, f.g.path_length(p.edges));
+  }
+}
+
+TEST(KShortest, MatchesBruteForceOnGrid) {
+  Grid3 f;
+  const auto brute = brute_force_lengths(f.g, 0, 8);
+  const auto paths =
+      k_shortest_paths(f.g, 0, 8, static_cast<int>(brute.size()) + 5);
+  ASSERT_EQ(paths.size(), brute.size());  // finds every simple path
+  for (std::size_t i = 0; i < brute.size(); ++i)
+    EXPECT_DOUBLE_EQ(paths[i].length, brute[i]) << i;
+}
+
+TEST(KShortest, SixShortestOnGridAreKnown) {
+  Grid3 f;
+  // On a 3x3 unit grid, there are 6 monotone (length-40) paths 0 -> 8.
+  const auto paths = k_shortest_paths(f.g, 0, 8, 7);
+  ASSERT_GE(paths.size(), 7u);
+  for (int i = 0; i < 6; ++i) EXPECT_DOUBLE_EQ(paths[static_cast<std::size_t>(i)].length, 40.0);
+  EXPECT_GT(paths[6].length, 40.0);
+}
+
+TEST(KShortest, KOneEqualsDijkstra) {
+  Grid3 f;
+  const auto one = k_shortest_paths(f.g, 0, 5, 1);
+  ASSERT_EQ(one.size(), 1u);
+  const auto sp = shortest_path(f.g, 0, 5);
+  EXPECT_DOUBLE_EQ(one[0].length, sp->length);
+}
+
+TEST(KShortest, HandlesUnreachable) {
+  RoutingGraph g;
+  g.add_node({0, 0});
+  g.add_node({1, 1});
+  EXPECT_TRUE(k_shortest_paths(g, 0, 1, 4).empty());
+}
+
+TEST(KShortest, HandlesFewerPathsThanK) {
+  // A path graph 0-1-2 has exactly one simple path.
+  RoutingGraph g;
+  for (int i = 0; i < 3; ++i) g.add_node({i * 10, 0});
+  g.add_edge(0, 1, 10.0, 1);
+  g.add_edge(1, 2, 10.0, 1);
+  const auto paths = k_shortest_paths(g, 0, 2, 10);
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(KShortest, ParallelEdgesAreDistinctPaths) {
+  RoutingGraph g;
+  g.add_node({0, 0});
+  g.add_node({10, 0});
+  g.add_edge(0, 1, 10.0, 1);
+  g.add_edge(0, 1, 12.0, 1);
+  const auto paths = k_shortest_paths(g, 0, 1, 5);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 10.0);
+  EXPECT_DOUBLE_EQ(paths[1].length, 12.0);
+}
+
+TEST(KShortestSets, DegenerateSharedNode) {
+  Grid3 f;
+  const NodeId sources[] = {0, 4};
+  const NodeId targets[] = {4};
+  const auto paths = k_shortest_between_sets(f.g, sources, targets, 3);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].edges.empty());
+  EXPECT_DOUBLE_EQ(paths[0].length, 0.0);
+}
+
+TEST(KShortestSets, FindsPathsFromTreeToPin) {
+  Grid3 f;
+  const NodeId sources[] = {0, 1, 2};  // a "tree" along the top row
+  const NodeId targets[] = {8};
+  const auto paths = k_shortest_between_sets(f.g, sources, targets, 4);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 20.0);  // from node 2 straight down
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.dst, 8);
+    EXPECT_TRUE(p.src == 0 || p.src == 1 || p.src == 2);
+    // Edge ids are valid in the ORIGINAL graph.
+    for (EdgeId e : p.edges) EXPECT_LT(static_cast<std::size_t>(e), f.g.num_edges());
+    EXPECT_DOUBLE_EQ(p.length, f.g.path_length(p.edges));
+  }
+}
+
+TEST(KShortestSets, EquivalentTargetsOfferAlternatives) {
+  Grid3 f;
+  const NodeId sources[] = {0};
+  const NodeId targets[] = {2, 6};  // either corner acceptable
+  const auto paths = k_shortest_between_sets(f.g, sources, targets, 6);
+  ASSERT_GE(paths.size(), 2u);
+  EXPECT_DOUBLE_EQ(paths[0].length, 20.0);
+  bool to2 = false, to6 = false;
+  for (const auto& p : paths) {
+    if (p.dst == 2) to2 = true;
+    if (p.dst == 6) to6 = true;
+  }
+  EXPECT_TRUE(to2);
+  EXPECT_TRUE(to6);
+}
+
+TEST(KShortestSets, EmptyInputs) {
+  Grid3 f;
+  const NodeId some[] = {0};
+  EXPECT_TRUE(k_shortest_between_sets(f.g, {}, some, 3).empty());
+  EXPECT_TRUE(k_shortest_between_sets(f.g, some, {}, 3).empty());
+  EXPECT_TRUE(k_shortest_between_sets(f.g, some, some, 0).empty());
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,185 @@
+// Tests for the netlist data model: builder API, invariants, statistics.
+#include <gtest/gtest.h>
+
+#include "netlist/netlist.hpp"
+
+namespace tw {
+namespace {
+
+Netlist two_macro_circuit() {
+  Netlist nl;
+  const NetId n = nl.add_net("n1");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 10, 10}});
+  const CellId b = nl.add_macro("b", {Rect{0, 0, 20, 6}});
+  nl.add_fixed_pin(a, "p", n, Point{10, 5});
+  nl.add_fixed_pin(b, "p", n, Point{0, 3});
+  return nl;
+}
+
+TEST(Netlist, BuildTwoMacros) {
+  Netlist nl = two_macro_circuit();
+  EXPECT_EQ(nl.num_cells(), 2u);
+  EXPECT_EQ(nl.num_nets(), 1u);
+  EXPECT_EQ(nl.num_pins(), 2u);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, TilesNormalizedToOrigin) {
+  Netlist nl;
+  const CellId c = nl.add_macro("a", {Rect{5, 7, 15, 17}});
+  const auto& inst = nl.cell(c).instances.front();
+  EXPECT_EQ(inst.tiles[0], (Rect{0, 0, 10, 10}));
+  EXPECT_EQ(inst.width, 10);
+  EXPECT_EQ(inst.height, 10);
+}
+
+TEST(Netlist, MacroPolygonDecomposes) {
+  Netlist nl;
+  const CellId c = nl.add_macro_polygon(
+      "L", {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  EXPECT_EQ(nl.cell(c).instances.front().area(), 75);
+}
+
+TEST(Netlist, CustomCellRealizesGeometricMeanAspect) {
+  Netlist nl;
+  const CellId c = nl.add_custom("c", 400, 0.25, 4.0);
+  const auto& inst = nl.cell(c).instances.front();
+  // Geometric mean aspect = 1 -> ~20 x 20.
+  EXPECT_NEAR(static_cast<double>(inst.width), 20.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(inst.width) * inst.height, 400.0, 40.0);
+}
+
+TEST(Netlist, CustomRejectsBadAspect) {
+  Netlist nl;
+  EXPECT_THROW(nl.add_custom("c", 100, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_custom("c", 100, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Netlist, ClampAspectContinuousAndDiscrete) {
+  Netlist nl;
+  const CellId c = nl.add_custom("c", 100, 0.5, 2.0);
+  EXPECT_DOUBLE_EQ(nl.cell(c).clamp_aspect(3.0), 2.0);
+  EXPECT_DOUBLE_EQ(nl.cell(c).clamp_aspect(0.1), 0.5);
+  EXPECT_DOUBLE_EQ(nl.cell(c).clamp_aspect(1.0), 1.0);
+  nl.set_discrete_aspects(c, {0.5, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(nl.cell(c).clamp_aspect(0.8), 1.0);
+  EXPECT_DOUBLE_EQ(nl.cell(c).clamp_aspect(1.8), 2.0);
+}
+
+TEST(Netlist, DiscreteAspectsRequireCustom) {
+  Netlist nl;
+  const CellId m = nl.add_macro("m", {Rect{0, 0, 5, 5}});
+  EXPECT_THROW(nl.set_discrete_aspects(m, {1.0}), std::invalid_argument);
+}
+
+TEST(Netlist, MultipleInstancesWithPins) {
+  Netlist nl;
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  const CellId c = nl.add_macro("c", {Rect{0, 0, 10, 10}});
+  nl.add_fixed_pin(c, "p1", n1, Point{0, 5});
+  // Alternative instance: 20 x 5 with the pin relocated.
+  nl.add_instance(c, {Rect{0, 0, 20, 5}}, {Point{0, 2}});
+  EXPECT_EQ(nl.cell(c).instances.size(), 2u);
+  // New pins must provide offsets for both instances.
+  nl.add_fixed_pin(c, "p2", n2, {Point{10, 10}, Point{20, 5}});
+  // One more cell so nets have 2 pins.
+  const CellId d = nl.add_macro("d", {Rect{0, 0, 4, 4}});
+  nl.add_fixed_pin(d, "q1", n1, Point{0, 0});
+  nl.add_fixed_pin(d, "q2", n2, Point{4, 4});
+  EXPECT_NO_THROW(nl.validate());
+  // A single offset broadcasts to all instances; a wrong multi-count throws.
+  EXPECT_THROW(nl.add_fixed_pin(c, "p3", n1,
+                                std::vector<Point>{{0, 0}, {0, 0}, {0, 0}}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, EdgePinRequiresCustom) {
+  Netlist nl;
+  nl.add_net("n");
+  const CellId m = nl.add_macro("m", {Rect{0, 0, 5, 5}});
+  EXPECT_THROW(nl.add_edge_pin(m, "p", 0), std::invalid_argument);
+}
+
+TEST(Netlist, GroupsAndSequences) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId c = nl.add_custom("c", 400, 0.5, 2.0);
+  const CellId d = nl.add_macro("d", {Rect{0, 0, 10, 10}});
+  nl.add_fixed_pin(d, "q", n, Point{0, 0});
+  const GroupId g = nl.add_group(c, "bus", kSideLeft | kSideRight, true);
+  nl.add_group_pin(c, g, "b0", n);
+  nl.add_group_pin(c, g, "b1", n);
+  EXPECT_EQ(nl.cell(c).groups[0].pins.size(), 2u);
+  EXPECT_EQ(nl.pin(nl.cell(c).groups[0].pins[0]).commit, PinCommit::kSequenced);
+  EXPECT_NO_THROW(nl.validate());
+}
+
+TEST(Netlist, EquivalencePairsAndMerging) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 10, 10}});
+  const PinId p1 = nl.add_fixed_pin(a, "p1", n, Point{0, 0});
+  const PinId p2 = nl.add_fixed_pin(a, "p2", n, Point{10, 0});
+  const PinId p3 = nl.add_fixed_pin(a, "p3", n, Point{10, 10});
+  nl.set_equivalent(p1, p2);
+  EXPECT_NE(nl.pin(p1).equiv_class, 0);
+  EXPECT_EQ(nl.pin(p1).equiv_class, nl.pin(p2).equiv_class);
+  nl.set_equivalent(p3, p1);
+  EXPECT_EQ(nl.pin(p3).equiv_class, nl.pin(p2).equiv_class);
+}
+
+TEST(Netlist, EquivalenceRejectsDifferentNets) {
+  Netlist nl;
+  const NetId n1 = nl.add_net("n1");
+  const NetId n2 = nl.add_net("n2");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 10, 10}});
+  const PinId p1 = nl.add_fixed_pin(a, "p1", n1, Point{0, 0});
+  const PinId p2 = nl.add_fixed_pin(a, "p2", n2, Point{10, 0});
+  EXPECT_THROW(nl.set_equivalent(p1, p2), std::invalid_argument);
+}
+
+TEST(Netlist, Statistics) {
+  Netlist nl = two_macro_circuit();
+  EXPECT_EQ(nl.total_cell_area(), 100 + 120);
+  EXPECT_EQ(nl.total_cell_perimeter(), 40 + 52);
+  EXPECT_NEAR(nl.average_pin_density(), 2.0 / 92.0, 1e-12);
+}
+
+TEST(Netlist, ValidateCatchesSingletonNet) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 10, 10}});
+  nl.add_fixed_pin(a, "p", n, Point{0, 0});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, ValidateCatchesPinOutsideBBox) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 10, 10}});
+  const CellId b = nl.add_macro("b", {Rect{0, 0, 10, 10}});
+  nl.add_fixed_pin(a, "p", n, Point{11, 0});  // outside
+  nl.add_fixed_pin(b, "q", n, Point{0, 0});
+  EXPECT_THROW(nl.validate(), std::runtime_error);
+}
+
+TEST(Netlist, SetNetWeights) {
+  Netlist nl = two_macro_circuit();
+  nl.set_net_weights(0, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(nl.net(0).weight_h, 2.0);
+  EXPECT_DOUBLE_EQ(nl.net(0).weight_v, 3.0);
+  EXPECT_THROW(nl.set_net_weights(99, 1, 1), std::invalid_argument);
+}
+
+TEST(SideMask, Conversions) {
+  EXPECT_EQ(side_to_mask(Side::kLeft), kSideLeft);
+  const auto sides = sides_in_mask(kSideLeft | kSideTop);
+  ASSERT_EQ(sides.size(), 2u);
+  EXPECT_EQ(sides[0], Side::kLeft);
+  EXPECT_EQ(sides[1], Side::kTop);
+  EXPECT_EQ(sides_in_mask(kSideAny).size(), 4u);
+}
+
+}  // namespace
+}  // namespace tw

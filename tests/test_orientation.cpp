@@ -1,0 +1,143 @@
+// Tests for the 8-orientation group: TimberWolfMC evaluates the TEIC from
+// exact pin locations, so orientation transforms must be exact group
+// actions (closure, inverses, composition) on the integer grid.
+#include <gtest/gtest.h>
+
+#include "geom/orientation.hpp"
+
+namespace tw {
+namespace {
+
+constexpr Coord kW = 10;
+constexpr Coord kH = 20;
+
+TEST(Orient, IdentityIsN) {
+  const Point p{3, 7};
+  EXPECT_EQ(apply_orient(Orient::N, p, kW, kH), p);
+}
+
+TEST(Orient, CornersStayCorners) {
+  const Point corners[] = {{0, 0}, {kW, 0}, {0, kH}, {kW, kH}};
+  for (Orient o : kAllOrients) {
+    const Coord ow = oriented_width(o, kW, kH);
+    const Coord oh = oriented_height(o, kW, kH);
+    for (const Point& c : corners) {
+      const Point t = apply_orient(o, c, kW, kH);
+      EXPECT_TRUE((t.x == 0 || t.x == ow) && (t.y == 0 || t.y == oh))
+          << to_string(o) << " corner (" << c.x << "," << c.y << ")";
+    }
+  }
+}
+
+TEST(Orient, InteriorStaysInterior) {
+  const Point p{3, 7};
+  for (Orient o : kAllOrients) {
+    const Point t = apply_orient(o, p, kW, kH);
+    EXPECT_GT(t.x, 0);
+    EXPECT_LT(t.x, oriented_width(o, kW, kH));
+    EXPECT_GT(t.y, 0);
+    EXPECT_LT(t.y, oriented_height(o, kW, kH));
+  }
+}
+
+TEST(Orient, SwapsAxesExactlyForQuarterTurns) {
+  EXPECT_FALSE(swaps_axes(Orient::N));
+  EXPECT_TRUE(swaps_axes(Orient::W));
+  EXPECT_FALSE(swaps_axes(Orient::S));
+  EXPECT_TRUE(swaps_axes(Orient::E));
+  EXPECT_FALSE(swaps_axes(Orient::FN));
+  EXPECT_TRUE(swaps_axes(Orient::FW));
+  EXPECT_FALSE(swaps_axes(Orient::FS));
+  EXPECT_TRUE(swaps_axes(Orient::FE));
+}
+
+TEST(Orient, InverseUndoes) {
+  const Point p{3, 7};
+  for (Orient o : kAllOrients) {
+    const Coord ow = oriented_width(o, kW, kH);
+    const Coord oh = oriented_height(o, kW, kH);
+    const Point t = apply_orient(o, p, kW, kH);
+    const Point back = apply_orient(inverse_orient(o), t, ow, oh);
+    EXPECT_EQ(back, p) << to_string(o);
+  }
+}
+
+TEST(Orient, ComposeMatchesSequentialApplication) {
+  const Point p{3, 7};
+  for (Orient a : kAllOrients) {
+    for (Orient b : kAllOrients) {
+      // Apply b first, then a.
+      const Coord bw = oriented_width(b, kW, kH);
+      const Coord bh = oriented_height(b, kW, kH);
+      const Point via = apply_orient(a, apply_orient(b, p, kW, kH), bw, bh);
+      const Point direct = apply_orient(compose(a, b), p, kW, kH);
+      EXPECT_EQ(via, direct) << to_string(a) << " o " << to_string(b);
+    }
+  }
+}
+
+TEST(Orient, ComposeWithIdentity) {
+  for (Orient o : kAllOrients) {
+    EXPECT_EQ(compose(Orient::N, o), o);
+    EXPECT_EQ(compose(o, Orient::N), o);
+  }
+}
+
+TEST(Orient, GroupClosureAndInverses) {
+  for (Orient a : kAllOrients) {
+    EXPECT_EQ(compose(a, inverse_orient(a)), Orient::N) << to_string(a);
+    EXPECT_EQ(compose(inverse_orient(a), a), Orient::N) << to_string(a);
+  }
+}
+
+TEST(Orient, AspectInversionSwapsAxesParity) {
+  for (Orient o : kAllOrients) {
+    EXPECT_NE(swaps_axes(o), swaps_axes(aspect_inverted(o))) << to_string(o);
+  }
+}
+
+TEST(Orient, AspectInversionTwiceReturnsSameDims) {
+  for (Orient o : kAllOrients) {
+    const Orient oo = aspect_inverted(aspect_inverted(o));
+    EXPECT_EQ(swaps_axes(oo), swaps_axes(o));
+  }
+}
+
+TEST(Orient, VectorTransformPreservesLength) {
+  const Point v{3, -4};
+  for (Orient o : kAllOrients) {
+    const Point t = apply_orient_vec(o, v);
+    EXPECT_EQ(t.x * t.x + t.y * t.y, 25);
+  }
+}
+
+TEST(Orient, VectorTransformInverse) {
+  const Point v{1, 0};
+  for (Orient o : kAllOrients) {
+    const Point t = apply_orient_vec(inverse_orient(o), apply_orient_vec(o, v));
+    EXPECT_EQ(t, v) << to_string(o);
+  }
+}
+
+TEST(Orient, StringRoundTrip) {
+  for (Orient o : kAllOrients)
+    EXPECT_EQ(orient_from_string(to_string(o)), o);
+  EXPECT_THROW(orient_from_string("XX"), std::invalid_argument);
+}
+
+TEST(Orient, AllEightDistinctActions) {
+  // No two orientations act identically on a generic point.
+  const Point p{3, 7};
+  for (std::size_t i = 0; i < kAllOrients.size(); ++i)
+    for (std::size_t j = i + 1; j < kAllOrients.size(); ++j) {
+      const bool same_dims =
+          swaps_axes(kAllOrients[i]) == swaps_axes(kAllOrients[j]);
+      if (!same_dims) continue;
+      EXPECT_NE(apply_orient(kAllOrients[i], p, kW, kH),
+                apply_orient(kAllOrients[j], p, kW, kH))
+          << to_string(kAllOrients[i]) << " vs " << to_string(kAllOrients[j]);
+    }
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,172 @@
+// Tests for the overlap engine: Eqns 7-8 tile-pair overlap, dynamic vs
+// static expansion modes, and the dummy-border core containment
+// (footnote 16).
+#include <gtest/gtest.h>
+
+#include "place/overlap.hpp"
+
+namespace tw {
+namespace {
+
+Netlist pair_circuit() {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 10, 10}});
+  const CellId b = nl.add_macro("b", {Rect{0, 0, 10, 10}});
+  nl.add_fixed_pin(a, "p", n, Point{10, 5});
+  nl.add_fixed_pin(b, "q", n, Point{0, 5});
+  return nl;
+}
+
+Netlist l_shape_circuit() {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro_polygon(
+      "L", {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  const CellId b = nl.add_macro("b", {Rect{0, 0, 4, 4}});
+  nl.add_fixed_pin(a, "p", n, Point{0, 0});
+  nl.add_fixed_pin(b, "q", n, Point{0, 0});
+  return nl;
+}
+
+TEST(Overlap, NoExpansionBasicPairOverlap) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  const Rect core{-100, -100, 100, 100};
+  OverlapEngine ov(p, core, {});
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{5, 0});  // 5 overlap in x, 10 in y
+  ov.refresh_all();
+  EXPECT_EQ(ov.pair_overlap(0, 1), 50);
+  EXPECT_EQ(ov.pair_overlap(1, 0), 50);
+  EXPECT_EQ(ov.total_overlap(), 50);
+}
+
+TEST(Overlap, DisjointCellsZero) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, {});
+  p.set_center(0, Point{-20, 0});
+  p.set_center(1, Point{20, 0});
+  ov.refresh_all();
+  EXPECT_EQ(ov.total_overlap(), 0);
+}
+
+TEST(Overlap, TouchingCellsZeroWithoutExpansion) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, {});
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{10, 0});  // abutting at x=5
+  ov.refresh_all();
+  EXPECT_EQ(ov.total_overlap(), 0);
+}
+
+TEST(Overlap, StaticExpansionCreatesSpacingPressure) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  std::vector<std::array<Coord, 4>> exp(2, {2, 2, 2, 2});
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, exp);
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{10, 0});  // abutting; expanded tiles overlap 4 x 14
+  ov.refresh_all();
+  EXPECT_EQ(ov.pair_overlap(0, 1), 4 * 14);
+}
+
+TEST(Overlap, RectilinearTilePairSum) {
+  const Netlist nl = l_shape_circuit();
+  Placement p(nl);
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, {});
+  // Put the 4x4 cell inside the L's notch (upper right): no overlap.
+  p.set_center(0, Point{0, 0});   // L bbox {-5,-5,5,5}; notch x[0,5] y[0,5]
+  p.set_center(1, Point{2, 2});   // fits the notch region x[0,4] y[0,4]
+  ov.refresh_all();
+  EXPECT_EQ(ov.pair_overlap(0, 1), 0);
+  // Move it to overlap the stem.
+  p.set_center(1, Point{-3, -3});
+  ov.refresh(1);
+  EXPECT_GT(ov.pair_overlap(0, 1), 0);
+}
+
+TEST(Overlap, BorderOverlapOutsideCore) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  const Rect core{-50, -50, 50, 50};
+  OverlapEngine ov(p, core, {});
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{48, 0});  // bbox {43,-5,53,5}: 3 x 10 outside
+  ov.refresh_all();
+  EXPECT_EQ(ov.border_overlap(0), 0);
+  EXPECT_EQ(ov.border_overlap(1), 30);
+  EXPECT_EQ(ov.total_overlap(), 30);
+}
+
+TEST(Overlap, FullyOutsideCoreCountsWholeArea) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  const Rect core{-50, -50, 50, 50};
+  OverlapEngine ov(p, core, {});
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{200, 200});
+  ov.refresh_all();
+  EXPECT_EQ(ov.border_overlap(1), 100);
+}
+
+TEST(Overlap, CellOverlapSumsPairsAndBorder) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  const Rect core{-50, -50, 50, 50};
+  OverlapEngine ov(p, core, {});
+  p.set_center(0, Point{48, 0});   // 30 outside
+  p.set_center(1, Point{44, 0});   // overlaps cell 0 and pokes out 0
+  ov.refresh_all();
+  EXPECT_EQ(ov.cell_overlap(0), ov.pair_overlap(0, 1) + ov.border_overlap(0));
+}
+
+TEST(Overlap, TotalEqualsSumOverPairs) {
+  const Netlist nl = l_shape_circuit();
+  Placement p(nl);
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, {});
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{1, 1});
+  ov.refresh_all();
+  EXPECT_EQ(ov.total_overlap(),
+            ov.pair_overlap(0, 1) + ov.border_overlap(0) + ov.border_overlap(1));
+}
+
+TEST(Overlap, RefreshTracksMovement) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, {});
+  p.set_center(0, Point{0, 0});
+  p.set_center(1, Point{0, 0});
+  ov.refresh_all();
+  EXPECT_EQ(ov.pair_overlap(0, 1), 100);
+  p.set_center(1, Point{50, 0});
+  ov.refresh(1);
+  EXPECT_EQ(ov.pair_overlap(0, 1), 0);
+}
+
+TEST(Overlap, SetExpansionsPerCell) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  OverlapEngine ov(p, Rect{-100, -100, 100, 100}, {});
+  p.set_center(0, Point{0, 0});
+  ov.refresh_all();
+  ov.set_expansions(0, {1, 2, 3, 4});
+  const auto& tiles = ov.expanded_tiles(0);
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (Rect{-5 - 1, -5 - 3, 5 + 2, 5 + 4}));
+  EXPECT_EQ(ov.expansions(0), (std::array<Coord, 4>{1, 2, 3, 4}));
+}
+
+TEST(Overlap, ExpansionCountMismatchThrows) {
+  const Netlist nl = pair_circuit();
+  Placement p(nl);
+  std::vector<std::array<Coord, 4>> wrong(5, {0, 0, 0, 0});
+  EXPECT_THROW(OverlapEngine(p, Rect{-10, -10, 10, 10}, wrong),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,220 @@
+// Tests for the netlist text format: parsing, error reporting, round-trip.
+#include <gtest/gtest.h>
+
+#include "netlist/parser.hpp"
+
+namespace tw {
+namespace {
+
+const char* kSample = R"(# sample circuit
+tech track_separation 2
+tech modulation 2.5 1.25
+net clk hweight 2 vweight 3
+macro alu
+  rect 20 10
+  pin a net clk at 0 5
+  pin b net data at 20 5
+end
+macro rom
+  polygon 0 0 10 0 10 5 5 5 5 10 0 10
+  pin a net data at 0 0
+  pin c net clk at 10 0
+end
+custom ctrl area 100 aspect 0.5 2 sites 4
+  aspects 0.5 1 2
+  pin x net clk edges LR
+  group bus edges BT seq
+    pin b0 net data
+    pin b1 net data
+  endgroup
+end
+equiv rom.a rom.c
+)";
+
+TEST(Parser, ParsesSample) {
+  // rom.a and rom.c are on different nets -> equiv must throw; fix sample
+  // inline by making them the same net.
+  std::string text = kSample;
+  const auto pos = text.find("pin c net clk at 10 0");
+  text.replace(pos, 21, "pin c net data at 10 0");
+  const Netlist nl = parse_netlist_string(text);
+  EXPECT_EQ(nl.num_cells(), 3u);
+  EXPECT_EQ(nl.num_nets(), 2u);
+  EXPECT_EQ(nl.num_pins(), 7u);
+  EXPECT_EQ(nl.tech().track_separation, 2);
+  EXPECT_DOUBLE_EQ(nl.tech().modulation_max, 2.5);
+  EXPECT_DOUBLE_EQ(nl.net(0).weight_h, 2.0);
+  EXPECT_DOUBLE_EQ(nl.net(0).weight_v, 3.0);
+}
+
+TEST(Parser, RectilinearMacroTiles) {
+  const Netlist nl = parse_netlist_string(R"(
+macro L
+  polygon 0 0 10 0 10 5 5 5 5 10 0 10
+  pin a net n at 0 0
+end
+macro M
+  rect 5 5
+  pin b net n at 0 0
+end
+)");
+  EXPECT_EQ(nl.cell(0).instances.front().area(), 75);
+}
+
+TEST(Parser, CustomCellProperties) {
+  const Netlist nl = parse_netlist_string(R"(
+custom c area 100 aspect 0.5 2 sites 6
+  pin x net n edges *
+end
+macro m
+  rect 4 4
+  pin y net n at 0 0
+end
+)");
+  const Cell& c = nl.cell(0);
+  EXPECT_TRUE(c.is_custom());
+  EXPECT_EQ(c.target_area, 100);
+  EXPECT_EQ(c.sites_per_edge, 6);
+  EXPECT_EQ(nl.pin(0).commit, PinCommit::kEdge);
+  EXPECT_EQ(nl.pin(0).side_mask, kSideAny);
+}
+
+TEST(Parser, GroupPins) {
+  const Netlist nl = parse_netlist_string(R"(
+custom c area 100 aspect 1 1
+  group g edges LR seq
+    pin a net n
+    pin b net n
+  endgroup
+end
+macro m
+  rect 4 4
+  pin y net n at 0 0
+end
+)");
+  EXPECT_EQ(nl.cell(0).groups.size(), 1u);
+  EXPECT_TRUE(nl.cell(0).groups[0].sequenced);
+  EXPECT_EQ(nl.cell(0).groups[0].side_mask, kSideLeft | kSideRight);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist_string("macro a\n  rect 5 5\n  bogus directive\nend\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsNestedCell) {
+  EXPECT_THROW(parse_netlist_string("macro a\nmacro b\n"), std::runtime_error);
+}
+
+TEST(Parser, RejectsUnterminatedCell) {
+  EXPECT_THROW(parse_netlist_string("macro a\n  rect 5 5\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, RejectsGeometryOnCustom) {
+  EXPECT_THROW(
+      parse_netlist_string("custom c area 9 aspect 1 1\n  rect 3 3\nend\n"),
+      std::runtime_error);
+}
+
+TEST(Parser, RejectsDuplicateCell) {
+  EXPECT_THROW(parse_netlist_string(
+                   "macro a\n rect 2 2\nend\nmacro a\n rect 2 2\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, RejectsBadSides) {
+  EXPECT_THROW(parse_netlist_string(
+                   "custom c area 9 aspect 1 1\n  pin p net n edges QZ\nend\n"),
+               std::runtime_error);
+}
+
+TEST(Parser, RejectsUnknownEquivPin) {
+  EXPECT_THROW(parse_netlist_string(R"(
+macro a
+  rect 2 2
+  pin p net n at 0 0
+end
+macro b
+  rect 2 2
+  pin q net n at 0 0
+end
+equiv a.p a.missing
+)"),
+               std::runtime_error);
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const Netlist nl = parse_netlist_string(R"(
+# full comment line
+
+macro a   # trailing comment
+  rect 5 5
+  pin p net n at 0 0
+end
+macro b
+  rect 5 5
+  pin q net n at 5 5
+end
+)");
+  EXPECT_EQ(nl.num_cells(), 2u);
+}
+
+TEST(Parser, RoundTripPreservesStructure) {
+  std::string text = kSample;
+  const auto pos = text.find("pin c net clk at 10 0");
+  text.replace(pos, 21, "pin c net data at 10 0");
+  const Netlist nl = parse_netlist_string(text);
+  const std::string dumped = write_netlist(nl);
+  const Netlist nl2 = parse_netlist_string(dumped);
+  EXPECT_EQ(nl2.num_cells(), nl.num_cells());
+  EXPECT_EQ(nl2.num_nets(), nl.num_nets());
+  EXPECT_EQ(nl2.num_pins(), nl.num_pins());
+  EXPECT_EQ(nl2.tech().track_separation, nl.tech().track_separation);
+  // Geometry preserved per cell.
+  for (std::size_t c = 0; c < nl.num_cells(); ++c) {
+    EXPECT_EQ(nl2.cell(static_cast<CellId>(c)).instances.front().area(),
+              nl.cell(static_cast<CellId>(c)).instances.front().area());
+  }
+  // Equivalence preserved.
+  int classes = 0;
+  for (const auto& p : nl2.pins())
+    if (p.equiv_class != 0) ++classes;
+  EXPECT_EQ(classes, 2);
+  // Second round trip is a fixed point.
+  EXPECT_EQ(write_netlist(nl2), dumped);
+}
+
+TEST(Parser, FileRoundTrip) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro("a", {Rect{0, 0, 6, 4}});
+  const CellId b = nl.add_macro("b", {Rect{0, 0, 3, 3}});
+  nl.add_fixed_pin(a, "p", n, Point{0, 0});
+  nl.add_fixed_pin(b, "q", n, Point{3, 3});
+  const std::string path = ::testing::TempDir() + "/tw_roundtrip.nl";
+  write_netlist_file(nl, path);
+  const Netlist nl2 = parse_netlist_file(path);
+  EXPECT_EQ(nl2.num_pins(), 2u);
+  EXPECT_THROW(parse_netlist_file("/nonexistent/x.nl"), std::runtime_error);
+}
+
+TEST(Parser, MultiTileCellsRoundTripViaTilesDirective) {
+  Netlist nl;
+  const NetId n = nl.add_net("n");
+  const CellId a = nl.add_macro_polygon(
+      "L", {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  const CellId b = nl.add_macro("m", {Rect{0, 0, 3, 3}});
+  nl.add_fixed_pin(a, "p", n, Point{0, 0});
+  nl.add_fixed_pin(b, "q", n, Point{3, 3});
+  const Netlist nl2 = parse_netlist_string(write_netlist(nl));
+  EXPECT_EQ(nl2.cell(0).instances.front().area(), 75);
+  EXPECT_GT(nl2.cell(0).instances.front().tiles.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,98 @@
+// Tests for pin-site generation (Section 2.4).
+#include <gtest/gtest.h>
+
+#include "netlist/pin_sites.hpp"
+
+namespace tw {
+namespace {
+
+CellInstance rect_instance(Coord w, Coord h) {
+  CellInstance inst;
+  inst.tiles = {Rect{0, 0, w, h}};
+  inst.width = w;
+  inst.height = h;
+  return inst;
+}
+
+TEST(PinSites, CountAndOrdering) {
+  const auto sites = make_pin_sites(rect_instance(40, 20), 4, 1);
+  ASSERT_EQ(sites.size(), 16u);
+  // Edge-major order: left, right, bottom, top.
+  for (int k = 0; k < 4; ++k) EXPECT_EQ(sites[static_cast<std::size_t>(k)].side, Side::kLeft);
+  for (int k = 4; k < 8; ++k) EXPECT_EQ(sites[static_cast<std::size_t>(k)].side, Side::kRight);
+  for (int k = 8; k < 12; ++k) EXPECT_EQ(sites[static_cast<std::size_t>(k)].side, Side::kBottom);
+  for (int k = 12; k < 16; ++k) EXPECT_EQ(sites[static_cast<std::size_t>(k)].side, Side::kTop);
+}
+
+TEST(PinSites, SitesLieOnTheirEdges) {
+  const auto sites = make_pin_sites(rect_instance(40, 20), 4, 1);
+  for (const auto& s : sites) {
+    switch (s.side) {
+      case Side::kLeft: EXPECT_EQ(s.offset.x, 0); break;
+      case Side::kRight: EXPECT_EQ(s.offset.x, 40); break;
+      case Side::kBottom: EXPECT_EQ(s.offset.y, 0); break;
+      case Side::kTop: EXPECT_EQ(s.offset.y, 20); break;
+    }
+    EXPECT_GE(s.offset.x, 0);
+    EXPECT_LE(s.offset.x, 40);
+    EXPECT_GE(s.offset.y, 0);
+    EXPECT_LE(s.offset.y, 20);
+  }
+}
+
+TEST(PinSites, EvenlySpacedAlongEdge) {
+  const auto sites = make_pin_sites(rect_instance(40, 20), 4, 1);
+  // Bottom edge sites at x = 5, 15, 25, 35 (centers of 4 subdivisions).
+  EXPECT_EQ(sites[8].offset, (Point{5, 0}));
+  EXPECT_EQ(sites[9].offset, (Point{15, 0}));
+  EXPECT_EQ(sites[10].offset, (Point{25, 0}));
+  EXPECT_EQ(sites[11].offset, (Point{35, 0}));
+}
+
+TEST(PinSites, CapacityScalesWithEdgeAndPitch) {
+  const auto sites = make_pin_sites(rect_instance(40, 20), 4, 1);
+  EXPECT_EQ(sites[0].capacity, 5);   // left edge: 20/4/1
+  EXPECT_EQ(sites[8].capacity, 10);  // bottom edge: 40/4/1
+  const auto coarse = make_pin_sites(rect_instance(40, 20), 4, 2);
+  EXPECT_EQ(coarse[8].capacity, 5);  // pitch 2 halves the capacity
+}
+
+TEST(PinSites, CapacityNeverBelowOne) {
+  const auto sites = make_pin_sites(rect_instance(6, 6), 8, 4);
+  for (const auto& s : sites) EXPECT_GE(s.capacity, 1);
+}
+
+TEST(PinSites, RejectsBadArguments) {
+  EXPECT_THROW(make_pin_sites(rect_instance(10, 10), 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(make_pin_sites(rect_instance(10, 10), 4, 0),
+               std::invalid_argument);
+}
+
+TEST(PinSites, IndexMapping) {
+  EXPECT_EQ(site_index_of(Side::kLeft, 0, 4), 0);
+  EXPECT_EQ(site_index_of(Side::kLeft, 3, 4), 3);
+  EXPECT_EQ(site_index_of(Side::kRight, 0, 4), 4);
+  EXPECT_EQ(site_index_of(Side::kBottom, 2, 4), 10);
+  EXPECT_EQ(site_index_of(Side::kTop, 3, 4), 15);
+}
+
+TEST(PinSites, SitesInMask) {
+  const auto lr = sites_in_mask(kSideLeft | kSideRight, 4);
+  ASSERT_EQ(lr.size(), 8u);
+  EXPECT_EQ(lr.front(), 0);
+  EXPECT_EQ(lr.back(), 7);
+  EXPECT_EQ(sites_in_mask(kSideAny, 4).size(), 16u);
+  EXPECT_EQ(sites_in_mask(kSideTop, 2).size(), 2u);
+}
+
+TEST(PinSites, TotalCapacityTracksPerimeter) {
+  // Total capacity ~ perimeter / pitch (within rounding).
+  const auto sites = make_pin_sites(rect_instance(100, 60), 10, 1);
+  int total = 0;
+  for (const auto& s : sites) total += s.capacity;
+  EXPECT_EQ(total, 2 * (100 + 60));
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,160 @@
+// Tests for rectilinear polygon decomposition and exposed-edge extraction
+// (the cell-contour machinery behind the estimator and channel definition).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "geom/polygon.hpp"
+
+namespace tw {
+namespace {
+
+Coord edge_length_total(const std::vector<BoundaryEdge>& edges, Side s) {
+  Coord sum = 0;
+  for (const auto& e : edges)
+    if (e.side == s) sum += e.length();
+  return sum;
+}
+
+TEST(Decompose, RectangleIsOneTile) {
+  const auto tiles =
+      decompose_rectilinear({{0, 0}, {10, 0}, {10, 5}, {0, 5}});
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (Rect{0, 0, 10, 5}));
+}
+
+TEST(Decompose, RectangleClockwiseAlsoWorks) {
+  const auto tiles =
+      decompose_rectilinear({{0, 0}, {0, 5}, {10, 5}, {10, 0}});
+  ASSERT_EQ(tiles.size(), 1u);
+  EXPECT_EQ(tiles[0], (Rect{0, 0, 10, 5}));
+}
+
+TEST(Decompose, LShape) {
+  // 10x10 with the top-right 5x5 removed: area 75.
+  const auto tiles = decompose_rectilinear(
+      {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  EXPECT_EQ(total_area(tiles), 75);
+  for (std::size_t i = 0; i < tiles.size(); ++i)
+    for (std::size_t j = i + 1; j < tiles.size(); ++j)
+      EXPECT_FALSE(tiles[i].overlaps(tiles[j]));
+}
+
+TEST(Decompose, TShape) {
+  // A T: 12-wide bar on top of a 4-wide stem.
+  const auto tiles = decompose_rectilinear({{4, 0},
+                                            {8, 0},
+                                            {8, 6},
+                                            {12, 6},
+                                            {12, 10},
+                                            {0, 10},
+                                            {0, 6},
+                                            {4, 6}});
+  EXPECT_EQ(total_area(tiles), 4 * 6 + 12 * 4);
+}
+
+TEST(Decompose, RejectsDegenerateInput) {
+  EXPECT_THROW(decompose_rectilinear({{0, 0}, {1, 0}}), std::invalid_argument);
+  EXPECT_THROW(decompose_rectilinear({{0, 0}, {5, 3}, {5, 5}, {0, 5}}),
+               std::invalid_argument);  // diagonal edge
+  EXPECT_THROW(
+      decompose_rectilinear({{0, 0}, {0, 0}, {5, 0}, {5, 5}, {0, 5}}),
+      std::invalid_argument);  // zero-length edge
+}
+
+TEST(SubtractSpans, Cases) {
+  const Span base{0, 10};
+  EXPECT_EQ(subtract_spans(base, {}), (std::vector<Span>{{0, 10}}));
+  EXPECT_TRUE(subtract_spans(base, {{0, 10}}).empty());
+  EXPECT_EQ(subtract_spans(base, {{3, 5}}),
+            (std::vector<Span>{{0, 3}, {5, 10}}));
+  EXPECT_EQ(subtract_spans(base, {{-5, 2}, {8, 15}}),
+            (std::vector<Span>{{2, 8}}));
+  // Overlapping covers merge.
+  EXPECT_EQ(subtract_spans(base, {{1, 4}, {3, 6}}),
+            (std::vector<Span>{{0, 1}, {6, 10}}));
+  // Covers outside the base are ignored.
+  EXPECT_EQ(subtract_spans(base, {{20, 30}}), (std::vector<Span>{{0, 10}}));
+}
+
+TEST(ExposedEdges, SingleRect) {
+  const auto edges = exposed_edges({Rect{0, 0, 10, 5}});
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_EQ(edge_length_total(edges, Side::kLeft), 5);
+  EXPECT_EQ(edge_length_total(edges, Side::kRight), 5);
+  EXPECT_EQ(edge_length_total(edges, Side::kBottom), 10);
+  EXPECT_EQ(edge_length_total(edges, Side::kTop), 10);
+}
+
+TEST(ExposedEdges, TwoAbuttingTilesHideSharedEdge) {
+  // Two 5x5 tiles side by side: shared edge at x=5 not exposed.
+  const auto edges = exposed_edges({{0, 0, 5, 5}, {5, 0, 10, 5}});
+  EXPECT_EQ(exposed_perimeter({{0, 0, 5, 5}, {5, 0, 10, 5}}), 2 * 10 + 2 * 5);
+  for (const auto& e : edges) {
+    const bool shared_line = is_vertical(e.side) && e.pos == 5;
+    EXPECT_FALSE(shared_line) << "shared edge leaked at x=5";
+  }
+}
+
+TEST(ExposedEdges, PartialAbutment) {
+  // Second tile abuts only the lower half of the first tile's right side.
+  const auto edges = exposed_edges({{0, 0, 5, 10}, {5, 0, 8, 5}});
+  // Right side of tile 1 exposed only for y in [5,10].
+  Coord right_at_5 = 0;
+  for (const auto& e : edges)
+    if (e.side == Side::kRight && e.pos == 5) right_at_5 += e.length();
+  EXPECT_EQ(right_at_5, 5);
+}
+
+TEST(ExposedEdges, LShapePerimeter) {
+  const auto tiles = decompose_rectilinear(
+      {{0, 0}, {10, 0}, {10, 5}, {5, 5}, {5, 10}, {0, 10}});
+  // L perimeter: 10+5+5+5+5+10 = 40.
+  EXPECT_EQ(exposed_perimeter(tiles), 40);
+}
+
+TEST(ExposedEdges, CollinearSegmentsMerged) {
+  // Two stacked tiles with identical x-range: left side merges into one edge.
+  const auto edges = exposed_edges({{0, 0, 5, 5}, {0, 5, 5, 9}});
+  int left_edges = 0;
+  for (const auto& e : edges)
+    if (e.side == Side::kLeft) {
+      ++left_edges;
+      EXPECT_EQ(e.span, (Span{0, 9}));
+    }
+  EXPECT_EQ(left_edges, 1);
+}
+
+TEST(ExposedEdges, MidpointOnEdge) {
+  const BoundaryEdge v{Side::kLeft, 3, {0, 10}};
+  EXPECT_EQ(v.midpoint(), (Point{3, 5}));
+  const BoundaryEdge h{Side::kTop, 7, {2, 6}};
+  EXPECT_EQ(h.midpoint(), (Point{4, 7}));
+}
+
+TEST(Side, OppositeAndStrings) {
+  EXPECT_EQ(opposite(Side::kLeft), Side::kRight);
+  EXPECT_EQ(opposite(Side::kTop), Side::kBottom);
+  EXPECT_STREQ(to_string(Side::kBottom), "bottom");
+  EXPECT_TRUE(is_vertical(Side::kLeft));
+  EXPECT_FALSE(is_vertical(Side::kTop));
+}
+
+TEST(Decompose, DecompositionMatchesExposedEdgesOfPolygon) {
+  // Property: decomposing and re-deriving the perimeter gives the polygon's
+  // own perimeter for a staircase shape.
+  const auto tiles = decompose_rectilinear({{0, 0},
+                                            {6, 0},
+                                            {6, 2},
+                                            {4, 2},
+                                            {4, 4},
+                                            {2, 4},
+                                            {2, 6},
+                                            {0, 6}});
+  // Staircase perimeter: 6+2+2+2+2+2+2+6 = 24.
+  EXPECT_EQ(exposed_perimeter(tiles), 24);
+  EXPECT_EQ(total_area(tiles), 6 * 2 + 4 * 2 + 2 * 2);
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,175 @@
+// Tests for the synthetic circuit generator and the nine paper circuits:
+// exact published counts, structural realism, determinism.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+TEST(Generator, ExactCounts) {
+  const CircuitSpec spec = tiny_circuit(1);
+  const Netlist nl = generate_circuit(spec);
+  EXPECT_EQ(nl.num_cells(), static_cast<std::size_t>(spec.num_cells));
+  EXPECT_EQ(nl.num_nets(), static_cast<std::size_t>(spec.num_nets));
+  EXPECT_EQ(nl.num_pins(), static_cast<std::size_t>(spec.num_pins));
+}
+
+TEST(Generator, ValidatesAndHasMinDegree2) {
+  const Netlist nl = generate_circuit(medium_circuit(2));
+  EXPECT_NO_THROW(nl.validate());
+  for (const auto& n : nl.nets()) EXPECT_GE(n.degree(), 2u);
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const Netlist a = generate_circuit(tiny_circuit(3));
+  const Netlist b = generate_circuit(tiny_circuit(3));
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (std::size_t i = 0; i < a.num_cells(); ++i) {
+    EXPECT_EQ(a.cell(static_cast<CellId>(i)).instances.front().width,
+              b.cell(static_cast<CellId>(i)).instances.front().width);
+  }
+  for (std::size_t i = 0; i < a.num_pins(); ++i)
+    EXPECT_EQ(a.pin(static_cast<PinId>(i)).net, b.pin(static_cast<PinId>(i)).net);
+}
+
+TEST(Generator, SeedsProduceDifferentCircuits) {
+  const Netlist a = generate_circuit(tiny_circuit(4));
+  const Netlist b = generate_circuit(tiny_circuit(5));
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.num_cells(); ++i)
+    if (a.cell(static_cast<CellId>(i)).instances.front().width !=
+        b.cell(static_cast<CellId>(i)).instances.front().width)
+      any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generator, CustomFractionRespected) {
+  CircuitSpec spec = medium_circuit(6);
+  spec.custom_fraction = 0.0;
+  const Netlist none = generate_circuit(spec);
+  for (const auto& c : none.cells()) EXPECT_FALSE(c.is_custom());
+  spec.custom_fraction = 1.0;
+  const Netlist all = generate_circuit(spec);
+  for (const auto& c : all.cells()) EXPECT_TRUE(c.is_custom());
+}
+
+TEST(Generator, RectilinearCellsPresent) {
+  CircuitSpec spec = medium_circuit(7);
+  spec.custom_fraction = 0.0;
+  spec.rectilinear_fraction = 1.0;
+  const Netlist nl = generate_circuit(spec);
+  int multi_tile = 0;
+  for (const auto& c : nl.cells())
+    if (c.instances.front().tiles.size() > 1) ++multi_tile;
+  EXPECT_GT(multi_tile, spec.num_cells / 2);
+}
+
+TEST(Generator, LongTailNetDegrees) {
+  const Netlist nl = generate_circuit(medium_circuit(8));
+  std::size_t max_degree = 0;
+  int two_pin = 0;
+  for (const auto& n : nl.nets()) {
+    max_degree = std::max(max_degree, n.degree());
+    if (n.degree() == 2) ++two_pin;
+  }
+  EXPECT_GT(max_degree, 6u);                       // some fat nets
+  EXPECT_GT(two_pin, static_cast<int>(nl.num_nets()) / 3);  // many 2-pin nets
+}
+
+TEST(Generator, EquivalentPinsCreated) {
+  CircuitSpec spec = medium_circuit(9);
+  spec.equiv_fraction = 0.05;
+  const Netlist nl = generate_circuit(spec);
+  int equiv = 0;
+  for (const auto& p : nl.pins())
+    if (p.equiv_class != 0) ++equiv;
+  EXPECT_GE(equiv, 2);
+  // Equivalent pins pair up within one net.
+  std::map<std::int32_t, std::vector<PinId>> classes;
+  for (const auto& p : nl.pins())
+    if (p.equiv_class != 0) classes[p.equiv_class].push_back(p.id);
+  for (const auto& [cls, pins] : classes) {
+    (void)cls;
+    ASSERT_GE(pins.size(), 2u);
+    for (PinId p : pins) EXPECT_EQ(nl.pin(p).net, nl.pin(pins[0]).net);
+  }
+}
+
+TEST(Generator, PinsOnCellBoundary) {
+  const Netlist nl = generate_circuit(tiny_circuit(10));
+  for (const auto& c : nl.cells()) {
+    if (c.is_custom()) continue;
+    const CellInstance& inst = c.instances.front();
+    const auto edges = exposed_edges(inst.tiles);
+    for (std::size_t k = 0; k < c.pins.size(); ++k) {
+      const Point off = inst.pin_offsets[k];
+      bool on_edge = false;
+      for (const auto& e : edges) {
+        if (is_vertical(e.side)) {
+          if (off.x == e.pos && e.span.contains(off.y)) on_edge = true;
+        } else {
+          if (off.y == e.pos && e.span.contains(off.x)) on_edge = true;
+        }
+      }
+      EXPECT_TRUE(on_edge) << c.name << " pin " << k;
+    }
+  }
+}
+
+TEST(Generator, RejectsInfeasibleSpecs) {
+  CircuitSpec spec;
+  spec.num_cells = 1;
+  EXPECT_THROW(generate_circuit(spec), std::invalid_argument);
+  spec = CircuitSpec{};
+  spec.num_nets = 100;
+  spec.num_pins = 150;  // under 2 per net
+  EXPECT_THROW(generate_circuit(spec), std::invalid_argument);
+}
+
+TEST(PaperCircuits, AllNineWithPublishedCounts) {
+  const auto all = paper_circuits();
+  ASSERT_EQ(all.size(), 9u);
+  // Spot-check the published triples (cells, nets, pins).
+  const std::map<std::string, std::array<int, 3>> expected{
+      {"i1", {33, 121, 452}}, {"p1", {11, 83, 309}},  {"x1", {10, 267, 762}},
+      {"i2", {23, 127, 577}}, {"i3", {18, 38, 102}},  {"l1", {62, 570, 4309}},
+      {"d2", {20, 656, 1776}}, {"d1", {17, 288, 837}}, {"d3", {17, 136, 665}},
+  };
+  for (const auto& pc : all) {
+    const auto it = expected.find(pc.spec.name);
+    ASSERT_NE(it, expected.end()) << pc.spec.name;
+    EXPECT_EQ(pc.spec.num_cells, it->second[0]);
+    EXPECT_EQ(pc.spec.num_nets, it->second[1]);
+    EXPECT_EQ(pc.spec.num_pins, it->second[2]);
+    EXPECT_GE(pc.trials, 2);
+  }
+}
+
+TEST(PaperCircuits, TrialCountsMatchTable3) {
+  EXPECT_EQ(paper_circuit("i1").trials, 5);
+  EXPECT_EQ(paper_circuit("p1").trials, 6);
+  EXPECT_EQ(paper_circuit("x1").trials, 4);
+  EXPECT_EQ(paper_circuit("i3").trials, 2);
+  EXPECT_EQ(paper_circuit("d3").trials, 2);
+}
+
+TEST(PaperCircuits, GenerateSmallOnes) {
+  // Generate the three smallest circuits fully and validate.
+  for (const char* name : {"p1", "x1", "i3"}) {
+    const PaperCircuit pc = paper_circuit(name);
+    const Netlist nl = generate_circuit(pc.spec);
+    EXPECT_EQ(nl.num_cells(), static_cast<std::size_t>(pc.spec.num_cells));
+    EXPECT_EQ(nl.num_nets(), static_cast<std::size_t>(pc.spec.num_nets));
+    EXPECT_EQ(nl.num_pins(), static_cast<std::size_t>(pc.spec.num_pins));
+  }
+}
+
+TEST(PaperCircuits, UnknownNameThrows) {
+  EXPECT_THROW(paper_circuit("zz9"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tw
