@@ -1,0 +1,56 @@
+#include "check/contracts.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace tw::check {
+namespace {
+
+void default_handler(const Violation& v) {
+  std::fputs(v.str().c_str(), stderr);
+  std::fputc('\n', stderr);
+}
+
+// Single-threaded by design (the annealer is single-threaded); revisit
+// with the parallel-moves work.
+Handler g_handler = &default_handler;
+
+void throwing_handler(const Violation& v) { throw ContractViolation(v); }
+
+}  // namespace
+
+std::string Violation::str() const {
+  std::ostringstream os;
+  os << file << ':' << line << ": contract violation: " << kind;
+  if (expr[0] != '\0') os << '(' << expr << ')';
+  if (!message.empty()) os << ": " << message;
+  return os.str();
+}
+
+ContractViolation::ContractViolation(const Violation& v)
+    : std::runtime_error(v.str()), violation(v) {}
+
+Handler set_violation_handler(Handler h) {
+  return std::exchange(g_handler, h != nullptr ? h : &default_handler);
+}
+
+void fail(const char* kind, const char* expr, const char* file, int line,
+          std::string message) {
+  Violation v;
+  v.kind = kind;
+  v.expr = expr;
+  v.file = file;
+  v.line = line;
+  v.message = std::move(message);
+  g_handler(v);
+  // A handler that does not throw cannot make the violation continuable.
+  std::abort();
+}
+
+ScopedContractTrap::ScopedContractTrap()
+    : previous_(set_violation_handler(&throwing_handler)) {}
+
+ScopedContractTrap::~ScopedContractTrap() { set_violation_handler(previous_); }
+
+}  // namespace tw::check

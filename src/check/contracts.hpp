@@ -1,0 +1,142 @@
+// Invariant contracts for TimberWolfMC.
+//
+// The annealer's speed comes entirely from incrementally-maintained state
+// (running cost totals, cached expanded tiles, pin-site occupancy); a
+// silent drift bug in any of it invalidates every downstream number. The
+// macros here make such bugs loud, at a compile-time-selected cost:
+//
+//   TW_CHECK_LEVEL=0 (off)    all contracts compile to no-ops
+//   TW_CHECK_LEVEL=1 (cheap)  O(1) argument/bounds/state checks
+//   TW_CHECK_LEVEL=2 (full)   adds whole-structure validation and the
+//                             CostAudit recompute-from-scratch checkpoints
+//
+// The build system maps the string option TW_CHECK_LEVEL=off|cheap|full to
+// this macro (cheap is the Debug default, off the Release default).
+//
+// Macro vocabulary (cheap level unless suffixed _FULL):
+//
+//   TW_REQUIRE(cond, ...)  precondition at a public entry point
+//   TW_ENSURE(cond, ...)   postcondition before returning
+//   TW_ASSERT(cond, ...)   internal invariant
+//
+// Trailing arguments are streamed into the failure message, so contracts
+// print the offending values:
+//
+//   TW_REQUIRE(site >= 0 && site < n, "site=", site, " n=", n);
+//
+// A violation formats the message and calls the installed handler; the
+// default prints to stderr and aborts. Tests install a throwing handler
+// (ScopedContractTrap) to assert that bad inputs are caught without
+// killing the test binary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#ifndef TW_CHECK_LEVEL
+#define TW_CHECK_LEVEL 1
+#endif
+
+namespace tw::check {
+
+inline constexpr int kLevelOff = 0;
+inline constexpr int kLevelCheap = 1;
+inline constexpr int kLevelFull = 2;
+
+/// The level this translation unit was compiled at. Use
+/// `if constexpr (check::kLevel >= check::kLevelFull)` to gate expensive
+/// validation whose inputs the macros alone cannot express.
+inline constexpr int kLevel = TW_CHECK_LEVEL;
+
+/// Everything known about a failed contract.
+struct Violation {
+  const char* kind = "";  ///< "TW_ASSERT", "TW_REQUIRE", ..., "CostAudit"
+  const char* expr = "";  ///< stringified condition ("" for runtime checks)
+  const char* file = "";
+  int line = 0;
+  std::string message;    ///< formatted context values
+
+  std::string str() const;
+};
+
+/// Thrown by the trap handler installed by ScopedContractTrap.
+struct ContractViolation : std::runtime_error {
+  explicit ContractViolation(const Violation& v);
+  Violation violation;
+};
+
+using Handler = void (*)(const Violation&);
+
+/// Installs a violation handler and returns the previous one. The handler
+/// may throw (how tests trap violations); if it returns normally the
+/// process aborts — a contract violation is never continuable.
+Handler set_violation_handler(Handler h);
+
+/// Formats and dispatches a violation (used by the macros and by runtime
+/// checkers like CostAudit). Aborts unless the installed handler throws.
+void fail(const char* kind, const char* expr, const char* file, int line,
+          std::string message);
+
+/// RAII: routes violations into ContractViolation exceptions for the
+/// duration of a test, restoring the previous handler on destruction.
+class ScopedContractTrap {
+public:
+  ScopedContractTrap();
+  ~ScopedContractTrap();
+  ScopedContractTrap(const ScopedContractTrap&) = delete;
+  ScopedContractTrap& operator=(const ScopedContractTrap&) = delete;
+
+private:
+  Handler previous_;
+};
+
+namespace detail {
+
+template <typename... Args>
+std::string format(const Args&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+}  // namespace tw::check
+
+#define TW_CHECK_IMPL(kind, cond, ...)                              \
+  do {                                                              \
+    if (!(cond))                                                    \
+      ::tw::check::fail(kind, #cond, __FILE__, __LINE__,            \
+                        ::tw::check::detail::format(__VA_ARGS__));  \
+  } while (0)
+
+#define TW_CHECK_NOP() \
+  do {                 \
+  } while (0)
+
+#if TW_CHECK_LEVEL >= 1
+#define TW_ASSERT(cond, ...) TW_CHECK_IMPL("TW_ASSERT", cond, __VA_ARGS__)
+#define TW_REQUIRE(cond, ...) TW_CHECK_IMPL("TW_REQUIRE", cond, __VA_ARGS__)
+#define TW_ENSURE(cond, ...) TW_CHECK_IMPL("TW_ENSURE", cond, __VA_ARGS__)
+#else
+#define TW_ASSERT(...) TW_CHECK_NOP()
+#define TW_REQUIRE(...) TW_CHECK_NOP()
+#define TW_ENSURE(...) TW_CHECK_NOP()
+#endif
+
+#if TW_CHECK_LEVEL >= 2
+#define TW_ASSERT_FULL(cond, ...) \
+  TW_CHECK_IMPL("TW_ASSERT_FULL", cond, __VA_ARGS__)
+#define TW_REQUIRE_FULL(cond, ...) \
+  TW_CHECK_IMPL("TW_REQUIRE_FULL", cond, __VA_ARGS__)
+#define TW_ENSURE_FULL(cond, ...) \
+  TW_CHECK_IMPL("TW_ENSURE_FULL", cond, __VA_ARGS__)
+#else
+#define TW_ASSERT_FULL(...) TW_CHECK_NOP()
+#define TW_REQUIRE_FULL(...) TW_CHECK_NOP()
+#define TW_ENSURE_FULL(...) TW_CHECK_NOP()
+#endif

@@ -1,0 +1,66 @@
+#include "check/cost_audit.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace tw {
+namespace {
+
+bool drifted(double inc, double ref, double epsilon) {
+  return std::abs(inc - ref) > epsilon * std::max(1.0, std::abs(ref));
+}
+
+void describe(std::ostringstream& os, const char* term, double inc,
+              double ref) {
+  os << term << " drifted: incremental=" << inc << " recomputed=" << ref
+     << " delta=" << inc - ref << "; ";
+}
+
+}  // namespace
+
+std::string CostDriftReport::str() const {
+  if (!any()) return "no drift";
+  std::ostringstream os;
+  if (c1_drifted) describe(os, "C1(TEIC)", incremental.c1, recomputed.c1);
+  if (c2_drifted)
+    describe(os, "C2(overlap)", incremental.c2_raw, recomputed.c2_raw);
+  if (c3_drifted) describe(os, "C3(pin-site)", incremental.c3, recomputed.c3);
+  return os.str();
+}
+
+CostAudit::CostAudit(const CostModel& model, CostAuditParams params)
+    : model_(&model), params_(params) {}
+
+CostDriftReport CostAudit::compare(const CostTerms& incremental) const {
+  CostDriftReport r;
+  r.incremental = incremental;
+  r.recomputed = model_->full();
+  r.c1_drifted = drifted(incremental.c1, r.recomputed.c1, params_.epsilon);
+  r.c2_drifted =
+      drifted(incremental.c2_raw, r.recomputed.c2_raw, params_.epsilon);
+  r.c3_drifted = drifted(incremental.c3, r.recomputed.c3, params_.epsilon);
+  return r;
+}
+
+void CostAudit::checkpoint(const CostTerms& incremental, const char* where) {
+  ++checks_;
+  const CostDriftReport r = compare(incremental);
+  if (r.any())
+    check::fail("CostAudit", "", __FILE__, __LINE__,
+                std::string(where) + ": " + r.str());
+}
+
+void CostAudit::on_accept(const CostTerms& incremental, const char* where) {
+  if (params_.every_accepts <= 0) return;
+  if (++accepts_since_check_ < params_.every_accepts) return;
+  accepts_since_check_ = 0;
+  checkpoint(incremental, where);
+}
+
+void CostAudit::on_temperature_step(const CostTerms& incremental,
+                                    const char* where) {
+  if (!params_.at_temperature_steps) return;
+  checkpoint(incremental, where);
+}
+
+}  // namespace tw

@@ -1,0 +1,86 @@
+// CostAudit: the incremental-cost drift checker.
+//
+// Stage 1 and stage 2 maintain the Eqn 6-11 cost terms (C1 TEIC, C2
+// overlap, C3 pin-site penalty) incrementally: every accepted move adds
+// its partial-evaluation delta to a running CostTerms. A bug in any
+// partial evaluation — a net missed in the affected set, an overlap pair
+// counted twice, a site-occupancy update skipped — silently desynchronizes
+// the running totals from the true cost, and the anneal optimizes the
+// wrong function while every reported number looks plausible.
+//
+// CostAudit recomputes all three terms from scratch (CostModel::full())
+// at configurable checkpoints — every N accepted moves and/or at every
+// temperature step — and compares each term against the incrementally-
+// maintained value. On drift it raises a contract violation whose message
+// names exactly which term drifted and by how much.
+//
+// The annealers wire this in unconditionally; with default parameters the
+// accept-interval is off and temperature-step checks are enabled only at
+// TW_CHECK_LEVEL=full, so release builds pay nothing.
+#pragma once
+
+#include <string>
+
+#include "check/contracts.hpp"
+#include "place/cost.hpp"
+
+namespace tw {
+
+struct CostAuditParams {
+  /// Recompute-and-compare every this many accepted moves (0 = disabled).
+  int every_accepts = 0;
+
+  /// Check at every temperature step (defaults on at full check level).
+  bool at_temperature_steps = check::kLevel >= check::kLevelFull;
+
+  /// Relative comparison tolerance per term: a term t drifted when
+  /// |inc - ref| > epsilon * max(1, |ref|). The default leaves ~6 decades
+  /// of headroom above worst-case double accumulation over one inner loop.
+  double epsilon = 1e-6;
+};
+
+/// Result of one recompute-and-compare.
+struct CostDriftReport {
+  CostTerms incremental;  ///< the annealer's running totals
+  CostTerms recomputed;   ///< CostModel::full() at the checkpoint
+  bool c1_drifted = false;
+  bool c2_drifted = false;
+  bool c3_drifted = false;
+
+  bool any() const { return c1_drifted || c2_drifted || c3_drifted; }
+
+  /// Names the drifted term(s) with incremental/recomputed values and the
+  /// per-term deltas, e.g. "C2 drifted: incremental=12 recomputed=14 ...".
+  std::string str() const;
+};
+
+class CostAudit {
+public:
+  explicit CostAudit(const CostModel& model, CostAuditParams params = {});
+
+  const CostAuditParams& params() const { return params_; }
+
+  /// Recomputes from scratch and compares; no side effects, never raises.
+  CostDriftReport compare(const CostTerms& incremental) const;
+
+  /// Counts an accepted move; runs a checkpoint when the accept interval
+  /// elapses. Raises a contract violation (kind "CostAudit") on drift.
+  void on_accept(const CostTerms& incremental, const char* where);
+
+  /// Temperature-step checkpoint. Call *before* resynchronizing the
+  /// running totals (the resync would mask exactly the drift this hunts).
+  void on_temperature_step(const CostTerms& incremental, const char* where);
+
+  /// Checkpoints that actually ran (for tests and diagnostics).
+  long long checks_run() const { return checks_; }
+
+private:
+  void checkpoint(const CostTerms& incremental, const char* where);
+
+  const CostModel* model_;
+  CostAuditParams params_;
+  long long accepts_since_check_ = 0;
+  long long checks_ = 0;
+};
+
+}  // namespace tw

@@ -1,0 +1,65 @@
+// Domain validators: whole-structure consistency checks for the netlist,
+// the placement state, and global-routing results.
+//
+// Unlike the contract macros (compile-time gated, abort on failure), the
+// validators always compile and return a ValidationReport listing every
+// violation found, so tests can probe deliberately-broken inputs and
+// callers can decide between logging and failing. The annealers run them
+// through TW_*_FULL contracts at their entry/exit boundaries, so a full-
+// checks build turns any inconsistency into a hard failure.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "place/placement.hpp"
+#include "route/interchange.hpp"
+
+namespace tw {
+
+struct ValidationIssue {
+  std::string where;   ///< object, e.g. "cell 3 'alu'" or "net 7"
+  std::string detail;  ///< what is wrong, with the offending values
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  /// One line per issue ("ok" when clean) — contract-message friendly.
+  std::string str() const;
+};
+
+/// Structural netlist invariants: pin/net/cell cross-references are
+/// mutually consistent, net degrees >= 2, every cell has at least one
+/// instance with per-pin offsets, custom aspect-ratio ranges are sane, and
+/// per-cell pin-site capacity can accommodate the uncommitted pins.
+ValidationReport validate_netlist(const Netlist& nl);
+
+struct PlacementCheckOptions {
+  /// When set, every cell center must lie inside this core region (the
+  /// annealers clamp displacement targets to the core, so mid-anneal
+  /// centers are always inside; full bboxes may legitimately protrude and
+  /// are only penalized via C2's border overlap).
+  std::optional<Rect> core;
+};
+
+/// Placement-state invariants: tile decompositions are internally
+/// disjoint, orientations are legal, the selected instance exists, custom
+/// aspects lie in the cell's range, pin-site assignments are in range with
+/// occupancy counters that match, and (optionally) centers are inside the
+/// core.
+ValidationReport validate_placement(const Placement& placement,
+                                    const PlacementCheckOptions& options = {});
+
+/// Global-routing invariants: every selected route connects its net (one
+/// alternative of every logical pin in one connected component), edge
+/// usage equals the recount over selected routes, the total overflow
+/// matches the per-edge excess over capacities, and the reported length
+/// and unrouted count match the selections.
+ValidationReport validate_routing(const RoutingGraph& g,
+                                  const std::vector<NetTargets>& nets,
+                                  const GlobalRouteResult& result);
+
+}  // namespace tw

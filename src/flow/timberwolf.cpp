@@ -26,14 +26,16 @@ TimberWolfMC::TimberWolfMC(const Netlist& nl, FlowParams params)
     : nl_(nl), params_(params) {}
 
 Stage1Result TimberWolfMC::run_stage1(Placement& placement) {
-  Stage1Placer stage1(nl_, params_.stage1, params_.seed);
+  Stage1Placer stage1(nl_, params_.stage1,
+                      derive_seed(params_.seed, "stage1"));
   return stage1.run(placement);
 }
 
 FlowResult TimberWolfMC::run(Placement& placement) {
   FlowResult r;
 
-  Stage1Placer stage1(nl_, params_.stage1, params_.seed);
+  Stage1Placer stage1(nl_, params_.stage1,
+                      derive_seed(params_.seed, "stage1"));
   r.stage1 = stage1.run(placement);
   r.stage1_teil = r.stage1.final_teil;
 
@@ -54,7 +56,8 @@ FlowResult TimberWolfMC::run(Placement& placement) {
            " area=", r.stage1_chip_area,
            " overlap=", r.stage1.residual_overlap);
 
-  Stage2Refiner stage2(nl_, params_.stage2, params_.seed + 0x9E3779B9ull);
+  Stage2Refiner stage2(nl_, params_.stage2,
+                       derive_seed(params_.seed, "stage2"));
   r.stage2 = stage2.run(placement, r.stage1.core, r.stage1.t_infinity,
                         r.stage1.temperature_scale);
   r.final_teil = r.stage2.final_teil;

@@ -1,6 +1,9 @@
 #include "place/cost.hpp"
 
 #include <algorithm>
+#include <cmath>
+
+#include "check/contracts.hpp"
 
 namespace tw {
 
@@ -10,6 +13,8 @@ CostModel::CostModel(const Placement& placement, const OverlapEngine& overlap,
 
 double CostModel::calibrate_p2(Placement& placement, OverlapEngine& overlap,
                                const Rect& core, Rng& rng, int samples) {
+  TW_REQUIRE(samples > 0, "samples=", samples);
+  TW_REQUIRE(core.valid(), "core=", core.str());
   double sum_c1 = 0.0;
   double sum_c2 = 0.0;
   for (int s = 0; s < samples; ++s) {
@@ -19,6 +24,8 @@ double CostModel::calibrate_p2(Placement& placement, OverlapEngine& overlap,
     sum_c2 += static_cast<double>(overlap.total_overlap());
   }
   p2_ = sum_c2 > 0.0 ? params_.eta * sum_c1 / sum_c2 : 1.0;
+  TW_ENSURE(p2_ > 0.0 && std::isfinite(p2_), "p2=", p2_,
+            " sum_c1=", sum_c1, " sum_c2=", sum_c2);
   return p2_;
 }
 

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace tw {
 
 OverlapEngine::OverlapEngine(const Placement& placement,
@@ -26,6 +28,8 @@ OverlapEngine::OverlapEngine(const Placement& placement, Rect core,
 }
 
 void OverlapEngine::refresh(CellId c) {
+  TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < tiles_.size(),
+            "cell=", c, " of ", tiles_.size());
   if (estimator_) {
     const CellState& st = placement_->state(c);
     expansion_[static_cast<std::size_t>(c)] = estimator_->side_expansions(
@@ -41,12 +45,17 @@ void OverlapEngine::refresh_all() {
 
 void OverlapEngine::recache_tiles(CellId c) {
   const auto& e = expansion_[static_cast<std::size_t>(c)];
+  TW_ASSERT(e[0] >= 0 && e[1] >= 0 && e[2] >= 0 && e[3] >= 0,
+            "cell=", c, " negative expansion (", e[0], ", ", e[1], ", ",
+            e[2], ", ", e[3], ")");
   auto tiles = placement_->absolute_tiles(c);
   for (auto& t : tiles) t = t.inflated(e[0], e[1], e[2], e[3]);
   tiles_[static_cast<std::size_t>(c)] = std::move(tiles);
 }
 
 void OverlapEngine::set_expansions(CellId c, std::array<Coord, 4> e) {
+  TW_REQUIRE(c >= 0 && static_cast<std::size_t>(c) < expansion_.size(),
+             "cell=", c, " of ", expansion_.size());
   expansion_[static_cast<std::size_t>(c)] = e;
   recache_tiles(c);
 }

@@ -5,7 +5,17 @@
 #include <limits>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+
 namespace tw {
+namespace {
+
+[[maybe_unused]] bool valid_orient(Orient o) {
+  const auto raw = static_cast<int>(o);
+  return raw >= 0 && raw < 8;
+}
+
+}  // namespace
 
 Placement::Placement(const Netlist& nl) : nl_(&nl) {
   states_.resize(nl.num_cells());
@@ -131,10 +141,15 @@ double Placement::teil() const {
 }
 
 void Placement::set_center(CellId c, Point center) {
+  TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < states_.size(),
+            "cell=", c, " of ", states_.size());
   states_[static_cast<std::size_t>(c)].center = center;
 }
 
 void Placement::set_orient(CellId c, Orient o) {
+  TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < states_.size(),
+            "cell=", c, " of ", states_.size());
+  TW_ASSERT(valid_orient(o), "orient=", static_cast<int>(o));
   states_[static_cast<std::size_t>(c)].orient = o;
 }
 
@@ -188,6 +203,13 @@ void Placement::assign_pin_to_site(CellId c, int local_pin, int site) {
   CellState& st = states_[static_cast<std::size_t>(c)];
   if (site < 0 || static_cast<std::size_t>(site) >= st.sites.size())
     throw std::invalid_argument("assign_pin_to_site: bad site");
+  TW_REQUIRE(local_pin >= 0 &&
+                 static_cast<std::size_t>(local_pin) < st.pin_site.size(),
+             "cell=", c, " local_pin=", local_pin, " of ",
+             st.pin_site.size());
+  TW_REQUIRE(!nl_->pin(nl_->cell(c).pins[static_cast<std::size_t>(local_pin)])
+                  .committed(),
+             "cell=", c, " local_pin=", local_pin, " is a fixed pin");
   int& cur = st.pin_site[static_cast<std::size_t>(local_pin)];
   if (cur >= 0) --st.site_occupancy[static_cast<std::size_t>(cur)];
   cur = site;
@@ -214,6 +236,11 @@ void Placement::assign_group(CellId c, GroupId g, Side side, int start_site) {
 }
 
 void Placement::restore(CellId c, CellState s) {
+  TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < states_.size(),
+            "cell=", c, " of ", states_.size());
+  TW_ASSERT_FULL(s.pin_site.size() == nl_->cell(c).pins.size(),
+                 "cell=", c, " snapshot pin_site=", s.pin_site.size(),
+                 " pins=", nl_->cell(c).pins.size());
   states_[static_cast<std::size_t>(c)] = std::move(s);
 }
 
@@ -247,6 +274,9 @@ void Placement::randomize(Rng& rng, const Rect& core) {
 
 double Placement::site_penalty(CellId c, double kappa) const {
   const CellState& st = state(c);
+  TW_ASSERT(st.site_occupancy.size() == st.sites.size(),
+            "cell=", c, " occupancy=", st.site_occupancy.size(),
+            " sites=", st.sites.size());
   double sum = 0.0;
   for (std::size_t s = 0; s < st.sites.size(); ++s) {
     const int over = st.site_occupancy[s] - st.sites[s].capacity;

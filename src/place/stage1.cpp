@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "util/log.hpp"
 #include "util/stats.hpp"
 
@@ -17,6 +19,9 @@ Stage1Placer::MoveOutcome Stage1Placer::judge(
     Placement& placement, OverlapEngine& overlap, CostModel& model,
     std::span<const CellId> cells, std::span<const CellState> saved,
     const CostTerms& before, double t) {
+  TW_ASSERT(cells.size() == saved.size(), "cells=", cells.size(),
+            " snapshots=", saved.size());
+  TW_ASSERT(t > 0.0, "t=", t);
   CostTerms after;
   after.c1 = model.partial_c1(cells);
   after.c2_raw = model.partial_c2_raw(cells);
@@ -31,6 +36,7 @@ Stage1Placer::MoveOutcome Stage1Placer::judge(
     current_.c1 += after.c1 - before.c1;
     current_.c2_raw += after.c2_raw - before.c2_raw;
     current_.c3 += after.c3 - before.c3;
+    if (audit_ != nullptr) audit_->on_accept(current_, "stage1 move");
   } else {
     for (std::size_t k = 0; k < cells.size(); ++k) {
       placement.restore(cells[k], saved[k]);
@@ -162,6 +168,9 @@ Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
     out.accepted = true;
     current_.c1 += c1_after - c1_before;
     current_.c3 += c3_after - c3_before;
+    // A pin move cannot change C2 (the cell outline is untouched); the
+    // audit checkpoint verifies exactly that assumption.
+    if (audit_ != nullptr) audit_->on_accept(current_, "stage1 pin move");
   } else {
     p.restore(i, saved);
   }
@@ -220,6 +229,11 @@ Stage1Placer::MoveOutcome Stage1Placer::try_instance_change(Placement& p,
 }
 
 Stage1Result Stage1Placer::run(Placement& placement) {
+  TW_REQUIRE(nl_.num_cells() > 0, "stage 1 needs at least one cell");
+  if constexpr (check::kLevel >= check::kLevelFull) {
+    const ValidationReport nr = validate_netlist(nl_);
+    TW_REQUIRE_FULL(nr.ok(), nr.str());
+  }
   Stage1Result result;
 
   // --- core sizing, T-infinity scaling, p2 calibration ----------------------
@@ -265,6 +279,8 @@ Stage1Result Stage1Placer::run(Placement& placement) {
   result.p2 = p2_base;
 
   current_ = model.full();
+  CostAudit audit(model, params_.audit);
+  audit_ = &audit;
 
   const CoolingSchedule schedule = CoolingSchedule::stage1();
   RangeLimiter limiter(core.width(), core.height(), t, params_.rho);
@@ -371,6 +387,10 @@ Stage1Result Stage1Placer::run(Placement& placement) {
         {t, cost_trace.mean(), acc.rate(), limiter.window_x(t)});
     ++result.temperature_steps;
 
+    // Drift checkpoint *before* the resync below masks the inner loop's
+    // accumulated error.
+    audit.on_temperature_step(current_, "stage1 temperature step");
+
     // Resynchronize the running totals to kill floating-point drift.
     current_ = model.full();
 
@@ -382,6 +402,13 @@ Stage1Result Stage1Placer::run(Placement& placement) {
     // profile (see t_stop_factor).
     if (limiter.at_minimum(t) && t <= scale * params_.t_stop_factor) break;
     t = schedule.next(t, scale);
+  }
+
+  audit_ = nullptr;
+  if constexpr (check::kLevel >= check::kLevelFull) {
+    const ValidationReport pr =
+        validate_placement(placement, {.core = core});
+    TW_ENSURE_FULL(pr.ok(), pr.str());
   }
 
   result.final_teic = placement.teic();

@@ -24,6 +24,7 @@
 #include "anneal/displacement.hpp"
 #include "anneal/range_limiter.hpp"
 #include "anneal/schedule.hpp"
+#include "check/cost_audit.hpp"
 #include "place/cost.hpp"
 
 namespace tw {
@@ -89,6 +90,11 @@ struct Stage1Params {
   /// Safety net: hard cap on temperature steps (rho=1 never reaches the
   /// window minimum).
   int max_temperature_steps = 200;
+
+  /// Incremental-cost drift checkpoints (see check/cost_audit.hpp). The
+  /// default checks at every temperature step in full-checks builds and is
+  /// free otherwise.
+  CostAuditParams audit;
 };
 
 /// Per-temperature trace entry (drives tests and the cooling diagnostics).
@@ -158,6 +164,7 @@ private:
   Rng rng_;
   DynamicAreaEstimator estimator_;
   CostTerms current_;  ///< running totals, resynced each temperature step
+  CostAudit* audit_ = nullptr;  ///< drift checkpoints, set for the run() scope
 };
 
 }  // namespace tw

@@ -5,6 +5,8 @@
 
 #include "anneal/displacement.hpp"
 #include "anneal/range_limiter.hpp"
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "place/legalize.hpp"
 #include "route/channel_router.hpp"
 #include "util/log.hpp"
@@ -84,6 +86,7 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
       static_cast<long long>(params_.attempts_per_cell) * num_cells;
 
   CostTerms current = model.full();
+  CostAudit audit(model, params_.audit);
   double t = t_start;
   int steps = 0;
   int stall = 0;
@@ -143,11 +146,13 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
                   0, static_cast<std::int64_t>(legal.size()) - 1))]);
         }
 
-        const double delta = (model.net_cost_sum(nets) - c1_before) +
-                             (placement.site_penalty(i, model.params().kappa) -
-                              c3_before);
+        const double c1_after = model.net_cost_sum(nets);
+        const double c3_after = placement.site_penalty(i, model.params().kappa);
+        const double delta = (c1_after - c1_before) + (c3_after - c3_before);
         if (metropolis_accept(delta, t, rng_)) {
-          current.c1 += model.net_cost_sum(nets) - c1_before;  // cheap resync
+          current.c1 += c1_after - c1_before;
+          current.c3 += c3_after - c3_before;
+          audit.on_accept(current, "stage2 pin move");
         } else {
           placement.restore(i, saved);
         }
@@ -178,12 +183,15 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
         current.c1 += after.c1 - before.c1;
         current.c2_raw += after.c2_raw - before.c2_raw;
         current.c3 += after.c3 - before.c3;
+        audit.on_accept(current, "stage2 move");
       } else {
         placement.restore(i, saved);
         overlap.refresh(i);
       }
     }
 
+    // Checkpoint before the resync masks the inner loop's drift.
+    audit.on_temperature_step(current, "stage2 temperature step");
     current = model.full();
     const double cost = model.total(current);
 
@@ -213,6 +221,8 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
 
 Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
                                 double t_inf, double scale) {
+  TW_REQUIRE(nl_.num_cells() > 0, "stage 2 needs at least one cell");
+  TW_REQUIRE(t_inf > 0.0 && scale > 0.0, "t_inf=", t_inf, " scale=", scale);
   Stage2Result result;
   const double t_start =
       initial_temperature(params_.mu, t_inf, params_.rho);
@@ -250,6 +260,10 @@ Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
     GlobalRouter router(cg.graph, router_params);
     const auto targets = build_net_targets(nl_, cg);
     const GlobalRouteResult routed = router.route(targets);
+    if constexpr (check::kLevel >= check::kLevelFull) {
+      const ValidationReport rr = validate_routing(cg.graph, targets, routed);
+      TW_ENSURE_FULL(rr.ok(), rr.str());
+    }
     rp.route_length = routed.total_length;
     rp.route_overflow = routed.total_overflow;
     rp.unrouted_nets = routed.unrouted_nets;
@@ -322,6 +336,13 @@ Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
   // clean placement (the paper's goal is a placement needing essentially
   // no modification during detailed routing).
   legalize_spread(placement, working_core, 2 * nl_.tech().track_separation);
+
+  if constexpr (check::kLevel >= check::kLevelFull) {
+    // No core option: legalization may legitimately spread cells beyond
+    // the working core's boundary.
+    const ValidationReport pr = validate_placement(placement);
+    TW_ENSURE_FULL(pr.ok(), pr.str());
+  }
 
   result.final_core = working_core;
   result.final_teic = placement.teic();

@@ -32,6 +32,7 @@ struct Stage2Params {
   GlobalRouterParams router;
   int max_temperature_steps = 80;   ///< safety cap per refinement pass
   int final_stall_loops = 3;    ///< pass-3 stop: cost unchanged this long
+  CostAuditParams audit;        ///< drift checkpoints (check/cost_audit.hpp)
 };
 
 /// Measurements after one refinement execution.

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "check/contracts.hpp"
+#include "check/validate.hpp"
 #include "util/log.hpp"
 
 namespace tw {
@@ -37,7 +39,20 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
     r.total_length += r.alternatives[i][0].length;
   }
   r.total_overflow = total_overflow(g_, r.edge_usage);
-  if (r.total_overflow == 0) return r;  // stopping criterion (1)
+  // The interchange below maintains edge_usage, total_length and
+  // total_overflow incrementally; this checker recomputes all three.
+  auto ensure_consistent = [&](const GlobalRouteResult& result) {
+    if constexpr (check::kLevel >= check::kLevelFull) {
+      const ValidationReport vr = validate_routing(g_, nets, result);
+      TW_ENSURE_FULL(vr.ok(), vr.str());
+    } else {
+      (void)result;
+    }
+  };
+  if (r.total_overflow == 0) {  // stopping criterion (1)
+    ensure_consistent(r);
+    return r;
+  }
 
   // --- phase two: random interchange ---------------------------------------
   Rng rng(params_.seed);
@@ -198,9 +213,12 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
     r.choice[ni] = cand.k;
     r.total_length += cand.dl;
     r.total_overflow += cand.dx;
+    TW_ASSERT(r.total_overflow >= 0, "X=", r.total_overflow,
+              " after interchange of net ", net);
     if (cand.dx != 0 || cand.dl != 0.0) unchanged = 0;
   }
 
+  ensure_consistent(r);
   return r;
 }
 

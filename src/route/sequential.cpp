@@ -4,12 +4,10 @@
 #include <limits>
 #include <numeric>
 
+#include "check/contracts.hpp"
 #include "route/interchange.hpp"
 
 namespace tw {
-namespace {
-
-}  // namespace
 
 SequentialResult route_sequential(const RoutingGraph& g,
                                   const std::vector<NetTargets>& nets,
@@ -35,6 +33,8 @@ SequentialResult route_sequential(const RoutingGraph& g,
       continue;
     }
     r.routes[i] = std::move(*route);
+    TW_ENSURE_FULL(route_connects(g, nets[i], r.routes[i]),
+                   "sequential route of net ", i, " does not connect it");
     r.total_length += r.routes[i].length;
     for (EdgeId e : r.routes[i].edges) {
       const auto ei = static_cast<std::size_t>(e);

@@ -9,18 +9,32 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 #include <utility>
 
 namespace tw {
 
+/// Derives the seed of a named child stream from one master seed, so every
+/// stochastic component (stage 1, stage 2, the router's interchange, the
+/// baselines, the workload generator) threads from a single place:
+///
+///   Rng stage1_rng(derive_seed(master, "stage1"));
+///
+/// Distinct stream names give statistically independent sequences; the
+/// same (master, stream) pair always gives the same seed.
+std::uint64_t derive_seed(std::uint64_t master, std::string_view stream);
+
 /// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+/// Deliberately has no default seed: every generator is constructed from
+/// an explicitly threaded seed (see derive_seed) so a run is reproducible
+/// bit-for-bit from its master seed alone.
 class Rng {
 public:
   using result_type = std::uint64_t;
 
   /// Seeds the four 64-bit state words from `seed` via SplitMix64, which
   /// guarantees a non-zero, well-mixed state for any seed value.
-  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+  explicit Rng(std::uint64_t seed);
 
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() {

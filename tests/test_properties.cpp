@@ -100,8 +100,6 @@ TEST_P(CircuitProperty, EstimatorCoreFitsExpandedCells) {
 
 TEST_P(CircuitProperty, LegalizedChannelGraphIsConnected) {
   const Netlist nl = generate_circuit(to_spec(GetParam()));
-  DynamicAreaEstimator est(nl);
-  const Rect core = est.compute_initial_core();
   Placement p(nl);
   Stage1Params s1p;
   s1p.attempts_per_cell = 8;
@@ -220,7 +218,9 @@ TEST_P(KShortestProperty, SortedDistinctSimple) {
   EXPECT_LE(static_cast<int>(paths.size()), k);
   std::set<std::vector<EdgeId>> seen;
   for (std::size_t i = 0; i < paths.size(); ++i) {
-    if (i > 0) EXPECT_GE(paths[i].length, paths[i - 1].length);
+    if (i > 0) {
+      EXPECT_GE(paths[i].length, paths[i - 1].length);
+    }
     EXPECT_TRUE(seen.insert(paths[i].edges).second);
     const auto nodes = g.walk_nodes(0, paths[i].edges);
     ASSERT_FALSE(nodes.empty());

@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism and integer-geometry lint.
+
+Rules (each reports file:line and exits nonzero on any hit):
+
+  1. No floating-point coordinate math in src/geom: `float`/`double` are
+     banned there. All geometry is integer (DBU) so that overlap areas,
+     bounding boxes and route lengths are exact and platform-independent.
+
+  2. No ad-hoc randomness outside src/util/rng.*: `rand(`, `srand(`,
+     `std::random_device`, `std::mt19937`, `std::default_random_engine`,
+     `std::minstd_rand` are banned in src/. Every stochastic component
+     takes an explicit `tw::Rng&` (or a seed) threaded from one master
+     seed, so runs are reproducible bit-for-bit.
+
+  3. No hidden nondeterminism in library code: wall-clock seeding and
+     environment reads (`time(`, `clock(`, `system_clock`,
+     `steady_clock`, `high_resolution_clock`, `getenv`) are banned in
+     src/. Timing belongs in bench/, not in the algorithms.
+
+  4. No raw `assert(` in src/: use the TW_ASSERT / TW_REQUIRE /
+     TW_ENSURE contract macros (src/check/contracts.hpp), which print
+     offending values and honor TW_CHECK_LEVEL.
+
+Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
+is one of: float-geom, raw-random, nondeterminism, raw-assert.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+CXX_SUFFIXES = {".hpp", ".cpp", ".h", ".cc", ".cxx", ".ipp"}
+
+RULES = [
+    # (rule-id, applies-to predicate, regex, message)
+    (
+        "float-geom",
+        lambda rel: rel.parts[:2] == ("src", "geom"),
+        re.compile(r"\b(float|double|long\s+double)\b"),
+        "floating point is banned in src/geom (integer DBU coordinates only)",
+    ),
+    (
+        "raw-random",
+        lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "util"),
+        re.compile(
+            r"\b(std::)?(rand|srand)\s*\(|std::random_device"
+            r"|std::mt19937|std::default_random_engine|std::minstd_rand"
+        ),
+        "ad-hoc randomness is banned; take a tw::Rng& or an explicit seed "
+        "(src/util/rng.hpp)",
+    ),
+    (
+        "nondeterminism",
+        lambda rel: rel.parts[0] == "src",
+        re.compile(
+            r"\b(std::)?(time|clock)\s*\(|system_clock|steady_clock"
+            r"|high_resolution_clock|\bgetenv\s*\("
+        ),
+        "wall-clock/environment reads are banned in library code",
+    ),
+    (
+        "raw-assert",
+        lambda rel: rel.parts[0] == "src",
+        re.compile(r"(?<![\w.])assert\s*\("),
+        "use TW_ASSERT/TW_REQUIRE/TW_ENSURE (src/check/contracts.hpp) "
+        "instead of raw assert()",
+    ),
+]
+
+ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
+LINE_COMMENT = re.compile(r"//.*$")
+STRING_LIT = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def strip_noise(line: str) -> str:
+    """Removes string literals and // comments so they can't false-positive."""
+    line = STRING_LIT.sub('""', line)
+    return LINE_COMMENT.sub("", line)
+
+
+def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[str]:
+    problems = []
+    active = [r for r in RULES if r[1](rel)]
+    if not active:
+        return problems
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace")
+    except OSError as e:
+        return [f"{rel}: unreadable: {e}"]
+    in_block_comment = False
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        allowed = {m.group(1) for m in ALLOW.finditer(raw)}
+        line = raw
+        # Cheap block-comment tracking (no nesting, good enough for C++).
+        if in_block_comment:
+            end = line.find("*/")
+            if end < 0:
+                continue
+            line = line[end + 2 :]
+            in_block_comment = False
+        while True:
+            start = line.find("/*")
+            if start < 0:
+                break
+            end = line.find("*/", start + 2)
+            if end < 0:
+                line = line[:start]
+                in_block_comment = True
+                break
+            line = line[:start] + line[end + 2 :]
+        line = strip_noise(line)
+        for rule_id, _pred, rx, msg in active:
+            if rule_id in allowed:
+                continue
+            if rx.search(line):
+                problems.append(f"{rel}:{lineno}: [{rule_id}] {msg}")
+    return problems
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--root", default=".", help="repository root")
+    args = ap.parse_args()
+    root = pathlib.Path(args.root).resolve()
+    src = root / "src"
+    if not src.is_dir():
+        print(f"lint.py: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    problems: list[str] = []
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in CXX_SUFFIXES or not path.is_file():
+            continue
+        problems.extend(lint_file(path, path.relative_to(root)))
+
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"lint.py: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    print("lint.py: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
