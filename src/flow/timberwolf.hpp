@@ -12,14 +12,34 @@
 #pragma once
 
 #include "place/stage1.hpp"
+#include "recover/checkpoint.hpp"
 #include "refine/stage2.hpp"
 
 namespace tw {
+
+/// Run-lifecycle options (see docs/ROBUSTNESS.md). All pointers are
+/// non-owning and optional; with everything defaulted the flow behaves —
+/// byte for byte — exactly as an uninstrumented run.
+struct FlowRecoverOptions {
+  /// When non-empty, periodic checkpoints are written here (numbered
+  /// ckpt-NNNNNN.twcp files, atomic temp+rename writes).
+  std::string checkpoint_dir;
+  /// Temperature steps between checkpoints.
+  int checkpoint_every = 5;
+  /// Work budget and cooperative cancellation, honored by both stages and
+  /// the global router. On expiry the flow degrades gracefully: the
+  /// annealer quenches (improvements only), keeps the best feasible state
+  /// seen, and returns with outcome kBudgetExhausted / kCancelled.
+  recover::RunBudget* budget = nullptr;
+  /// Deterministic crash injection for the recovery tests.
+  recover::FaultPlan* faults = nullptr;
+};
 
 struct FlowParams {
   Stage1Params stage1;
   Stage2Params stage2;
   std::uint64_t seed = 1;
+  FlowRecoverOptions recover;
 };
 
 struct FlowResult {
@@ -31,6 +51,16 @@ struct FlowResult {
   double final_teil = 0.0;
   Coord final_chip_area = 0;
   Rect final_chip_bbox;
+
+  /// How the flow ended:
+  ///   kCompleted       — ran the full schedule to the stopping criterion;
+  ///   kBudgetExhausted — the RunBudget expired; the placement is the
+  ///                      quenched best-feasible state reached by then;
+  ///   kCancelled       — RunBudget::request_cancel() was honored (same
+  ///                      graceful wind-down as exhaustion);
+  ///   kResumed         — a run() continued from a checkpoint completed
+  ///                      (metrics are identical to the uninterrupted run).
+  recover::RunOutcome outcome = recover::RunOutcome::kCompleted;
 
   /// Table 3 metrics: percentage change from the end of stage 1 to the end
   /// of stage 2 (positive = reduction, matching the paper's sign).
@@ -55,10 +85,23 @@ public:
   /// Runs the full flow, leaving the final configuration in `placement`.
   FlowResult run(Placement& placement);
 
+  /// Continues an interrupted flow from a checkpoint (see
+  /// recover::load_checkpoint). `placement` is overwritten with the
+  /// checkpointed state; the continuation is byte-identical to the
+  /// uninterrupted run under the same FlowParams. Throws CheckpointError
+  /// (kNetlistMismatch / kSeedMismatch) when the checkpoint was taken on a
+  /// different netlist or master seed. The returned outcome is kResumed
+  /// when the continuation completed normally; budget outcomes win.
+  FlowResult resume(Placement& placement,
+                    const recover::FlowCheckpoint& checkpoint);
+
   /// Runs only stage 1 (useful for experiments that refine separately).
   Stage1Result run_stage1(Placement& placement);
 
 private:
+  FlowResult run_impl(Placement& placement,
+                      const recover::FlowCheckpoint* checkpoint);
+
   const Netlist& nl_;
   FlowParams params_;
 };

@@ -1,0 +1,40 @@
+#include "netlist/parse_report.hpp"
+
+#include <sstream>
+#include <utility>
+
+namespace tw {
+namespace {
+
+std::string summarize(const ParseReport& report) {
+  if (report.ok()) return "parse failed (no diagnostics)";
+  std::ostringstream os;
+  os << report.diagnostics.size() << " parse error(s):\n" << report.str();
+  return os.str();
+}
+
+}  // namespace
+
+std::string ParseDiagnostic::str() const {
+  std::ostringstream os;
+  os << "line " << line;
+  if (column > 0) os << ":" << column;
+  os << ": " << message;
+  return os.str();
+}
+
+void ParseReport::add(int line, int column, std::string message) {
+  if (saturated()) return;
+  diagnostics.push_back({line, column, std::move(message)});
+}
+
+std::string ParseReport::str() const {
+  std::ostringstream os;
+  for (const ParseDiagnostic& d : diagnostics) os << d.str() << "\n";
+  return os.str();
+}
+
+ParseError::ParseError(ParseReport report)
+    : std::runtime_error(summarize(report)), report_(std::move(report)) {}
+
+}  // namespace tw

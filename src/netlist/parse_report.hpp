@@ -1,0 +1,55 @@
+// Multi-diagnostic error reporting for the netlist and YAL frontends.
+//
+// Instead of throwing on the first malformed directive, the parsers record
+// every problem they can localize — line, column, message — into a
+// ParseReport and keep scanning, so one run over a bad file surfaces all
+// of its defects. The throwing convenience APIs wrap the report in a
+// ParseError; programmatic callers use the report-taking overloads and
+// never see an exception for ordinary bad input.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tw {
+
+struct ParseDiagnostic {
+  int line = 0;    ///< 1-based source line (0: file-level problem)
+  int column = 0;  ///< 1-based column of the offending token (0: unknown)
+  std::string message;
+
+  std::string str() const;  ///< "line 12:5: expected net name"
+};
+
+struct ParseReport {
+  /// Parsers stop recording (and stop scanning) past this many
+  /// diagnostics — a binary file fed to a text parser should not produce
+  /// a million errors.
+  static constexpr int kMaxDiagnostics = 50;
+
+  std::vector<ParseDiagnostic> diagnostics;
+
+  bool ok() const { return diagnostics.empty(); }
+  bool saturated() const {
+    return static_cast<int>(diagnostics.size()) >= kMaxDiagnostics;
+  }
+  void add(int line, int column, std::string message);
+
+  /// All diagnostics, one per line.
+  std::string str() const;
+};
+
+/// Thrown by the throwing parser entry points when the input is bad;
+/// carries the full report (all diagnostics, not just the first).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(ParseReport report);
+
+  const ParseReport& report() const { return report_; }
+
+ private:
+  ParseReport report_;
+};
+
+}  // namespace tw

@@ -4,9 +4,16 @@
 #include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "check/validate.hpp"
 
 namespace tw {
 namespace {
+
+/// Thrown by ParseState::fail after recording a diagnostic: unwinds the
+/// current line only — the caller recovers at the next one.
+struct LineAbort {};
 
 struct ParseState {
   Netlist nl;
@@ -14,10 +21,21 @@ struct ParseState {
   std::map<std::string, CellId> cells_by_name;
   std::map<std::string, PinId> pins_by_qual_name;  // "cell.pin"
   int line_no = 0;
+  ParseReport* report = nullptr;
+  std::istringstream* cur = nullptr;  ///< line being tokenized
+
+  /// 1-based column of the current stream position; after a failed
+  /// extraction the stream position is lost, so point at end of line.
+  int column() const {
+    if (cur == nullptr) return 0;
+    const auto pos = cur->tellg();
+    return pos >= 0 ? static_cast<int>(pos) + 1
+                    : static_cast<int>(cur->str().size()) + 1;
+  }
 
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("netlist parse error at line " +
-                             std::to_string(line_no) + ": " + msg);
+    report->add(line_no, column(), msg);
+    throw LineAbort{};
   }
 
   NetId net_id(const std::string& name) {
@@ -61,8 +79,9 @@ void register_pin(ParseState& st, const std::string& cell_name,
 
 }  // namespace
 
-Netlist parse_netlist(std::istream& in) {
+std::optional<Netlist> parse_netlist(std::istream& in, ParseReport& report) {
   ParseState st;
+  st.report = &report;
 
   std::string line;
   // Current cell context (empty name when at top level).
@@ -71,14 +90,10 @@ Netlist parse_netlist(std::istream& in) {
   bool cell_is_custom = false;
   GroupId group_id = kNoGroup;
 
-  while (std::getline(in, line)) {
-    ++st.line_no;
-    const std::size_t hash = line.find('#');
-    if (hash != std::string::npos) line.erase(hash);
-    std::istringstream is(line);
-    std::string tok;
-    if (!(is >> tok)) continue;  // blank line
-
+  // One directive line. LineAbort (diagnostic already recorded) and the
+  // Netlist builders' invalid_argument both unwind only this far, so a bad
+  // line never stops the scan.
+  auto dispatch = [&](std::istringstream& is, const std::string& tok) {
     if (tok == "tech") {
       std::string key = read_or_fail<std::string>(st, is, "tech key");
       if (key == "track_separation") {
@@ -190,7 +205,7 @@ Netlist parse_netlist(std::istream& in) {
       if (group_id != kNoGroup) {
         register_pin(st, cell_name, pname,
                      st.nl.add_group_pin(cell_id, group_id, pname, net));
-        continue;
+        return;
       }
       kw = read_or_fail<std::string>(st, is, "pin location kind");
       if (kw == "at" || kw == "fixed") {
@@ -226,21 +241,83 @@ Netlist parse_netlist(std::istream& in) {
     } else {
       st.fail("unknown directive " + tok);
     }
+  };
+
+  while (std::getline(in, line)) {
+    ++st.line_no;
+    if (report.saturated()) break;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream is(line);
+    st.cur = &is;
+    std::string tok;
+    if (!(is >> tok)) continue;  // blank line
+    try {
+      dispatch(is, tok);
+    } catch (const LineAbort&) {
+      // diagnostic already recorded; resume at the next line
+    } catch (const std::exception& e) {
+      // a Netlist builder rejected the directive's values
+      report.add(st.line_no, st.column(), e.what());
+    }
+    st.cur = nullptr;
   }
-  if (!cell_name.empty()) st.fail("unterminated cell block");
-  st.nl.validate();
+  st.cur = nullptr;
+  if (!cell_name.empty() && !report.saturated())
+    report.add(st.line_no, 0, "unterminated cell block " + cell_name);
+  if (!report.ok()) return std::nullopt;
+
+  // A clean scan still has to produce a coherent netlist: run the
+  // structural invariants and the semantic checker before handing it out.
+  try {
+    st.nl.validate();
+  } catch (const std::exception& e) {
+    report.add(0, 0, e.what());
+    return std::nullopt;
+  }
+  const ValidationReport vr = validate_netlist(st.nl);
+  if (!vr.ok()) {
+    report.add(0, 0, "netlist validation failed: " + vr.str());
+    return std::nullopt;
+  }
   return std::move(st.nl);
 }
 
-Netlist parse_netlist_string(const std::string& text) {
+std::optional<Netlist> parse_netlist_string(const std::string& text,
+                                            ParseReport& report) {
   std::istringstream is(text);
-  return parse_netlist(is);
+  return parse_netlist(is, report);
+}
+
+std::optional<Netlist> parse_netlist_file(const std::string& path,
+                                          ParseReport& report) {
+  std::ifstream in(path);
+  if (!in) {
+    report.add(0, 0, "cannot open netlist file " + path);
+    return std::nullopt;
+  }
+  return parse_netlist(in, report);
+}
+
+Netlist parse_netlist(std::istream& in) {
+  ParseReport report;
+  std::optional<Netlist> nl = parse_netlist(in, report);
+  if (!nl) throw ParseError(std::move(report));
+  return std::move(*nl);
+}
+
+Netlist parse_netlist_string(const std::string& text) {
+  ParseReport report;
+  std::optional<Netlist> nl = parse_netlist_string(text, report);
+  if (!nl) throw ParseError(std::move(report));
+  return std::move(*nl);
 }
 
 Netlist parse_netlist_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open netlist file " + path);
-  return parse_netlist(in);
+  ParseReport report;
+  std::optional<Netlist> nl = parse_netlist_file(path, report);
+  if (!nl) throw ParseError(std::move(report));
+  return std::move(*nl);
 }
 
 std::string write_netlist(const Netlist& nl) {

@@ -25,14 +25,27 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "netlist/parse_report.hpp"
 
 namespace tw {
 
-/// Parses the format above. Throws std::runtime_error with a line number
-/// on malformed input. The returned netlist has been validate()d.
+/// Parses the format above, collecting every diagnostic it can localize
+/// (line + column + message) into `report` instead of stopping at the
+/// first: a malformed line is recorded and skipped, and scanning
+/// continues. Returns the netlist — structurally validated and checked by
+/// check::validate_netlist — when `report.ok()`, nullopt otherwise.
+std::optional<Netlist> parse_netlist(std::istream& in, ParseReport& report);
+std::optional<Netlist> parse_netlist_string(const std::string& text,
+                                            ParseReport& report);
+std::optional<Netlist> parse_netlist_file(const std::string& path,
+                                          ParseReport& report);
+
+/// Throwing conveniences: as above, but a non-ok report becomes a
+/// ParseError carrying all diagnostics.
 Netlist parse_netlist(std::istream& in);
 Netlist parse_netlist_string(const std::string& text);
 Netlist parse_netlist_file(const std::string& path);

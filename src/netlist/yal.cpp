@@ -7,63 +7,81 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "check/validate.hpp"
+
 namespace tw {
 namespace {
 
+/// Thrown by Lexer::fail after recording a diagnostic: unwinds the module
+/// being parsed — the caller recovers at the next MODULE keyword.
+struct ModuleAbort {};
+
 /// Tokenizer: YAL statements are ';'-terminated, whitespace-separated,
-/// with '/* ... */' comments. Tracks line numbers for error reporting.
+/// with '/* ... */' comments. Tracks line and column for diagnostics.
 class Lexer {
 public:
-  explicit Lexer(std::istream& in) : in_(in) {}
+  Lexer(std::istream& in, ParseReport& report) : in_(in), report_(&report) {}
 
   /// Next token, or empty string at end of input. ';' is its own token.
   std::string next() {
     skip_space_and_comments();
+    tok_col_ = col_;
     if (!in_.good()) return {};
     const int c = in_.peek();
     if (c == EOF) return {};
     if (c == ';') {
-      in_.get();
+      get();
       return ";";
     }
     std::string tok;
     while (in_.good()) {
       const int ch = in_.peek();
       if (ch == EOF || std::isspace(ch) || ch == ';') break;
-      tok.push_back(static_cast<char>(in_.get()));
+      tok.push_back(static_cast<char>(get()));
     }
     return tok;
   }
 
   int line() const { return line_; }
+  /// 1-based column where the last token started.
+  int column() const { return tok_col_; }
 
+  /// Records the diagnostic and aborts the current module.
   [[noreturn]] void fail(const std::string& msg) const {
-    throw std::runtime_error("YAL parse error at line " +
-                             std::to_string(line_) + ": " + msg);
+    report_->add(line_, tok_col_, msg);
+    throw ModuleAbort{};
   }
 
 private:
+  int get() {
+    const int c = in_.get();
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else if (c != EOF) {
+      ++col_;
+    }
+    return c;
+  }
+
   void skip_space_and_comments() {
     while (in_.good()) {
       int c = in_.peek();
-      if (c == '\n') {
-        ++line_;
-        in_.get();
-      } else if (std::isspace(c)) {
-        in_.get();
+      if (std::isspace(c)) {
+        get();
       } else if (c == '/') {
-        in_.get();
+        get();
         if (in_.peek() == '*') {
-          in_.get();
+          get();
           int prev = 0;
           while (in_.good()) {
-            c = in_.get();
-            if (c == '\n') ++line_;
+            c = get();
             if (prev == '*' && c == '/') break;
             prev = c;
           }
         } else {
           in_.unget();
+          --col_;
           return;
         }
       } else {
@@ -73,7 +91,10 @@ private:
   }
 
   std::istream& in_;
+  ParseReport* report_;
   int line_ = 1;
+  int col_ = 1;
+  int tok_col_ = 1;
 };
 
 std::string upper(std::string s) {
@@ -96,6 +117,7 @@ struct YalModule {
     std::string name;
     std::string module;
     std::vector<std::string> signals;
+    int line = 0;  ///< source line, for instantiation diagnostics
   };
   std::vector<Instance> instances;
 };
@@ -169,6 +191,7 @@ YalModule parse_module(Lexer& lex) {
         if (t.empty()) lex.fail("unexpected end of input in NETWORK");
         YalModule::Instance inst;
         inst.name = t;
+        inst.line = lex.line();
         inst.module = lex.next();
         for (std::string sig = lex.next(); sig != ";"; sig = lex.next()) {
           if (sig.empty()) lex.fail("unterminated NETWORK entry");
@@ -191,23 +214,49 @@ YalModule parse_module(Lexer& lex) {
 
 }  // namespace
 
-Netlist parse_yal(std::istream& in, const YalOptions& opts) {
-  Lexer lex(in);
+std::optional<Netlist> parse_yal(std::istream& in, ParseReport& report,
+                                 const YalOptions& opts) {
+  Lexer lex(in, report);
   std::map<std::string, YalModule> modules;
   const YalModule* parent = nullptr;
 
-  for (std::string tok = lex.next(); !tok.empty(); tok = lex.next()) {
-    if (upper(tok) != "MODULE") lex.fail("expected MODULE, got '" + tok + "'");
-    YalModule mod = parse_module(lex);
-    const std::string name = mod.name;
-    auto [it, fresh] = modules.emplace(name, std::move(mod));
-    if (!fresh) lex.fail("duplicate module " + name);
-    if (it->second.type == "PARENT") {
-      if (parent) lex.fail("multiple PARENT modules");
-      parent = &it->second;
+  // Recovery point: after any in-module failure, resync at the next
+  // MODULE keyword so the rest of the file still gets checked.
+  auto skip_to_module = [&](std::string tok) {
+    while (!tok.empty() && upper(tok) != "MODULE") tok = lex.next();
+    return tok;
+  };
+
+  std::string tok = lex.next();
+  while (!tok.empty() && !report.saturated()) {
+    if (upper(tok) != "MODULE") {
+      report.add(lex.line(), lex.column(),
+                 "expected MODULE, got '" + tok + "'");
+      tok = skip_to_module(lex.next());
+      continue;
+    }
+    try {
+      YalModule mod = parse_module(lex);
+      const std::string name = mod.name;
+      const int line = lex.line();
+      auto [it, fresh] = modules.emplace(name, std::move(mod));
+      if (!fresh) {
+        report.add(line, 0, "duplicate module " + name);
+      } else if (it->second.type == "PARENT") {
+        if (parent)
+          report.add(line, 0, "multiple PARENT modules");
+        else
+          parent = &it->second;
+      }
+      tok = lex.next();
+    } catch (const ModuleAbort&) {
+      tok = skip_to_module(lex.next());
     }
   }
-  if (!parent) throw std::runtime_error("YAL: no PARENT module found");
+  if (!parent) {
+    report.add(0, 0, "no PARENT module found");
+    return std::nullopt;
+  }
 
   Netlist nl;
   std::map<std::string, NetId> nets;
@@ -231,36 +280,50 @@ Netlist parse_yal(std::istream& in, const YalOptions& opts) {
 
   for (const auto& inst : parent->instances) {
     const auto mit = modules.find(inst.module);
-    if (mit == modules.end())
-      throw std::runtime_error("YAL: instance " + inst.name +
-                               " references unknown module " + inst.module);
-    const YalModule& proto = mit->second;
-    if (proto.type == "PARENT")
-      throw std::runtime_error("YAL: cannot instantiate the PARENT module");
-    if (proto.outline.empty())
-      throw std::runtime_error("YAL: module " + proto.name +
-                               " has no DIMENSIONS");
-    if (inst.signals.size() != proto.terminals.size())
-      throw std::runtime_error(
-          "YAL: instance " + inst.name + " binds " +
-          std::to_string(inst.signals.size()) + " signals to module " +
-          proto.name + " with " + std::to_string(proto.terminals.size()) +
-          " terminals");
-
-    // Normalize outline to the origin; shift terminals identically.
-    const CellId cell = nl.add_macro_polygon(inst.name, proto.outline);
-    Coord min_x = proto.outline[0].x, min_y = proto.outline[0].y;
-    for (const Point& v : proto.outline) {
-      min_x = std::min(min_x, v.x);
-      min_y = std::min(min_y, v.y);
+    if (mit == modules.end()) {
+      report.add(inst.line, 0,
+                 "instance " + inst.name + " references unknown module " +
+                     inst.module);
+      continue;
     }
-    for (std::size_t k = 0; k < proto.terminals.size(); ++k) {
-      const std::string& sig = inst.signals[k];
-      if (opts.power_names.count(sig)) continue;
-      bindings.push_back({cell, proto.terminals[k].name,
-                          proto.terminals[k].at - Point{min_x, min_y}, sig});
+    const YalModule& proto = mit->second;
+    if (proto.type == "PARENT") {
+      report.add(inst.line, 0, "cannot instantiate the PARENT module");
+      continue;
+    }
+    if (proto.outline.empty()) {
+      report.add(inst.line, 0, "module " + proto.name + " has no DIMENSIONS");
+      continue;
+    }
+    if (inst.signals.size() != proto.terminals.size()) {
+      report.add(inst.line, 0,
+                 "instance " + inst.name + " binds " +
+                     std::to_string(inst.signals.size()) +
+                     " signals to module " + proto.name + " with " +
+                     std::to_string(proto.terminals.size()) + " terminals");
+      continue;
+    }
+
+    try {
+      // Normalize outline to the origin; shift terminals identically.
+      const CellId cell = nl.add_macro_polygon(inst.name, proto.outline);
+      Coord min_x = proto.outline[0].x, min_y = proto.outline[0].y;
+      for (const Point& v : proto.outline) {
+        min_x = std::min(min_x, v.x);
+        min_y = std::min(min_y, v.y);
+      }
+      for (std::size_t k = 0; k < proto.terminals.size(); ++k) {
+        const std::string& sig = inst.signals[k];
+        if (opts.power_names.count(sig)) continue;
+        bindings.push_back({cell, proto.terminals[k].name,
+                            proto.terminals[k].at - Point{min_x, min_y}, sig});
+      }
+    } catch (const std::exception& e) {
+      report.add(inst.line, 0,
+                 "instance " + inst.name + ": " + std::string(e.what()));
     }
   }
+  if (!report.ok()) return std::nullopt;
 
   // Filter singleton signals, then attach pins.
   std::map<std::string, int> fanout;
@@ -275,19 +338,57 @@ Netlist parse_yal(std::istream& in, const YalOptions& opts) {
                      net_id(b.signal), b.offset);
   }
 
-  nl.validate();
+  try {
+    nl.validate();
+  } catch (const std::exception& e) {
+    report.add(0, 0, e.what());
+    return std::nullopt;
+  }
+  const ValidationReport vr = validate_netlist(nl);
+  if (!vr.ok()) {
+    report.add(0, 0, "netlist validation failed: " + vr.str());
+    return std::nullopt;
+  }
   return nl;
 }
 
-Netlist parse_yal_string(const std::string& text, const YalOptions& opts) {
+std::optional<Netlist> parse_yal_string(const std::string& text,
+                                        ParseReport& report,
+                                        const YalOptions& opts) {
   std::istringstream is(text);
-  return parse_yal(is, opts);
+  return parse_yal(is, report, opts);
+}
+
+std::optional<Netlist> parse_yal_file(const std::string& path,
+                                      ParseReport& report,
+                                      const YalOptions& opts) {
+  std::ifstream in(path);
+  if (!in) {
+    report.add(0, 0, "cannot open YAL file " + path);
+    return std::nullopt;
+  }
+  return parse_yal(in, report, opts);
+}
+
+Netlist parse_yal(std::istream& in, const YalOptions& opts) {
+  ParseReport report;
+  std::optional<Netlist> nl = parse_yal(in, report, opts);
+  if (!nl) throw ParseError(std::move(report));
+  return std::move(*nl);
+}
+
+Netlist parse_yal_string(const std::string& text, const YalOptions& opts) {
+  ParseReport report;
+  std::optional<Netlist> nl = parse_yal_string(text, report, opts);
+  if (!nl) throw ParseError(std::move(report));
+  return std::move(*nl);
 }
 
 Netlist parse_yal_file(const std::string& path, const YalOptions& opts) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open YAL file " + path);
-  return parse_yal(in, opts);
+  ParseReport report;
+  std::optional<Netlist> nl = parse_yal_file(path, report, opts);
+  if (!nl) throw ParseError(std::move(report));
+  return std::move(*nl);
 }
 
 std::string write_yal(const Netlist& nl, const std::string& chip_name) {

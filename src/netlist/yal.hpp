@@ -34,10 +34,12 @@
 #pragma once
 
 #include <iosfwd>
+#include <optional>
 #include <set>
 #include <string>
 
 #include "netlist/netlist.hpp"
+#include "netlist/parse_report.hpp"
 
 namespace tw {
 
@@ -49,8 +51,22 @@ struct YalOptions {
   bool drop_singleton_nets = true;
 };
 
-/// Parses the YAL subset above. Throws std::runtime_error (with a line
-/// number) on malformed input. The result passes Netlist::validate().
+/// Parses the YAL subset above, collecting every diagnostic it can
+/// localize into `report` instead of stopping at the first: a malformed
+/// module is recorded and parsing resynchronizes at the next MODULE
+/// keyword. Returns the netlist — structurally validated and checked by
+/// validate_netlist — when `report.ok()`, nullopt otherwise.
+std::optional<Netlist> parse_yal(std::istream& in, ParseReport& report,
+                                 const YalOptions& opts = {});
+std::optional<Netlist> parse_yal_string(const std::string& text,
+                                        ParseReport& report,
+                                        const YalOptions& opts = {});
+std::optional<Netlist> parse_yal_file(const std::string& path,
+                                      ParseReport& report,
+                                      const YalOptions& opts = {});
+
+/// Throwing conveniences: as above, but a non-ok report becomes a
+/// ParseError carrying all diagnostics.
 Netlist parse_yal(std::istream& in, const YalOptions& opts = {});
 Netlist parse_yal_string(const std::string& text, const YalOptions& opts = {});
 Netlist parse_yal_file(const std::string& path, const YalOptions& opts = {});

@@ -244,6 +244,42 @@ void Placement::restore(CellId c, CellState s) {
   states_[static_cast<std::size_t>(c)] = std::move(s);
 }
 
+void Placement::restore_cell(CellId c, Point center, Orient o,
+                             InstanceId instance, double aspect,
+                             const std::vector<int>& pin_site) {
+  const Cell& cell = nl_->cell(c);
+  if (!valid_orient(o))
+    throw std::invalid_argument("restore_cell: bad orientation");
+  if (pin_site.size() != cell.pins.size())
+    throw std::invalid_argument("restore_cell: pin_site size mismatch");
+
+  if (cell.is_custom()) {
+    // A legal stored aspect is a fixed point of clamp_aspect (inside the
+    // continuous range, or exactly one of the discrete values).
+    if (cell.clamp_aspect(aspect) != aspect)
+      throw std::invalid_argument("restore_cell: aspect outside legal range");
+    realize_custom_state(c, aspect);
+  } else {
+    set_instance(c, instance);  // throws on an unknown instance
+  }
+  set_center(c, center);
+  set_orient(c, o);
+
+  CellState& st = states_[static_cast<std::size_t>(c)];
+  for (std::size_t k = 0; k < pin_site.size(); ++k) {
+    const bool committed = nl_->pin(cell.pins[k]).committed();
+    if (committed) {
+      if (pin_site[k] != -1)
+        throw std::invalid_argument("restore_cell: site on a fixed pin");
+    } else if (pin_site[k] < 0 ||
+               static_cast<std::size_t>(pin_site[k]) >= st.sites.size()) {
+      throw std::invalid_argument("restore_cell: pin site out of range");
+    }
+  }
+  st.pin_site = pin_site;
+  rebuild_occupancy(c);
+}
+
 void Placement::randomize(Rng& rng, const Rect& core) {
   for (const auto& cell : nl_->cells()) {
     set_center(cell.id, Point{rng.uniform_int(core.xlo, core.xhi),

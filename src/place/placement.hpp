@@ -101,6 +101,17 @@ public:
   CellState snapshot(CellId c) const { return state(c); }
   void restore(CellId c, CellState s);
 
+  /// Rebuilds one cell's full state from checkpointed essentials (see
+  /// src/recover/checkpoint.hpp): selects the instance, re-realizes the
+  /// custom aspect (a pure function of (cell, aspect), so the derived
+  /// geometry and pin sites come back bit-identical), then applies the
+  /// pin-site assignment verbatim and recounts occupancy. Throws
+  /// std::invalid_argument on any inconsistency (wrong pin count, site
+  /// out of range, a site on a fixed pin) — corrupt checkpoints must
+  /// never produce a structurally invalid placement.
+  void restore_cell(CellId c, Point center, Orient o, InstanceId instance,
+                    double aspect, const std::vector<int>& pin_site);
+
   /// Uniform random initial configuration inside `core`: random centers,
   /// random orientations, random pin-site assignments. (Section 3.2.1: the
   /// initial state has no influence on the final TEIC.)

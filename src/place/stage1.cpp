@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 #include "check/contracts.hpp"
@@ -21,7 +22,7 @@ Stage1Placer::MoveOutcome Stage1Placer::judge(
     const CostTerms& before, double t) {
   TW_ASSERT(cells.size() == saved.size(), "cells=", cells.size(),
             " snapshots=", saved.size());
-  TW_ASSERT(t > 0.0, "t=", t);
+  TW_ASSERT(t >= 0.0, "t=", t);  // t == 0: quench, improvements only
   CostTerms after;
   after.c1 = model.partial_c1(cells);
   after.c2_raw = model.partial_c2_raw(cells);
@@ -37,6 +38,8 @@ Stage1Placer::MoveOutcome Stage1Placer::judge(
     current_.c2_raw += after.c2_raw - before.c2_raw;
     current_.c3 += after.c3 - before.c3;
     if (audit_ != nullptr) audit_->on_accept(current_, "stage1 move");
+    if (hooks_.faults != nullptr)
+      hooks_.faults->poll(recover::FaultSite::kStage1Accept);
   } else {
     for (std::size_t k = 0; k < cells.size(); ++k) {
       placement.restore(cells[k], saved[k]);
@@ -171,6 +174,8 @@ Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
     // A pin move cannot change C2 (the cell outline is untouched); the
     // audit checkpoint verifies exactly that assumption.
     if (audit_ != nullptr) audit_->on_accept(current_, "stage1 pin move");
+    if (hooks_.faults != nullptr)
+      hooks_.faults->poll(recover::FaultSite::kStage1Accept);
   } else {
     p.restore(i, saved);
   }
@@ -229,6 +234,16 @@ Stage1Placer::MoveOutcome Stage1Placer::try_instance_change(Placement& p,
 }
 
 Stage1Result Stage1Placer::run(Placement& placement) {
+  return run_impl(placement, nullptr);
+}
+
+Stage1Result Stage1Placer::resume(Placement& placement,
+                                  const Stage1Cursor& cursor) {
+  return run_impl(placement, &cursor);
+}
+
+Stage1Result Stage1Placer::run_impl(Placement& placement,
+                                    const Stage1Cursor* cursor) {
   TW_REQUIRE(nl_.num_cells() > 0, "stage 1 needs at least one cell");
   if constexpr (check::kLevel >= check::kLevelFull) {
     const ValidationReport nr = validate_netlist(nl_);
@@ -237,8 +252,10 @@ Stage1Result Stage1Placer::run(Placement& placement) {
   Stage1Result result;
 
   // --- core sizing, T-infinity scaling, p2 calibration ----------------------
+  // Core and scaling are pure functions of the netlist (no RNG), so both
+  // the fresh and the resumed path compute them the same way; computing
+  // them here also primes the estimator's internal core-dependent state.
   const Rect core = estimator_.compute_initial_core(params_.core_aspect);
-  result.core = core;
 
   const double e0 = estimator_.nominal_expansion();
   double eff_area = 0.0;
@@ -249,9 +266,24 @@ Stage1Result Stage1Placer::run(Placement& placement) {
   }
   const double avg_cell_area = eff_area / static_cast<double>(nl_.num_cells());
   const double scale = temperature_scale(avg_cell_area);
-  double t = t_infinity(scale);
-  result.t_infinity = t;
-  result.temperature_scale = scale;
+  double t;
+  int first_step = 0;
+  if (cursor != nullptr) {
+    TW_REQUIRE(cursor->next_step >= 0 &&
+                   cursor->next_step <= params_.max_temperature_steps,
+               "cursor step=", cursor->next_step);
+    TW_REQUIRE(cursor->t > 0.0 && cursor->p2_base > 0.0,
+               "cursor t=", cursor->t, " p2_base=", cursor->p2_base);
+    result = cursor->partial;
+    t = cursor->t;
+    first_step = cursor->next_step;
+    rng_ = Rng::from_state(cursor->rng);
+  } else {
+    t = t_infinity(scale);
+    result.core = core;
+    result.t_infinity = t;
+    result.temperature_scale = scale;
+  }
 
   // Overlap engine per estimator mode: the paper's dynamic estimator, or
   // the ablation variants (uniform 0.5*C_W border / no border at all).
@@ -274,16 +306,26 @@ Stage1Result Stage1Placer::run(Placement& placement) {
   };
   OverlapEngine overlap = make_overlap();
   CostModel model(placement, overlap, params_.cost);
-  const double p2_base =
-      model.calibrate_p2(placement, overlap, core, rng_, params_.p2_samples);
-  result.p2 = p2_base;
+  double p2_base;
+  if (cursor != nullptr) {
+    // The Eqn 9 calibration sampled random configurations (consuming RNG
+    // state); it must never be re-run on resume — carry the value instead.
+    p2_base = cursor->p2_base;
+    model.set_p2(p2_base);
+    overlap.refresh_all();
+  } else {
+    p2_base =
+        model.calibrate_p2(placement, overlap, core, rng_, params_.p2_samples);
+    result.p2 = p2_base;
+  }
 
   current_ = model.full();
   CostAudit audit(model, params_.audit);
   audit_ = &audit;
 
   const CoolingSchedule schedule = CoolingSchedule::stage1();
-  RangeLimiter limiter(core.width(), core.height(), t, params_.rho);
+  RangeLimiter limiter(core.width(), core.height(), result.t_infinity,
+                       params_.rho);
   const double p_displace = params_.ratio_r / (1.0 + params_.ratio_r);
   const auto num_cells = static_cast<CellId>(nl_.num_cells());
   const long long inner =
@@ -292,10 +334,45 @@ Stage1Result Stage1Placer::run(Placement& placement) {
   // Penalty-weight ramp: reach p2_base * growth as T crosses the stopping
   // temperature (geometric in log T, so it tracks the cooling profile).
   const double t_final = std::max(1e-9, scale * params_.t_stop_factor);
-  const double log_span = std::log(t / t_final);
+  const double log_span = std::log(result.t_infinity / t_final);
+
+  // Best-feasible-so-far tracking for graceful degradation: only budgeted
+  // runs pay for the snapshots; the comparisons never touch the RNG.
+  recover::RunBudget* budget = hooks_.budget;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<CellState> best;
+  auto track_best = [&]() {
+    if (budget == nullptr) return;
+    const double c = model.total(current_);
+    if (c >= best_cost) return;
+    best_cost = c;
+    best.clear();
+    best.reserve(static_cast<std::size_t>(num_cells));
+    for (CellId i = 0; i < num_cells; ++i) best.push_back(placement.snapshot(i));
+  };
+
+  const int checkpoint_every = std::max(1, hooks_.checkpoint_every);
+  bool stopped = false;
 
   // --- the annealing loop ----------------------------------------------------
-  for (int step = 0; step < params_.max_temperature_steps; ++step) {
+  for (int step = first_step; step < params_.max_temperature_steps; ++step) {
+    // Checkpoint at the step boundary *before* the fault poll, so a kill
+    // at step k can resume from the step-k checkpoint.
+    if (hooks_.on_checkpoint && step % checkpoint_every == 0) {
+      Stage1Cursor cur;
+      cur.next_step = step;
+      cur.t = t;
+      cur.p2_base = p2_base;
+      cur.partial = result;
+      cur.rng = rng_.state();
+      hooks_.on_checkpoint(cur);
+    }
+    if (hooks_.faults != nullptr)
+      hooks_.faults->poll(recover::FaultSite::kStage1Step);
+    if (budget != nullptr && budget->stop_requested()) {
+      stopped = true;
+      break;
+    }
     if (params_.overlap_penalty_growth != 1.0 && log_span > 0.0) {
       const double progress =
           std::clamp(std::log(t / t_final) / log_span, 0.0, 1.0);
@@ -307,6 +384,13 @@ Stage1Result Stage1Placer::run(Placement& placement) {
     AcceptanceCounter acc;
 
     for (long long it = 0; it < inner; ++it) {
+      if (budget != nullptr) {
+        if (budget->stop_requested()) {
+          stopped = true;
+          break;
+        }
+        budget->charge_move();
+      }
       const int move_type = rng_.one_or_two(p_displace);
       if (move_type == 1) {
         // --- single-cell displacement ---------------------------------------
@@ -383,9 +467,12 @@ Stage1Result Stage1Placer::run(Placement& placement) {
 
     result.attempts += acc.attempted;
     result.accepts += acc.accepted;
+    if (stopped) break;  // mid-step expiry: wind down below
+
     result.trace.push_back(
         {t, cost_trace.mean(), acc.rate(), limiter.window_x(t)});
     ++result.temperature_steps;
+    if (budget != nullptr) budget->charge_step();
 
     // Drift checkpoint *before* the resync below masks the inner loop's
     // accumulated error.
@@ -393,6 +480,7 @@ Stage1Result Stage1Placer::run(Placement& placement) {
 
     // Resynchronize the running totals to kill floating-point drift.
     current_ = model.full();
+    track_best();
 
     log_debug("stage1 T=", t, " cost=", model.total(current_),
               " acc=", acc.rate(), " win=", limiter.window_x(t));
@@ -402,6 +490,23 @@ Stage1Result Stage1Placer::run(Placement& placement) {
     // profile (see t_stop_factor).
     if (limiter.at_minimum(t) && t <= scale * params_.t_stop_factor) break;
     t = schedule.next(t, scale);
+  }
+
+  if (stopped) {
+    // Graceful degradation: one improvements-only sweep, then keep the
+    // better of (quenched current, best-so-far) — never an arbitrary
+    // mid-anneal state.
+    quench(placement, overlap, model, core, inner);
+    current_ = model.full();
+    if (model.total(current_) > best_cost) {
+      for (CellId i = 0; i < num_cells; ++i)
+        placement.restore(i, best[static_cast<std::size_t>(i)]);
+      overlap.refresh_all();
+      current_ = model.full();
+    }
+    result.outcome = budget->stop_outcome();
+    log_info("stage1 stopped early (", recover::to_string(result.outcome),
+             ") after ", result.temperature_steps, " step(s)");
   }
 
   audit_ = nullptr;
@@ -416,6 +521,31 @@ Stage1Result Stage1Placer::run(Placement& placement) {
   result.residual_overlap = overlap.total_overlap();
   result.overloaded_sites = placement.overloaded_sites();
   return result;
+}
+
+void Stage1Placer::quench(Placement& placement, OverlapEngine& overlap,
+                          CostModel& model, const Rect& core,
+                          long long inner) {
+  // T = 0: metropolis_accept takes only delta <= 0 (and consumes no RNG),
+  // so one sweep of minimum-window displacements monotonically cleans up
+  // whatever the interrupted anneal left mid-flight — the same repertoire
+  // as the low-temperature tail of the schedule, never an uphill step.
+  const Coord span = RangeLimiter(core.width(), core.height(), 1.0).min_span();
+  const auto num_cells = static_cast<CellId>(nl_.num_cells());
+  for (long long it = 0; it < inner; ++it) {
+    const CellId i = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
+    const Point c0 = placement.state(i).center;
+    const Point d = select_displacement(rng_, span, span, params_.selector);
+    const Point target{std::clamp(c0.x + d.x, core.xlo, core.xhi),
+                       std::clamp(c0.y + d.y, core.ylo, core.yhi)};
+    const MoveOutcome out =
+        try_displacement(placement, overlap, model, i, target, 0.0);
+    if (!out.accepted) {
+      const Orient o =
+          kAllOrients[static_cast<std::size_t>(rng_.uniform_int(0, 7))];
+      (void)try_orient_change(placement, overlap, model, i, o, 0.0);
+    }
+  }
 }
 
 }  // namespace tw

@@ -19,6 +19,7 @@
 // never contracts).
 #pragma once
 
+#include <functional>
 #include <optional>
 
 #include "anneal/displacement.hpp"
@@ -26,6 +27,8 @@
 #include "anneal/schedule.hpp"
 #include "check/cost_audit.hpp"
 #include "place/cost.hpp"
+#include "recover/budget.hpp"
+#include "recover/fault.hpp"
 
 namespace tw {
 
@@ -118,6 +121,34 @@ struct Stage1Result {
   long long attempts = 0;
   long long accepts = 0;
   std::vector<TemperaturePoint> trace;
+  /// How the run ended (kBudgetExhausted/kCancelled: best-so-far state).
+  recover::RunOutcome outcome = recover::RunOutcome::kCompleted;
+};
+
+/// Everything (besides the placement itself, which the caller owns) needed
+/// to restart stage 1 at a temperature-step boundary such that the resumed
+/// run is byte-identical to the uninterrupted one: schedule position, the
+/// Eqn 9 calibration (sampled once with the RNG, so it must be carried —
+/// never recomputed), the accumulated result, and the exact RNG stream
+/// position. Serialized by src/recover/checkpoint.{hpp,cpp}.
+struct Stage1Cursor {
+  int next_step = 0;       ///< temperature step about to execute
+  double t = 0.0;          ///< temperature at that step
+  double p2_base = 0.0;    ///< Eqn 9 calibration (pre-ramp)
+  Stage1Result partial;    ///< result accumulated over completed steps
+  std::array<std::uint64_t, 4> rng{};  ///< RNG stream state
+};
+
+/// Optional run-lifecycle instrumentation (see docs/ROBUSTNESS.md). All
+/// pointers are non-owning and may be null; checkpoint emission and fault
+/// polling never consume RNG state, so an instrumented run is
+/// byte-identical to a bare one.
+struct Stage1Hooks {
+  recover::RunBudget* budget = nullptr;   ///< work budget + cancellation
+  recover::FaultPlan* faults = nullptr;   ///< crash-test injection points
+  /// Called at the top of every `checkpoint_every`-th temperature step.
+  std::function<void(const Stage1Cursor&)> on_checkpoint;
+  int checkpoint_every = 5;
 };
 
 class Stage1Placer {
@@ -127,6 +158,15 @@ public:
   /// Runs stage 1: sizes the core, calibrates p2, anneals, and leaves the
   /// final configuration in `placement`.
   Stage1Result run(Placement& placement);
+
+  /// Restarts an interrupted run mid-schedule. `placement` must already
+  /// hold the checkpointed cell states (see recover::apply_placement);
+  /// the cursor supplies the rest. By construction the continuation is
+  /// byte-identical to the uninterrupted same-seed run.
+  Stage1Result resume(Placement& placement, const Stage1Cursor& cursor);
+
+  /// Run-lifecycle hooks; set before run()/resume().
+  void set_hooks(Stage1Hooks hooks) { hooks_ = std::move(hooks); }
 
   /// The estimator (valid after run()); stage 2 reuses its core region.
   const DynamicAreaEstimator& estimator() const { return estimator_; }
@@ -159,10 +199,18 @@ private:
   MoveOutcome try_instance_change(Placement& p, OverlapEngine& ov,
                                   CostModel& m, CellId i, double t);
 
+  Stage1Result run_impl(Placement& placement, const Stage1Cursor* cursor);
+
+  /// One improvements-only sweep (T = 0): the graceful wind-down after a
+  /// budget expiry or cancellation.
+  void quench(Placement& placement, OverlapEngine& overlap, CostModel& model,
+              const Rect& core, long long inner);
+
   const Netlist& nl_;
   Stage1Params params_;
   Rng rng_;
   DynamicAreaEstimator estimator_;
+  Stage1Hooks hooks_;
   CostTerms current_;  ///< running totals, resynced each temperature step
   CostAudit* audit_ = nullptr;  ///< drift checkpoints, set for the run() scope
 };

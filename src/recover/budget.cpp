@@ -1,0 +1,15 @@
+#include "recover/budget.hpp"
+
+namespace tw::recover {
+
+const char* to_string(RunOutcome outcome) {
+  switch (outcome) {
+    case RunOutcome::kCompleted: return "completed";
+    case RunOutcome::kBudgetExhausted: return "budget_exhausted";
+    case RunOutcome::kCancelled: return "cancelled";
+    case RunOutcome::kResumed: return "resumed";
+  }
+  return "unknown";
+}
+
+}  // namespace tw::recover

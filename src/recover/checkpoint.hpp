@@ -1,0 +1,117 @@
+// Versioned, CRC-validated checkpoints of the full flow state.
+//
+// A FlowCheckpoint holds everything needed to restart an interrupted run
+// such that the continuation is byte-identical to the uninterrupted one:
+// the master seed, a digest of the netlist it was taken on, the phase
+// (stage 1 or stage 2), the phase cursor (schedule position, calibrations,
+// accumulated metrics, RNG stream state — see Stage1Cursor/Stage2Cursor),
+// and the placement essentials. Derived placement state (realized custom
+// geometry, pin sites, occupancy) is *recomputed* on load through pure
+// functions of the netlist, so it comes back bit-identical without being
+// stored.
+//
+// File format (docs/ROBUSTNESS.md):
+//   magic "TWCP" | u32 version | u32 payload size | u32 CRC-32 | payload
+// all little-endian. Files are written atomically (temp + rename), so a
+// crash mid-write never leaves a half-written file under the final name;
+// a torn or bit-flipped file fails the size or CRC check with a typed
+// CheckpointError instead of producing garbage state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "place/stage1.hpp"
+#include "recover/serialize.hpp"
+#include "refine/stage2.hpp"
+
+namespace tw::recover {
+
+/// Bumped on any incompatible change to the payload encoding. Readers
+/// reject other versions with kBadVersion (no silent migration).
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// The annealer-owned essentials of one cell; everything else in CellState
+/// is a pure function of (netlist, these) and is rebuilt on restore.
+struct PackedCell {
+  Point center;
+  Orient orient = Orient::N;
+  InstanceId instance = 0;
+  double aspect = 1.0;
+  std::vector<int> pin_site;
+};
+
+struct PackedPlacement {
+  std::vector<PackedCell> cells;
+};
+
+PackedPlacement pack_placement(const Placement& p);
+
+/// Restores packed cell states onto a placement of the same netlist.
+/// Throws CheckpointError(kCorrupt) when the packed state is inconsistent
+/// with the netlist (wrong cell count, illegal orient/aspect/site, ...).
+void apply_placement(Placement& p, const PackedPlacement& packed);
+
+enum class FlowPhase : std::uint8_t { kStage1 = 0, kStage2 = 1 };
+const char* to_string(FlowPhase p);
+
+/// Stable digest of the netlist (FNV-1a over its canonical text form):
+/// resuming against a different netlist is a typed error, never UB.
+std::uint64_t netlist_digest(const Netlist& nl);
+
+struct FlowCheckpoint {
+  std::uint64_t master_seed = 0;
+  std::uint64_t digest = 0;  ///< netlist_digest of the source netlist
+  FlowPhase phase = FlowPhase::kStage1;
+
+  /// Valid when phase == kStage1.
+  Stage1Cursor s1;
+
+  /// Valid when phase == kStage2: stage 1 is complete and these carry its
+  /// outputs (the flow result's stage-1 metrics are reported from here,
+  /// and the stage-2 cursor interprets core/t_infinity/scale from s1_done).
+  Stage1Result s1_done;
+  double stage1_teil = 0.0;
+  Coord stage1_chip_area = 0;
+  Stage2Cursor s2;
+
+  PackedPlacement placement;
+};
+
+std::vector<std::uint8_t> encode_checkpoint(const FlowCheckpoint& cp);
+FlowCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes);
+
+/// Frames and writes a checkpoint atomically: encode, then write magic /
+/// version / size / CRC / payload to `path + ".tmp"`, then rename onto
+/// `path`. Throws CheckpointError(kIo) on filesystem failure.
+void write_checkpoint_file(const std::string& path, const FlowCheckpoint& cp);
+
+/// Reads a checkpoint file back, validating frame, size and CRC before
+/// decoding. Throws CheckpointError with the matching code on any defect.
+FlowCheckpoint load_checkpoint(const std::string& path);
+
+/// Writes numbered checkpoint files (<dir>/ckpt-000042.twcp) with a
+/// monotonic in-process counter — no wall clock, no randomness, so runs
+/// stay reproducible. Creates `dir` if needed.
+class FileCheckpointSink {
+ public:
+  explicit FileCheckpointSink(std::string dir);
+
+  /// Writes the next numbered file; returns the path written.
+  std::string save(const FlowCheckpoint& cp);
+
+  int saved() const { return counter_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  int counter_ = 0;
+};
+
+/// Path of the newest checkpoint in `dir` (largest ckpt-NNNNNN number),
+/// or nullopt when the directory holds none.
+std::optional<std::string> find_latest_checkpoint(const std::string& dir);
+
+}  // namespace tw::recover

@@ -1,0 +1,35 @@
+#include "recover/fault.hpp"
+
+namespace tw::recover {
+
+const char* to_string(FaultSite site) {
+  switch (site) {
+    case FaultSite::kStage1Step: return "stage1.step";
+    case FaultSite::kStage1Accept: return "stage1.accept";
+    case FaultSite::kStage2Step: return "stage2.step";
+    case FaultSite::kStage2Accept: return "stage2.accept";
+    case FaultSite::kStage2Pass: return "stage2.pass";
+  }
+  return "unknown";
+}
+
+InjectedFault::InjectedFault(FaultSite site, std::int64_t count)
+    : std::runtime_error(std::string("injected fault at ") + to_string(site) +
+                         " #" + std::to_string(count)),
+      site_(site),
+      count_(count) {}
+
+void FaultPlan::kill_at(FaultSite site, std::int64_t nth) {
+  arms_.push_back({site, nth, false});
+}
+
+void FaultPlan::poll(FaultSite site) {
+  const std::int64_t n = counts_[static_cast<std::size_t>(site)]++;
+  for (Arm& arm : arms_) {
+    if (arm.fired || arm.site != site || arm.nth != n) continue;
+    arm.fired = true;
+    throw InjectedFault(site, n);
+  }
+}
+
+}  // namespace tw::recover

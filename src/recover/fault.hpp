@@ -1,0 +1,76 @@
+// Deterministic fault injection for crash-recovery testing.
+//
+// A FaultPlan arms "kill the flow at the Nth poll of site S" triggers.
+// The annealers poll at their accept and temperature-step boundaries — the
+// exact boundaries checkpoints are written at — so a test can reproduce a
+// crash at any point of the schedule, then prove that resuming from the
+// latest checkpoint yields a byte-identical fingerprint to the
+// uninterrupted run. Polls are counted, not timed, so a given plan kills
+// the same (netlist, params, seed) run at the same state every time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tw::recover {
+
+/// Poll sites instrumented in the flow.
+enum class FaultSite : std::uint8_t {
+  kStage1Step = 0,   ///< top of a stage-1 temperature step
+  kStage1Accept,     ///< after an accepted stage-1 move
+  kStage2Step,       ///< top of a stage-2 refinement-anneal temperature step
+  kStage2Accept,     ///< after an accepted stage-2 move
+  kStage2Pass,       ///< start of a stage-2 refinement pass
+};
+
+inline constexpr std::size_t kNumFaultSites = 5;
+
+const char* to_string(FaultSite site);
+
+/// Thrown by FaultPlan::poll when an armed trigger fires. Models the
+/// process dying at that boundary: the flow makes no attempt to catch it,
+/// so it unwinds out of TimberWolfMC::run just like a crash would end the
+/// process — except the test harness survives to resume.
+class InjectedFault : public std::runtime_error {
+ public:
+  InjectedFault(FaultSite site, std::int64_t count);
+
+  FaultSite site() const { return site_; }
+  /// Zero-based index of the poll that fired.
+  std::int64_t count() const { return count_; }
+
+ private:
+  FaultSite site_;
+  std::int64_t count_;
+};
+
+class FaultPlan {
+ public:
+  /// Arms a kill at the `nth` (zero-based) poll of `site`. Multiple arms
+  /// may be registered; each fires at most once.
+  void kill_at(FaultSite site, std::int64_t nth);
+
+  /// Counts one poll of `site`; throws InjectedFault when an armed
+  /// trigger matches. No-op (beyond counting) otherwise.
+  void poll(FaultSite site);
+
+  /// Polls seen so far at `site` (useful for sizing test plans).
+  std::int64_t count(FaultSite site) const {
+    return counts_[static_cast<std::size_t>(site)];
+  }
+
+ private:
+  struct Arm {
+    FaultSite site;
+    std::int64_t nth;
+    bool fired = false;
+  };
+
+  std::vector<Arm> arms_;
+  std::array<std::int64_t, kNumFaultSites> counts_{};
+};
+
+}  // namespace tw::recover

@@ -1,0 +1,120 @@
+#include "recover/serialize.hpp"
+
+#include <array>
+#include <bit>
+
+namespace tw::recover {
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+const char* to_string(CheckpointErrc code) {
+  switch (code) {
+    case CheckpointErrc::kIo: return "io";
+    case CheckpointErrc::kBadMagic: return "bad_magic";
+    case CheckpointErrc::kBadVersion: return "bad_version";
+    case CheckpointErrc::kBadCrc: return "bad_crc";
+    case CheckpointErrc::kTruncated: return "truncated";
+    case CheckpointErrc::kCorrupt: return "corrupt";
+    case CheckpointErrc::kNetlistMismatch: return "netlist_mismatch";
+    case CheckpointErrc::kSeedMismatch: return "seed_mismatch";
+  }
+  return "unknown";
+}
+
+CheckpointError::CheckpointError(CheckpointErrc code, const std::string& detail)
+    : std::runtime_error(std::string("checkpoint error [") + to_string(code) +
+                         "]: " + detail),
+      code_(code) {}
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (const std::uint8_t b : bytes) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void ByteWriter::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void ByteWriter::vec_i32(const std::vector<std::int32_t>& v) {
+  u32(static_cast<std::uint32_t>(v.size()));
+  for (const std::int32_t x : v) i32(x);
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n)
+    throw CheckpointError(
+        CheckpointErrc::kTruncated,
+        "need " + std::to_string(n) + " byte(s) at offset " +
+            std::to_string(pos_) + ", only " +
+            std::to_string(bytes_.size() - pos_) + " remain");
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return bytes_[pos_++];
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+  return v;
+}
+
+double ByteReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::size_t ByteReader::length_prefix(std::size_t min_elem_size) {
+  const std::size_t n = u32();
+  if (min_elem_size > 0 && n > remaining() / min_elem_size)
+    throw CheckpointError(CheckpointErrc::kCorrupt,
+                          "length prefix " + std::to_string(n) +
+                              " exceeds the " + std::to_string(remaining()) +
+                              " payload byte(s) remaining");
+  return n;
+}
+
+std::vector<std::int32_t> ByteReader::vec_i32() {
+  const std::size_t n = length_prefix(4);
+  std::vector<std::int32_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(i32());
+  return v;
+}
+
+void ByteReader::expect_end() const {
+  if (!at_end())
+    throw CheckpointError(CheckpointErrc::kCorrupt,
+                          std::to_string(remaining()) +
+                              " trailing byte(s) after payload");
+}
+
+}  // namespace tw::recover

@@ -1,0 +1,106 @@
+// Bounds-checked binary serialization for checkpoint payloads.
+//
+// Everything the recover subsystem persists goes through ByteWriter /
+// ByteReader: fixed-width little-endian integers, bit-exact doubles
+// (IEEE-754 via bit_cast, so a restored annealer state reproduces the
+// interrupted run byte for byte), and length-prefixed vectors. The reader
+// never trusts the input: every read is bounds-checked and every length
+// prefix is validated against the bytes actually remaining, so a
+// truncated or corrupted payload yields a typed CheckpointError — never
+// undefined behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace tw::recover {
+
+/// Why a checkpoint could not be read (see CheckpointError).
+enum class CheckpointErrc {
+  kIo,              ///< file could not be opened / read / written
+  kBadMagic,        ///< not a checkpoint file
+  kBadVersion,      ///< produced by an incompatible format version
+  kBadCrc,          ///< payload CRC mismatch (bit rot / partial write)
+  kTruncated,       ///< fewer bytes than the format requires
+  kCorrupt,         ///< structurally invalid payload (bad enum, size, ...)
+  kNetlistMismatch, ///< checkpoint was taken on a different netlist
+  kSeedMismatch,    ///< checkpoint was taken under a different master seed
+};
+
+/// Human-readable name of an error code ("bad_crc", "truncated", ...).
+const char* to_string(CheckpointErrc code);
+
+/// The one exception type of the recover subsystem. Carries a typed code
+/// so callers can distinguish "no such file" from "corrupt data".
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrc code, const std::string& detail);
+
+  CheckpointErrc code() const { return code_; }
+
+ private:
+  CheckpointErrc code_;
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) over a byte range.
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+/// Appends fixed-width little-endian values to a growing byte buffer.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+
+  /// Length-prefixed (u32) vector of i32.
+  void vec_i32(const std::vector<std::int32_t>& v);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Reads the ByteWriter encoding back. Every accessor throws
+/// CheckpointError(kTruncated) when fewer bytes remain than requested, so
+/// a short file can never cause an out-of-bounds read.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64();
+
+  /// Reads a u32 length prefix and validates it against the bytes left
+  /// (`min_elem_size` bytes per element) before allocating, so a corrupt
+  /// length cannot trigger a giant allocation.
+  std::size_t length_prefix(std::size_t min_elem_size);
+
+  std::vector<std::int32_t> vec_i32();
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  bool at_end() const { return pos_ == bytes_.size(); }
+
+  /// Fails with kCorrupt unless the whole payload was consumed.
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace tw::recover

@@ -77,8 +77,10 @@ std::vector<std::array<Coord, 4>> Stage2Refiner::derive_expansions(
 }
 
 int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
-                          CostModel& model, const Rect& core, double t_start,
-                          double t_inf, double scale, bool final_pass) {
+                          CostModel& model, const Rect& core,
+                          Stage2AnnealState entry, double t_inf, double scale,
+                          bool final_pass, const AnnealContext& ctx,
+                          bool& stopped) {
   const CoolingSchedule schedule = CoolingSchedule::stage2();
   RangeLimiter limiter(core.width(), core.height(), t_inf, params_.rho);
   const auto num_cells = static_cast<CellId>(nl_.num_cells());
@@ -87,13 +89,23 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
 
   CostTerms current = model.full();
   CostAudit audit(model, params_.audit);
-  double t = t_start;
-  int steps = 0;
-  int stall = 0;
-  double last_cost = model.total(current);
+  recover::RunBudget* budget = hooks_.budget;
+  const int checkpoint_every = std::max(1, hooks_.checkpoint_every);
+  double t = entry.t;
+  int steps = entry.steps;
+  int stall = entry.stall;
+  double last_cost = entry.last_cost;
+  stopped = false;
 
-  for (; steps < params_.max_temperature_steps; ++steps) {
+  // One inner loop of moves at temperature `sweep_t`. Budget checks apply
+  // only in budgeted mode: the t = 0 wind-down sweep after an expiry must
+  // run to completion. Returns false when the budget cut the sweep short.
+  auto sweep = [&](double sweep_t, bool budgeted) {
     for (long long it = 0; it < inner; ++it) {
+      if (budgeted && budget != nullptr) {
+        if (budget->stop_requested()) return false;
+        budget->charge_move();
+      }
       const CellId i = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
       const bool pin_move =
           nl_.cell(i).is_custom() && rng_.bernoulli(0.25) &&
@@ -149,10 +161,12 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
         const double c1_after = model.net_cost_sum(nets);
         const double c3_after = placement.site_penalty(i, model.params().kappa);
         const double delta = (c1_after - c1_before) + (c3_after - c3_before);
-        if (metropolis_accept(delta, t, rng_)) {
+        if (metropolis_accept(delta, sweep_t, rng_)) {
           current.c1 += c1_after - c1_before;
           current.c3 += c3_after - c3_before;
           audit.on_accept(current, "stage2 pin move");
+          if (hooks_.faults != nullptr)
+            hooks_.faults->poll(recover::FaultSite::kStage2Accept);
         } else {
           placement.restore(i, saved);
         }
@@ -167,9 +181,9 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
       before.c3 = model.partial_c3(cells);
 
       const Point c0 = placement.state(i).center;
-      const Point d =
-          select_displacement(rng_, limiter.window_x(t), limiter.window_y(t),
-                              PointSelect::kStructured);
+      const Point d = select_displacement(rng_, limiter.window_x(sweep_t),
+                                          limiter.window_y(sweep_t),
+                                          PointSelect::kStructured);
       placement.set_center(i, {std::clamp(c0.x + d.x, core.xlo, core.xhi),
                                std::clamp(c0.y + d.y, core.ylo, core.yhi)});
       overlap.refresh(i);
@@ -179,21 +193,53 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
       after.c2_raw = model.partial_c2_raw(cells);
       after.c3 = model.partial_c3(cells);
       const double delta = model.total(after) - model.total(before);
-      if (metropolis_accept(delta, t, rng_)) {
+      if (metropolis_accept(delta, sweep_t, rng_)) {
         current.c1 += after.c1 - before.c1;
         current.c2_raw += after.c2_raw - before.c2_raw;
         current.c3 += after.c3 - before.c3;
         audit.on_accept(current, "stage2 move");
+        if (hooks_.faults != nullptr)
+          hooks_.faults->poll(recover::FaultSite::kStage2Accept);
       } else {
         placement.restore(i, saved);
         overlap.refresh(i);
       }
+    }
+    return true;
+  };
+
+  for (; steps < params_.max_temperature_steps; ++steps) {
+    // Checkpoint at the step boundary *before* the fault poll, so a kill
+    // at step k can resume from the step-k checkpoint.
+    if (hooks_.on_checkpoint && steps % checkpoint_every == 0) {
+      Stage2Cursor cur;
+      cur.pass = ctx.pass;
+      cur.anneal = {t, steps, stall, last_cost};
+      cur.p2 = ctx.p2;
+      cur.working_core = *ctx.working_core;
+      cur.expansions = *ctx.expansions;
+      cur.rp = *ctx.rp;
+      cur.done = *ctx.done;
+      cur.rng = rng_.state();
+      hooks_.on_checkpoint(cur);
+    }
+    if (hooks_.faults != nullptr)
+      hooks_.faults->poll(recover::FaultSite::kStage2Step);
+    if (budget != nullptr && budget->stop_requested()) {
+      stopped = true;
+      break;
+    }
+
+    if (!sweep(t, /*budgeted=*/true)) {
+      stopped = true;
+      break;
     }
 
     // Checkpoint before the resync masks the inner loop's drift.
     audit.on_temperature_step(current, "stage2 temperature step");
     current = model.full();
     const double cost = model.total(current);
+    if (budget != nullptr) budget->charge_step();
 
     if (final_pass) {
       // Stop when the cost is unchanged for `final_stall_loops` inner loops.
@@ -216,111 +262,185 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
     }
     t = schedule.next(t, scale);
   }
+
+  if (stopped) {
+    // Graceful degradation: one improvements-only sweep (T = 0 accepts
+    // only downhill moves and consumes no RNG in the acceptance test).
+    (void)sweep(0.0, /*budgeted=*/false);
+    current = model.full();
+  }
   return steps;
 }
 
 Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
                                 double t_inf, double scale) {
+  return run_impl(placement, core, t_inf, scale, nullptr);
+}
+
+Stage2Result Stage2Refiner::resume(Placement& placement, const Rect& core,
+                                   double t_inf, double scale,
+                                   const Stage2Cursor& cursor) {
+  return run_impl(placement, core, t_inf, scale, &cursor);
+}
+
+Stage2Result Stage2Refiner::run_impl(Placement& placement, const Rect& core,
+                                     double t_inf, double scale,
+                                     const Stage2Cursor* cursor) {
   TW_REQUIRE(nl_.num_cells() > 0, "stage 2 needs at least one cell");
   TW_REQUIRE(t_inf > 0.0 && scale > 0.0, "t_inf=", t_inf, " scale=", scale);
   Stage2Result result;
   const double t_start =
       initial_temperature(params_.mu, t_inf, params_.rho);
+  const auto num_cells = static_cast<CellId>(nl_.num_cells());
 
   // The working core starts at stage 1's target and grows whenever the
   // routed channel widths demand more space than the estimator reserved.
   Rect working_core = core;
+  int first_pass = 0;
+  if (cursor != nullptr) {
+    TW_REQUIRE(cursor->pass >= 0 && cursor->pass < params_.refinement_steps,
+               "cursor pass=", cursor->pass);
+    TW_REQUIRE(cursor->expansions.size() == nl_.num_cells(),
+               "cursor expansions=", cursor->expansions.size());
+    result.passes = cursor->done;
+    working_core = cursor->working_core;
+    first_pass = cursor->pass;
+    rng_ = Rng::from_state(cursor->rng);
+  }
 
   // Expansion state persists across passes; start with zero (the stage-1
   // estimator's space is already baked into the cell positions).
   OverlapEngine overlap(placement, working_core, {});
   CostModel model(placement, overlap, params_.cost);
 
-  for (int pass = 0; pass < params_.refinement_steps; ++pass) {
+  recover::RunBudget* budget = hooks_.budget;
+  bool stopped = false;
+
+  for (int pass = first_pass; pass < params_.refinement_steps; ++pass) {
+    // A cursor restarts its pass mid-anneal: steps 0-2 (and the pass-entry
+    // fault poll) already happened before the checkpoint, so their outputs
+    // come from the cursor instead of being recomputed.
+    const bool resumed_pass = cursor != nullptr && pass == first_pass;
     RefinementPass rp;
+    Stage2AnnealState entry;
+    double p2 = 0.0;
+    std::vector<std::array<Coord, 4>> expansions;
 
-    // Step 0: remove stage 1's residual cell overlap — channel definition
-    // presumes non-overlapping cells (an edge cutting through a cell
-    // invalidates the critical regions around it, disconnecting the
-    // channel graph).
-    const LegalizeResult lr = legalize_spread(
-        placement, working_core, 2 * nl_.tech().track_separation);
-    if (!lr.success())
-      log_warn("stage2 pass ", pass + 1, ": ", lr.final_overlap,
-               " overlap area could not be legalized");
-    overlap.refresh_all();
-
-    // Step 1: channel definition.
-    ChannelGraph cg = build_channel_graph(placement, working_core);
-    rp.regions = cg.regions.size();
-
-    // Step 2: global routing.
-    GlobalRouterParams router_params = params_.router;
-    router_params.seed = rng_();
-    GlobalRouter router(cg.graph, router_params);
-    const auto targets = build_net_targets(nl_, cg);
-    const GlobalRouteResult routed = router.route(targets);
-    if constexpr (check::kLevel >= check::kLevelFull) {
-      const ValidationReport rr = validate_routing(cg.graph, targets, routed);
-      TW_ENSURE_FULL(rr.ok(), rr.str());
-    }
-    rp.route_length = routed.total_length;
-    rp.route_overflow = routed.total_overflow;
-    rp.unrouted_nets = routed.unrouted_nets;
-
-    std::vector<std::vector<EdgeId>> route_edges(targets.size());
-    for (std::size_t n = 0; n < targets.size(); ++n)
-      if (const Route* r = routed.route_of(n)) route_edges[n] = r->edges;
-    const auto densities = region_densities(cg, route_edges);
-    rp.width_rule_violations = validate_channel_widths(cg, route_edges);
-
-    // Step 3: placement refinement with static expansions.
-    const auto expansions = derive_expansions(nl_, cg, densities);
-    for (CellId c = 0; c < static_cast<CellId>(nl_.num_cells()); ++c)
-      overlap.set_expansions(c, expansions[static_cast<std::size_t>(c)]);
-
-    // Grow the working core when the expanded cells no longer fit: the
-    // refinement provides additional space as required.
-    {
-      double need = 0.0;
-      for (CellId c = 0; c < static_cast<CellId>(nl_.num_cells()); ++c) {
-        const CellInstance& g = placement.geometry(c);
-        const CellState& st = placement.state(c);
-        const Coord w = oriented_width(st.orient, g.width, g.height);
-        const Coord h = oriented_height(st.orient, g.width, g.height);
-        const auto& e = expansions[static_cast<std::size_t>(c)];
-        need += static_cast<double>(w + e[0] + e[1]) *
-                static_cast<double>(h + e[2] + e[3]);
+    if (resumed_pass) {
+      rp = cursor->rp;
+      p2 = cursor->p2;
+      expansions = cursor->expansions;
+      for (CellId c = 0; c < num_cells; ++c)
+        overlap.set_expansions(c, expansions[static_cast<std::size_t>(c)]);
+      model.set_p2(p2);
+      entry = cursor->anneal;
+    } else {
+      if (hooks_.faults != nullptr)
+        hooks_.faults->poll(recover::FaultSite::kStage2Pass);
+      if (budget != nullptr && budget->stop_requested()) {
+        stopped = true;
+        break;
       }
-      need /= 0.8;  // rectangle packing never reaches 100 percent
-      const double have = static_cast<double>(working_core.area());
-      if (need > have) {
-        const double grow = std::sqrt(need / have);
-        const Coord dw = static_cast<Coord>(
-            std::ceil(0.5 * (grow - 1.0) * working_core.width()));
-        const Coord dh = static_cast<Coord>(
-            std::ceil(0.5 * (grow - 1.0) * working_core.height()));
-        working_core = working_core.inflated(dw, dw, dh, dh);
-        overlap.set_core(working_core);
-        log_info("stage2 pass ", pass + 1, ": core grown to ",
-                 working_core.str());
-      }
-    }
 
-    // p2 stays meaningful across stages: recalibrate against the *current*
-    // configuration's cost balance rather than random states (the placement
-    // is already good; we only rebalance the scale of the two terms). The
-    // placement was just legalized, so the raw overlap can be tiny or zero;
-    // floor the denominator at one percent of the cell area so p2 never
-    // collapses and overlap stays firmly discouraged.
-    const CostTerms t0 = model.full();
-    const double c2_floor =
-        0.01 * static_cast<double>(nl_.total_cell_area());
-    model.set_p2(params_.cost.eta * t0.c1 / std::max(t0.c2_raw, c2_floor));
+      // Step 0: remove stage 1's residual cell overlap — channel definition
+      // presumes non-overlapping cells (an edge cutting through a cell
+      // invalidates the critical regions around it, disconnecting the
+      // channel graph).
+      const LegalizeResult lr = legalize_spread(
+          placement, working_core, 2 * nl_.tech().track_separation);
+      if (!lr.success())
+        log_warn("stage2 pass ", pass + 1, ": ", lr.final_overlap,
+                 " overlap area could not be legalized");
+      overlap.refresh_all();
+
+      // Step 1: channel definition.
+      ChannelGraph cg = build_channel_graph(placement, working_core);
+      rp.regions = cg.regions.size();
+
+      // Step 2: global routing.
+      GlobalRouterParams router_params = params_.router;
+      router_params.seed = rng_();
+      router_params.budget = budget;
+      GlobalRouter router(cg.graph, router_params);
+      const auto targets = build_net_targets(nl_, cg);
+      const GlobalRouteResult routed = router.route(targets);
+      if constexpr (check::kLevel >= check::kLevelFull) {
+        const ValidationReport rr = validate_routing(cg.graph, targets, routed);
+        TW_ENSURE_FULL(rr.ok(), rr.str());
+      }
+      rp.route_length = routed.total_length;
+      rp.route_overflow = routed.total_overflow;
+      rp.unrouted_nets = routed.unrouted_nets;
+
+      std::vector<std::vector<EdgeId>> route_edges(targets.size());
+      for (std::size_t n = 0; n < targets.size(); ++n)
+        if (const Route* r = routed.route_of(n)) route_edges[n] = r->edges;
+      const auto densities = region_densities(cg, route_edges);
+      rp.width_rule_violations = validate_channel_widths(cg, route_edges);
+
+      // Step 3: placement refinement with static expansions.
+      expansions = derive_expansions(nl_, cg, densities);
+      for (CellId c = 0; c < num_cells; ++c)
+        overlap.set_expansions(c, expansions[static_cast<std::size_t>(c)]);
+
+      // Grow the working core when the expanded cells no longer fit: the
+      // refinement provides additional space as required.
+      {
+        double need = 0.0;
+        for (CellId c = 0; c < num_cells; ++c) {
+          const CellInstance& g = placement.geometry(c);
+          const CellState& st = placement.state(c);
+          const Coord w = oriented_width(st.orient, g.width, g.height);
+          const Coord h = oriented_height(st.orient, g.width, g.height);
+          const auto& e = expansions[static_cast<std::size_t>(c)];
+          need += static_cast<double>(w + e[0] + e[1]) *
+                  static_cast<double>(h + e[2] + e[3]);
+        }
+        need /= 0.8;  // rectangle packing never reaches 100 percent
+        const double have = static_cast<double>(working_core.area());
+        if (need > have) {
+          const double grow = std::sqrt(need / have);
+          const Coord dw = static_cast<Coord>(
+              std::ceil(0.5 * (grow - 1.0) * working_core.width()));
+          const Coord dh = static_cast<Coord>(
+              std::ceil(0.5 * (grow - 1.0) * working_core.height()));
+          working_core = working_core.inflated(dw, dw, dh, dh);
+          overlap.set_core(working_core);
+          log_info("stage2 pass ", pass + 1, ": core grown to ",
+                   working_core.str());
+        }
+      }
+
+      // p2 stays meaningful across stages: recalibrate against the *current*
+      // configuration's cost balance rather than random states (the placement
+      // is already good; we only rebalance the scale of the two terms). The
+      // placement was just legalized, so the raw overlap can be tiny or zero;
+      // floor the denominator at one percent of the cell area so p2 never
+      // collapses and overlap stays firmly discouraged.
+      const CostTerms t0 = model.full();
+      const double c2_floor =
+          0.01 * static_cast<double>(nl_.total_cell_area());
+      p2 = params_.cost.eta * t0.c1 / std::max(t0.c2_raw, c2_floor);
+      model.set_p2(p2);
+
+      entry.t = t_start;
+      entry.steps = 0;
+      entry.stall = 0;
+      entry.last_cost = model.total(model.full());
+    }
 
     const bool final_pass = pass == params_.refinement_steps - 1;
+    AnnealContext ctx;
+    ctx.pass = pass;
+    ctx.p2 = p2;
+    ctx.working_core = &working_core;
+    ctx.expansions = &expansions;
+    ctx.rp = &rp;
+    ctx.done = &result.passes;
+    bool anneal_stopped = false;
     rp.temperature_steps = anneal(placement, overlap, model, working_core,
-                                  t_start, t_inf, scale, final_pass);
+                                  entry, t_inf, scale, final_pass, ctx,
+                                  anneal_stopped);
 
     rp.teic = placement.teic();
     rp.teil = placement.teil();
@@ -330,6 +450,10 @@ Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
     log_info("stage2 pass ", pass + 1, ": teil=", rp.teil,
              " area=", rp.chip_area, " routeL=", rp.route_length,
              " X=", rp.route_overflow);
+    if (anneal_stopped) {
+      stopped = true;
+      break;
+    }
   }
 
   // The low-temperature anneal can leave a sliver of overlap; hand back a
@@ -342,6 +466,12 @@ Stage2Result Stage2Refiner::run(Placement& placement, const Rect& core,
     // the working core's boundary.
     const ValidationReport pr = validate_placement(placement);
     TW_ENSURE_FULL(pr.ok(), pr.str());
+  }
+
+  if (stopped) {
+    result.outcome = budget->stop_outcome();
+    log_info("stage2 stopped early (", recover::to_string(result.outcome),
+             ") after ", result.passes.size(), " pass(es)");
   }
 
   result.final_core = working_core;

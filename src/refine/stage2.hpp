@@ -61,6 +61,44 @@ struct Stage2Result {
   /// insufficient space was allocated ... additional space is provided as
   /// required").
   Rect final_core;
+  /// How the run ended (kBudgetExhausted/kCancelled: the result is the
+  /// quenched, legalized state reached when the budget ran out).
+  recover::RunOutcome outcome = recover::RunOutcome::kCompleted;
+};
+
+/// Position inside one refinement pass's anneal (step 3).
+struct Stage2AnnealState {
+  double t = 0.0;
+  int steps = 0;        ///< temperature steps completed in this anneal
+  int stall = 0;        ///< pass-3 cost-unchanged counter
+  double last_cost = 0.0;
+};
+
+/// Everything (besides the placement) needed to restart stage 2 at an
+/// anneal temperature-step boundary, byte-identical to the uninterrupted
+/// run. Steps 0-2 of the in-flight pass (legalize, channel graph, routing,
+/// expansion derivation, core growth, p2 recalibration) already happened
+/// before the checkpoint, so their outputs — the expansions, the grown
+/// core, p2, and the pass metrics — are carried, and resume re-enters the
+/// anneal directly. Serialized by src/recover/checkpoint.{hpp,cpp}.
+struct Stage2Cursor {
+  int pass = 0;                    ///< refinement pass in flight (0-based)
+  Stage2AnnealState anneal;
+  double p2 = 0.0;                 ///< recalibrated penalty weight
+  Rect working_core;               ///< core after growth for this pass
+  std::vector<std::array<Coord, 4>> expansions;  ///< per-cell static w/2
+  RefinementPass rp;               ///< metrics of steps 0-2 of this pass
+  std::vector<RefinementPass> done;  ///< completed passes
+  std::array<std::uint64_t, 4> rng{};  ///< RNG stream state
+};
+
+/// Run-lifecycle instrumentation; see Stage1Hooks.
+struct Stage2Hooks {
+  recover::RunBudget* budget = nullptr;
+  recover::FaultPlan* faults = nullptr;
+  /// Called at the top of every `checkpoint_every`-th anneal step.
+  std::function<void(const Stage2Cursor&)> on_checkpoint;
+  int checkpoint_every = 5;
 };
 
 class Stage2Refiner {
@@ -73,6 +111,16 @@ public:
   Stage2Result run(Placement& placement, const Rect& core, double t_inf,
                    double scale);
 
+  /// Restarts an interrupted run mid-anneal. `placement` must already hold
+  /// the checkpointed cell states; `core`/`t_inf`/`scale` are the same
+  /// stage-1 outputs the original run() received. The continuation is
+  /// byte-identical to the uninterrupted same-seed run.
+  Stage2Result resume(Placement& placement, const Rect& core, double t_inf,
+                      double scale, const Stage2Cursor& cursor);
+
+  /// Run-lifecycle hooks; set before run()/resume().
+  void set_hooks(Stage2Hooks hooks) { hooks_ = std::move(hooks); }
+
   /// Initial stage-2 temperature T' for window fraction mu (Eqn 28).
   static double initial_temperature(double mu, double t_inf, double rho);
 
@@ -83,15 +131,34 @@ public:
       const std::vector<int>& densities);
 
 private:
-  /// One low-temperature anneal (step 3). `final_pass` switches to the
-  /// cost-unchanged stopping criterion.
+  /// Cursor ingredients the anneal needs to emit checkpoints (all
+  /// non-owning; valid for the duration of the anneal call).
+  struct AnnealContext {
+    int pass = 0;
+    double p2 = 0.0;
+    const Rect* working_core = nullptr;
+    const std::vector<std::array<Coord, 4>>* expansions = nullptr;
+    const RefinementPass* rp = nullptr;
+    const std::vector<RefinementPass>* done = nullptr;
+  };
+
+  /// One low-temperature anneal (step 3), entered at `entry` (fresh runs
+  /// pass t = T', steps = stall = 0). `final_pass` switches to the
+  /// cost-unchanged stopping criterion. Returns the temperature-step count;
+  /// sets `stopped` when the budget expired (after an improvements-only
+  /// wind-down sweep).
   int anneal(Placement& placement, OverlapEngine& overlap, CostModel& model,
-             const Rect& core, double t_start, double t_inf, double scale,
-             bool final_pass);
+             const Rect& core, Stage2AnnealState entry, double t_inf,
+             double scale, bool final_pass, const AnnealContext& ctx,
+             bool& stopped);
+
+  Stage2Result run_impl(Placement& placement, const Rect& core, double t_inf,
+                        double scale, const Stage2Cursor* cursor);
 
   const Netlist& nl_;
   Stage2Params params_;
   Rng rng_;
+  Stage2Hooks hooks_;
 };
 
 }  // namespace tw

@@ -28,6 +28,14 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
 
   // --- phase one: enumerate alternatives, seed with the shortest ----------
   for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (params_.budget != nullptr) {
+      if (params_.budget->stop_requested()) {
+        // Remaining nets stay unrouted; the partial result is consistent.
+        r.unrouted_nets += static_cast<int>(nets.size() - i);
+        break;
+      }
+      params_.budget->charge_move();
+    }
     r.alternatives[i] = m_best_routes(g_, nets[i], params_.steiner);
     if (r.alternatives[i].empty()) {
       ++r.unrouted_nets;
@@ -131,6 +139,10 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
   };
 
   while (r.total_overflow > 0) {
+    if (params_.budget != nullptr) {
+      if (params_.budget->stop_requested()) break;
+      params_.budget->charge_move();
+    }
     if (unchanged >= patience) {
       // Stopping criterion (2) hit with overflow left: widen the pool or
       // give up.

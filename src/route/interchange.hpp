@@ -9,6 +9,7 @@
 // demonstrates this against the sequential baseline).
 #pragma once
 
+#include "recover/budget.hpp"
 #include "route/steiner.hpp"
 #include "util/rng.hpp"
 
@@ -17,6 +18,11 @@ namespace tw {
 struct GlobalRouterParams {
   SteinerParams steiner;
   std::uint64_t seed = 1;
+  /// Optional work budget (non-owning): each routed net and each
+  /// interchange attempt charges one move; on expiry or cancellation the
+  /// router stops where it stands — the selection so far is always a
+  /// consistent (if overflowed) routing.
+  recover::RunBudget* budget = nullptr;
 };
 
 struct GlobalRouteResult {

@@ -27,6 +27,13 @@ SequentialResult route_sequential(const RoutingGraph& g,
   std::vector<double> extra(g.num_edges(), 0.0);
   for (int idx : order) {
     const auto i = static_cast<std::size_t>(idx);
+    if (params.budget != nullptr) {
+      if (params.budget->stop_requested()) {
+        ++r.unrouted_nets;
+        continue;  // count every remaining net as unrouted
+      }
+      params.budget->charge_move();
+    }
     auto route = greedy_route(g, nets[i], &extra);
     if (!route) {
       ++r.unrouted_nets;

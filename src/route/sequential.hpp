@@ -9,6 +9,7 @@
 
 #include <span>
 
+#include "recover/budget.hpp"
 #include "route/steiner.hpp"
 
 namespace tw {
@@ -17,6 +18,9 @@ struct SequentialParams {
   /// Additive cost per unit of existing overflow on an edge (soft
   /// congestion avoidance; a saturated edge costs length + penalty*excess).
   double congestion_penalty = 1e4;
+  /// Optional work budget (non-owning): one move per routed net; on expiry
+  /// the remaining nets are left unrouted.
+  recover::RunBudget* budget = nullptr;
 };
 
 struct SequentialResult {

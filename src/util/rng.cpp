@@ -1,6 +1,7 @@
 #include "util/rng.hpp"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace tw {
 namespace {
@@ -86,6 +87,14 @@ Rng Rng::split() {
   Rng child(0);
   for (auto& w : child.s_) w = (*this)();
   return child;
+}
+
+Rng Rng::from_state(const std::array<std::uint64_t, 4>& s) {
+  if ((s[0] | s[1] | s[2] | s[3]) == 0)
+    throw std::invalid_argument("Rng::from_state: all-zero state");
+  Rng r(0);
+  for (std::size_t i = 0; i < 4; ++i) r.s_[i] = s[i];
+  return r;
 }
 
 }  // namespace tw

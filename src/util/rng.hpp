@@ -7,6 +7,7 @@
 // of far higher quality than std::minstd / rand().
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -77,6 +78,19 @@ public:
 
   /// Derives an independent child generator (for parallel experiment arms).
   Rng split();
+
+  // --- state export / import (checkpointing) --------------------------------
+  // The four raw state words capture the generator's position in its
+  // stream exactly, so a checkpointed run resumes on the same sequence
+  // bit for bit (see src/recover/checkpoint.hpp).
+
+  std::array<std::uint64_t, 4> state() const { return {s_[0], s_[1], s_[2], s_[3]}; }
+
+  /// Reconstructs a generator at an exported state. Rejects the all-zero
+  /// state (xoshiro's one fixed point, which a real export can never
+  /// produce) so a zeroed/corrupt checkpoint cannot create a generator
+  /// that emits only zeros.
+  static Rng from_state(const std::array<std::uint64_t, 4>& s);
 
 private:
   std::uint64_t s_[4];

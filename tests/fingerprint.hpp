@@ -1,0 +1,54 @@
+// Shared helpers for the determinism and crash-recovery tests: a compact
+// flow parameterization that finishes in milliseconds, and a bit-exact
+// fingerprint of everything a run produced. Doubles are printed as
+// hexfloat, so two fingerprints compare equal only when every bit of every
+// value matches — the resume tests rely on this to prove a continued run
+// is byte-identical to the uninterrupted one.
+#pragma once
+
+#include <iomanip>
+#include <sstream>
+#include <string>
+
+#include "flow/timberwolf.hpp"
+
+namespace tw::testing {
+
+inline FlowParams fast_flow(std::uint64_t seed) {
+  FlowParams p;
+  p.stage1.attempts_per_cell = 12;
+  p.stage1.p2_samples = 6;
+  p.stage2.attempts_per_cell = 8;
+  p.stage2.router.steiner.m = 4;
+  p.seed = seed;
+  return p;
+}
+
+/// Serializes everything a run produced — placement state, per-stage
+/// metrics, per-pass routing metrics — with hexfloat doubles.
+inline std::string fingerprint(const Placement& p, const FlowResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  const auto n = static_cast<CellId>(p.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    const CellState& s = p.state(c);
+    os << "cell " << c << ": (" << s.center.x << "," << s.center.y << ") o"
+       << static_cast<int>(s.orient) << " i" << s.instance << " a"
+       << s.aspect << " sites[";
+    for (int site : s.pin_site) os << site << ",";
+    os << "] occ[";
+    for (int occ : s.site_occupancy) os << occ << ",";
+    os << "]\n";
+  }
+  os << "teil " << r.final_teil << " s1 " << r.stage1_teil << "\n";
+  os << "area " << r.final_chip_area << " bbox " << r.final_chip_bbox.xlo
+     << "," << r.final_chip_bbox.ylo << "," << r.final_chip_bbox.xhi
+     << "," << r.final_chip_bbox.yhi << "\n";
+  for (const auto& pass : r.stage2.passes)
+    os << "pass: overflow " << pass.route_overflow << " unrouted "
+       << pass.unrouted_nets << " wrv " << pass.width_rule_violations
+       << "\n";
+  return os.str();
+}
+
+}  // namespace tw::testing

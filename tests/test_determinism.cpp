@@ -4,55 +4,19 @@
 // same seed must agree byte for byte on every piece of placement state and
 // every reported metric; hidden nondeterminism (wall-clock seeding,
 // iteration over address-keyed containers, uninitialized reads) breaks
-// this immediately.
+// this immediately. The fingerprint itself lives in tests/fingerprint.hpp,
+// shared with the crash-recovery suite (test_resume.cpp).
 #include <gtest/gtest.h>
 
-#include <iomanip>
-#include <sstream>
-
+#include "fingerprint.hpp"
 #include "flow/timberwolf.hpp"
 #include "workload/paper_circuits.hpp"
 
 namespace tw {
 namespace {
 
-FlowParams fast_flow(std::uint64_t seed) {
-  FlowParams p;
-  p.stage1.attempts_per_cell = 12;
-  p.stage1.p2_samples = 6;
-  p.stage2.attempts_per_cell = 8;
-  p.stage2.router.steiner.m = 4;
-  p.seed = seed;
-  return p;
-}
-
-/// Serializes everything a run produced. Doubles are printed as hexfloat,
-/// so two fingerprints compare equal only when every bit of every value
-/// matches.
-std::string fingerprint(const Placement& p, const FlowResult& r) {
-  std::ostringstream os;
-  os << std::hexfloat;
-  const auto n = static_cast<CellId>(p.netlist().num_cells());
-  for (CellId c = 0; c < n; ++c) {
-    const CellState& s = p.state(c);
-    os << "cell " << c << ": (" << s.center.x << "," << s.center.y << ") o"
-       << static_cast<int>(s.orient) << " i" << s.instance << " a"
-       << s.aspect << " sites[";
-    for (int site : s.pin_site) os << site << ",";
-    os << "] occ[";
-    for (int occ : s.site_occupancy) os << occ << ",";
-    os << "]\n";
-  }
-  os << "teil " << r.final_teil << " s1 " << r.stage1_teil << "\n";
-  os << "area " << r.final_chip_area << " bbox " << r.final_chip_bbox.xlo
-     << "," << r.final_chip_bbox.ylo << "," << r.final_chip_bbox.xhi
-     << "," << r.final_chip_bbox.yhi << "\n";
-  for (const auto& pass : r.stage2.passes)
-    os << "pass: overflow " << pass.route_overflow << " unrouted "
-       << pass.unrouted_nets << " wrv " << pass.width_rule_violations
-       << "\n";
-  return os.str();
-}
+using testing::fast_flow;
+using testing::fingerprint;
 
 TEST(Determinism, SameSeedSameBytes) {
   const Netlist nl = generate_circuit(tiny_circuit(21));
@@ -86,6 +50,22 @@ TEST(Determinism, Stage1EntryPointDeterministic) {
     EXPECT_EQ(p1.state(c).center, p2.state(c).center) << "cell " << c;
     EXPECT_EQ(p1.state(c).orient, p2.state(c).orient) << "cell " << c;
   }
+}
+
+TEST(Determinism, CheckpointingDoesNotPerturbTheRun) {
+  // Writing checkpoints must be a pure observer: a run with a checkpoint
+  // directory configured produces the same bytes as one without.
+  const Netlist nl = generate_circuit(tiny_circuit(21));
+  Placement p1(nl), p2(nl);
+  const FlowResult r1 = TimberWolfMC(nl, fast_flow(77)).run(p1);
+  FlowParams params = fast_flow(77);
+  params.recover.checkpoint_dir =
+      ::testing::TempDir() + "/tw_ckpt_observer";
+  params.recover.checkpoint_every = 2;
+  const FlowResult r2 = TimberWolfMC(nl, params).run(p2);
+  EXPECT_EQ(fingerprint(p1, r1), fingerprint(p2, r2));
+  EXPECT_TRUE(recover::find_latest_checkpoint(params.recover.checkpoint_dir)
+                  .has_value());
 }
 
 }  // namespace

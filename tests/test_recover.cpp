@@ -1,0 +1,345 @@
+// The recover subsystem in isolation: bounds-checked serialization,
+// checkpoint framing (magic/version/size/CRC, atomic temp+rename writes),
+// corruption and truncation handling — a damaged file must always yield a
+// typed CheckpointError, never UB — plus RunBudget / FaultPlan semantics
+// and the graceful wind-down of a budget-limited flow.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "check/validate.hpp"
+#include "fingerprint.hpp"
+#include "flow/timberwolf.hpp"
+#include "recover/budget.hpp"
+#include "recover/checkpoint.hpp"
+#include "recover/fault.hpp"
+#include "recover/serialize.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+using recover::ByteReader;
+using recover::ByteWriter;
+using recover::CheckpointErrc;
+using recover::CheckpointError;
+using recover::FaultPlan;
+using recover::FaultSite;
+using recover::FlowCheckpoint;
+using recover::RunBudget;
+using recover::RunOutcome;
+using testing::fast_flow;
+
+std::string temp_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// ---------------------------------------------------------------- serialize
+
+TEST(Serialize, RoundTripsEveryType) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i32(-42);
+  w.i64(-(1ll << 40));
+  w.f64(-0.1);
+  w.vec_i32({1, -2, 3});
+  const std::vector<std::uint8_t> bytes = w.bytes();
+
+  ByteReader r(bytes);
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -(1ll << 40));
+  EXPECT_EQ(r.f64(), -0.1);  // bit-exact via bit_cast
+  EXPECT_EQ(r.vec_i32(), (std::vector<std::int32_t>{1, -2, 3}));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(Serialize, ShortReadsThrowTruncated) {
+  ByteWriter w;
+  w.u32(7);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.u64(), CheckpointError);
+  try {
+    ByteReader r2(bytes);
+    r2.u64();
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kTruncated);
+  }
+}
+
+TEST(Serialize, GiantLengthPrefixIsRejectedBeforeAllocating) {
+  // A corrupted length prefix larger than the remaining bytes must fail
+  // the validation, not attempt a multi-gigabyte allocation.
+  ByteWriter w;
+  w.u32(0x7FFFFFFFu);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  ByteReader r(bytes);
+  EXPECT_THROW(r.vec_i32(), CheckpointError);
+}
+
+TEST(Serialize, TrailingBytesAreCorrupt) {
+  ByteWriter w;
+  w.u32(1);
+  w.u8(0);
+  const std::vector<std::uint8_t> bytes = w.bytes();
+  ByteReader r(bytes);
+  (void)r.u32();
+  EXPECT_THROW(r.expect_end(), CheckpointError);
+}
+
+TEST(Serialize, Crc32MatchesReferenceVector) {
+  // The standard check value of CRC-32/IEEE: crc("123456789").
+  const std::string s = "123456789";
+  const std::span<const std::uint8_t> bytes(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  EXPECT_EQ(recover::crc32(bytes), 0xCBF43926u);
+}
+
+// ------------------------------------------------------------------ budget
+
+TEST(RunBudget, UnlimitedNeverStops) {
+  RunBudget b;
+  for (int i = 0; i < 1000; ++i) b.charge_move();
+  b.charge_step();
+  EXPECT_FALSE(b.stop_requested());
+}
+
+TEST(RunBudget, MoveAndStepLimitsTrigger) {
+  RunBudget moves(5, RunBudget::kUnlimited);
+  for (int i = 0; i < 4; ++i) moves.charge_move();
+  EXPECT_FALSE(moves.stop_requested());
+  moves.charge_move();
+  EXPECT_TRUE(moves.stop_requested());
+  EXPECT_EQ(moves.stop_outcome(), RunOutcome::kBudgetExhausted);
+
+  RunBudget steps(RunBudget::kUnlimited, 2);
+  steps.charge_step();
+  EXPECT_FALSE(steps.stop_requested());
+  steps.charge_step();
+  EXPECT_TRUE(steps.stop_requested());
+}
+
+TEST(RunBudget, CancellationWinsOverExhaustion) {
+  RunBudget b(1, RunBudget::kUnlimited);
+  b.charge_move();
+  b.request_cancel();
+  EXPECT_TRUE(b.stop_requested());
+  EXPECT_EQ(b.stop_outcome(), RunOutcome::kCancelled);
+}
+
+// ------------------------------------------------------------------- fault
+
+TEST(FaultPlan, FiresAtTheArmedPollExactlyOnce) {
+  FaultPlan plan;
+  plan.kill_at(FaultSite::kStage1Step, 2);
+  EXPECT_NO_THROW(plan.poll(FaultSite::kStage1Step));  // poll 0
+  EXPECT_NO_THROW(plan.poll(FaultSite::kStage1Step));  // poll 1
+  EXPECT_NO_THROW(plan.poll(FaultSite::kStage2Step));  // other site
+  try {
+    plan.poll(FaultSite::kStage1Step);  // poll 2 — armed
+    FAIL() << "expected InjectedFault";
+  } catch (const recover::InjectedFault& e) {
+    EXPECT_EQ(e.site(), FaultSite::kStage1Step);
+    EXPECT_EQ(e.count(), 2);
+  }
+  // Each arm fires at most once; later polls pass.
+  EXPECT_NO_THROW(plan.poll(FaultSite::kStage1Step));
+  EXPECT_EQ(plan.count(FaultSite::kStage1Step), 4);
+}
+
+// -------------------------------------------------------------- checkpoint
+
+/// Runs a short checkpointed flow and returns the latest checkpoint path.
+std::string make_checkpoint(const std::string& dir) {
+  const Netlist nl = generate_circuit(tiny_circuit(21));
+  Placement p(nl);
+  FlowParams params = fast_flow(77);
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  (void)TimberWolfMC(nl, params).run(p);
+  const auto latest = recover::find_latest_checkpoint(dir);
+  EXPECT_TRUE(latest.has_value());
+  return *latest;
+}
+
+TEST(Checkpoint, EncodeDecodeIsAFixedPoint) {
+  const std::string path = make_checkpoint(temp_dir("tw_ckpt_roundtrip"));
+  const FlowCheckpoint cp = recover::load_checkpoint(path);
+  const std::vector<std::uint8_t> once = recover::encode_checkpoint(cp);
+  const FlowCheckpoint back = recover::decode_checkpoint(once);
+  EXPECT_EQ(recover::encode_checkpoint(back), once);
+}
+
+TEST(Checkpoint, AtomicWriteLeavesNoTempFile) {
+  const std::string path = make_checkpoint(temp_dir("tw_ckpt_atomic"));
+  EXPECT_TRUE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(Checkpoint, MissingFileIsIoError) {
+  try {
+    (void)recover::load_checkpoint("/nonexistent/ckpt-000001.twcp");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kIo);
+  }
+}
+
+TEST(Checkpoint, BitFlipsAreDetected) {
+  const std::string path = make_checkpoint(temp_dir("tw_ckpt_flip"));
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  // Flip one bit at a spread of offsets covering magic, version, size,
+  // CRC, and payload; every damaged file must fail with a typed error.
+  for (std::size_t off = 0; off < bytes.size();
+       off += 1 + bytes.size() / 97) {
+    std::vector<char> damaged = bytes;
+    damaged[off] ^= 0x10;
+    const std::string bad = path + ".flip";
+    std::ofstream(bad, std::ios::binary | std::ios::trunc)
+        .write(damaged.data(), static_cast<std::streamsize>(damaged.size()));
+    try {
+      (void)recover::load_checkpoint(bad);
+      FAIL() << "flip at offset " << off << " went undetected";
+    } catch (const CheckpointError&) {
+      // Expected: kBadMagic / kBadVersion / kTruncated / kBadCrc,
+      // depending on which field the flip landed in.
+    }
+  }
+}
+
+TEST(Checkpoint, TruncationsAreDetectedAtEveryLength) {
+  const std::string path = make_checkpoint(temp_dir("tw_ckpt_trunc"));
+  std::vector<char> bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 16u);
+  for (std::size_t len = 0; len < bytes.size();
+       len += 1 + bytes.size() / 61) {
+    const std::string bad = path + ".trunc";
+    std::ofstream(bad, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(len));
+    try {
+      (void)recover::load_checkpoint(bad);
+      FAIL() << "truncation to " << len << " bytes went undetected";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.code(), CheckpointErrc::kTruncated) << "len " << len;
+    }
+  }
+}
+
+TEST(Checkpoint, CorruptPayloadUnderValidCrcIsStillTyped) {
+  // Damage the payload, then re-stamp the CRC so the frame checks pass:
+  // the decoder's own validation must catch the bad content.
+  const std::string path = make_checkpoint(temp_dir("tw_ckpt_payload"));
+  const FlowCheckpoint cp = recover::load_checkpoint(path);
+  std::vector<std::uint8_t> payload = recover::encode_checkpoint(cp);
+  int detected = 0;
+  for (std::size_t off = 0; off < payload.size(); ++off) {
+    std::vector<std::uint8_t> damaged = payload;
+    damaged[off] ^= 0xFF;
+    try {
+      const FlowCheckpoint dec = recover::decode_checkpoint(damaged);
+      // Some flips produce a different-but-well-formed checkpoint (e.g.
+      // in a metric double); those decode fine. What must never happen
+      // is a crash, which the sanitizer jobs would catch here.
+      (void)dec;
+    } catch (const CheckpointError&) {
+      ++detected;
+    }
+  }
+  // Flips landing in validated fields (phase, enums, orients, length
+  // prefixes) must be caught.
+  EXPECT_GT(detected, 0) << "of " << payload.size();
+}
+
+TEST(Checkpoint, SinkNumbersFilesAndFindsLatest) {
+  const std::string dir = temp_dir("tw_ckpt_sink");
+  const std::string path = make_checkpoint(dir);
+  EXPECT_EQ(std::filesystem::path(path).filename().string().rfind("ckpt-", 0),
+            0u);
+  // The latest file must be the numerically largest.
+  int max_seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    int n = 0;
+    if (std::sscanf(name.c_str(), "ckpt-%d.twcp", &n) == 1)
+      max_seen = std::max(max_seen, n);
+  }
+  int latest_n = 0;
+  ASSERT_EQ(std::sscanf(std::filesystem::path(path).filename().c_str(),
+                        "ckpt-%d.twcp", &latest_n),
+            1);
+  EXPECT_EQ(latest_n, max_seen);
+  EXPECT_GT(max_seen, 1);
+}
+
+TEST(Checkpoint, FindLatestOnMissingOrEmptyDirIsNull) {
+  EXPECT_FALSE(recover::find_latest_checkpoint("/nonexistent/dir").has_value());
+  const std::string dir = temp_dir("tw_ckpt_empty");
+  std::filesystem::create_directories(dir);
+  EXPECT_FALSE(recover::find_latest_checkpoint(dir).has_value());
+}
+
+// ----------------------------------------------------- budgeted flow runs
+
+TEST(Budget, ExhaustedFlowDegradesGracefully) {
+  const Netlist nl = generate_circuit(tiny_circuit(21));
+  Placement p(nl);
+  FlowParams params = fast_flow(77);
+  RunBudget budget(2000, RunBudget::kUnlimited);
+  params.recover.budget = &budget;
+  const FlowResult r = TimberWolfMC(nl, params).run(p);
+  EXPECT_EQ(r.outcome, RunOutcome::kBudgetExhausted);
+  // Graceful degradation: the returned placement is a valid, feasible
+  // configuration, not a torn mid-move state.
+  const ValidationReport vr = validate_placement(p);
+  EXPECT_TRUE(vr.ok()) << vr.str();
+  EXPECT_GE(budget.moves_charged(), 2000);
+}
+
+TEST(Budget, CancelledFlowReportsCancelled) {
+  const Netlist nl = generate_circuit(tiny_circuit(21));
+  Placement p(nl);
+  FlowParams params = fast_flow(77);
+  RunBudget budget;
+  budget.request_cancel();
+  params.recover.budget = &budget;
+  const FlowResult r = TimberWolfMC(nl, params).run(p);
+  EXPECT_EQ(r.outcome, RunOutcome::kCancelled);
+  const ValidationReport vr = validate_placement(p);
+  EXPECT_TRUE(vr.ok()) << vr.str();
+}
+
+TEST(Budget, UnlimitedBudgetMatchesUninstrumentedRun) {
+  const Netlist nl = generate_circuit(tiny_circuit(21));
+  Placement p1(nl), p2(nl);
+  const FlowResult r1 = TimberWolfMC(nl, fast_flow(77)).run(p1);
+  FlowParams params = fast_flow(77);
+  RunBudget budget;
+  params.recover.budget = &budget;
+  const FlowResult r2 = TimberWolfMC(nl, params).run(p2);
+  EXPECT_EQ(r2.outcome, RunOutcome::kCompleted);
+  EXPECT_EQ(testing::fingerprint(p1, r1), testing::fingerprint(p2, r2));
+}
+
+}  // namespace
+}  // namespace tw

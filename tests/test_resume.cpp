@@ -1,0 +1,167 @@
+// Crash-recovery determinism: kill the flow at an armed poll site via
+// FaultPlan, resume from the latest on-disk checkpoint, and require the
+// continued run to be byte-identical (hexfloat fingerprint) to the same
+// seed run that was never interrupted. This is the strongest statement a
+// checkpoint can make: nothing the annealer depends on — RNG stream,
+// schedule position, calibrations, incremental cost state — was lost or
+// recomputed differently.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "fingerprint.hpp"
+#include "flow/timberwolf.hpp"
+#include "recover/checkpoint.hpp"
+#include "recover/fault.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+using recover::CheckpointErrc;
+using recover::CheckpointError;
+using recover::FaultPlan;
+using recover::FaultSite;
+using recover::FlowCheckpoint;
+using recover::InjectedFault;
+using recover::RunOutcome;
+using testing::fast_flow;
+using testing::fingerprint;
+
+constexpr std::uint64_t kSeed = 77;
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const Netlist& test_netlist() {
+  static const Netlist nl = generate_circuit(tiny_circuit(21));
+  return nl;
+}
+
+/// Fingerprint of the uninterrupted run — the ground truth every resumed
+/// run must reproduce.
+const std::string& baseline() {
+  static const std::string fp = [] {
+    Placement p(test_netlist());
+    const FlowResult r = TimberWolfMC(test_netlist(), fast_flow(kSeed)).run(p);
+    return fingerprint(p, r);
+  }();
+  return fp;
+}
+
+/// Runs the flow with a kill armed at (site, nth), proves the fault fired,
+/// resumes from the newest checkpoint, and returns the continuation's
+/// fingerprint (asserting its outcome is kResumed).
+std::string kill_and_resume(FaultSite site, std::int64_t nth,
+                            const std::string& leaf) {
+  const std::string dir = fresh_dir(leaf);
+
+  FaultPlan plan;
+  plan.kill_at(site, nth);
+  FlowParams params = fast_flow(kSeed);
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  params.recover.faults = &plan;
+
+  {
+    Placement doomed(test_netlist());
+    EXPECT_THROW((void)TimberWolfMC(test_netlist(), params).run(doomed),
+                 InjectedFault)
+        << "site " << recover::to_string(site) << " poll " << nth
+        << " never fired";
+  }
+
+  const auto latest = recover::find_latest_checkpoint(dir);
+  EXPECT_TRUE(latest.has_value()) << "no checkpoint survived the crash";
+  if (!latest) return {};
+  const FlowCheckpoint cp = recover::load_checkpoint(*latest);
+
+  FlowParams resume_params = fast_flow(kSeed);
+  Placement p(test_netlist());
+  const FlowResult r =
+      TimberWolfMC(test_netlist(), resume_params).resume(p, cp);
+  EXPECT_EQ(r.outcome, RunOutcome::kResumed);
+  return fingerprint(p, r);
+}
+
+TEST(Resume, Stage1KilledAtEarlyStep) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage1Step, 1, "tw_res_s1a"),
+            baseline());
+}
+
+TEST(Resume, Stage1KilledMidSchedule) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage1Step, 4, "tw_res_s1b"),
+            baseline());
+}
+
+TEST(Resume, Stage1KilledLate) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage1Step, 9, "tw_res_s1c"),
+            baseline());
+}
+
+TEST(Resume, Stage1KilledMidStepAtAnAccept) {
+  // Dying between checkpoints loses the partial step; the resume replays
+  // it from the last boundary and must still converge to the same bytes.
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage1Accept, 100, "tw_res_s1d"),
+            baseline());
+}
+
+TEST(Resume, Stage2KilledAtFirstStep) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage2Step, 0, "tw_res_s2a"),
+            baseline());
+}
+
+TEST(Resume, Stage2KilledLater) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage2Step, 3, "tw_res_s2b"),
+            baseline());
+}
+
+TEST(Resume, Stage2KilledAtAPassBoundary) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kStage2Pass, 1, "tw_res_s2c"),
+            baseline());
+}
+
+TEST(Resume, NetlistMismatchIsTypedError) {
+  const std::string dir = fresh_dir("tw_res_badnl");
+  FlowParams params = fast_flow(kSeed);
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  Placement p(test_netlist());
+  (void)TimberWolfMC(test_netlist(), params).run(p);
+  const FlowCheckpoint cp =
+      recover::load_checkpoint(*recover::find_latest_checkpoint(dir));
+
+  const Netlist other = generate_circuit(tiny_circuit(22));
+  Placement po(other);
+  try {
+    (void)TimberWolfMC(other, fast_flow(kSeed)).resume(po, cp);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kNetlistMismatch);
+  }
+}
+
+TEST(Resume, SeedMismatchIsTypedError) {
+  const std::string dir = fresh_dir("tw_res_badseed");
+  FlowParams params = fast_flow(kSeed);
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  Placement p(test_netlist());
+  (void)TimberWolfMC(test_netlist(), params).run(p);
+  const FlowCheckpoint cp =
+      recover::load_checkpoint(*recover::find_latest_checkpoint(dir));
+
+  Placement p2(test_netlist());
+  try {
+    (void)TimberWolfMC(test_netlist(), fast_flow(kSeed + 1)).resume(p2, cp);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kSeedMismatch);
+  }
+}
+
+}  // namespace
+}  // namespace tw

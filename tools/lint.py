@@ -22,8 +22,16 @@ Rules (each reports file:line and exits nonzero on any hit):
      TW_ENSURE contract macros (src/check/contracts.hpp), which print
      offending values and honor TW_CHECK_LEVEL.
 
+  5. No checkpoint file handling outside src/recover: hand-built
+     checkpoint paths (`.twcp`, `ckpt-NNNNNN`) are banned elsewhere in
+     src/. Checkpoints must go through recover::FileCheckpointSink /
+     write_checkpoint_file (atomic temp+rename, CRC framing) and
+     find_latest_checkpoint — a raw ofstream to a checkpoint path would
+     silently drop both guarantees (docs/ROBUSTNESS.md).
+
 Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
-is one of: float-geom, raw-random, nondeterminism, raw-assert.
+is one of: float-geom, raw-random, nondeterminism, raw-assert,
+checkpoint-io.
 """
 
 from __future__ import annotations
@@ -69,7 +77,19 @@ RULES = [
         "use TW_ASSERT/TW_REQUIRE/TW_ENSURE (src/check/contracts.hpp) "
         "instead of raw assert()",
     ),
+    (
+        "checkpoint-io",
+        lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "recover"),
+        re.compile(r"\.twcp|ckpt-\d"),
+        "checkpoint files are written/located only via src/recover "
+        "(FileCheckpointSink / write_checkpoint_file / "
+        "find_latest_checkpoint)",
+    ),
 ]
+
+# Rules whose tokens live inside string literals (paths): match with
+# string literals kept, comments still stripped.
+STRING_RULES = {"checkpoint-io"}
 
 ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 LINE_COMMENT = re.compile(r"//.*$")
@@ -112,11 +132,13 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[str]:
                 in_block_comment = True
                 break
             line = line[:start] + line[end + 2 :]
+        with_strings = LINE_COMMENT.sub("", line)
         line = strip_noise(line)
         for rule_id, _pred, rx, msg in active:
             if rule_id in allowed:
                 continue
-            if rx.search(line):
+            haystack = with_strings if rule_id in STRING_RULES else line
+            if rx.search(haystack):
                 problems.append(f"{rel}:{lineno}: [{rule_id}] {msg}")
     return problems
 
