@@ -1,8 +1,8 @@
 #include "check/contracts.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <utility>
 
 namespace tw::check {
 namespace {
@@ -12,9 +12,9 @@ void default_handler(const Violation& v) {
   std::fputc('\n', stderr);
 }
 
-// Single-threaded by design (the annealer is single-threaded); revisit
-// with the parallel-moves work.
-Handler g_handler = &default_handler;
+// Atomic: pool replicas evaluate contracts concurrently while a test's
+// ScopedContractTrap may install/restore handlers on the main thread.
+std::atomic<Handler> g_handler{&default_handler};
 
 void throwing_handler(const Violation& v) { throw ContractViolation(v); }
 
@@ -32,7 +32,7 @@ ContractViolation::ContractViolation(const Violation& v)
     : std::runtime_error(v.str()), violation(v) {}
 
 Handler set_violation_handler(Handler h) {
-  return std::exchange(g_handler, h != nullptr ? h : &default_handler);
+  return g_handler.exchange(h != nullptr ? h : &default_handler);
 }
 
 void fail(const char* kind, const char* expr, const char* file, int line,
@@ -43,7 +43,7 @@ void fail(const char* kind, const char* expr, const char* file, int line,
   v.file = file;
   v.line = line;
   v.message = std::move(message);
-  g_handler(v);
+  g_handler.load()(v);
   // A handler that does not throw cannot make the violation continuable.
   std::abort();
 }

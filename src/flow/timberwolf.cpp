@@ -78,7 +78,8 @@ FlowResult TimberWolfMC::run_impl(Placement& placement,
   std::optional<recover::FileCheckpointSink> sink;
   std::uint64_t digest = 0;
   if (!params_.recover.checkpoint_dir.empty()) {
-    sink.emplace(params_.recover.checkpoint_dir);
+    sink.emplace(params_.recover.checkpoint_dir,
+                 params_.recover.checkpoint_keep);
     digest = recover::netlist_digest(nl_);
   }
 

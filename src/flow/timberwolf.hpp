@@ -26,13 +26,18 @@ struct FlowRecoverOptions {
   std::string checkpoint_dir;
   /// Temperature steps between checkpoints.
   int checkpoint_every = 5;
+  /// Retention: keep only the newest `checkpoint_keep` files in the
+  /// directory, pruning older ones atomically after each write. 0 keeps
+  /// everything (the pre-pool behavior).
+  int checkpoint_keep = 0;
   /// Work budget and cooperative cancellation, honored by both stages and
   /// the global router. On expiry the flow degrades gracefully: the
   /// annealer quenches (improvements only), keeps the best feasible state
   /// seen, and returns with outcome kBudgetExhausted / kCancelled.
   recover::RunBudget* budget = nullptr;
-  /// Deterministic crash injection for the recovery tests.
-  recover::FaultPlan* faults = nullptr;
+  /// Deterministic kill points: FaultPlan for the recovery tests, the
+  /// replica pool's watchdog probe for supervised runs.
+  recover::FaultInjector* faults = nullptr;
 };
 
 struct FlowParams {

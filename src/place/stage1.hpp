@@ -144,8 +144,8 @@ struct Stage1Cursor {
 /// polling never consume RNG state, so an instrumented run is
 /// byte-identical to a bare one.
 struct Stage1Hooks {
-  recover::RunBudget* budget = nullptr;   ///< work budget + cancellation
-  recover::FaultPlan* faults = nullptr;   ///< crash-test injection points
+  recover::RunBudget* budget = nullptr;      ///< work budget + cancellation
+  recover::FaultInjector* faults = nullptr;  ///< kill points (FaultPlan, watchdog)
   /// Called at the top of every `checkpoint_every`-th temperature step.
   std::function<void(const Stage1Cursor&)> on_checkpoint;
   int checkpoint_every = 5;

@@ -1,0 +1,125 @@
+// ReplicaPool: supervised fault-tolerant multi-start annealing.
+//
+// TimberWolfMC is a randomized algorithm — independent same-netlist runs
+// under different seeds land on a spread of final costs, so production use
+// means running N replicas and keeping the best (the parallel multi-start
+// structure PARSAC applies to SoC floorplanning). The pool runs N
+// independent flows on a fixed-size worker thread pool, each replica on
+// its own derive_replica_seed(master, id) stream with its own per-attempt
+// RunBudget and checkpoint directory, and supervises them:
+//
+//   * a deterministic work-based watchdog (move allowances checked at the
+//     flow's poll boundaries — never wall-clock) kills stuck replicas;
+//   * killed or crashed replicas are retried under a capped, seed-rotating
+//     backoff policy, resuming from a surviving valid checkpoint when one
+//     exists and cold-restarting on a fresh derived seed otherwise;
+//   * replicas that exhaust their retries are recorded, not fatal: any
+//     surviving subset still yields the best feasible placement, and only
+//     the all-replicas-failed case raises a typed PoolError — never a
+//     crash.
+//
+// Selection is best-feasible: a replica's result must pass
+// validate_placement to qualify, then the lowest final TEIL wins (chip
+// area, then replica id break ties deterministically). Because replicas
+// share no mutable state, the report — per-replica attempt histories,
+// fingerprints, spread statistics — is a deterministic function of
+// (netlist, params, master seed) regardless of thread interleaving.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pool/replica.hpp"
+
+namespace tw::pool {
+
+/// Aggregate pool statistics; the TEIL spread quantifies how much the
+/// multi-start bought over a single run (best vs mean of the replicas).
+struct PoolStats {
+  int succeeded = 0;        ///< replicas ending kSucceeded
+  int failed = 0;           ///< replicas ending kFailed (retries exhausted)
+  int attempts = 0;         ///< attempts across all replicas
+  int retries = 0;          ///< attempts beyond each replica's first
+  double teil_best = 0.0;   ///< over succeeded replicas (valid when > 0)
+  double teil_worst = 0.0;
+  double teil_mean = 0.0;
+  double teil_stddev = 0.0;
+};
+
+struct PoolParams {
+  /// N: independent replicas of the flow (>= 1).
+  int replicas = 4;
+  /// Worker threads; 0 sizes the pool to min(replicas, hardware
+  /// concurrency). The thread count never changes any result, only how
+  /// many replicas make progress at once.
+  int threads = 0;
+  std::uint64_t master_seed = 1;
+  /// Stage parameters shared by every replica. `base.seed` and
+  /// `base.recover` are ignored — the pool derives per-replica seeds and
+  /// owns the run-lifecycle wiring (budgets, checkpoints, probes).
+  FlowParams base;
+  /// Supervision (see replica.hpp for the semantics of each).
+  int max_attempts = 3;
+  WatchdogPolicy watchdog;
+  std::int64_t budget_moves = recover::RunBudget::kUnlimited;
+  std::int64_t budget_steps = recover::RunBudget::kUnlimited;
+  /// When non-empty, replica `i` checkpoints into
+  /// `<checkpoint_root>/replica-<i>` and can resume across retries.
+  std::string checkpoint_root;
+  int checkpoint_every = 5;
+  /// Retention per replica directory (keep newest K; 0 keeps all).
+  int checkpoint_keep = 4;
+  /// Deterministic fault injection for the supervisor tests: called once
+  /// per replica (from that replica's worker thread) before its first
+  /// attempt; may return nullptr. The injector is polled across all of
+  /// the replica's attempts.
+  std::function<recover::FaultInjector*(int replica)> fault_for;
+};
+
+/// Thrown by ReplicaPool::run only when *every* replica failed; carries
+/// the full per-replica reports so the caller can see each attempt
+/// history.
+class PoolError : public std::runtime_error {
+ public:
+  PoolError(const std::string& what, std::vector<ReplicaReport> replicas);
+
+  const std::vector<ReplicaReport>& replicas() const { return replicas_; }
+
+ private:
+  std::vector<ReplicaReport> replicas_;
+};
+
+struct PoolResult {
+  std::vector<ReplicaReport> replicas;  ///< indexed by replica id
+  int best = -1;                        ///< index of the winning replica
+  PoolStats stats;
+
+  const ReplicaReport& best_report() const {
+    return replicas.at(static_cast<std::size_t>(best));
+  }
+};
+
+class ReplicaPool {
+ public:
+  ReplicaPool(const Netlist& nl, PoolParams params);
+
+  /// Runs every replica to a terminal state, blocks until done, applies
+  /// the best surviving placement to `placement` (which must be built on
+  /// the same netlist) and returns the full report. Throws PoolError when
+  /// every replica failed; `placement` is untouched in that case.
+  PoolResult run(Placement& placement);
+
+  /// Cooperative cancellation from any thread: running attempts wind down
+  /// gracefully to their best feasible state (outcome kCancelled, still
+  /// eligible for selection), no retries or new attempts start.
+  void request_cancel() { cancel_.store(true, std::memory_order_relaxed); }
+
+ private:
+  const Netlist& nl_;
+  PoolParams params_;
+  std::atomic<bool> cancel_{false};
+};
+
+}  // namespace tw::pool

@@ -1,0 +1,268 @@
+#include "pool/replica.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <iomanip>
+#include <optional>
+#include <sstream>
+
+#include "check/validate.hpp"
+#include "recover/fault.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace tw::pool {
+namespace {
+
+/// The supervisor's in-process kill switch, installed as the flow's fault
+/// injector. Order matters in poll(): the replica's scripted fault plan is
+/// forwarded first (so injected kills fire at exactly the poll counts the
+/// plan names, watchdog or not), then the cooperative cancel flag is
+/// folded into the attempt's budget, then the watchdog allowance is
+/// enforced against the moves the budget has counted — the "heartbeats"
+/// of the ISSUE: pure work, never wall-clock, so every supervisor
+/// transition replays identically run after run.
+class ReplicaProbe final : public recover::FaultInjector {
+ public:
+  ReplicaProbe(int replica, int attempt, recover::RunBudget& budget,
+               std::int64_t allowance, recover::FaultInjector* inner,
+               const std::atomic<bool>* cancel)
+      : replica_(replica),
+        attempt_(attempt),
+        budget_(budget),
+        allowance_(allowance),
+        inner_(inner),
+        cancel_(cancel) {}
+
+  void poll(recover::FaultSite site) override {
+    if (inner_ != nullptr) inner_->poll(site);
+    if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
+      budget_.request_cancel();
+    if (allowance_ != WatchdogPolicy::kUnlimited &&
+        budget_.moves_charged() > allowance_)
+      throw WatchdogExpired(replica_, attempt_, budget_.moves_charged(),
+                            allowance_);
+  }
+
+ private:
+  int replica_;
+  int attempt_;
+  recover::RunBudget& budget_;
+  std::int64_t allowance_;
+  recover::FaultInjector* inner_;
+  const std::atomic<bool>* cancel_;
+};
+
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char ch : text) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::int64_t WatchdogPolicy::allowance(int attempt) const {
+  if (initial_moves == kUnlimited) return kUnlimited;
+  double a = static_cast<double>(initial_moves);
+  const double growth = std::max(1.0, backoff);
+  for (int i = 0; i < attempt; ++i) a *= growth;
+  std::int64_t v = a >= 9.0e18 ? std::int64_t{9'000'000'000'000'000'000}
+                               : static_cast<std::int64_t>(a);
+  if (max_moves != kUnlimited) v = std::min(v, max_moves);
+  return v;
+}
+
+WatchdogExpired::WatchdogExpired(int replica, int attempt, std::int64_t moves,
+                                 std::int64_t allowance)
+    : std::runtime_error("watchdog expired: replica " +
+                         std::to_string(replica) + " attempt " +
+                         std::to_string(attempt) + " charged " +
+                         std::to_string(moves) + " move(s), allowance " +
+                         std::to_string(allowance)),
+      moves_(moves),
+      allowance_(allowance) {}
+
+const char* to_string(AttemptOutcome o) {
+  switch (o) {
+    case AttemptOutcome::kCompleted: return "completed";
+    case AttemptOutcome::kBudgetExhausted: return "budget_exhausted";
+    case AttemptOutcome::kCancelled: return "cancelled";
+    case AttemptOutcome::kFaultKilled: return "fault_killed";
+    case AttemptOutcome::kWatchdogExpired: return "watchdog_expired";
+    case AttemptOutcome::kCheckpointError: return "checkpoint_error";
+    case AttemptOutcome::kInvalid: return "invalid";
+    case AttemptOutcome::kError: return "error";
+  }
+  return "unknown";
+}
+
+bool attempt_usable(AttemptOutcome o) {
+  return o == AttemptOutcome::kCompleted ||
+         o == AttemptOutcome::kBudgetExhausted ||
+         o == AttemptOutcome::kCancelled;
+}
+
+const char* to_string(ReplicaOutcome o) {
+  switch (o) {
+    case ReplicaOutcome::kSucceeded: return "succeeded";
+    case ReplicaOutcome::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+std::uint64_t result_fingerprint(const Placement& placement,
+                                 const FlowResult& result) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  const auto n = static_cast<CellId>(placement.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    const CellState& s = placement.state(c);
+    os << "cell " << c << ": (" << s.center.x << "," << s.center.y << ") o"
+       << static_cast<int>(s.orient) << " i" << s.instance << " a" << s.aspect
+       << " sites[";
+    for (const int site : s.pin_site) os << site << ",";
+    os << "] occ[";
+    for (const int occ : s.site_occupancy) os << occ << ",";
+    os << "]\n";
+  }
+  os << "teil " << result.final_teil << " s1 " << result.stage1_teil << "\n";
+  os << "area " << result.final_chip_area << " bbox "
+     << result.final_chip_bbox.xlo << "," << result.final_chip_bbox.ylo << ","
+     << result.final_chip_bbox.xhi << "," << result.final_chip_bbox.yhi
+     << "\n";
+  for (const auto& pass : result.stage2.passes)
+    os << "pass: overflow " << pass.route_overflow << " unrouted "
+       << pass.unrouted_nets << " wrv " << pass.width_rule_violations << "\n";
+  return fnv1a(os.str());
+}
+
+ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
+  ReplicaReport report;
+  report.replica = cfg.replica;
+
+  const std::uint64_t digest = recover::netlist_digest(nl);
+  const int max_attempts = std::max(1, cfg.max_attempts);
+  int rotation = 0;  // cold starts consumed, drives the seed rotation
+
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    AttemptRecord rec;
+    rec.attempt = attempt;
+    rec.watchdog_allowance = cfg.watchdog.allowance(attempt);
+
+    // Retry policy: resume from the newest *valid* checkpoint of a
+    // previous attempt when one survives (find_latest_checkpoint already
+    // skips torn or bit-rotted files); cold-restart on the next rotated
+    // seed otherwise. A checkpoint from a different netlist (a stale
+    // directory) cannot be resumed and is treated as absent.
+    std::optional<recover::FlowCheckpoint> cp;
+    if (!cfg.checkpoint_dir.empty() && attempt > 0) {
+      if (const auto latest =
+              recover::find_latest_checkpoint(cfg.checkpoint_dir)) {
+        try {
+          cp = recover::load_checkpoint(*latest);
+        } catch (const recover::CheckpointError&) {
+          cp.reset();
+        }
+      }
+      if (cp && cp->digest != digest) cp.reset();
+    }
+    rec.resumed = cp.has_value();
+    if (cp) {
+      // Resuming binds the attempt to the seed the checkpoint was taken
+      // under; rotation applies only to cold restarts.
+      rec.seed = cp->master_seed;
+    } else {
+      rec.seed = derive_attempt_seed(cfg.master_seed, cfg.replica, rotation);
+      ++rotation;
+    }
+
+    FlowParams params = cfg.base;
+    params.seed = rec.seed;
+    params.recover = {};
+    params.recover.checkpoint_dir = cfg.checkpoint_dir;
+    params.recover.checkpoint_every = cfg.checkpoint_every;
+    params.recover.checkpoint_keep = cfg.checkpoint_keep;
+    recover::RunBudget budget(cfg.budget_moves, cfg.budget_steps);
+    params.recover.budget = &budget;
+    ReplicaProbe probe(cfg.replica, attempt, budget, rec.watchdog_allowance,
+                       cfg.faults, cfg.cancel);
+    params.recover.faults = &probe;
+
+    Placement placement(nl);
+    bool usable = false;
+    try {
+      TimberWolfMC flow(nl, params);
+      const FlowResult fr =
+          cp ? flow.resume(placement, *cp) : flow.run(placement);
+      rec.flow_outcome = fr.outcome;
+      const ValidationReport vr = validate_placement(placement);
+      if (!vr.ok()) {
+        rec.outcome = AttemptOutcome::kInvalid;
+        rec.error = vr.str();
+      } else {
+        switch (fr.outcome) {
+          case recover::RunOutcome::kBudgetExhausted:
+            rec.outcome = AttemptOutcome::kBudgetExhausted;
+            break;
+          case recover::RunOutcome::kCancelled:
+            rec.outcome = AttemptOutcome::kCancelled;
+            break;
+          default:
+            rec.outcome = AttemptOutcome::kCompleted;
+        }
+        usable = true;
+        report.flow = fr;
+      }
+    } catch (const recover::InjectedFault& e) {
+      rec.outcome = AttemptOutcome::kFaultKilled;
+      rec.error = e.what();
+    } catch (const WatchdogExpired& e) {
+      rec.outcome = AttemptOutcome::kWatchdogExpired;
+      rec.error = e.what();
+    } catch (const recover::CheckpointError& e) {
+      rec.outcome = AttemptOutcome::kCheckpointError;
+      rec.error = e.what();
+    } catch (const std::exception& e) {
+      rec.outcome = AttemptOutcome::kError;
+      rec.error = e.what();
+    }
+    rec.moves = budget.moves_charged();
+    rec.steps = budget.steps_charged();
+    report.attempts.push_back(rec);
+
+    if (usable) {
+      report.outcome = ReplicaOutcome::kSucceeded;
+      report.placement = recover::pack_placement(placement);
+      report.fingerprint = result_fingerprint(placement, report.flow);
+      report.final_teil = report.flow.final_teil;
+      report.final_chip_area = report.flow.final_chip_area;
+      return report;
+    }
+
+    // An invalid result is fully deterministic: resuming its checkpoint
+    // would replay the same bytes to the same invalid end state. Wipe the
+    // directory so the retry cold-starts on a rotated seed instead.
+    if (rec.outcome == AttemptOutcome::kInvalid &&
+        !cfg.checkpoint_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(cfg.checkpoint_dir, ec);
+    }
+    log_warn("pool replica ", cfg.replica, " attempt ", attempt, " failed (",
+             to_string(rec.outcome), "): ", rec.error);
+
+    // A cancelled pool stops retrying: the point of cancellation is to
+    // hand back whatever survives, now.
+    if (cfg.cancel != nullptr &&
+        cfg.cancel->load(std::memory_order_relaxed))
+      break;
+  }
+
+  report.outcome = ReplicaOutcome::kFailed;
+  return report;
+}
+
+}  // namespace tw::pool

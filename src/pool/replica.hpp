@@ -1,0 +1,166 @@
+// One supervised replica of the multi-start annealing pool (src/pool).
+//
+// A replica is a single TimberWolfMC flow on its own derived seed stream,
+// run under supervision: a deterministic work-based watchdog kills it if
+// it burns through its move allowance without finishing, injected faults
+// (recover::FaultPlan) kill it exactly like a crash would, and every
+// failure is retried — resuming from the newest valid checkpoint when one
+// survives, cold-restarting on a fresh rotated seed otherwise — up to a
+// capped attempt count. The full attempt history is recorded, so a test
+// can assert the supervisor walked exactly the transitions its fault plan
+// scripted.
+//
+// Everything here is single-threaded and deterministic; ReplicaPool
+// (pool.hpp) fans replicas out over worker threads, which is safe exactly
+// because a replica shares no mutable state with its siblings.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "flow/timberwolf.hpp"
+#include "recover/checkpoint.hpp"
+
+namespace tw::pool {
+
+/// Deterministic stuck-replica detection: instead of a wall-clock timeout
+/// (banned — it would make supervision nondeterministic), an attempt gets
+/// a *work* allowance in attempted moves, checked at the flow's existing
+/// poll boundaries. Exceeding it kills the attempt with WatchdogExpired;
+/// the retry gets a `backoff`-times larger allowance, capped at
+/// `max_moves` — the work-budget analog of timeout-with-backoff.
+struct WatchdogPolicy {
+  static constexpr std::int64_t kUnlimited = -1;
+
+  /// Move allowance of the first attempt (kUnlimited disables the
+  /// watchdog entirely).
+  std::int64_t initial_moves = kUnlimited;
+  /// Allowance growth per retry (>= 1).
+  double backoff = 2.0;
+  /// Hard cap on any attempt's allowance (kUnlimited: no cap).
+  std::int64_t max_moves = kUnlimited;
+
+  /// The allowance attempt `attempt` (zero-based) runs under.
+  std::int64_t allowance(int attempt) const;
+};
+
+/// Thrown out of the flow (from a poll boundary) when an attempt exceeds
+/// its watchdog allowance. Deliberately not caught inside the flow: it
+/// unwinds like a crash and the supervisor's retry logic takes over.
+class WatchdogExpired : public std::runtime_error {
+ public:
+  WatchdogExpired(int replica, int attempt, std::int64_t moves,
+                  std::int64_t allowance);
+
+  std::int64_t moves() const { return moves_; }
+  std::int64_t allowance() const { return allowance_; }
+
+ private:
+  std::int64_t moves_;
+  std::int64_t allowance_;
+};
+
+/// How one attempt of a replica ended.
+enum class AttemptOutcome : std::uint8_t {
+  kCompleted = 0,     ///< flow finished its schedule; placement validated
+  kBudgetExhausted,   ///< per-attempt RunBudget expired; result still usable
+  kCancelled,         ///< pool cancellation honored; result still usable
+  kFaultKilled,       ///< an injected fault (recover::InjectedFault) fired
+  kWatchdogExpired,   ///< work allowance exceeded (stuck replica)
+  kCheckpointError,   ///< checkpoint IO/validation failed (recover error)
+  kInvalid,           ///< flow returned but validate_placement rejected it
+  kError,             ///< any other exception escaped the flow
+};
+
+const char* to_string(AttemptOutcome o);
+
+/// True when the attempt produced a usable placement (completed or
+/// budget-bounded, and validated).
+bool attempt_usable(AttemptOutcome o);
+
+/// One supervised attempt, as recorded in the replica's history.
+struct AttemptRecord {
+  int attempt = 0;            ///< zero-based attempt index
+  std::uint64_t seed = 0;     ///< master seed the flow ran under
+  bool resumed = false;       ///< continued from a surviving checkpoint
+  AttemptOutcome outcome = AttemptOutcome::kError;
+  /// The flow's own outcome, valid when the flow returned (kCompleted /
+  /// kBudgetExhausted / kCancelled / kInvalid).
+  recover::RunOutcome flow_outcome = recover::RunOutcome::kCompleted;
+  std::string error;          ///< exception text for failed attempts
+  std::int64_t moves = 0;     ///< moves charged (work heartbeats observed)
+  std::int64_t steps = 0;     ///< temperature steps charged
+  std::int64_t watchdog_allowance = WatchdogPolicy::kUnlimited;
+};
+
+/// Terminal state of one replica.
+enum class ReplicaOutcome : std::uint8_t {
+  kSucceeded = 0,  ///< some attempt produced a usable, validated placement
+  kFailed,         ///< every attempt failed; the pool survives regardless
+};
+
+const char* to_string(ReplicaOutcome o);
+
+/// Everything one replica reports back to the pool.
+struct ReplicaReport {
+  int replica = 0;
+  ReplicaOutcome outcome = ReplicaOutcome::kFailed;
+  std::vector<AttemptRecord> attempts;
+
+  // Valid when outcome == kSucceeded:
+  FlowResult flow;                       ///< the winning attempt's result
+  recover::PackedPlacement placement;    ///< its final cell states
+  std::uint64_t fingerprint = 0;         ///< result_fingerprint(...)
+  double final_teil = 0.0;
+  Coord final_chip_area = 0;
+};
+
+/// Bit-exact digest of a finished run: FNV-1a over the hexfloat rendering
+/// of every cell state plus the headline metrics. Two runs fingerprint
+/// equal only when every bit of every value matches — the concurrency
+/// tests compare a pool replica against its solo same-seed run with this.
+std::uint64_t result_fingerprint(const Placement& placement,
+                                 const FlowResult& result);
+
+/// Supervision parameters of one replica (ReplicaPool derives one per
+/// replica from its PoolParams).
+struct ReplicaConfig {
+  int replica = 0;
+  std::uint64_t master_seed = 1;
+  /// Stage parameters shared by all replicas. `base.seed` and
+  /// `base.recover` are ignored: the supervisor derives the per-attempt
+  /// seed and owns the run-lifecycle wiring.
+  FlowParams base;
+  int max_attempts = 3;
+  WatchdogPolicy watchdog;
+  /// Per-attempt graceful work budget (RunBudget semantics: on expiry the
+  /// flow quenches and returns its best feasible state, which *counts as
+  /// a usable result* — unlike a watchdog kill).
+  std::int64_t budget_moves = recover::RunBudget::kUnlimited;
+  std::int64_t budget_steps = recover::RunBudget::kUnlimited;
+  /// Checkpoint directory of this replica ("" disables checkpoints and
+  /// with them resume-on-retry).
+  std::string checkpoint_dir;
+  int checkpoint_every = 5;
+  int checkpoint_keep = 4;
+  /// Deterministic fault injection for this replica (non-owning; polled
+  /// across all of its attempts, so a plan's Nth-poll arms address the
+  /// replica's whole supervised lifetime).
+  recover::FaultInjector* faults = nullptr;
+  /// Cooperative pool-wide cancellation (non-owning). When it reads true
+  /// at a poll boundary, the attempt's budget is cancelled and the flow
+  /// winds down gracefully to its best feasible state; no further
+  /// attempts start.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Runs one replica to its terminal state: attempt, classify, retry with
+/// resume-or-rotate, give up after max_attempts. Never throws for flow
+/// failures — those are recorded in the report; only programming errors
+/// (std::bad_alloc, contract aborts) escape.
+ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg);
+
+}  // namespace tw::pool

@@ -1,5 +1,6 @@
 #include "recover/checkpoint.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -341,6 +342,12 @@ void write_checkpoint_file(const std::string& path, const FlowCheckpoint& cp) {
     out.flush();
     if (!out)
       throw CheckpointError(CheckpointErrc::kIo, "short write to " + tmp);
+    // Close before the rename and check it: a close-time flush failure
+    // (full disk, dying device) would otherwise be swallowed by the
+    // destructor and the truncated temp file renamed into place.
+    out.close();
+    if (out.fail())
+      throw CheckpointError(CheckpointErrc::kIo, "close failed on " + tmp);
   }
   // The rename is the commit point: readers only ever see the final name
   // with complete contents (or the previous checkpoint, or nothing).
@@ -389,41 +396,89 @@ FlowCheckpoint load_checkpoint(const std::string& path) {
   return decode_checkpoint(payload);
 }
 
-FileCheckpointSink::FileCheckpointSink(std::string dir) : dir_(std::move(dir)) {
+namespace {
+
+/// Parses "ckpt-NNNNNN.twcp" into NNNNNN; -1 for any other name.
+int checkpoint_number(const std::string& name) {
+  if (name.size() != std::string("ckpt-000000.twcp").size() ||
+      name.rfind("ckpt-", 0) != 0 ||
+      name.compare(name.size() - 5, 5, ".twcp") != 0)
+    return -1;
+  int n = 0;
+  for (std::size_t i = 5; i < name.size() - 5; ++i) {
+    const char c = name[i];
+    if (c < '0' || c > '9') return -1;
+    n = n * 10 + (c - '0');
+  }
+  return n;
+}
+
+/// All checkpoint files in `dir` as (number, path), unsorted. A missing
+/// or unreadable directory yields an empty list.
+std::vector<std::pair<int, std::string>> list_checkpoints(
+    const std::string& dir) {
+  std::vector<std::pair<int, std::string>> out;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir, ec);
+  if (ec) return out;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file(ec)) continue;
+    const int n = checkpoint_number(entry.path().filename().string());
+    if (n >= 0) out.emplace_back(n, entry.path().string());
+  }
+  return out;
+}
+
+}  // namespace
+
+FileCheckpointSink::FileCheckpointSink(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec)
     throw CheckpointError(CheckpointErrc::kIo,
                           "cannot create " + dir_ + ": " + ec.message());
+  // Continue numbering after whatever an earlier attempt left behind.
+  for (const auto& [n, path] : list_checkpoints(dir_))
+    counter_ = std::max(counter_, n);
 }
 
 std::string FileCheckpointSink::save(const FlowCheckpoint& cp) {
   char name[32];
-  std::snprintf(name, sizeof(name), "ckpt-%06d.twcp", ++counter_);
+  std::snprintf(name, sizeof(name), "ckpt-%06d.twcp", counter_ + 1);
   const std::string path = dir_ + "/" + name;
   write_checkpoint_file(path, cp);
+  ++counter_;
+  ++saved_;
+  if (keep_ > 0) {
+    // Prune only after the new file is durably in place, so the newest
+    // `keep_` files always exist on disk. Each removal is an atomic
+    // unlink; a failure to remove is not a lost checkpoint, so it only
+    // degrades retention, never the save.
+    for (const auto& [n, old] : list_checkpoints(dir_)) {
+      if (n > counter_ - keep_) continue;
+      std::error_code ec;
+      std::filesystem::remove(old, ec);
+    }
+  }
   return path;
 }
 
 std::optional<std::string> find_latest_checkpoint(const std::string& dir) {
-  std::error_code ec;
-  std::filesystem::directory_iterator it(dir, ec);
-  if (ec) return std::nullopt;
-  std::optional<std::string> best;
-  std::string best_name;
-  for (const auto& entry : it) {
-    if (!entry.is_regular_file(ec)) continue;
-    const std::string name = entry.path().filename().string();
-    if (name.size() != std::string("ckpt-000000.twcp").size() ||
-        name.rfind("ckpt-", 0) != 0 ||
-        name.compare(name.size() - 5, 5, ".twcp") != 0)
+  std::vector<std::pair<int, std::string>> files = list_checkpoints(dir);
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [n, path] : files) {
+    try {
+      (void)load_checkpoint(path);
+      return path;
+    } catch (const CheckpointError&) {
+      // Torn, bit-rotted or foreign file under a checkpoint name: fall
+      // back to the next older candidate instead of poisoning the resume.
       continue;
-    if (!best || name > best_name) {
-      best = entry.path().string();
-      best_name = name;
     }
   }
-  return best;
+  return std::nullopt;
 }
 
 }  // namespace tw::recover

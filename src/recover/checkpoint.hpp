@@ -94,24 +94,41 @@ FlowCheckpoint load_checkpoint(const std::string& path);
 
 /// Writes numbered checkpoint files (<dir>/ckpt-000042.twcp) with a
 /// monotonic in-process counter — no wall clock, no randomness, so runs
-/// stay reproducible. Creates `dir` if needed.
+/// stay reproducible. Creates `dir` if needed; numbering continues after
+/// the largest file already present, so a retried run never writes below
+/// an earlier attempt's files (find_latest_checkpoint would otherwise keep
+/// returning the stale, higher-numbered one).
+///
+/// Every failure — unwritable directory, failed open, short write, failed
+/// close or rename — surfaces as CheckpointError(kIo); a checkpoint is
+/// never silently dropped.
 class FileCheckpointSink {
  public:
-  explicit FileCheckpointSink(std::string dir);
+  /// `keep` > 0 bounds the directory: after each save, all but the newest
+  /// `keep` checkpoint files are pruned (each removal is an atomic unlink,
+  /// and pruning runs only after the new file is durably renamed in, so
+  /// the newest `keep` files always exist). `keep` == 0 keeps everything.
+  explicit FileCheckpointSink(std::string dir, int keep = 0);
 
   /// Writes the next numbered file; returns the path written.
   std::string save(const FlowCheckpoint& cp);
 
-  int saved() const { return counter_; }
+  int saved() const { return saved_; }
   const std::string& dir() const { return dir_; }
+  int keep() const { return keep_; }
 
  private:
   std::string dir_;
-  int counter_ = 0;
+  int keep_ = 0;
+  int counter_ = 0;  ///< number of the last file written (resumes from dir)
+  int saved_ = 0;    ///< files written by *this* sink instance
 };
 
-/// Path of the newest checkpoint in `dir` (largest ckpt-NNNNNN number),
-/// or nullopt when the directory holds none.
+/// Path of the newest *valid* checkpoint in `dir`: candidates (ckpt-NNNNNN
+/// names) are probed newest-first with load_checkpoint, and files that
+/// fail the frame/CRC/decode checks are skipped — a torn or bit-rotted
+/// newest file falls back to the next older one instead of poisoning the
+/// resume. Returns nullopt when the directory holds no valid checkpoint.
 std::optional<std::string> find_latest_checkpoint(const std::string& dir);
 
 }  // namespace tw::recover

@@ -47,7 +47,25 @@ class InjectedFault : public std::runtime_error {
   std::int64_t count_;
 };
 
-class FaultPlan {
+/// The poll interface the flow is instrumented against. The annealers call
+/// `poll(site)` at their step/accept/pass boundaries whenever an injector
+/// is installed; an implementation may throw to model the run dying at
+/// that exact boundary (FaultPlan for scripted crash tests, the replica
+/// pool's watchdog probe for in-process kills of stuck workers). Polls
+/// never consume RNG state, so an instrumented run is byte-identical to a
+/// bare one up to the kill point.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+
+  /// Counts one poll of `site`; may throw to kill the run at this
+  /// boundary. Must be deterministic in the poll sequence alone (no
+  /// wall-clock, no randomness) so a given run dies at the same state
+  /// every time.
+  virtual void poll(FaultSite site) = 0;
+};
+
+class FaultPlan : public FaultInjector {
  public:
   /// Arms a kill at the `nth` (zero-based) poll of `site`. Multiple arms
   /// may be registered; each fires at most once.
@@ -55,7 +73,7 @@ class FaultPlan {
 
   /// Counts one poll of `site`; throws InjectedFault when an armed
   /// trigger matches. No-op (beyond counting) otherwise.
-  void poll(FaultSite site);
+  void poll(FaultSite site) override;
 
   /// Polls seen so far at `site` (useful for sizing test plans).
   std::int64_t count(FaultSite site) const {

@@ -95,7 +95,7 @@ struct Stage2Cursor {
 /// Run-lifecycle instrumentation; see Stage1Hooks.
 struct Stage2Hooks {
   recover::RunBudget* budget = nullptr;
-  recover::FaultPlan* faults = nullptr;
+  recover::FaultInjector* faults = nullptr;
   /// Called at the top of every `checkpoint_every`-th anneal step.
   std::function<void(const Stage2Cursor&)> on_checkpoint;
   int checkpoint_every = 5;

@@ -1,10 +1,14 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace tw {
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: replica-pool workers log concurrently while a controlling
+// thread may adjust the threshold. stderr writes themselves are
+// line-buffered single fprintf calls, so lines never interleave mid-line.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* prefix(LogLevel level) {
   switch (level) {
@@ -18,11 +22,13 @@ const char* prefix(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
   std::fprintf(stderr, "%s %s\n", prefix(level), msg.c_str());
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace tw {
 namespace {
@@ -31,6 +32,18 @@ std::uint64_t derive_seed(std::uint64_t master, std::string_view stream) {
   std::uint64_t x = master ^ h;
   (void)splitmix64(x);
   return splitmix64(x);
+}
+
+std::uint64_t derive_replica_seed(std::uint64_t master, int replica) {
+  return derive_attempt_seed(master, replica, 0);
+}
+
+std::uint64_t derive_attempt_seed(std::uint64_t master, int replica,
+                                  int attempt) {
+  const std::uint64_t replica_master =
+      derive_seed(master, "replica-" + std::to_string(replica));
+  if (attempt == 0) return replica_master;
+  return derive_seed(replica_master, "attempt-" + std::to_string(attempt));
 }
 
 Rng::Rng(std::uint64_t seed) {

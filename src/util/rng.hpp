@@ -25,6 +25,21 @@ namespace tw {
 /// same (master, stream) pair always gives the same seed.
 std::uint64_t derive_seed(std::uint64_t master, std::string_view stream);
 
+/// The seed a pool replica's first attempt runs under: the multi-start
+/// structure of the replica pool (src/pool) gives every replica its own
+/// statistically independent stream of the one master seed, so N replicas
+/// explore N different annealing trajectories of the same netlist. A solo
+/// TimberWolfMC run seeded with derive_replica_seed(master, id) reproduces
+/// pool replica `id`'s first attempt bit for bit.
+std::uint64_t derive_replica_seed(std::uint64_t master, int replica);
+
+/// Seed-rotating retry: attempt `attempt` (zero-based) of replica
+/// `replica`. Attempt 0 equals derive_replica_seed(master, replica);
+/// later cold-restart attempts get fresh independent streams so a retry
+/// never replays the trajectory that just failed deterministically.
+std::uint64_t derive_attempt_seed(std::uint64_t master, int replica,
+                                  int attempt);
+
 /// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
 /// Deliberately has no default seed: every generator is constructed from
 /// an explicitly threaded seed (see derive_seed) so a run is reproducible

@@ -1,0 +1,370 @@
+// Supervised replica pool (src/pool): best-feasible selection across
+// replicas, fault-injected retry/resume with attempt histories matching
+// the injected plan exactly, graceful degradation when replicas exhaust
+// their retries, the typed all-failed error, the deterministic work-based
+// watchdog, and thread-count independence. The >= 4-replica concurrent
+// cases double as the ThreadSanitizer smoke tests (debug-tsan preset):
+// every replica's fingerprint must equal its solo same-seed run, which
+// only holds when the workers share no mutable state.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <vector>
+
+#include "fingerprint.hpp"
+#include "flow/report.hpp"
+#include "pool/pool.hpp"
+#include "recover/fault.hpp"
+#include "util/rng.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+using pool::AttemptOutcome;
+using pool::PoolError;
+using pool::PoolParams;
+using pool::PoolResult;
+using pool::ReplicaOutcome;
+using pool::ReplicaPool;
+using pool::ReplicaReport;
+using pool::WatchdogPolicy;
+using recover::FaultPlan;
+using recover::FaultSite;
+using testing::fast_flow;
+
+constexpr std::uint64_t kMaster = 2024;
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+const Netlist& test_netlist() {
+  static const Netlist nl = generate_circuit(tiny_circuit(21));
+  return nl;
+}
+
+PoolParams base_params(int replicas, int threads) {
+  PoolParams p;
+  p.replicas = replicas;
+  p.threads = threads;
+  p.master_seed = kMaster;
+  p.base = fast_flow(0);  // seed is ignored; the pool derives per-replica
+  return p;
+}
+
+/// Fingerprint of the uninterrupted solo flow under `seed` — the ground
+/// truth a pool replica on the same derived seed must reproduce.
+std::uint64_t solo_fingerprint(std::uint64_t seed) {
+  Placement p(test_netlist());
+  const FlowResult r =
+      TimberWolfMC(test_netlist(), fast_flow(seed)).run(p);
+  return pool::result_fingerprint(p, r);
+}
+
+TEST(WatchdogPolicyTest, AllowanceBacksOffAndCaps) {
+  WatchdogPolicy w;
+  w.initial_moves = 100;
+  w.backoff = 2.0;
+  w.max_moves = 350;
+  EXPECT_EQ(w.allowance(0), 100);
+  EXPECT_EQ(w.allowance(1), 200);
+  EXPECT_EQ(w.allowance(2), 350);  // 400 capped
+  EXPECT_EQ(w.allowance(3), 350);
+
+  WatchdogPolicy off;  // defaults: unlimited
+  EXPECT_EQ(off.allowance(0), WatchdogPolicy::kUnlimited);
+  EXPECT_EQ(off.allowance(7), WatchdogPolicy::kUnlimited);
+}
+
+TEST(SeedDerivation, AttemptZeroIsTheReplicaSeedAndRotationsAreFresh) {
+  EXPECT_EQ(derive_attempt_seed(kMaster, 3, 0),
+            derive_replica_seed(kMaster, 3));
+  EXPECT_NE(derive_attempt_seed(kMaster, 3, 1),
+            derive_attempt_seed(kMaster, 3, 0));
+  EXPECT_NE(derive_attempt_seed(kMaster, 3, 1),
+            derive_attempt_seed(kMaster, 3, 2));
+  EXPECT_NE(derive_replica_seed(kMaster, 0), derive_replica_seed(kMaster, 1));
+  EXPECT_NE(derive_replica_seed(kMaster, 0),
+            derive_replica_seed(kMaster + 1, 0));
+}
+
+TEST(ReplicaPoolTest, BestFeasibleAcrossReplicas) {
+  PoolParams params = base_params(/*replicas=*/4, /*threads=*/2);
+  ReplicaPool rpool(test_netlist(), params);
+  Placement placement(test_netlist());
+  const PoolResult res = rpool.run(placement);
+
+  ASSERT_EQ(res.replicas.size(), 4u);
+  EXPECT_EQ(res.stats.succeeded, 4);
+  EXPECT_EQ(res.stats.failed, 0);
+  EXPECT_EQ(res.stats.attempts, 4);
+  EXPECT_EQ(res.stats.retries, 0);
+
+  // The winner is the lowest final TEIL among the (all feasible) replicas.
+  ASSERT_GE(res.best, 0);
+  for (const ReplicaReport& r : res.replicas) {
+    EXPECT_EQ(r.outcome, ReplicaOutcome::kSucceeded);
+    ASSERT_EQ(r.attempts.size(), 1u);
+    EXPECT_EQ(r.attempts[0].outcome, AttemptOutcome::kCompleted);
+    EXPECT_FALSE(r.attempts[0].resumed);
+    EXPECT_EQ(r.attempts[0].seed, derive_replica_seed(kMaster, r.replica));
+    EXPECT_GE(r.final_teil, res.best_report().final_teil);
+  }
+  EXPECT_DOUBLE_EQ(res.stats.teil_best, res.best_report().final_teil);
+  EXPECT_LE(res.stats.teil_best, res.stats.teil_mean);
+  EXPECT_LE(res.stats.teil_mean, res.stats.teil_worst);
+
+  // run() applied the winning placement to the caller's object.
+  EXPECT_EQ(pool::result_fingerprint(placement, res.best_report().flow),
+            res.best_report().fingerprint);
+}
+
+// ThreadSanitizer smoke: >= 4 replicas actually concurrent, each replica's
+// fingerprint equal to its solo same-seed run. Any cross-replica data race
+// or shared-RNG leak breaks the equality (and trips TSan in debug-tsan).
+TEST(ReplicaPoolTest, ConcurrentReplicasMatchSoloSameSeedRuns) {
+  PoolParams params = base_params(/*replicas=*/4, /*threads=*/4);
+  ReplicaPool rpool(test_netlist(), params);
+  Placement placement(test_netlist());
+  const PoolResult res = rpool.run(placement);
+
+  ASSERT_EQ(res.stats.succeeded, 4);
+  for (const ReplicaReport& r : res.replicas) {
+    EXPECT_EQ(r.fingerprint,
+              solo_fingerprint(derive_replica_seed(kMaster, r.replica)))
+        << "replica " << r.replica
+        << " diverged from its solo same-seed run";
+  }
+}
+
+// The acceptance scenario: faults injected into k of N replicas, one of
+// which fails every retry. The pool still returns the best among
+// survivors, and each attempt history matches the injected plan exactly.
+TEST(ReplicaPoolTest, InjectedFaultsIntoKofNReplicasDegradeGracefully) {
+  const std::string root = fresh_dir("tw_pool_kofn");
+
+  // Replica 0 dies at stage-1 step polls 0, 1 and 2 — one kill per
+  // attempt (poll counts span the replica's whole supervised lifetime),
+  // so it fails every retry and exhausts max_attempts = 3.
+  FaultPlan doomed;
+  doomed.kill_at(FaultSite::kStage1Step, 0);
+  doomed.kill_at(FaultSite::kStage1Step, 1);
+  doomed.kill_at(FaultSite::kStage1Step, 2);
+  // Replica 1 dies once mid-schedule, then its retry resumes from the
+  // surviving checkpoint and completes.
+  FaultPlan flaky;
+  flaky.kill_at(FaultSite::kStage1Step, 4);
+
+  PoolParams params = base_params(/*replicas=*/4, /*threads=*/2);
+  params.max_attempts = 3;
+  params.checkpoint_root = root;
+  params.checkpoint_every = 1;
+  params.fault_for = [&](int replica) -> recover::FaultInjector* {
+    if (replica == 0) return &doomed;
+    if (replica == 1) return &flaky;
+    return nullptr;
+  };
+
+  ReplicaPool rpool(test_netlist(), params);
+  Placement placement(test_netlist());
+  const PoolResult res = rpool.run(placement);
+
+  EXPECT_EQ(res.stats.succeeded, 3);
+  EXPECT_EQ(res.stats.failed, 1);
+  EXPECT_EQ(res.stats.attempts, 3 + 2 + 1 + 1);
+  EXPECT_EQ(res.stats.retries, 2 + 1);
+
+  // Replica 0: three attempts, every one fault-killed; the first is cold,
+  // the retries resume from the checkpoint the previous attempt left.
+  const ReplicaReport& r0 = res.replicas[0];
+  EXPECT_EQ(r0.outcome, ReplicaOutcome::kFailed);
+  ASSERT_EQ(r0.attempts.size(), 3u);
+  for (int a = 0; a < 3; ++a) {
+    EXPECT_EQ(r0.attempts[a].attempt, a);
+    EXPECT_EQ(r0.attempts[a].outcome, AttemptOutcome::kFaultKilled);
+    EXPECT_EQ(r0.attempts[a].resumed, a > 0);
+  }
+  EXPECT_EQ(r0.attempts[0].seed, derive_replica_seed(kMaster, 0));
+
+  // Replica 1: cold kill, resumed completion — and the resumed run is
+  // byte-identical to the uninterrupted solo run on the same seed.
+  const ReplicaReport& r1 = res.replicas[1];
+  EXPECT_EQ(r1.outcome, ReplicaOutcome::kSucceeded);
+  ASSERT_EQ(r1.attempts.size(), 2u);
+  EXPECT_EQ(r1.attempts[0].outcome, AttemptOutcome::kFaultKilled);
+  EXPECT_FALSE(r1.attempts[0].resumed);
+  EXPECT_EQ(r1.attempts[1].outcome, AttemptOutcome::kCompleted);
+  EXPECT_TRUE(r1.attempts[1].resumed);
+  EXPECT_EQ(r1.attempts[1].seed, derive_replica_seed(kMaster, 1));
+  EXPECT_EQ(r1.fingerprint,
+            solo_fingerprint(derive_replica_seed(kMaster, 1)));
+
+  // Untouched replicas ran clean.
+  for (int i = 2; i < 4; ++i) {
+    EXPECT_EQ(res.replicas[i].outcome, ReplicaOutcome::kSucceeded);
+    EXPECT_EQ(res.replicas[i].attempts.size(), 1u);
+  }
+
+  // Best-feasible selection considers only the three survivors.
+  ASSERT_GE(res.best, 1);
+  for (int i = 1; i < 4; ++i)
+    EXPECT_GE(res.replicas[i].final_teil, res.best_report().final_teil);
+}
+
+TEST(ReplicaPoolTest, AllReplicasFailingIsATypedError) {
+  const std::string root = fresh_dir("tw_pool_allfail");
+
+  std::vector<FaultPlan> plans(2);
+  for (FaultPlan& plan : plans) {
+    plan.kill_at(FaultSite::kStage1Step, 0);
+    plan.kill_at(FaultSite::kStage1Step, 1);
+    plan.kill_at(FaultSite::kStage1Step, 2);
+  }
+
+  PoolParams params = base_params(/*replicas=*/2, /*threads=*/2);
+  params.max_attempts = 3;
+  params.checkpoint_root = root;
+  params.checkpoint_every = 1;
+  params.fault_for = [&](int replica) -> recover::FaultInjector* {
+    return &plans[static_cast<std::size_t>(replica)];
+  };
+
+  ReplicaPool rpool(test_netlist(), params);
+  Placement placement(test_netlist());
+  const std::vector<CellState> before = [&] {
+    std::vector<CellState> s;
+    const auto n = static_cast<CellId>(test_netlist().num_cells());
+    for (CellId c = 0; c < n; ++c) s.push_back(placement.state(c));
+    return s;
+  }();
+
+  try {
+    (void)rpool.run(placement);
+    FAIL() << "expected PoolError";
+  } catch (const PoolError& e) {
+    ASSERT_EQ(e.replicas().size(), 2u);
+    for (const ReplicaReport& r : e.replicas()) {
+      EXPECT_EQ(r.outcome, ReplicaOutcome::kFailed);
+      ASSERT_EQ(r.attempts.size(), 3u);
+      for (const auto& a : r.attempts)
+        EXPECT_EQ(a.outcome, AttemptOutcome::kFaultKilled);
+    }
+  }
+
+  // The caller's placement must be untouched on total failure.
+  const auto n = static_cast<CellId>(test_netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    EXPECT_EQ(placement.state(c).center.x, before[c].center.x);
+    EXPECT_EQ(placement.state(c).center.y, before[c].center.y);
+    EXPECT_EQ(placement.state(c).orient, before[c].orient);
+  }
+}
+
+TEST(ReplicaPoolTest, WatchdogKillsStuckAttemptAndBackoffRecovers) {
+  const std::string root = fresh_dir("tw_pool_watchdog");
+
+  PoolParams params = base_params(/*replicas=*/1, /*threads=*/1);
+  params.max_attempts = 3;
+  params.checkpoint_root = root;
+  params.checkpoint_every = 1;
+  // First attempt's allowance is far below a full run; the retry's
+  // thousandfold backoff admits the remaining schedule.
+  params.watchdog.initial_moves = 200;
+  params.watchdog.backoff = 1000.0;
+
+  ReplicaPool rpool(test_netlist(), params);
+  Placement placement(test_netlist());
+  const PoolResult res = rpool.run(placement);
+
+  const ReplicaReport& r = res.replicas[0];
+  EXPECT_EQ(r.outcome, ReplicaOutcome::kSucceeded);
+  ASSERT_EQ(r.attempts.size(), 2u);
+  EXPECT_EQ(r.attempts[0].outcome, AttemptOutcome::kWatchdogExpired);
+  EXPECT_EQ(r.attempts[0].watchdog_allowance, 200);
+  EXPECT_GT(r.attempts[0].moves, 200);  // the kill fired past the allowance
+  EXPECT_EQ(r.attempts[1].outcome, AttemptOutcome::kCompleted);
+  EXPECT_TRUE(r.attempts[1].resumed);
+  EXPECT_EQ(r.attempts[1].watchdog_allowance, 200 * 1000);
+}
+
+TEST(ReplicaPoolTest, CancelledPoolReturnsBestEffortResults) {
+  PoolParams params = base_params(/*replicas=*/2, /*threads=*/2);
+  ReplicaPool rpool(test_netlist(), params);
+  // Cancel before the run: every attempt observes the flag at its first
+  // poll boundary and winds down gracefully — a usable, validated result,
+  // not a failure.
+  rpool.request_cancel();
+  Placement placement(test_netlist());
+  const PoolResult res = rpool.run(placement);
+
+  EXPECT_EQ(res.stats.succeeded, 2);
+  for (const ReplicaReport& r : res.replicas) {
+    EXPECT_EQ(r.outcome, ReplicaOutcome::kSucceeded);
+    ASSERT_EQ(r.attempts.size(), 1u);
+    EXPECT_EQ(r.attempts[0].outcome, AttemptOutcome::kCancelled);
+  }
+}
+
+TEST(ReplicaPoolTest, ResultsAreIndependentOfThreadCount) {
+  const auto run_with = [&](int threads, const std::string& leaf) {
+    FaultPlan flaky;
+    flaky.kill_at(FaultSite::kStage1Step, 3);
+    PoolParams params = base_params(/*replicas=*/4, threads);
+    params.checkpoint_root = fresh_dir(leaf);
+    params.checkpoint_every = 1;
+    params.fault_for = [&](int replica) -> recover::FaultInjector* {
+      return replica == 1 ? &flaky : nullptr;
+    };
+    ReplicaPool rpool(test_netlist(), params);
+    Placement placement(test_netlist());
+    return rpool.run(placement);
+  };
+
+  const PoolResult serial = run_with(1, "tw_pool_t1");
+  const PoolResult threaded = run_with(4, "tw_pool_t4");
+
+  EXPECT_EQ(serial.best, threaded.best);
+  ASSERT_EQ(serial.replicas.size(), threaded.replicas.size());
+  for (std::size_t i = 0; i < serial.replicas.size(); ++i) {
+    const ReplicaReport& a = serial.replicas[i];
+    const ReplicaReport& b = threaded.replicas[i];
+    EXPECT_EQ(a.outcome, b.outcome);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    ASSERT_EQ(a.attempts.size(), b.attempts.size());
+    for (std::size_t k = 0; k < a.attempts.size(); ++k) {
+      EXPECT_EQ(a.attempts[k].outcome, b.attempts[k].outcome);
+      EXPECT_EQ(a.attempts[k].seed, b.attempts[k].seed);
+      EXPECT_EQ(a.attempts[k].resumed, b.attempts[k].resumed);
+    }
+  }
+}
+
+TEST(ReplicaPoolTest, PoolReportRendersOutcomesAndHistories) {
+  FaultPlan flaky;
+  flaky.kill_at(FaultSite::kStage1Step, 2);
+  PoolParams params = base_params(/*replicas=*/2, /*threads=*/1);
+  params.checkpoint_root = fresh_dir("tw_pool_report");
+  params.checkpoint_every = 1;
+  params.fault_for = [&](int replica) -> recover::FaultInjector* {
+    return replica == 0 ? &flaky : nullptr;
+  };
+
+  ReplicaPool rpool(test_netlist(), params);
+  Placement placement(test_netlist());
+  const PoolResult res = rpool.run(placement);
+
+  const std::string report = pool_report(res);
+  EXPECT_NE(report.find("Replica pool report"), std::string::npos);
+  EXPECT_NE(report.find("succeeded"), std::string::npos);
+  EXPECT_NE(report.find("TEIL spread"), std::string::npos);
+  // The retried replica's attempt history is spelled out.
+  EXPECT_NE(report.find("replica 0 attempt history"), std::string::npos);
+  EXPECT_NE(report.find("fault_killed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tw

@@ -3,9 +3,13 @@
 // checks for every identifier the README mentions.
 #include <gtest/gtest.h>
 
+#include "fingerprint.hpp"
+#include "flow/report.hpp"
 #include "flow/timberwolf.hpp"
 #include "netlist/parser.hpp"
 #include "netlist/yal.hpp"
+#include "pool/pool.hpp"
+#include "workload/paper_circuits.hpp"
 
 namespace {
 
@@ -25,6 +29,27 @@ TEST(Readme, QuickstartSnippetCompilesAndRuns) {
   EXPECT_GT(r.final_teil, 0.0);
   EXPECT_GT(r.final_chip_area, 0);
   EXPECT_NE(placement.state(a).center, placement.state(b).center);
+}
+
+TEST(Readme, PoolSnippetEntryPointsExist) {
+  // The README's multi-start example names paper_circuit("i3") — keep the
+  // identifiers honest, but run the pool itself on a circuit sized for a
+  // unit test.
+  const tw::Netlist i3 = tw::generate_circuit(tw::paper_circuit("i3").spec);
+  EXPECT_GT(i3.num_cells(), 0u);
+
+  const tw::Netlist nl = tw::generate_circuit(tw::tiny_circuit(7));
+  tw::pool::PoolParams pp;
+  pp.replicas = 2;
+  pp.master_seed = 42;
+  pp.base = tw::testing::fast_flow(0);
+  pp.watchdog.initial_moves = 50'000'000;
+
+  tw::Placement best(nl);
+  tw::pool::PoolResult pr = tw::pool::ReplicaPool(nl, pp).run(best);
+  EXPECT_EQ(pr.stats.succeeded, 2);
+  EXPECT_NE(tw::pool_report(pr).find("Replica pool report"),
+            std::string::npos);
 }
 
 TEST(Readme, MentionedEntryPointsExist) {

@@ -299,6 +299,95 @@ TEST(Checkpoint, FindLatestOnMissingOrEmptyDirIsNull) {
   EXPECT_FALSE(recover::find_latest_checkpoint(dir).has_value());
 }
 
+TEST(Checkpoint, SinkSurfacesIoErrorsAsTyped) {
+  // Target directory path occupied by a regular file: the sink cannot
+  // create it and must say so — a checkpoint is never silently dropped.
+  const std::string dir = temp_dir("tw_ckpt_io");
+  std::filesystem::create_directories(dir);
+  const std::string blocker = dir + "/not-a-dir";
+  { std::ofstream(blocker) << "occupied"; }
+  try {
+    recover::FileCheckpointSink sink(blocker + "/sub");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kIo);
+  }
+
+  // Unwritable directory: the write (not the construction) fails, again
+  // typed. Root bypasses permission bits, so this half only runs
+  // unprivileged (CI does; the container may not).
+  if (::geteuid() != 0) {
+    const std::string ro = dir + "/readonly";
+    std::filesystem::create_directories(ro);
+    std::filesystem::permissions(ro, std::filesystem::perms::owner_read |
+                                         std::filesystem::perms::owner_exec);
+    recover::FileCheckpointSink sink(ro);
+    try {
+      (void)sink.save(FlowCheckpoint{});
+      FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.code(), CheckpointErrc::kIo);
+    }
+    std::filesystem::permissions(ro, std::filesystem::perms::owner_all);
+  }
+}
+
+TEST(Checkpoint, SinkRetentionKeepsNewestK) {
+  const std::string dir = temp_dir("tw_ckpt_keep");
+  recover::FileCheckpointSink sink(dir, /*keep=*/3);
+  std::string last;
+  for (int i = 0; i < 10; ++i) last = sink.save(FlowCheckpoint{});
+  EXPECT_EQ(sink.saved(), 10);
+
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(dir))
+    names.push_back(entry.path().filename().string());
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{
+                       "ckpt-000008.twcp", "ckpt-000009.twcp",
+                       "ckpt-000010.twcp"}));
+  EXPECT_EQ(recover::find_latest_checkpoint(dir), last);
+}
+
+TEST(Checkpoint, SinkResumesNumberingAfterExistingFiles) {
+  // A retried attempt's sink must never number below an earlier attempt's
+  // files, or find_latest_checkpoint would keep returning the stale one.
+  const std::string dir = temp_dir("tw_ckpt_renumber");
+  {
+    recover::FileCheckpointSink first(dir);
+    for (int i = 0; i < 3; ++i) (void)first.save(FlowCheckpoint{});
+  }
+  recover::FileCheckpointSink second(dir);
+  const std::string next = second.save(FlowCheckpoint{});
+  EXPECT_EQ(std::filesystem::path(next).filename().string(),
+            "ckpt-000004.twcp");
+  EXPECT_EQ(recover::find_latest_checkpoint(dir), next);
+}
+
+TEST(Checkpoint, FindLatestSkipsCorruptNewest) {
+  const std::string dir = temp_dir("tw_ckpt_corrupt_latest");
+  recover::FileCheckpointSink sink(dir);
+  const std::string good = sink.save(FlowCheckpoint{});
+  const std::string bad = sink.save(FlowCheckpoint{});
+
+  // Flip a payload bit of the newest file: its CRC check now fails, so
+  // the previous (valid) checkpoint must be selected instead.
+  {
+    std::fstream f(bad, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    f.put('\xFF');
+  }
+  EXPECT_EQ(recover::find_latest_checkpoint(dir), good);
+
+  // With every file damaged there is nothing valid left to resume from.
+  {
+    std::fstream f(good, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(20);
+    f.put('\xFF');
+  }
+  EXPECT_FALSE(recover::find_latest_checkpoint(dir).has_value());
+}
+
 // ----------------------------------------------------- budgeted flow runs
 
 TEST(Budget, ExhaustedFlowDegradesGracefully) {

@@ -29,9 +29,16 @@ Rules (each reports file:line and exits nonzero on any hit):
      find_latest_checkpoint — a raw ofstream to a checkpoint path would
      silently drop both guarantees (docs/ROBUSTNESS.md).
 
+  6. No raw threading outside src/pool: `std::thread`, `std::jthread`,
+     `std::async` and `.detach()` are banned elsewhere in src/. All
+     concurrency is confined to the replica pool, whose workers share no
+     mutable algorithm state (docs/ROBUSTNESS.md "Replica pool") — a
+     stray thread anywhere else would silently break the determinism
+     guarantee and the re-entrancy audit the pool depends on.
+
 Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
 is one of: float-geom, raw-random, nondeterminism, raw-assert,
-checkpoint-io.
+checkpoint-io, raw-thread.
 """
 
 from __future__ import annotations
@@ -84,6 +91,13 @@ RULES = [
         "checkpoint files are written/located only via src/recover "
         "(FileCheckpointSink / write_checkpoint_file / "
         "find_latest_checkpoint)",
+    ),
+    (
+        "raw-thread",
+        lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "pool"),
+        re.compile(r"std::j?thread\b|std::async\b|\.detach\s*\("),
+        "threads live only in src/pool (ReplicaPool); library code must "
+        "stay single-threaded and deterministic",
     ),
 ]
 
