@@ -6,7 +6,18 @@
 // evaluation, net-span evaluation, shortest paths, channel definition)
 // and the macro-level stage-1 throughput as a function of circuit size,
 // which documents the same proportionality on modern hardware.
+//
+// The Stage1MoveThroughput family additionally records moves/sec per
+// workload size and, after the run, emits a machine-readable
+// BENCH_perf.json (into the working directory, or $TW_BENCH_OUT) so the
+// perf trajectory is tracked across PRs — see docs/PERF.md.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
 
 #include "channel/channel_graph.hpp"
 #include "place/legalize.hpp"
@@ -16,6 +27,47 @@
 
 namespace tw {
 namespace {
+
+/// One measured stage-1 throughput point, keyed by workload size.
+struct ThroughputSample {
+  int cells = 0;
+  int attempts_per_cell = 0;
+  long long attempts = 0;
+  double seconds = 0.0;
+  double moves_per_sec = 0.0;
+};
+
+std::map<int, ThroughputSample>& throughput_registry() {
+  static std::map<int, ThroughputSample> samples;
+  return samples;
+}
+
+/// Writes the throughput registry as BENCH_perf.json. The default path is
+/// relative to the working directory: the CI perf step runs from the repo
+/// root, so the artifact lands there; the ctest smoke runs from the build
+/// tree and leaves the committed root file untouched.
+void write_perf_json() {
+  if (throughput_registry().empty()) return;
+  const char* env = std::getenv("TW_BENCH_OUT");
+  const std::string path = env != nullptr ? env : "BENCH_perf.json";
+  std::ofstream out(path);
+  if (!out) return;
+  out << "{\n"
+      << "  \"schema_version\": 1,\n"
+      << "  \"suite\": \"bench_perf\",\n"
+      << "  \"stage1_move_throughput\": [\n";
+  bool first = true;
+  for (const auto& [cells, s] : throughput_registry()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"cells\": " << s.cells
+        << ", \"attempts_per_cell\": " << s.attempts_per_cell
+        << ", \"attempts\": " << s.attempts
+        << ", \"seconds\": " << s.seconds
+        << ", \"moves_per_sec\": " << s.moves_per_sec << "}";
+  }
+  out << "\n  ]\n}\n";
+}
 
 struct PlacedFixture {
   Netlist nl;
@@ -143,7 +195,52 @@ BENCHMARK(BM_Stage1)
     ->Args({48, 10})
     ->Unit(benchmark::kMillisecond);
 
+/// Stage-1 move throughput: full annealing runs, reported as attempted
+/// moves per second of annealing time (generate + evaluate + accept or
+/// revert). This is the figure of merit of the incremental evaluation
+/// core (spatial bin index, cached net bounds, MoveTxn); the per-size
+/// samples are recorded into BENCH_perf.json after the run.
+void BM_Stage1MoveThroughput(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  const Netlist nl = PlacedFixture::make_netlist(cells);
+  Stage1Params params;
+  params.attempts_per_cell = 10;
+  params.p2_samples = 8;
+  long long attempts = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    Placement placement(nl);
+    Stage1Placer placer(nl, params, 5);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Stage1Result r = placer.run(placement);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    attempts += r.attempts;
+    seconds += dt.count();
+  }
+  state.SetItemsProcessed(attempts);
+  if (seconds > 0.0) {
+    const double rate = static_cast<double>(attempts) / seconds;
+    state.counters["moves_per_sec"] = rate;
+    throughput_registry()[cells] = {cells, params.attempts_per_cell, attempts,
+                                    seconds, rate};
+  }
+}
+BENCHMARK(BM_Stage1MoveThroughput)
+    ->Arg(12)
+    ->Arg(24)
+    ->Arg(48)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace tw
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  tw::write_perf_json();
+  return 0;
+}

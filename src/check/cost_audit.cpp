@@ -48,6 +48,22 @@ void CostAudit::checkpoint(const CostTerms& incremental, const char* where) {
   if (r.any())
     check::fail("CostAudit", "", __FILE__, __LINE__,
                 std::string(where) + ": " + r.str());
+  if constexpr (check::kLevel >= check::kLevelFull) {
+    // The incremental caches under the cost terms must be drift-free too:
+    // the net-bound cache against a full pin rescan, and the spatial bin
+    // index against the all-pairs overlap sum.
+    const std::string nb = model_->placement().net_bounds_drift();
+    if (!nb.empty())
+      check::fail("CostAudit", "", __FILE__, __LINE__,
+                  std::string(where) + ": " + nb);
+    const Coord indexed = model_->overlap().total_overlap();
+    const Coord naive = model_->overlap().total_overlap_naive();
+    if (indexed != naive)
+      check::fail("CostAudit", "", __FILE__, __LINE__,
+                  std::string(where) + ": spatial index drifted: indexed=" +
+                      std::to_string(indexed) +
+                      " naive=" + std::to_string(naive));
+  }
 }
 
 void CostAudit::on_accept(const CostTerms& incremental, const char* where) {

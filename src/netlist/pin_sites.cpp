@@ -65,4 +65,21 @@ std::vector<int> sites_in_mask(std::uint8_t mask, int sites_per_edge) {
   return out;
 }
 
+int num_sites_in_mask(std::uint8_t mask, int sites_per_edge) {
+  int sides = 0;
+  for (Side s : {Side::kLeft, Side::kRight, Side::kBottom, Side::kTop})
+    if (mask & side_to_mask(s)) ++sides;
+  return sides * sites_per_edge;
+}
+
+int nth_site_in_mask(std::uint8_t mask, int idx, int sites_per_edge) {
+  int want = idx / sites_per_edge;
+  const int k = idx % sites_per_edge;
+  for (Side s : {Side::kLeft, Side::kRight, Side::kBottom, Side::kTop}) {
+    if (!(mask & side_to_mask(s))) continue;
+    if (want-- == 0) return site_index_of(s, k, sites_per_edge);
+  }
+  throw std::out_of_range("nth_site_in_mask: idx beyond mask");
+}
+
 }  // namespace tw

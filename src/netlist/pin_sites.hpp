@@ -37,4 +37,10 @@ int site_index_of(Side side, int k, int sites_per_edge);
 /// Indices of all sites whose side is within `mask`.
 std::vector<int> sites_in_mask(std::uint8_t mask, int sites_per_edge);
 
+/// Allocation-free equivalents for hot paths: the number of sites
+/// sites_in_mask would return, and its idx-th entry (same enumeration
+/// order), without materializing the vector.
+int num_sites_in_mask(std::uint8_t mask, int sites_per_edge);
+int nth_site_in_mask(std::uint8_t mask, int idx, int sites_per_edge);
+
 }  // namespace tw

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "check/contracts.hpp"
 
@@ -9,7 +10,8 @@ namespace tw {
 
 CostModel::CostModel(const Placement& placement, const OverlapEngine& overlap,
                      CostParams params)
-    : placement_(&placement), overlap_(&overlap), params_(params) {}
+    : placement_(&placement), overlap_(&overlap), params_(params),
+      net_mark_(placement.netlist().num_nets(), 0) {}
 
 double CostModel::calibrate_p2(Placement& placement, OverlapEngine& overlap,
                                const Rect& core, Rng& rng, int samples) {
@@ -21,7 +23,16 @@ double CostModel::calibrate_p2(Placement& placement, OverlapEngine& overlap,
     placement.randomize(rng, core);
     overlap.refresh_all();
     sum_c1 += placement.teic();
-    sum_c2 += static_cast<double>(overlap.total_overlap());
+    const Coord c2 = overlap.total_overlap();
+    if constexpr (check::kLevel >= check::kLevelFull) {
+      // Guard the spatial index against silent pruning bugs: the very
+      // first sample cross-checks it against the all-pairs reference.
+      if (s == 0)
+        TW_ASSERT_FULL(c2 == overlap.total_overlap_naive(),
+                       "indexed total_overlap=", c2,
+                       " naive=", overlap.total_overlap_naive());
+    }
+    sum_c2 += static_cast<double>(c2);
   }
   p2_ = sum_c2 > 0.0 ? params_.eta * sum_c1 / sum_c2 : 1.0;
   TW_ENSURE(p2_ > 0.0 && std::isfinite(p2_), "p2=", p2_,
@@ -46,16 +57,23 @@ double CostModel::partial_c1(std::span<const CellId> cells) const {
       sum += placement_->net_cost(n);
     return sum;
   }
-  // Deduplicate nets across the affected cells.
-  std::vector<NetId> nets;
-  for (CellId c : cells) {
-    const auto& cn = placement_->nets_of_cell(c);
-    nets.insert(nets.end(), cn.begin(), cn.end());
+  // Deduplicate nets across the affected cells with an epoch stamp per
+  // net: constant work per pin, no allocation on the hot path. Summation
+  // order is the cells' own (sorted) net order, which is deterministic.
+  if (net_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(net_mark_.begin(), net_mark_.end(), 0);
+    net_epoch_ = 0;
   }
-  std::sort(nets.begin(), nets.end());
-  nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+  ++net_epoch_;
   double sum = 0.0;
-  for (NetId n : nets) sum += placement_->net_cost(n);
+  for (CellId c : cells) {
+    for (NetId n : placement_->nets_of_cell(c)) {
+      auto& m = net_mark_[static_cast<std::size_t>(n)];
+      if (m == net_epoch_) continue;
+      m = net_epoch_;
+      sum += placement_->net_cost(n);
+    }
+  }
   return sum;
 }
 

@@ -16,6 +16,7 @@
 // and only those cells' overlap contributions are recomputed).
 #pragma once
 
+#include <cstdint>
 #include <span>
 
 #include "place/overlap.hpp"
@@ -79,11 +80,20 @@ public:
   /// Site penalty of the cells in the set.
   double partial_c3(std::span<const CellId> cells) const;
 
+  const Placement& placement() const { return *placement_; }
+  const OverlapEngine& overlap() const { return *overlap_; }
+
 private:
   const Placement* placement_;
   const OverlapEngine* overlap_;
   CostParams params_;
   double p2_ = 1.0;
+
+  // Epoch-stamped dedup scratch for partial_c1: marking a net visited is
+  // one store, so the hot path allocates nothing (the old sort+unique
+  // built a fresh vector per move).
+  mutable std::vector<std::uint32_t> net_mark_;
+  mutable std::uint32_t net_epoch_ = 0;
 };
 
 }  // namespace tw

@@ -10,12 +10,21 @@
 // Core containment (footnote 16) is handled by four conceptual dummy
 // cells extending outward from the core sides: a cell's "border overlap"
 // is the area of its expanded tiles lying outside the core rectangle.
+//
+// A uniform-grid spatial index (src/geom/bins.hpp) prunes the pairwise
+// work: each cell's expanded-tile bounding box is hashed into the bins it
+// covers, and cell_overlap/total_overlap only visit candidate cells that
+// share a bin and whose bounding boxes intersect. Pruned pairs have zero
+// overlap area by construction, and C2 sums are order-independent
+// integers, so the indexed results equal the naive all-pairs scan
+// exactly (total_overlap_naive; asserted at full check level).
 #pragma once
 
 #include <array>
 #include <optional>
 
 #include "estimator/area_estimator.hpp"
+#include "geom/bins.hpp"
 #include "place/placement.hpp"
 
 namespace tw {
@@ -34,12 +43,13 @@ public:
   void set_core(Rect core) { core_ = core; }
   const Rect& core() const { return core_; }
 
-  /// Re-derives cell `c`'s expansion (dynamic mode) and re-caches its
-  /// expanded absolute tiles. Must be called after any mutation of the
-  /// cell's placement state.
+  /// Re-derives cell `c`'s expansion (dynamic mode), re-caches its
+  /// expanded absolute tiles, and updates the spatial index. Must be
+  /// called after any mutation of the cell's placement state.
   void refresh(CellId c);
 
-  /// Refreshes every cell (after randomize() or a bulk restore).
+  /// Refreshes every cell and rebuilds the index grid from the current
+  /// spread of cells (after randomize() or a bulk restore).
   void refresh_all();
 
   /// O(i, j): overlap area between the expanded tiles of two cells.
@@ -49,16 +59,29 @@ public:
   /// overlap of footnote 16).
   Coord border_overlap(CellId c) const;
 
-  /// Sum of O(c, j) over all j != c, plus border overlap.
+  /// Sum of O(c, j) over all j != c, plus border overlap. Visits only
+  /// bin-index candidates; exact (pruned pairs contribute zero).
   Coord cell_overlap(CellId c) const;
 
   /// Sum over unordered pairs of O(i, j) plus all border overlaps: the raw
-  /// (unnormalized) value inside Eqn 7.
+  /// (unnormalized) value inside Eqn 7. Indexed; exact.
   Coord total_overlap() const;
+
+  /// Reference all-pairs recomputation of total_overlap(), bypassing the
+  /// spatial index. Used by CostAudit checkpoints, the calibration's
+  /// first-sample guard, and the equivalence fuzz to prove the index
+  /// never prunes a real overlap.
+  Coord total_overlap_naive() const;
 
   /// The expanded tiles currently cached for a cell.
   const std::vector<Rect>& expanded_tiles(CellId c) const {
     return tiles_[static_cast<std::size_t>(c)];
+  }
+
+  /// Bounding box of the cached expanded tiles (invalid for a cell with
+  /// no tiles).
+  const Rect& expanded_bbox(CellId c) const {
+    return bbox_[static_cast<std::size_t>(c)];
   }
 
   /// The per-side expansions currently applied to a cell (L, R, B, T).
@@ -70,14 +93,55 @@ public:
   /// densities prescribe the spacing).
   void set_expansions(CellId c, std::array<Coord, 4> e);
 
+  /// Checkpoint of one cell's cached view (expansion, expanded tiles,
+  /// bbox). A rejected move rolls the engine back by write-back instead
+  /// of re-deriving the estimator expansion and the tile geometry —
+  /// valid only when the cell's placement state has been restored to
+  /// what it was at save time (MoveTxn's revert contract). The buffer is
+  /// caller-owned and reused across moves.
+  struct CellCkpt {
+    std::array<Coord, 4> expansion{};
+    std::vector<Rect> tiles;
+    Rect bbox;
+  };
+  void save_cell(CellId c, CellCkpt& out) const;
+  void rollback_cell(CellId c, const CellCkpt& ckpt);
+
 private:
   void recache_tiles(CellId c);
+  void rebuild_index();
+  void bins_insert(CellId c);
+  void bins_remove(CellId c);
+  /// Collects into cand_ the distinct cells sharing a bin with `c` whose
+  /// expanded bboxes intersect c's (excluding c itself).
+  void gather_candidates(CellId c) const;
 
   const Placement* placement_;
   const DynamicAreaEstimator* estimator_ = nullptr;  ///< null in static mode
   Rect core_;
   std::vector<std::array<Coord, 4>> expansion_;
   std::vector<std::vector<Rect>> tiles_;  ///< expanded absolute tiles
+  std::vector<Rect> bbox_;                ///< bbox of the expanded tiles
+
+  // --- spatial index ---------------------------------------------------------
+  BinGrid grid_;
+  std::vector<std::vector<CellId>> bins_;   ///< cells per bin
+  std::vector<BinGrid::Range> bin_range_;   ///< bins each cell occupies
+  /// Cells whose expanded bbox covers a large fraction of the grid live
+  /// in this flat list instead of the bins: at high temperature the
+  /// interconnect expansions are fat enough that such a cell would
+  /// occupy most bins, making per-bin insert/remove/dedup slower than a
+  /// straight scan. Exactness is preserved — normal/normal pairs meet in
+  /// the bins, every other pair meets through this list.
+  std::vector<CellId> oversize_;
+  std::vector<int> oversize_pos_;           ///< index in oversize_, or -1
+  mutable std::vector<std::uint32_t> mark_; ///< candidate dedup stamps
+  mutable std::uint32_t epoch_ = 0;
+  mutable std::vector<CellId> cand_;        ///< candidate scratch
+  /// Bbox overlap area per candidate (parallel to cand_). For a pair of
+  /// single-tile cells the expanded-tile overlap IS the bbox overlap, so
+  /// the area the gather already computed is the final answer.
+  mutable std::vector<Coord> cand_area_;
 };
 
 }  // namespace tw

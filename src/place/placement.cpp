@@ -21,6 +21,9 @@ Placement::Placement(const Netlist& nl) : nl_(&nl) {
   states_.resize(nl.num_cells());
   cell_nets_.resize(nl.num_cells());
   local_index_.assign(nl.num_pins(), -1);
+  pin_pos_.assign(nl.num_pins(), Point{});
+  pin_pos_ok_.assign(nl.num_cells(), 0);
+  sound_.assign(nl.num_cells(), 0);
 
   for (const auto& c : nl.cells()) {
     const auto ci = static_cast<std::size_t>(c.id);
@@ -54,6 +57,9 @@ Placement::Placement(const Netlist& nl) : nl_(&nl) {
       }
     }
   }
+  // The mutator calls above ran with an empty cache (maintenance skipped);
+  // build the net bounds now that every cell state is realized.
+  resync_net_bounds();
 }
 
 const CellInstance& Placement::geometry(CellId c) const {
@@ -88,6 +94,34 @@ std::vector<Rect> Placement::absolute_tiles(CellId c) const {
 }
 
 Point Placement::pin_position(PinId p) const {
+  const CellId c = nl_->pin(p).cell;
+  if (!pin_pos_ok_[static_cast<std::size_t>(c)]) {
+    if (!bounds_computable(c)) return pin_position_uncached(p);
+    refresh_pin_positions(c);
+  }
+  return pin_pos_[static_cast<std::size_t>(p)];
+}
+
+void Placement::refresh_pin_positions(CellId c) const {
+  const Cell& cell = nl_->cell(c);
+  const CellState& st = state(c);
+  const CellInstance& g = geometry(c);
+  const Point o = origin(c);
+  for (std::size_t k = 0; k < cell.pins.size(); ++k) {
+    const PinId p = cell.pins[k];
+    Point local;
+    if (nl_->pin(p).commit == PinCommit::kFixed) {
+      local = g.pin_offsets[k];
+    } else {
+      local = st.sites[static_cast<std::size_t>(st.pin_site[k])].offset;
+    }
+    pin_pos_[static_cast<std::size_t>(p)] =
+        apply_orient(st.orient, local, g.width, g.height) + o;
+  }
+  pin_pos_ok_[static_cast<std::size_t>(c)] = 1;
+}
+
+Point Placement::pin_position_uncached(PinId p) const {
   const Pin& pin = nl_->pin(p);
   const CellState& st = state(pin.cell);
   const CellInstance& g = geometry(pin.cell);
@@ -104,6 +138,14 @@ Point Placement::pin_position(PinId p) const {
 }
 
 Rect Placement::net_bbox(NetId n) const {
+  if (!net_bounds_.empty()) {
+    const NetBounds& b = net_bounds_[static_cast<std::size_t>(n)];
+    return {b.xlo, b.ylo, b.xhi, b.yhi};
+  }
+  return net_bbox_scan(n);
+}
+
+Rect Placement::net_bbox_scan(NetId n) const {
   const Net& net = nl_->net(n);
   Coord xlo = std::numeric_limits<Coord>::max();
   Coord xhi = std::numeric_limits<Coord>::min();
@@ -143,21 +185,27 @@ double Placement::teil() const {
 void Placement::set_center(CellId c, Point center) {
   TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < states_.size(),
             "cell=", c, " of ", states_.size());
+  BoundsScope scope(*this, c);
   states_[static_cast<std::size_t>(c)].center = center;
+  invalidate_pin_positions(c);
 }
 
 void Placement::set_orient(CellId c, Orient o) {
   TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < states_.size(),
             "cell=", c, " of ", states_.size());
   TW_ASSERT(valid_orient(o), "orient=", static_cast<int>(o));
+  BoundsScope scope(*this, c);
   states_[static_cast<std::size_t>(c)].orient = o;
+  invalidate_pin_positions(c);
 }
 
 void Placement::set_instance(CellId c, InstanceId k) {
   const Cell& cell = nl_->cell(c);
   if (k < 0 || static_cast<std::size_t>(k) >= cell.instances.size())
     throw std::invalid_argument("set_instance: unknown instance");
+  BoundsScope scope(*this, c);
   states_[static_cast<std::size_t>(c)].instance = k;
+  invalidate_pin_positions(c);
 }
 
 void Placement::realize_custom_state(CellId c, double aspect) {
@@ -181,6 +229,7 @@ void Placement::realize_custom_state(CellId c, double aspect) {
                             nl_->tech().track_separation);
   st.site_occupancy.assign(st.sites.size(), 0);
   rebuild_occupancy(c);
+  invalidate_pin_positions(c);
 }
 
 void Placement::rebuild_occupancy(CellId c) {
@@ -196,6 +245,7 @@ void Placement::set_aspect(CellId c, double aspect) {
   const Cell& cell = nl_->cell(c);
   if (!cell.is_custom())
     throw std::invalid_argument("set_aspect: not a custom cell");
+  BoundsScope scope(*this, c);
   realize_custom_state(c, cell.clamp_aspect(aspect));
 }
 
@@ -210,10 +260,41 @@ void Placement::assign_pin_to_site(CellId c, int local_pin, int site) {
   TW_REQUIRE(!nl_->pin(nl_->cell(c).pins[static_cast<std::size_t>(local_pin)])
                   .committed(),
              "cell=", c, " local_pin=", local_pin, " is a fixed pin");
+
+  // Fast path: a top-level single-pin move only touches one net, so the
+  // whole-cell Phase A/B sweep of BoundsScope would be wasted work.
+  const PinId pid = nl_->cell(c).pins[static_cast<std::size_t>(local_pin)];
+  const NetId net = nl_->pin(pid).net;
+  const bool track = bounds_depth_ == 0 && !net_bounds_.empty();
+  if (track) {
+    if (net_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+      std::fill(net_mark_.begin(), net_mark_.end(), 0);
+      net_epoch_ = 0;
+    }
+    ++net_epoch_;
+    rescan_.clear();
+    bounds_remove_pin(net, pin_position(pid));
+  }
+
   int& cur = st.pin_site[static_cast<std::size_t>(local_pin)];
   if (cur >= 0) --st.site_occupancy[static_cast<std::size_t>(cur)];
   cur = site;
   ++st.site_occupancy[static_cast<std::size_t>(site)];
+  // A site change moves exactly one pin and cannot affect structural
+  // soundness (the site was range-checked above), so instead of dropping
+  // the whole cell's pin-position cache, patch the one entry in place.
+  if (pin_pos_ok_[static_cast<std::size_t>(c)]) {
+    const CellInstance& g = geometry(c);
+    pin_pos_[static_cast<std::size_t>(pid)] =
+        apply_orient(st.orient, st.sites[static_cast<std::size_t>(site)].offset,
+                     g.width, g.height) +
+        origin(c);
+  }
+
+  if (track) {
+    bounds_add_pin(net, pin_position(pid));
+    for (const NetId n : rescan_) rescan_net(n);
+  }
 }
 
 void Placement::assign_group(CellId c, GroupId g, Side side, int start_site) {
@@ -221,6 +302,7 @@ void Placement::assign_group(CellId c, GroupId g, Side side, int start_site) {
   const PinGroup& group = cell.groups.at(static_cast<std::size_t>(g));
   if (!(group.side_mask & side_to_mask(side)))
     throw std::invalid_argument("assign_group: side not allowed for group");
+  BoundsScope scope(*this, c);
   const int spe = cell.sites_per_edge;
   start_site = std::clamp(start_site, 0, spe - 1);
   for (std::size_t i = 0; i < group.pins.size(); ++i) {
@@ -235,13 +317,15 @@ void Placement::assign_group(CellId c, GroupId g, Side side, int start_site) {
   }
 }
 
-void Placement::restore(CellId c, CellState s) {
+void Placement::restore(CellId c, const CellState& s) {
   TW_ASSERT(c >= 0 && static_cast<std::size_t>(c) < states_.size(),
             "cell=", c, " of ", states_.size());
   TW_ASSERT_FULL(s.pin_site.size() == nl_->cell(c).pins.size(),
                  "cell=", c, " snapshot pin_site=", s.pin_site.size(),
                  " pins=", nl_->cell(c).pins.size());
-  states_[static_cast<std::size_t>(c)] = std::move(s);
+  BoundsScope scope(*this, c);
+  states_[static_cast<std::size_t>(c)] = s;
+  invalidate_pin_positions(c);
 }
 
 void Placement::restore_cell(CellId c, Point center, Orient o,
@@ -253,6 +337,7 @@ void Placement::restore_cell(CellId c, Point center, Orient o,
   if (pin_site.size() != cell.pins.size())
     throw std::invalid_argument("restore_cell: pin_site size mismatch");
 
+  BoundsScope scope(*this, c);
   if (cell.is_custom()) {
     // A legal stored aspect is a fixed point of clamp_aspect (inside the
     // continuous range, or exactly one of the discrete values).
@@ -278,6 +363,7 @@ void Placement::restore_cell(CellId c, Point center, Orient o,
   }
   st.pin_site = pin_site;
   rebuild_occupancy(c);
+  invalidate_pin_positions(c);
 }
 
 void Placement::randomize(Rng& rng, const Rect& core) {
@@ -333,6 +419,292 @@ int Placement::overloaded_sites() const {
       if (st.site_occupancy[s] > st.sites[s].capacity) ++n;
   }
   return n;
+}
+
+// --- incremental net-bound cache -------------------------------------------
+
+void Placement::resync_net_bounds() {
+  TW_ASSERT(bounds_depth_ == 0, "resync inside a mutator, depth=",
+            bounds_depth_);
+  ckpt_valid_ = false;
+  const std::size_t nets = nl_->num_nets();
+  net_bounds_.assign(nets, NetBounds{});
+  net_mark_.assign(nets, 0);
+  net_epoch_ = 0;
+  rescan_.clear();
+  for (NetId n = 0; n < static_cast<NetId>(nets); ++n) rescan_net(n);
+}
+
+void Placement::bounds_open(std::span<const CellId> cells) {
+  TW_ASSERT(bounds_depth_ == 0, "bounds_open inside a mutator, depth=",
+            bounds_depth_);
+  TW_ASSERT(cells.size() >= 1 && cells.size() <= open_cells_.size(),
+            "bounds_open cells=", cells.size());
+  ++bounds_depth_;  // enclosed mutator brackets nest-no-op from here on
+  num_open_cells_ = cells.size();
+  for (std::size_t i = 0; i < cells.size(); ++i) open_cells_[i] = cells[i];
+  ckpt_valid_ = false;
+  if (net_bounds_.empty()) return;
+  for (std::size_t i = 0; i < num_open_cells_; ++i) {
+    if (!bounds_computable(open_cells_[i])) {
+      net_bounds_.clear();
+      return;
+    }
+  }
+  // Checkpoint the cells' net bounds and pin-position caches before Phase
+  // A touches them, so a rejected transaction can roll back by write-back
+  // instead of re-deriving (bounds_rollback_end). Buffers are reused.
+  bounds_ckpt_.clear();
+  num_ckpt_cells_ = num_open_cells_;
+  for (std::size_t i = 0; i < num_open_cells_; ++i) {
+    const CellId c = open_cells_[i];
+    for (const NetId n : cell_nets_[static_cast<std::size_t>(c)])
+      bounds_ckpt_.emplace_back(n, net_bounds_[static_cast<std::size_t>(n)]);
+    PinCkpt& pc = pin_ckpt_[i];
+    pc.cell = c;
+    pc.ok = pin_pos_ok_[static_cast<std::size_t>(c)];
+    if (pc.ok) {
+      const auto& pins = nl_->cell(c).pins;
+      pc.pos.resize(pins.size());
+      for (std::size_t k = 0; k < pins.size(); ++k)
+        pc.pos[k] = pin_pos_[static_cast<std::size_t>(pins[k])];
+    }
+  }
+  ckpt_valid_ = true;
+  if (net_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(net_mark_.begin(), net_mark_.end(), 0);
+    net_epoch_ = 0;
+  }
+  ++net_epoch_;
+  rescan_.clear();
+  for (std::size_t i = 0; i < num_open_cells_; ++i)
+    for (const PinId p : nl_->cell(open_cells_[i]).pins)
+      bounds_remove_pin(nl_->pin(p).net, pin_position(p));
+}
+
+void Placement::bounds_close() {
+  TW_ASSERT(bounds_depth_ == 1 && num_open_cells_ > 0,
+            "unbalanced bounds_close, depth=", bounds_depth_);
+  --bounds_depth_;
+  const std::size_t n = num_open_cells_;
+  num_open_cells_ = 0;
+  if (net_bounds_.empty()) return;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!bounds_computable(open_cells_[i])) {
+      net_bounds_.clear();
+      return;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i)
+    for (const PinId p : nl_->cell(open_cells_[i]).pins)
+      bounds_add_pin(nl_->pin(p).net, pin_position(p));
+  for (const NetId net : rescan_) rescan_net(net);
+}
+
+void Placement::bounds_rollback_begin() {
+  TW_ASSERT(bounds_depth_ == 0, "bounds_rollback_begin inside a mutator");
+  ++bounds_depth_;  // suppress the restores' own maintenance brackets
+}
+
+void Placement::bounds_rollback_end() {
+  TW_ASSERT(bounds_depth_ == 1, "unbalanced bounds_rollback_end, depth=",
+            bounds_depth_);
+  --bounds_depth_;
+  num_open_cells_ = 0;
+  if (!ckpt_valid_) return;  // cache was empty/uncomputable at open time
+  ckpt_valid_ = false;
+  if (!net_bounds_.empty())
+    for (const auto& [n, b] : bounds_ckpt_)
+      net_bounds_[static_cast<std::size_t>(n)] = b;
+  // The cells are back in their checkpoint-time state, so the cached pin
+  // positions captured then are valid again (the restores invalidated
+  // them).
+  for (std::size_t i = 0; i < num_ckpt_cells_; ++i) {
+    const PinCkpt& pc = pin_ckpt_[i];
+    if (!pc.ok) continue;
+    const auto& pins = nl_->cell(pc.cell).pins;
+    for (std::size_t k = 0; k < pins.size(); ++k)
+      pin_pos_[static_cast<std::size_t>(pins[k])] = pc.pos[k];
+    pin_pos_ok_[static_cast<std::size_t>(pc.cell)] = 1;
+  }
+}
+
+bool Placement::bounds_computable(CellId c) const {
+  std::int8_t& memo = sound_[static_cast<std::size_t>(c)];
+  if (memo != 0) return memo > 0;
+  const Cell& cell = nl_->cell(c);
+  const CellState& st = states_[static_cast<std::size_t>(c)];
+  bool ok = static_cast<std::uint8_t>(st.orient) <= 7 && st.instance >= 0 &&
+            static_cast<std::size_t>(st.instance) < cell.instances.size() &&
+            st.pin_site.size() == cell.pins.size();
+  if (ok) {
+    for (std::size_t k = 0; k < cell.pins.size(); ++k) {
+      if (nl_->pin(cell.pins[k]).commit == PinCommit::kFixed) continue;
+      const int site = st.pin_site[k];
+      if (site < 0 || static_cast<std::size_t>(site) >= st.sites.size()) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  memo = ok ? 1 : -1;
+  return ok;
+}
+
+void Placement::bounds_begin(CellId c) {
+  if (bounds_depth_++ > 0) return;
+  ckpt_valid_ = false;  // a standalone mutation stales any old checkpoint
+  if (net_bounds_.empty()) return;
+  if (!bounds_computable(c)) {
+    net_bounds_.clear();
+    return;
+  }
+  if (net_epoch_ == std::numeric_limits<std::uint32_t>::max()) {
+    std::fill(net_mark_.begin(), net_mark_.end(), 0);
+    net_epoch_ = 0;
+  }
+  ++net_epoch_;
+  rescan_.clear();
+  for (const PinId p : nl_->cell(c).pins)
+    bounds_remove_pin(nl_->pin(p).net, pin_position(p));
+}
+
+void Placement::bounds_end(CellId c) {
+  TW_ASSERT(bounds_depth_ > 0, "unbalanced bounds_end, cell=", c);
+  if (--bounds_depth_ > 0) return;
+  if (net_bounds_.empty()) return;
+  if (!bounds_computable(c)) {
+    // The mutation left the cell structurally unsound (restore() of a
+    // corrupt snapshot): its pin positions cannot be computed, so the
+    // cache cannot be maintained. Drop it; validate_placement() reports
+    // the corruption, and the next resync rebuilds the cache.
+    net_bounds_.clear();
+    return;
+  }
+  for (const PinId p : nl_->cell(c).pins)
+    bounds_add_pin(nl_->pin(p).net, pin_position(p));
+  for (const NetId n : rescan_) rescan_net(n);
+}
+
+void Placement::bounds_mark(NetId n) {
+  net_mark_[static_cast<std::size_t>(n)] = net_epoch_;
+  rescan_.push_back(n);
+}
+
+void Placement::bounds_remove_pin(NetId n, Point pos) {
+  if (bounds_marked(n)) return;  // rescan will rebuild it anyway
+  NetBounds& b = net_bounds_[static_cast<std::size_t>(n)];
+  bool collapsed = false;
+  if (pos.x == b.xlo && --b.n_xlo == 0) collapsed = true;
+  if (pos.x == b.xhi && --b.n_xhi == 0) collapsed = true;
+  if (pos.y == b.ylo && --b.n_ylo == 0) collapsed = true;
+  if (pos.y == b.yhi && --b.n_yhi == 0) collapsed = true;
+  TW_ASSERT_FULL(b.n_xlo >= 0 && b.n_xhi >= 0 && b.n_ylo >= 0 && b.n_yhi >= 0,
+                 "net=", n, " negative boundary support");
+  if (collapsed) bounds_mark(n);
+}
+
+void Placement::bounds_add_pin(NetId n, Point pos) {
+  if (bounds_marked(n)) return;
+  NetBounds& b = net_bounds_[static_cast<std::size_t>(n)];
+  if (pos.x < b.xlo) {
+    b.xlo = pos.x;
+    b.n_xlo = 1;
+  } else if (pos.x == b.xlo) {
+    ++b.n_xlo;
+  }
+  if (pos.x > b.xhi) {
+    b.xhi = pos.x;
+    b.n_xhi = 1;
+  } else if (pos.x == b.xhi) {
+    ++b.n_xhi;
+  }
+  if (pos.y < b.ylo) {
+    b.ylo = pos.y;
+    b.n_ylo = 1;
+  } else if (pos.y == b.ylo) {
+    ++b.n_ylo;
+  }
+  if (pos.y > b.yhi) {
+    b.yhi = pos.y;
+    b.n_yhi = 1;
+  } else if (pos.y == b.yhi) {
+    ++b.n_yhi;
+  }
+}
+
+void Placement::rescan_net(NetId n) {
+  NetBounds& b = net_bounds_[static_cast<std::size_t>(n)];
+  b = NetBounds{};
+  for (const PinId p : nl_->net(n).pins) {
+    const Point pos = pin_position(p);
+    if (pos.x < b.xlo) {
+      b.xlo = pos.x;
+      b.n_xlo = 1;
+    } else if (pos.x == b.xlo) {
+      ++b.n_xlo;
+    }
+    if (pos.x > b.xhi) {
+      b.xhi = pos.x;
+      b.n_xhi = 1;
+    } else if (pos.x == b.xhi) {
+      ++b.n_xhi;
+    }
+    if (pos.y < b.ylo) {
+      b.ylo = pos.y;
+      b.n_ylo = 1;
+    } else if (pos.y == b.ylo) {
+      ++b.n_ylo;
+    }
+    if (pos.y > b.yhi) {
+      b.yhi = pos.y;
+      b.n_yhi = 1;
+    } else if (pos.y == b.yhi) {
+      ++b.n_yhi;
+    }
+  }
+}
+
+std::string Placement::net_bounds_drift() const {
+  if (net_bounds_.size() != nl_->num_nets())
+    return "net-bound cache not initialized";
+  if (bounds_depth_ != 0) return "net-bound check inside a mutator";
+  for (const auto& net : nl_->nets()) {
+    const NetBounds& b = net_bounds_[static_cast<std::size_t>(net.id)];
+    NetBounds ref;
+    int nx_lo = 0, nx_hi = 0, ny_lo = 0, ny_hi = 0;
+    for (const PinId p : net.pins) {
+      const Point pos = pin_position(p);
+      ref.xlo = std::min(ref.xlo, pos.x);
+      ref.xhi = std::max(ref.xhi, pos.x);
+      ref.ylo = std::min(ref.ylo, pos.y);
+      ref.yhi = std::max(ref.yhi, pos.y);
+    }
+    for (const PinId p : net.pins) {
+      const Point pos = pin_position(p);
+      nx_lo += pos.x == ref.xlo ? 1 : 0;
+      nx_hi += pos.x == ref.xhi ? 1 : 0;
+      ny_lo += pos.y == ref.ylo ? 1 : 0;
+      ny_hi += pos.y == ref.yhi ? 1 : 0;
+    }
+    if (b.xlo != ref.xlo || b.xhi != ref.xhi || b.ylo != ref.ylo ||
+        b.yhi != ref.yhi)
+      return "net " + std::to_string(net.id) + " bounds drifted: cached (" +
+             std::to_string(b.xlo) + ", " + std::to_string(b.ylo) + ", " +
+             std::to_string(b.xhi) + ", " + std::to_string(b.yhi) +
+             ") recomputed (" + std::to_string(ref.xlo) + ", " +
+             std::to_string(ref.ylo) + ", " + std::to_string(ref.xhi) + ", " +
+             std::to_string(ref.yhi) + ")";
+    if (b.n_xlo != nx_lo || b.n_xhi != nx_hi || b.n_ylo != ny_lo ||
+        b.n_yhi != ny_hi)
+      return "net " + std::to_string(net.id) +
+             " boundary support drifted: cached (" + std::to_string(b.n_xlo) +
+             ", " + std::to_string(b.n_xhi) + ", " + std::to_string(b.n_ylo) +
+             ", " + std::to_string(b.n_yhi) + ") recomputed (" +
+             std::to_string(nx_lo) + ", " + std::to_string(nx_hi) + ", " +
+             std::to_string(ny_lo) + ", " + std::to_string(ny_hi) + ")";
+  }
+  return {};
 }
 
 }  // namespace tw

@@ -2,8 +2,22 @@
 // center position, orientation, selected instance, realized aspect ratio
 // (custom cells), and the assignment of uncommitted pins to pin sites.
 // The Netlist itself is never modified.
+//
+// Net bounding boxes are cached incrementally, TimberWolf-style: each net
+// keeps its min/max pin coordinate per axis plus a support count of how
+// many pins sit exactly on each boundary. A mutation of one cell removes
+// that cell's pins from the counts (Phase A), applies the change, then
+// re-adds the pins grow-only (Phase B); only nets whose boundary support
+// collapsed to zero are rescanned from all pins (Phase C). This makes
+// net_cost after a move O(pins-of-cell) instead of O(pins-of-net), and
+// net_bounds_drift() proves the cache against a full recompute.
 #pragma once
 
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -96,10 +110,10 @@ public:
   /// pins cyclically from `start_site`.
   void assign_group(CellId c, GroupId g, Side side, int start_site);
 
-  /// Snapshot/restore of one cell's full state (used by the annealer to
-  /// revert rejected moves).
+  /// Snapshot/restore of one cell's full state (used by MoveTxn to revert
+  /// rejected moves). Copy-assigns so the snapshot's buffers are reusable.
   CellState snapshot(CellId c) const { return state(c); }
-  void restore(CellId c, CellState s);
+  void restore(CellId c, const CellState& s);
 
   /// Rebuilds one cell's full state from checkpointed essentials (see
   /// src/recover/checkpoint.hpp): selects the instance, re-realizes the
@@ -123,15 +137,138 @@ public:
   /// Number of sites with occupancy above capacity, over all cells.
   int overloaded_sites() const;
 
+  /// Rebuilds every cached net bound from scratch (O(total pins)).
+  void resync_net_bounds();
+
+  /// Opens one net-bound maintenance bracket spanning several mutator
+  /// calls on `cells` (Phase A for all their pins at once); the enclosed
+  /// mutators' own brackets nest-no-op, so a multi-mutation transaction
+  /// (displacement + orientation retry, two-cell interchange) pays one
+  /// remove/re-add sweep instead of one per mutator call. The cache is
+  /// stale for `cells`' nets until bounds_close() (Phase B/C), so the
+  /// caller must not read net_bbox/net_cost in between — MoveTxn reads
+  /// its before-terms first, opens, mutates, closes, then reads the
+  /// after-terms.
+  void bounds_open(std::span<const CellId> cells);
+  void bounds_close();
+
+  /// Rolls a bracket back instead of closing it: bounds_open checkpoints
+  /// the open cells' net bounds and cached pin positions before Phase A,
+  /// and the rollback writes them back verbatim — a rejected transaction
+  /// pays no remove/re-add/rescan work at all. Contract: the caller must
+  /// have restored the open cells to their exact bounds_open-time state
+  /// (MoveTxn restores its begin() snapshots). Call order:
+  ///   - bracket still open:  restore cells, then bounds_rollback_end()
+  ///   - bracket closed by an earlier bounds_close(): bounds_rollback_begin(),
+  ///     restore cells (maintenance-suppressed), then bounds_rollback_end()
+  void bounds_rollback_begin();
+  void bounds_rollback_end();
+
+  /// Recomputes every net bound from scratch and compares it (values and
+  /// support counts) against the incremental cache. Returns an empty
+  /// string when consistent, otherwise a description of the first drifted
+  /// net. Used by CostAudit checkpoints and the equivalence fuzz.
+  std::string net_bounds_drift() const;
+
 private:
+  /// Cached bounding box of one net's pin positions plus the number of
+  /// pins supporting each boundary. Defaults are the empty-net sentinel
+  /// (xlo > xhi), matching what a from-scratch scan of zero pins yields.
+  struct NetBounds {
+    Coord xlo = std::numeric_limits<Coord>::max();
+    Coord xhi = std::numeric_limits<Coord>::min();
+    Coord ylo = std::numeric_limits<Coord>::max();
+    Coord yhi = std::numeric_limits<Coord>::min();
+    int n_xlo = 0;
+    int n_xhi = 0;
+    int n_ylo = 0;
+    int n_yhi = 0;
+  };
+
+  /// RAII bracket around one top-level mutation of cell `c`: Phase A on
+  /// entry, Phases B/C on exit. Nested mutator calls (restore_cell's
+  /// internals, assign_group's per-pin assignments) no-op via a depth
+  /// counter so each pin is removed/re-added exactly once.
+  class BoundsScope {
+  public:
+    BoundsScope(Placement& p, CellId c) : p_(p), c_(c) { p_.bounds_begin(c_); }
+    ~BoundsScope() { p_.bounds_end(c_); }
+    BoundsScope(const BoundsScope&) = delete;
+    BoundsScope& operator=(const BoundsScope&) = delete;
+
+  private:
+    Placement& p_;
+    CellId c_;
+  };
+
   void realize_custom_state(CellId c, double aspect);
   void rebuild_occupancy(CellId c);
+
+  Rect net_bbox_scan(NetId n) const;
+  /// Recomputes and caches the absolute positions of all of `c`'s pins in
+  /// one pass (geometry, orientation transform and origin are resolved
+  /// once per cell instead of once per pin — pin_position() is the
+  /// hottest call in the annealer's maintenance sweeps).
+  void refresh_pin_positions(CellId c) const;
+  /// The uncached per-pin computation, for structurally unsound cells
+  /// (restore() of a corrupt snapshot) where a whole-cell refresh could
+  /// throw on a *different* pin than the one queried.
+  Point pin_position_uncached(PinId p) const;
+  void invalidate_pin_positions(CellId c) {
+    pin_pos_ok_[static_cast<std::size_t>(c)] = 0;
+    sound_[static_cast<std::size_t>(c)] = 0;  // re-check on next query
+  }
+  /// True when the cell's state is structurally sound enough to compute
+  /// its pin positions (valid orient/instance, in-range site indices).
+  /// restore() accepts arbitrary snapshots — including deliberately
+  /// corrupt ones that validate_placement() must *report*, not crash on —
+  /// so the net-bound cache is dropped instead of maintained when a
+  /// mutation leaves a cell uncomputable (net_bbox falls back to lazy
+  /// scans until the next resync).
+  bool bounds_computable(CellId c) const;
+  void bounds_begin(CellId c);
+  void bounds_end(CellId c);
+  bool bounds_marked(NetId n) const {
+    return net_mark_[static_cast<std::size_t>(n)] == net_epoch_;
+  }
+  void bounds_mark(NetId n);
+  void bounds_remove_pin(NetId n, Point pos);
+  void bounds_add_pin(NetId n, Point pos);
+  void rescan_net(NetId n);
 
   const Netlist* nl_;
   std::vector<CellState> states_;
   std::vector<std::vector<NetId>> cell_nets_;
   /// pin id -> index within its cell's pin list.
   std::vector<int> local_index_;
+
+  // --- per-cell absolute pin-position cache (lazy, batch-refilled) ----------
+  mutable std::vector<Point> pin_pos_;            ///< per pin
+  mutable std::vector<std::uint8_t> pin_pos_ok_;  ///< per cell validity
+  /// Memoized bounds_computable verdict: 0 unknown, 1 sound, -1 unsound.
+  /// Invalidated with the pin cache on every mutation.
+  mutable std::vector<std::int8_t> sound_;
+
+  // --- incremental net-bound cache (empty until the constructor's final
+  // --- resync, during which mutators skip maintenance) ---------------------
+  std::vector<NetBounds> net_bounds_;
+  std::vector<std::uint32_t> net_mark_;  ///< rescan-pending stamps
+  std::uint32_t net_epoch_ = 0;
+  std::vector<NetId> rescan_;            ///< nets needing a full rescan
+  int bounds_depth_ = 0;                 ///< mutator nesting depth
+  std::array<CellId, 2> open_cells_{};   ///< cells of the open bracket
+  std::size_t num_open_cells_ = 0;
+
+  // --- rollback checkpoint (captured by bounds_open, reused buffers) --------
+  struct PinCkpt {
+    CellId cell = -1;
+    std::uint8_t ok = 0;        ///< pin_pos_ok_ at checkpoint time
+    std::vector<Point> pos;     ///< cached positions of the cell's pins
+  };
+  std::vector<std::pair<NetId, NetBounds>> bounds_ckpt_;
+  std::array<PinCkpt, 2> pin_ckpt_;
+  std::size_t num_ckpt_cells_ = 0;
+  bool ckpt_valid_ = false;
 };
 
 }  // namespace tw

@@ -16,109 +16,65 @@ Stage1Placer::Stage1Placer(const Netlist& nl, Stage1Params params,
                            std::uint64_t seed)
     : nl_(nl), params_(params), rng_(seed), estimator_(nl, params.wire) {}
 
-Stage1Placer::MoveOutcome Stage1Placer::judge(
-    Placement& placement, OverlapEngine& overlap, CostModel& model,
-    std::span<const CellId> cells, std::span<const CellState> saved,
-    const CostTerms& before, double t) {
-  TW_ASSERT(cells.size() == saved.size(), "cells=", cells.size(),
-            " snapshots=", saved.size());
+Stage1Placer::MoveOutcome Stage1Placer::decide(MoveTxn& txn, double t,
+                                               const char* what) {
   TW_ASSERT(t >= 0.0, "t=", t);  // t == 0: quench, improvements only
-  CostTerms after;
-  after.c1 = model.partial_c1(cells);
-  after.c2_raw = model.partial_c2_raw(cells);
-  after.c3 = model.partial_c3(cells);
-  const double delta = model.total(after) - model.total(before);
-
   MoveOutcome out;
   out.attempted_valid = true;
-  out.delta = delta;
-  if (metropolis_accept(delta, t, rng_)) {
+  out.delta = txn.evaluate();
+  if (metropolis_accept(out.delta, t, rng_)) {
     out.accepted = true;
-    current_.c1 += after.c1 - before.c1;
-    current_.c2_raw += after.c2_raw - before.c2_raw;
-    current_.c3 += after.c3 - before.c3;
-    if (audit_ != nullptr) audit_->on_accept(current_, "stage1 move");
+    txn.commit(current_);
+    if (audit_ != nullptr) audit_->on_accept(current_, what);
     if (hooks_.faults != nullptr)
       hooks_.faults->poll(recover::FaultSite::kStage1Accept);
   } else {
-    for (std::size_t k = 0; k < cells.size(); ++k) {
-      placement.restore(cells[k], saved[k]);
-      overlap.refresh(cells[k]);
-    }
+    txn.revert();
   }
   return out;
 }
 
-Stage1Placer::MoveOutcome Stage1Placer::try_displacement(Placement& p,
-                                                         OverlapEngine& ov,
-                                                         CostModel& m,
+Stage1Placer::MoveOutcome Stage1Placer::try_displacement(MoveTxn& txn,
                                                          CellId i,
                                                          Point target,
                                                          double t) {
-  const CellId cells[] = {i};
-  const CellState saved[] = {p.snapshot(i)};
-  CostTerms before;
-  before.c1 = m.partial_c1(cells);
-  before.c2_raw = m.partial_c2_raw(cells);
-  before.c3 = m.partial_c3(cells);
-
-  p.set_center(i, target);
-  ov.refresh(i);
-  return judge(p, ov, m, cells, saved, before, t);
+  txn.begin(i);
+  txn.set_center(i, target);
+  return decide(txn, t, "stage1 move");
 }
 
-Stage1Placer::MoveOutcome Stage1Placer::try_orient_change(Placement& p,
-                                                          OverlapEngine& ov,
-                                                          CostModel& m,
+Stage1Placer::MoveOutcome Stage1Placer::try_orient_change(MoveTxn& txn,
                                                           CellId i, Orient o,
                                                           double t) {
-  const CellId cells[] = {i};
-  const CellState saved[] = {p.snapshot(i)};
-  CostTerms before;
-  before.c1 = m.partial_c1(cells);
-  before.c2_raw = m.partial_c2_raw(cells);
-  before.c3 = m.partial_c3(cells);
-
-  p.set_orient(i, o);
-  ov.refresh(i);
-  return judge(p, ov, m, cells, saved, before, t);
+  txn.begin(i);
+  txn.set_orient(i, o);
+  return decide(txn, t, "stage1 move");
 }
 
-Stage1Placer::MoveOutcome Stage1Placer::try_interchange(Placement& p,
-                                                        OverlapEngine& ov,
-                                                        CostModel& m, CellId i,
+Stage1Placer::MoveOutcome Stage1Placer::try_interchange(const Placement& p,
+                                                        MoveTxn& txn, CellId i,
                                                         CellId j,
                                                         bool invert_aspects,
                                                         double t) {
-  const CellId cells[] = {i, j};
-  const CellState saved[] = {p.snapshot(i), p.snapshot(j)};
-  CostTerms before;
-  before.c1 = m.partial_c1(cells);
-  before.c2_raw = m.partial_c2_raw(cells);
-  before.c3 = m.partial_c3(cells);
-
   const Point ci = p.state(i).center;
   const Point cj = p.state(j).center;
-  p.set_center(i, cj);
-  p.set_center(j, ci);
+  txn.begin(i, j);
+  txn.set_center(i, cj);
+  txn.set_center(j, ci);
   if (invert_aspects) {
-    p.set_orient(i, aspect_inverted(p.state(i).orient));
-    p.set_orient(j, aspect_inverted(p.state(j).orient));
+    txn.set_orient(i, aspect_inverted(p.state(i).orient));
+    txn.set_orient(j, aspect_inverted(p.state(j).orient));
   }
-  ov.refresh(i);
-  ov.refresh(j);
-  return judge(p, ov, m, cells, saved, before, t);
+  return decide(txn, t, "stage1 move");
 }
 
-Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
-                                                     OverlapEngine& ov,
-                                                     CostModel& m, CellId i,
+Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(MoveTxn& txn, CellId i,
                                                      double t) {
-  (void)ov;  // pin moves never change the cell outline
   const Cell& cell = nl_.cell(i);
 
   // Candidate movable units: groups, plus loose (kEdge) pins.
-  std::vector<int> loose;
+  std::vector<int>& loose = txn.scratch_ints();
+  loose.clear();
   for (std::size_t k = 0; k < cell.pins.size(); ++k)
     if (nl_.pin(cell.pins[k]).commit == PinCommit::kEdge)
       loose.push_back(static_cast<int>(k));
@@ -129,7 +85,8 @@ Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
   // C2 cannot change, and C3 is confined to this cell.
   const auto pick = static_cast<std::size_t>(
       rng_.uniform_int(0, static_cast<std::int64_t>(units) - 1));
-  std::vector<NetId> nets;
+  std::vector<NetId>& nets = txn.scratch_nets();
+  nets.clear();
   if (pick < cell.groups.size()) {
     for (PinId pid : cell.groups[pick].pins) nets.push_back(nl_.pin(pid).net);
   } else {
@@ -139,10 +96,7 @@ Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
   std::sort(nets.begin(), nets.end());
   nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
 
-  const CellState saved = p.snapshot(i);
-  const double c1_before = m.net_cost_sum(nets);
-  const double c3_before = p.site_penalty(i, m.params().kappa);
-
+  txn.begin_pins(i, nets);
   if (pick < cell.groups.size()) {
     const auto g = static_cast<GroupId>(pick);
     const auto sides = sides_in_mask(cell.groups[pick].side_mask);
@@ -150,52 +104,26 @@ Stage1Placer::MoveOutcome Stage1Placer::try_pin_move(Placement& p,
         rng_.uniform_int(0, static_cast<std::int64_t>(sides.size()) - 1))];
     const int start =
         static_cast<int>(rng_.uniform_int(0, cell.sites_per_edge - 1));
-    p.assign_group(i, g, side, start);
+    txn.assign_group(g, side, start);
   } else {
     const int local = loose[pick - cell.groups.size()];
     const Pin& pin = nl_.pin(cell.pins[static_cast<std::size_t>(local)]);
-    const auto legal = sites_in_mask(pin.side_mask, cell.sites_per_edge);
-    const int site = legal[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(legal.size()) - 1))];
-    p.assign_pin_to_site(i, local, site);
+    const int count = num_sites_in_mask(pin.side_mask, cell.sites_per_edge);
+    const int site = nth_site_in_mask(
+        pin.side_mask,
+        static_cast<int>(rng_.uniform_int(0, count - 1)),
+        cell.sites_per_edge);
+    txn.assign_pin_to_site(local, site);
   }
-
-  const double c1_after = m.net_cost_sum(nets);
-  const double c3_after = p.site_penalty(i, m.params().kappa);
-  const double delta = (c1_after - c1_before) + (c3_after - c3_before);
-
-  MoveOutcome out;
-  out.attempted_valid = true;
-  out.delta = delta;
-  if (metropolis_accept(delta, t, rng_)) {
-    out.accepted = true;
-    current_.c1 += c1_after - c1_before;
-    current_.c3 += c3_after - c3_before;
-    // A pin move cannot change C2 (the cell outline is untouched); the
-    // audit checkpoint verifies exactly that assumption.
-    if (audit_ != nullptr) audit_->on_accept(current_, "stage1 pin move");
-    if (hooks_.faults != nullptr)
-      hooks_.faults->poll(recover::FaultSite::kStage1Accept);
-  } else {
-    p.restore(i, saved);
-  }
-  return out;
+  return decide(txn, t, "stage1 pin move");
 }
 
-Stage1Placer::MoveOutcome Stage1Placer::try_aspect_change(Placement& p,
-                                                          OverlapEngine& ov,
-                                                          CostModel& m,
+Stage1Placer::MoveOutcome Stage1Placer::try_aspect_change(MoveTxn& txn,
                                                           CellId i, double t) {
   const Cell& cell = nl_.cell(i);
   if (!cell.has_aspect_freedom()) return {};
 
-  const CellId cells[] = {i};
-  const CellState saved[] = {p.snapshot(i)};
-  CostTerms before;
-  before.c1 = m.partial_c1(cells);
-  before.c2_raw = m.partial_c2_raw(cells);
-  before.c3 = m.partial_c3(cells);
-
+  txn.begin(i);
   double aspect;
   if (!cell.discrete_aspects.empty()) {
     aspect = cell.discrete_aspects[static_cast<std::size_t>(rng_.uniform_int(
@@ -203,34 +131,24 @@ Stage1Placer::MoveOutcome Stage1Placer::try_aspect_change(Placement& p,
   } else {
     aspect = rng_.uniform_real(cell.aspect_lo, cell.aspect_hi);
   }
-  p.set_aspect(i, aspect);
-  ov.refresh(i);
-  return judge(p, ov, m, cells, saved, before, t);
+  txn.set_aspect(i, aspect);
+  return decide(txn, t, "stage1 move");
 }
 
-Stage1Placer::MoveOutcome Stage1Placer::try_instance_change(Placement& p,
-                                                            OverlapEngine& ov,
-                                                            CostModel& m,
-                                                            CellId i,
-                                                            double t) {
+Stage1Placer::MoveOutcome Stage1Placer::try_instance_change(
+    const Placement& p, MoveTxn& txn, CellId i, double t) {
   const Cell& cell = nl_.cell(i);
   if (cell.instances.size() < 2) return {};
 
-  const CellId cells[] = {i};
-  const CellState saved[] = {p.snapshot(i)};
-  CostTerms before;
-  before.c1 = m.partial_c1(cells);
-  before.c2_raw = m.partial_c2_raw(cells);
-  before.c3 = m.partial_c3(cells);
-
+  const InstanceId cur = p.state(i).instance;
+  txn.begin(i);
   // A different instance, uniformly among the alternatives.
-  InstanceId k = saved[0].instance;
-  while (k == saved[0].instance)
+  InstanceId k = cur;
+  while (k == cur)
     k = static_cast<InstanceId>(rng_.uniform_int(
         0, static_cast<std::int64_t>(cell.instances.size()) - 1));
-  p.set_instance(i, k);
-  ov.refresh(i);
-  return judge(p, ov, m, cells, saved, before, t);
+  txn.set_instance(i, k);
+  return decide(txn, t, "stage1 move");
 }
 
 Stage1Result Stage1Placer::run(Placement& placement) {
@@ -322,6 +240,7 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
   current_ = model.full();
   CostAudit audit(model, params_.audit);
   audit_ = &audit;
+  MoveTxn txn(placement, overlap, model);
 
   const CoolingSchedule schedule = CoolingSchedule::stage1();
   RangeLimiter limiter(core.width(), core.height(), result.t_infinity,
@@ -402,27 +321,21 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
         const Point target{std::clamp(c0.x + d.x, core.xlo, core.xhi),
                            std::clamp(c0.y + d.y, core.ylo, core.yhi)};
 
-        MoveOutcome out = try_displacement(placement, overlap, model, i, target, t);
+        MoveOutcome out = try_displacement(txn, i, target, t);
         acc.record(out.accepted);
         if (!out.accepted) {
           // A'(i, x, y): same displacement, aspect ratio inverted.
-          const CellState saved = placement.snapshot(i);
-          const CellId cells[] = {i};
-          CostTerms before;
-          before.c1 = model.partial_c1(cells);
-          before.c2_raw = model.partial_c2_raw(cells);
-          before.c3 = model.partial_c3(cells);
-          placement.set_center(i, target);
-          placement.set_orient(i, aspect_inverted(saved.orient));
-          overlap.refresh(i);
-          const CellState savedArr[] = {saved};
-          out = judge(placement, overlap, model, cells, savedArr, before, t);
+          const Orient o0 = placement.state(i).orient;
+          txn.begin(i);
+          txn.set_center(i, target);
+          txn.set_orient(i, aspect_inverted(o0));
+          out = decide(txn, t, "stage1 move");
           acc.record(out.accepted);
           if (!out.accepted) {
             // A_o(i): randomly-chosen orientation change in place.
             const Orient o = kAllOrients[static_cast<std::size_t>(
                 rng_.uniform_int(0, 7))];
-            out = try_orient_change(placement, overlap, model, i, o, t);
+            out = try_orient_change(txn, i, o, t);
             acc.record(out.accepted);
           }
         }
@@ -433,18 +346,16 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
           for (PinId pid : nl_.cell(i).pins)
             if (!nl_.pin(pid).committed()) ++uncommitted;
           for (int k = 0; k < uncommitted; ++k) {
-            const MoveOutcome pm = try_pin_move(placement, overlap, model, i, t);
+            const MoveOutcome pm = try_pin_move(txn, i, t);
             if (pm.attempted_valid) acc.record(pm.accepted);
           }
-          const MoveOutcome am =
-              try_aspect_change(placement, overlap, model, i, t);
+          const MoveOutcome am = try_aspect_change(txn, i, t);
           if (am.attempted_valid) acc.record(am.accepted);
         } else if (nl_.cell(i).instances.size() > 1) {
           // Instance selection (Section 1: "the cells may have several
           // possible instances, whereby TimberWolfMC is to select the one
           // which is most suitable").
-          const MoveOutcome im =
-              try_instance_change(placement, overlap, model, i, t);
+          const MoveOutcome im = try_instance_change(placement, txn, i, t);
           if (im.attempted_valid) acc.record(im.accepted);
         }
       } else {
@@ -454,11 +365,10 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
         CellId j = i;
         while (j == i)
           j = static_cast<CellId>(rng_.uniform_int(0, num_cells - 1));
-        MoveOutcome out =
-            try_interchange(placement, overlap, model, i, j, false, t);
+        MoveOutcome out = try_interchange(placement, txn, i, j, false, t);
         acc.record(out.accepted);
         if (!out.accepted) {
-          out = try_interchange(placement, overlap, model, i, j, true, t);
+          out = try_interchange(placement, txn, i, j, true, t);
           acc.record(out.accepted);
         }
       }
@@ -496,11 +406,13 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
     // Graceful degradation: one improvements-only sweep, then keep the
     // better of (quenched current, best-so-far) — never an arbitrary
     // mid-anneal state.
-    quench(placement, overlap, model, core, inner);
+    quench(placement, txn, core, inner);
     current_ = model.full();
     if (model.total(current_) > best_cost) {
+      // Bulk rollback to the tracked best state: not a per-move
+      // transaction, so it legitimately bypasses MoveTxn.
       for (CellId i = 0; i < num_cells; ++i)
-        placement.restore(i, best[static_cast<std::size_t>(i)]);
+        placement.restore(i, best[static_cast<std::size_t>(i)]);  // lint: allow(txn-mutation)
       overlap.refresh_all();
       current_ = model.full();
     }
@@ -523,8 +435,7 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
   return result;
 }
 
-void Stage1Placer::quench(Placement& placement, OverlapEngine& overlap,
-                          CostModel& model, const Rect& core,
+void Stage1Placer::quench(Placement& placement, MoveTxn& txn, const Rect& core,
                           long long inner) {
   // T = 0: metropolis_accept takes only delta <= 0 (and consumes no RNG),
   // so one sweep of minimum-window displacements monotonically cleans up
@@ -538,12 +449,11 @@ void Stage1Placer::quench(Placement& placement, OverlapEngine& overlap,
     const Point d = select_displacement(rng_, span, span, params_.selector);
     const Point target{std::clamp(c0.x + d.x, core.xlo, core.xhi),
                        std::clamp(c0.y + d.y, core.ylo, core.yhi)};
-    const MoveOutcome out =
-        try_displacement(placement, overlap, model, i, target, 0.0);
+    const MoveOutcome out = try_displacement(txn, i, target, 0.0);
     if (!out.accepted) {
       const Orient o =
           kAllOrients[static_cast<std::size_t>(rng_.uniform_int(0, 7))];
-      (void)try_orient_change(placement, overlap, model, i, o, 0.0);
+      (void)try_orient_change(txn, i, o, 0.0);
     }
   }
 }

@@ -27,6 +27,7 @@
 #include "anneal/schedule.hpp"
 #include "check/cost_audit.hpp"
 #include "place/cost.hpp"
+#include "place/move_txn.hpp"
 #include "recover/budget.hpp"
 #include "recover/fault.hpp"
 
@@ -178,33 +179,26 @@ private:
     double delta = 0.0;
   };
 
-  /// Evaluates the placement mutation already applied to `cells`
-  /// (snapshots in `saved`), accepting or reverting it.
-  MoveOutcome judge(Placement& placement, OverlapEngine& overlap,
-                    CostModel& model, std::span<const CellId> cells,
-                    std::span<const CellState> saved,
-                    const CostTerms& before, double t);
+  /// Metropolis-judges the open transaction: evaluates it, then commits
+  /// (folding the delta into `current_` and notifying the audit/fault
+  /// hooks) or reverts. `what` labels the audit checkpoint.
+  MoveOutcome decide(MoveTxn& txn, double t, const char* what);
 
-  MoveOutcome try_displacement(Placement& p, OverlapEngine& ov,
-                               CostModel& m, CellId i, Point target, double t);
-  MoveOutcome try_orient_change(Placement& p, OverlapEngine& ov, CostModel& m,
-                                CellId i, Orient o, double t);
-  MoveOutcome try_interchange(Placement& p, OverlapEngine& ov, CostModel& m,
-                              CellId i, CellId j, bool invert_aspects,
-                              double t);
-  MoveOutcome try_pin_move(Placement& p, OverlapEngine& ov, CostModel& m,
-                           CellId i, double t);
-  MoveOutcome try_aspect_change(Placement& p, OverlapEngine& ov, CostModel& m,
-                                CellId i, double t);
-  MoveOutcome try_instance_change(Placement& p, OverlapEngine& ov,
-                                  CostModel& m, CellId i, double t);
+  MoveOutcome try_displacement(MoveTxn& txn, CellId i, Point target, double t);
+  MoveOutcome try_orient_change(MoveTxn& txn, CellId i, Orient o, double t);
+  MoveOutcome try_interchange(const Placement& p, MoveTxn& txn, CellId i,
+                              CellId j, bool invert_aspects, double t);
+  MoveOutcome try_pin_move(MoveTxn& txn, CellId i, double t);
+  MoveOutcome try_aspect_change(MoveTxn& txn, CellId i, double t);
+  MoveOutcome try_instance_change(const Placement& p, MoveTxn& txn, CellId i,
+                                  double t);
 
   Stage1Result run_impl(Placement& placement, const Stage1Cursor* cursor);
 
   /// One improvements-only sweep (T = 0): the graceful wind-down after a
   /// budget expiry or cancellation.
-  void quench(Placement& placement, OverlapEngine& overlap, CostModel& model,
-              const Rect& core, long long inner);
+  void quench(Placement& placement, MoveTxn& txn, const Rect& core,
+              long long inner);
 
   const Netlist& nl_;
   Stage1Params params_;

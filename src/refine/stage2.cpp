@@ -8,6 +8,7 @@
 #include "check/contracts.hpp"
 #include "check/validate.hpp"
 #include "place/legalize.hpp"
+#include "place/move_txn.hpp"
 #include "route/channel_router.hpp"
 #include "util/log.hpp"
 
@@ -89,6 +90,7 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
 
   CostTerms current = model.full();
   CostAudit audit(model, params_.audit);
+  MoveTxn txn(placement, overlap, model);
   recover::RunBudget* budget = hooks_.budget;
   const int checkpoint_every = std::max(1, hooks_.checkpoint_every);
   double t = entry.t;
@@ -115,7 +117,8 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
         // Move one uncommitted pin or group to a new legal site. Only the
         // moved pins' nets and this cell's site penalty can change.
         const Cell& cell = nl_.cell(i);
-        std::vector<int> loose;
+        std::vector<int>& loose = txn.scratch_ints();
+        loose.clear();
         for (std::size_t k = 0; k < cell.pins.size(); ++k)
           if (nl_.pin(cell.pins[k]).commit == PinCommit::kEdge)
             loose.push_back(static_cast<int>(k));
@@ -124,7 +127,8 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
         const auto pick = static_cast<std::size_t>(
             rng_.uniform_int(0, static_cast<std::int64_t>(units) - 1));
 
-        std::vector<NetId> nets;
+        std::vector<NetId>& nets = txn.scratch_nets();
+        nets.clear();
         if (pick < cell.groups.size()) {
           for (PinId pid : cell.groups[pick].pins)
             nets.push_back(nl_.pin(pid).net);
@@ -136,73 +140,49 @@ int Stage2Refiner::anneal(Placement& placement, OverlapEngine& overlap,
         std::sort(nets.begin(), nets.end());
         nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
 
-        const CellState saved = placement.snapshot(i);
-        const double c1_before = model.net_cost_sum(nets);
-        const double c3_before =
-            placement.site_penalty(i, model.params().kappa);
-
+        txn.begin_pins(i, nets);
         if (pick < cell.groups.size()) {
           const auto sides = sides_in_mask(cell.groups[pick].side_mask);
           const Side side = sides[static_cast<std::size_t>(rng_.uniform_int(
               0, static_cast<std::int64_t>(sides.size()) - 1))];
-          placement.assign_group(
-              i, static_cast<GroupId>(pick), side,
+          txn.assign_group(
+              static_cast<GroupId>(pick), side,
               static_cast<int>(rng_.uniform_int(0, cell.sites_per_edge - 1)));
         } else {
           const int local = loose[pick - cell.groups.size()];
           const Pin& pin = nl_.pin(cell.pins[static_cast<std::size_t>(local)]);
           const auto legal = sites_in_mask(pin.side_mask, cell.sites_per_edge);
-          placement.assign_pin_to_site(
-              i, local,
-              legal[static_cast<std::size_t>(rng_.uniform_int(
-                  0, static_cast<std::int64_t>(legal.size()) - 1))]);
+          txn.assign_pin_to_site(
+              local, legal[static_cast<std::size_t>(rng_.uniform_int(
+                         0, static_cast<std::int64_t>(legal.size()) - 1))]);
         }
 
-        const double c1_after = model.net_cost_sum(nets);
-        const double c3_after = placement.site_penalty(i, model.params().kappa);
-        const double delta = (c1_after - c1_before) + (c3_after - c3_before);
-        if (metropolis_accept(delta, sweep_t, rng_)) {
-          current.c1 += c1_after - c1_before;
-          current.c3 += c3_after - c3_before;
+        if (metropolis_accept(txn.evaluate(), sweep_t, rng_)) {
+          txn.commit(current);
           audit.on_accept(current, "stage2 pin move");
           if (hooks_.faults != nullptr)
             hooks_.faults->poll(recover::FaultSite::kStage2Accept);
         } else {
-          placement.restore(i, saved);
+          txn.revert();
         }
         continue;
       }
 
-      const CellId cells[] = {i};
-      const CellState saved = placement.snapshot(i);
-      CostTerms before;
-      before.c1 = model.partial_c1(cells);
-      before.c2_raw = model.partial_c2_raw(cells);
-      before.c3 = model.partial_c3(cells);
-
+      txn.begin(i);
       const Point c0 = placement.state(i).center;
       const Point d = select_displacement(rng_, limiter.window_x(sweep_t),
                                           limiter.window_y(sweep_t),
                                           PointSelect::kStructured);
-      placement.set_center(i, {std::clamp(c0.x + d.x, core.xlo, core.xhi),
-                               std::clamp(c0.y + d.y, core.ylo, core.yhi)});
-      overlap.refresh(i);
+      txn.set_center(i, {std::clamp(c0.x + d.x, core.xlo, core.xhi),
+                         std::clamp(c0.y + d.y, core.ylo, core.yhi)});
 
-      CostTerms after;
-      after.c1 = model.partial_c1(cells);
-      after.c2_raw = model.partial_c2_raw(cells);
-      after.c3 = model.partial_c3(cells);
-      const double delta = model.total(after) - model.total(before);
-      if (metropolis_accept(delta, sweep_t, rng_)) {
-        current.c1 += after.c1 - before.c1;
-        current.c2_raw += after.c2_raw - before.c2_raw;
-        current.c3 += after.c3 - before.c3;
+      if (metropolis_accept(txn.evaluate(), sweep_t, rng_)) {
+        txn.commit(current);
         audit.on_accept(current, "stage2 move");
         if (hooks_.faults != nullptr)
           hooks_.faults->poll(recover::FaultSite::kStage2Accept);
       } else {
-        placement.restore(i, saved);
-        overlap.refresh(i);
+        txn.revert();
       }
     }
     return true;

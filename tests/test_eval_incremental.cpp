@@ -1,0 +1,374 @@
+// Equivalence fuzz for the incremental evaluation core (docs/PERF.md):
+// the spatial bin index, the net-bound cache, and the MoveTxn layer must
+// be *exactly* equivalent to from-scratch evaluation after any sequence
+// of moves, commits and reverts.
+//
+// The fuzz drives thousands of randomized annealer-shaped moves
+// (displacement, orientation, interchange, aspect, instance, pin/group
+// moves) through a MoveTxn with random commit/revert decisions, and after
+// every move asserts:
+//   * OverlapEngine::total_overlap() == total_overlap_naive()  (index
+//     never prunes a real overlap — integer-exact),
+//   * Placement::net_bounds_drift() is empty (cache == full pin rescan),
+//   * the running CostTerms maintained from committed deltas match a
+//     from-scratch CostModel::full() (C2 exactly; C1/C3 to fp tolerance).
+// Environment changes outside the transaction layer (set_expansions,
+// set_core, direct mutator + refresh) are interleaved to cover the
+// stage-2 and resynchronization paths.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+
+#include "estimator/area_estimator.hpp"
+#include "geom/bins.hpp"
+#include "place/move_txn.hpp"
+#include "util/rng.hpp"
+#include "workload/generator.hpp"
+
+namespace tw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// BinGrid unit tests
+// ---------------------------------------------------------------------------
+
+TEST(BinGrid, DegenerateExtentIsSingleBin) {
+  const BinGrid g = BinGrid::make(Rect{5, 5, 5, 5}, 100, 64);
+  EXPECT_EQ(g.nx, 1);
+  EXPECT_EQ(g.ny, 1);
+  EXPECT_EQ(g.num_bins(), 1);
+  EXPECT_EQ(g.x_of(-1000), 0);
+  EXPECT_EQ(g.x_of(1000), 0);
+}
+
+TEST(BinGrid, ClampsOutOfExtentCoordinates) {
+  const BinGrid g = BinGrid::make(Rect{0, 0, 100, 100}, 10, 64);
+  EXPECT_GT(g.nx, 1);
+  EXPECT_EQ(g.x_of(-50), 0);
+  EXPECT_EQ(g.x_of(0), 0);
+  EXPECT_EQ(g.x_of(100), g.nx - 1);
+  EXPECT_EQ(g.x_of(100000), g.nx - 1);
+  EXPECT_EQ(g.y_of(-7), 0);
+  EXPECT_EQ(g.y_of(100000), g.ny - 1);
+}
+
+TEST(BinGrid, RespectsMaxBinsPerAxis) {
+  const BinGrid g = BinGrid::make(Rect{0, 0, 1000000, 1000000}, 1, 16);
+  EXPECT_LE(g.nx, 16);
+  EXPECT_LE(g.ny, 16);
+}
+
+TEST(BinGrid, InvalidRectMapsToSingleBin) {
+  const BinGrid g = BinGrid::make(Rect{0, 0, 100, 100}, 10, 64);
+  const BinGrid::Range r = g.range(Rect{50, 50, 40, 40});  // xhi < xlo
+  EXPECT_EQ(r.x0, r.x1);
+  EXPECT_EQ(r.y0, r.y1);
+}
+
+TEST(BinGrid, MappingIsMonotone) {
+  const BinGrid g = BinGrid::make(Rect{-37, -11, 113, 257}, 9, 64);
+  for (Coord x = -60; x <= 140; ++x) EXPECT_LE(g.x_of(x), g.x_of(x + 1));
+  for (Coord y = -40; y <= 280; ++y) EXPECT_LE(g.y_of(y), g.y_of(y + 1));
+}
+
+// Monotonicity + clamping imply the index invariant directly, but assert
+// it explicitly on random rect pairs: rects with positive overlap area
+// always share at least one bin.
+TEST(BinGrid, OverlappingRectsShareABin) {
+  const BinGrid g = BinGrid::make(Rect{0, 0, 500, 400}, 37, 64);
+  Rng rng(99);
+  for (int it = 0; it < 2000; ++it) {
+    const Coord ax = rng.uniform_int(-50, 500);
+    const Coord ay = rng.uniform_int(-50, 450);
+    const Rect a{ax, ay, ax + rng.uniform_int(1, 120),
+                 ay + rng.uniform_int(1, 120)};
+    const Coord bx = rng.uniform_int(-50, 500);
+    const Coord by = rng.uniform_int(-50, 450);
+    const Rect b{bx, by, bx + rng.uniform_int(1, 120),
+                 by + rng.uniform_int(1, 120)};
+    if (a.overlap_area(b) <= 0) continue;
+    const BinGrid::Range ra = g.range(a);
+    const BinGrid::Range rb = g.range(b);
+    EXPECT_TRUE(ra.x0 <= rb.x1 && rb.x0 <= ra.x1 && ra.y0 <= rb.y1 &&
+                rb.y0 <= ra.y1)
+        << "overlapping rects landed in disjoint bin ranges";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence fuzz
+// ---------------------------------------------------------------------------
+
+void expect_terms_match(const CostTerms& running, const CostTerms& full,
+                        long long step) {
+  // C1/C3 accumulate float deltas; C2 deltas are integer-valued doubles,
+  // so the running overlap must match the recomputation *exactly*.
+  const double e1 = 1e-6 * std::max(1.0, std::abs(full.c1));
+  const double e3 = 1e-6 * std::max(1.0, std::abs(full.c3));
+  EXPECT_NEAR(running.c1, full.c1, e1) << "C1 drifted at step " << step;
+  EXPECT_EQ(running.c2_raw, full.c2_raw) << "C2 drifted at step " << step;
+  EXPECT_NEAR(running.c3, full.c3, e3) << "C3 drifted at step " << step;
+}
+
+struct FuzzConfig {
+  bool dynamic_engine = false;   ///< estimator-driven expansions (stage 1)
+  bool env_changes = false;      ///< set_expansions / set_core / direct moves
+  std::uint64_t seed = 1;
+  int moves = 1200;
+};
+
+void run_fuzz(const Netlist& nl, const FuzzConfig& cfg) {
+  Placement p(nl);
+  Rng rng(cfg.seed);
+  DynamicAreaEstimator est(nl);
+  Rect core = est.compute_initial_core(1.0);
+
+  std::optional<OverlapEngine> ov;
+  if (cfg.dynamic_engine) {
+    ov.emplace(p, est);
+  } else {
+    // Static mode with a nominal uniform spacing, like stage 2.
+    const Coord e = static_cast<Coord>(std::ceil(0.25 * est.channel_width()));
+    ov.emplace(p, core,
+               std::vector<std::array<Coord, 4>>(nl.num_cells(),
+                                                 std::array<Coord, 4>{
+                                                     e, e, e, e}));
+  }
+
+  p.randomize(rng, core);
+  ov->refresh_all();
+
+  CostModel model(p, *ov);
+  model.set_p2(0.5);
+  MoveTxn txn(p, *ov, model);
+  CostTerms running = model.full();
+
+  const auto num_cells = static_cast<std::int64_t>(nl.num_cells());
+  ASSERT_GE(num_cells, 2);
+
+  for (int step = 0; step < cfg.moves; ++step) {
+    const CellId i = static_cast<CellId>(rng.uniform_int(0, num_cells - 1));
+    const Cell& cell = nl.cell(i);
+    const int kind = static_cast<int>(rng.uniform_int(0, 7));
+    bool opened = false;
+
+    switch (kind) {
+      case 0: {  // displacement (optionally with an orientation flip)
+        txn.begin(i);
+        txn.set_center(i, Point{rng.uniform_int(core.xlo, core.xhi),
+                                rng.uniform_int(core.ylo, core.yhi)});
+        if (rng.bernoulli(0.3))
+          txn.set_orient(i, aspect_inverted(p.state(i).orient));
+        opened = true;
+        break;
+      }
+      case 1: {  // orientation change
+        txn.begin(i);
+        txn.set_orient(i, static_cast<Orient>(rng.uniform_int(0, 7)));
+        opened = true;
+        break;
+      }
+      case 2: {  // pairwise interchange
+        CellId j = i;
+        while (j == i)
+          j = static_cast<CellId>(rng.uniform_int(0, num_cells - 1));
+        txn.begin(i, j);
+        const Point ci = p.state(i).center;
+        const Point cj = p.state(j).center;
+        txn.set_center(i, cj);
+        txn.set_center(j, ci);
+        if (rng.bernoulli(0.25)) {
+          txn.set_orient(i, aspect_inverted(p.state(i).orient));
+          txn.set_orient(j, aspect_inverted(p.state(j).orient));
+        }
+        opened = true;
+        break;
+      }
+      case 3: {  // aspect change (custom cells)
+        if (!cell.has_aspect_freedom()) break;
+        txn.begin(i);
+        txn.set_aspect(i, rng.uniform_real(cell.aspect_lo, cell.aspect_hi));
+        opened = true;
+        break;
+      }
+      case 4: {  // instance change
+        if (cell.instances.size() < 2) break;
+        txn.begin(i);
+        txn.set_instance(i, static_cast<InstanceId>(rng.uniform_int(
+                                0,
+                                static_cast<std::int64_t>(
+                                    cell.instances.size()) -
+                                    1)));
+        opened = true;
+        break;
+      }
+      case 5: {  // pin / pin-group move (custom cells)
+        if (!cell.is_custom()) break;
+        std::vector<int>& loose = txn.scratch_ints();
+        loose.clear();
+        for (std::size_t k = 0; k < cell.pins.size(); ++k)
+          if (nl.pin(cell.pins[k]).commit == PinCommit::kEdge)
+            loose.push_back(static_cast<int>(k));
+        const std::size_t units = cell.groups.size() + loose.size();
+        if (units == 0) break;
+        const auto pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(units) - 1));
+        std::vector<NetId>& nets = txn.scratch_nets();
+        nets.clear();
+        if (pick < cell.groups.size()) {
+          for (PinId pid : cell.groups[pick].pins)
+            nets.push_back(nl.pin(pid).net);
+        } else {
+          const int local = loose[pick - cell.groups.size()];
+          nets.push_back(
+              nl.pin(cell.pins[static_cast<std::size_t>(local)]).net);
+        }
+        std::sort(nets.begin(), nets.end());
+        nets.erase(std::unique(nets.begin(), nets.end()), nets.end());
+        txn.begin_pins(i, nets);
+        if (pick < cell.groups.size()) {
+          const auto g = static_cast<GroupId>(pick);
+          const auto sides = sides_in_mask(cell.groups[pick].side_mask);
+          const Side side = sides[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(sides.size()) - 1))];
+          txn.assign_group(
+              g, side,
+              static_cast<int>(rng.uniform_int(0, cell.sites_per_edge - 1)));
+        } else {
+          const int local = loose[pick - cell.groups.size()];
+          const Pin& pin = nl.pin(cell.pins[static_cast<std::size_t>(local)]);
+          const auto legal = sites_in_mask(pin.side_mask, cell.sites_per_edge);
+          txn.assign_pin_to_site(
+              local, legal[static_cast<std::size_t>(rng.uniform_int(
+                         0, static_cast<std::int64_t>(legal.size()) - 1))]);
+        }
+        opened = true;
+        break;
+      }
+      case 6: {  // environment change: expansions / core (outside any txn)
+        if (!cfg.env_changes) break;
+        if (cfg.dynamic_engine || rng.bernoulli(0.4)) {
+          // Grow the core a little (stage 2 does this when the channel
+          // estimate changes). Border overlap changes; resync below.
+          core = Rect{core.xlo - 2, core.ylo - 2, core.xhi + 2, core.yhi + 2};
+          ov->set_core(core);
+          if (cfg.dynamic_engine) {
+            // Changing the estimator's core re-modulates every cell's
+            // expansion, so the engine's caches must be re-derived before
+            // any transaction snapshots them (stage 1 sets the core once,
+            // before annealing, for exactly this reason).
+            est.set_core(core);
+            ov->refresh_all();
+          }
+        } else {
+          const Coord e = rng.uniform_int(0, 8);
+          ov->set_expansions(i, {e, e, e, e});
+        }
+        running = model.full();
+        break;
+      }
+      default: {  // direct mutator + refresh (checkpoint-restore path)
+        if (!cfg.env_changes) break;
+        p.set_center(i, Point{rng.uniform_int(core.xlo, core.xhi),
+                              rng.uniform_int(core.ylo, core.yhi)});
+        ov->refresh(i);
+        running = model.full();
+        break;
+      }
+    }
+
+    if (opened) {
+      const double delta = txn.evaluate();
+      EXPECT_TRUE(std::isfinite(delta));
+      if (rng.bernoulli(0.5))
+        txn.commit(running);
+      else
+        txn.revert();
+      EXPECT_FALSE(txn.active());
+    }
+
+    // --- the three exactness invariants, after *every* step ---------------
+    ASSERT_EQ(ov->total_overlap(), ov->total_overlap_naive())
+        << "spatial index drifted at step " << step;
+    const std::string drift = p.net_bounds_drift();
+    ASSERT_TRUE(drift.empty()) << "step " << step << ": " << drift;
+    expect_terms_match(running, model.full(), step);
+  }
+}
+
+Netlist fuzz_circuit(int cells, std::uint64_t seed) {
+  CircuitSpec spec;
+  spec.name = "eval_fuzz";
+  spec.num_cells = cells;
+  spec.num_nets = cells * 4;
+  spec.num_pins = cells * 16;
+  spec.mean_cell_dim = 60.0;
+  spec.seed = seed;
+  return generate_circuit(spec);
+}
+
+TEST(EvalIncremental, StaticEngineSmallCircuit) {
+  run_fuzz(fuzz_circuit(12, 7), {.dynamic_engine = false,
+                                 .env_changes = false,
+                                 .seed = 101,
+                                 .moves = 1500});
+}
+
+TEST(EvalIncremental, StaticEngineWithEnvironmentChanges) {
+  run_fuzz(fuzz_circuit(16, 11), {.dynamic_engine = false,
+                                  .env_changes = true,
+                                  .seed = 202,
+                                  .moves = 1200});
+}
+
+TEST(EvalIncremental, DynamicEngineSmallCircuit) {
+  run_fuzz(fuzz_circuit(12, 13), {.dynamic_engine = true,
+                                  .env_changes = false,
+                                  .seed = 303,
+                                  .moves = 1500});
+}
+
+TEST(EvalIncremental, DynamicEngineMediumCircuit) {
+  run_fuzz(fuzz_circuit(32, 17), {.dynamic_engine = true,
+                                  .env_changes = true,
+                                  .seed = 404,
+                                  .moves = 900});
+}
+
+// A committed transaction must leave the mutation standing; a reverted one
+// must restore the exact prior state (byte-level via the snapshot).
+TEST(EvalIncremental, CommitAndRevertSemantics) {
+  const Netlist nl = fuzz_circuit(8, 23);
+  Placement p(nl);
+  Rng rng(5);
+  DynamicAreaEstimator est(nl);
+  const Rect core = est.compute_initial_core(1.0);
+  OverlapEngine ov(p, core, {});
+  p.randomize(rng, core);
+  ov.refresh_all();
+  CostModel model(p, ov);
+  MoveTxn txn(p, ov, model);
+  CostTerms running = model.full();
+
+  const Point before = p.state(0).center;
+  txn.begin(0);
+  txn.set_center(0, Point{before.x + 11, before.y - 7});
+  const double delta = txn.evaluate();
+  txn.revert();
+  EXPECT_EQ(p.state(0).center.x, before.x);
+  EXPECT_EQ(p.state(0).center.y, before.y);
+  expect_terms_match(running, model.full(), -1);
+
+  txn.begin(0);
+  txn.set_center(0, Point{before.x + 11, before.y - 7});
+  EXPECT_NEAR(txn.evaluate(), delta, 1e-9 * std::max(1.0, std::abs(delta)));
+  txn.commit(running);
+  EXPECT_EQ(p.state(0).center.x, before.x + 11);
+  expect_terms_match(running, model.full(), -2);
+}
+
+}  // namespace
+}  // namespace tw

@@ -36,9 +36,18 @@ Rules (each reports file:line and exits nonzero on any hit):
      stray thread anywhere else would silently break the determinism
      guarantee and the re-entrancy audit the pool depends on.
 
+  7. No direct placement mutation in the annealers: calls like
+     `placement.set_center(...)` / `placement.restore(...)` are banned in
+     src/place/stage1.cpp and src/refine/stage2.cpp. Every per-move
+     mutation there must go through the MoveTxn transaction layer
+     (src/place/move_txn.hpp), which keeps the overlap engine's spatial
+     index and the net-bound cache in sync and owns snapshot/revert. A
+     bare mutator call would silently desynchronize the incremental
+     evaluation core (docs/PERF.md).
+
 Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
 is one of: float-geom, raw-random, nondeterminism, raw-assert,
-checkpoint-io, raw-thread.
+checkpoint-io, raw-thread, txn-mutation.
 """
 
 from __future__ import annotations
@@ -98,6 +107,21 @@ RULES = [
         re.compile(r"std::j?thread\b|std::async\b|\.detach\s*\("),
         "threads live only in src/pool (ReplicaPool); library code must "
         "stay single-threaded and deterministic",
+    ),
+    (
+        "txn-mutation",
+        lambda rel: str(rel) in (
+            "src/place/stage1.cpp",
+            "src/refine/stage2.cpp",
+        ),
+        re.compile(
+            r"\b(p|placement)\.(set_center|set_orient|set_instance"
+            r"|set_aspect|assign_pin_to_site|assign_group|restore"
+            r"|restore_cell|randomize)\s*\("
+        ),
+        "annealer mutations must go through MoveTxn "
+        "(src/place/move_txn.hpp); direct placement mutators bypass the "
+        "incremental evaluation core",
     ),
 ]
 
