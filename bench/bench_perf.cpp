@@ -42,18 +42,36 @@ std::map<int, ThroughputSample>& throughput_registry() {
   return samples;
 }
 
+/// One measured global-router throughput point, keyed by workload size.
+/// `nets` counts every net handed to GlobalRouter::route (phase one
+/// Steiner enumeration + phase two interchange), so nets_per_sec is the
+/// end-to-end routing rate of the stage-3 hot path.
+struct RouterSample {
+  int cells = 0;
+  long long nets = 0;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+  double seconds = 0.0;
+  double nets_per_sec = 0.0;
+};
+
+std::map<int, RouterSample>& router_registry() {
+  static std::map<int, RouterSample> samples;
+  return samples;
+}
+
 /// Writes the throughput registry as BENCH_perf.json. The default path is
 /// relative to the working directory: the CI perf step runs from the repo
 /// root, so the artifact lands there; the ctest smoke runs from the build
 /// tree and leaves the committed root file untouched.
 void write_perf_json() {
-  if (throughput_registry().empty()) return;
+  if (throughput_registry().empty() && router_registry().empty()) return;
   const char* env = std::getenv("TW_BENCH_OUT");
   const std::string path = env != nullptr ? env : "BENCH_perf.json";
   std::ofstream out(path);
   if (!out) return;
   out << "{\n"
-      << "  \"schema_version\": 1,\n"
+      << "  \"schema_version\": 2,\n"
       << "  \"suite\": \"bench_perf\",\n"
       << "  \"stage1_move_throughput\": [\n";
   bool first = true;
@@ -65,6 +83,19 @@ void write_perf_json() {
         << ", \"attempts\": " << s.attempts
         << ", \"seconds\": " << s.seconds
         << ", \"moves_per_sec\": " << s.moves_per_sec << "}";
+  }
+  out << "\n  ],\n"
+      << "  \"router_throughput\": [\n";
+  first = true;
+  for (const auto& [cells, s] : router_registry()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"cells\": " << s.cells
+        << ", \"nets\": " << s.nets
+        << ", \"graph_nodes\": " << s.graph_nodes
+        << ", \"graph_edges\": " << s.graph_edges
+        << ", \"seconds\": " << s.seconds
+        << ", \"nets_per_sec\": " << s.nets_per_sec << "}";
   }
   out << "\n  ]\n}\n";
 }
@@ -161,6 +192,47 @@ void BM_GlobalRoute(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_GlobalRoute);
+
+/// Global-router throughput: the full stage-3 hot path (M-best Steiner
+/// enumeration + interchange selection) on a legalized placement's channel
+/// graph, reported as nets routed per second of routing time. This is the
+/// figure of merit of the router performance core (SearchWorkspace, A*,
+/// Lawler deviations, overflow worklist — docs/PERF.md "Global router");
+/// the per-size samples are recorded into BENCH_perf.json after the run.
+void BM_RouterThroughput(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  PlacedFixture f(cells);
+  const ChannelGraph cg = build_channel_graph(f.placement, f.core);
+  const auto targets = build_net_targets(f.nl, cg);
+  long long nets = 0;
+  double seconds = 0.0;
+  for (auto _ : state) {
+    GlobalRouter router(cg.graph, {{4, 12}, 3});
+    const auto t0 = std::chrono::steady_clock::now();
+    benchmark::DoNotOptimize(router.route(targets));
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    nets += static_cast<long long>(targets.size());
+    seconds += dt.count();
+  }
+  state.SetItemsProcessed(nets);
+  if (seconds > 0.0) {
+    const double rate = static_cast<double>(nets) / seconds;
+    state.counters["nets_per_sec"] = rate;
+    router_registry()[cells] = {cells,
+                                nets,
+                                cg.graph.num_nodes(),
+                                cg.graph.num_edges(),
+                                seconds,
+                                rate};
+  }
+}
+BENCHMARK(BM_RouterThroughput)
+    ->Arg(12)
+    ->Arg(24)
+    ->Arg(48)
+    ->Arg(96)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_Legalize(benchmark::State& state) {
   for (auto _ : state) {

@@ -75,6 +75,19 @@ std::string flow_report(const Netlist& nl, const Placement& placement,
   }
   os << passes.str() << "\n";
 
+  // Router work per pass (workspace counter deltas; see
+  // route/search_workspace.hpp).
+  Table router({"pass", "searches", "popped", "pushed", "interchanges"});
+  for (std::size_t i = 0; i < result.stage2.passes.size(); ++i) {
+    const RouteCounters& c = result.stage2.passes[i].router_counters;
+    router.add_row({Table::integer(static_cast<long long>(i) + 1),
+                    Table::integer(c.dijkstra_runs),
+                    Table::integer(c.nodes_popped),
+                    Table::integer(c.heap_pushes),
+                    Table::integer(c.interchange_trials)});
+  }
+  os << "router work\n" << router.str() << "\n";
+
   os << "final\n";
   os << "  TEIL " << s.teil << " (TEIC " << s.teic << ")\n";
   os << "  chip " << s.chip_bbox.width() << " x " << s.chip_bbox.height()

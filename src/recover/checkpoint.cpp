@@ -133,6 +133,10 @@ void put_pass(ByteWriter& w, const RefinementPass& p) {
   w.u64(static_cast<std::uint64_t>(p.regions));
   w.i32(p.temperature_steps);
   w.i32(p.width_rule_violations);
+  w.i64(p.router_counters.dijkstra_runs);
+  w.i64(p.router_counters.nodes_popped);
+  w.i64(p.router_counters.heap_pushes);
+  w.i64(p.router_counters.interchange_trials);
 }
 
 RefinementPass get_pass(ByteReader& r) {
@@ -146,6 +150,10 @@ RefinementPass get_pass(ByteReader& r) {
   p.regions = static_cast<std::size_t>(r.u64());
   p.temperature_steps = r.i32();
   p.width_rule_violations = r.i32();
+  p.router_counters.dijkstra_runs = r.i64();
+  p.router_counters.nodes_popped = r.i64();
+  p.router_counters.heap_pushes = r.i64();
+  p.router_counters.interchange_trials = r.i64();
   return p;
 }
 

@@ -31,7 +31,7 @@ namespace tw::recover {
 
 /// Bumped on any incompatible change to the payload encoding. Readers
 /// reject other versions with kBadVersion (no silent migration).
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// The annealer-owned essentials of one cell; everything else in CellState
 /// is a pure function of (netlist, these) and is rebuilt on restore.

@@ -351,6 +351,7 @@ Stage2Result Stage2Refiner::run_impl(Placement& placement, const Rect& core,
       rp.route_length = routed.total_length;
       rp.route_overflow = routed.total_overflow;
       rp.unrouted_nets = routed.unrouted_nets;
+      rp.router_counters = routed.counters;
 
       std::vector<std::vector<EdgeId>> route_edges(targets.size());
       for (std::size_t n = 0; n < targets.size(); ++n)

@@ -48,6 +48,9 @@ struct RefinementPass {
   /// Channels whose left-edge track need exceeded d + 1 — a violation of
   /// the Eqn 22 premise (0 in a healthy run; see route/channel_router.hpp).
   int width_rule_violations = 0;
+  /// Router work counters for this pass's global routing (see
+  /// search_workspace.hpp); reported by flow_report.
+  RouteCounters router_counters;
 };
 
 struct Stage2Result {

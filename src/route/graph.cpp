@@ -1,8 +1,56 @@
 #include "route/graph.hpp"
 
+#include <atomic>
 #include <stdexcept>
+#include <utility>
 
 namespace tw {
+namespace {
+
+std::uint64_t next_graph_uid() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+RoutingGraph::RoutingGraph() : uid_(next_graph_uid()) {}
+
+RoutingGraph::RoutingGraph(const RoutingGraph& o)
+    : uid_(next_graph_uid()), pos_(o.pos_), edges_(o.edges_), adj_(o.adj_) {}
+
+RoutingGraph& RoutingGraph::operator=(const RoutingGraph& o) {
+  if (this != &o) {
+    uid_ = next_graph_uid();
+    pos_ = o.pos_;
+    edges_ = o.edges_;
+    adj_ = o.adj_;
+  }
+  return *this;
+}
+
+RoutingGraph::RoutingGraph(RoutingGraph&& o) noexcept
+    : uid_(std::exchange(o.uid_, next_graph_uid())),
+      pos_(std::move(o.pos_)),
+      edges_(std::move(o.edges_)),
+      adj_(std::move(o.adj_)) {
+  o.pos_.clear();
+  o.edges_.clear();
+  o.adj_.clear();
+}
+
+RoutingGraph& RoutingGraph::operator=(RoutingGraph&& o) noexcept {
+  if (this != &o) {
+    uid_ = std::exchange(o.uid_, next_graph_uid());
+    pos_ = std::move(o.pos_);
+    edges_ = std::move(o.edges_);
+    adj_ = std::move(o.adj_);
+    o.pos_.clear();
+    o.edges_.clear();
+    o.adj_.clear();
+  }
+  return *this;
+}
 
 NodeId RoutingGraph::add_node(Point pos) {
   pos_.push_back(pos);

@@ -29,6 +29,14 @@ struct GraphEdge {
 
 class RoutingGraph {
 public:
+  RoutingGraph();
+  // Copies and moves (and moved-from graphs) receive a fresh uid, so a
+  // uid never refers to two graphs with different edges (see uid()).
+  RoutingGraph(const RoutingGraph& o);
+  RoutingGraph& operator=(const RoutingGraph& o);
+  RoutingGraph(RoutingGraph&& o) noexcept;
+  RoutingGraph& operator=(RoutingGraph&& o) noexcept;
+
   NodeId add_node(Point pos);
   EdgeId add_edge(NodeId a, NodeId b, double length, int capacity);
 
@@ -54,7 +62,15 @@ public:
   std::vector<NodeId> walk_nodes(NodeId from,
                                  const std::vector<EdgeId>& path) const;
 
+  /// Process-unique identity of this graph object's edge history. Graphs
+  /// are append-only and every construction/assignment (including the
+  /// moved-from side of a move) draws a fresh uid, so a (uid, num_edges)
+  /// pair identifies an immutable edge prefix — what SearchWorkspace keys
+  /// its incremental A* scale cache on.
+  std::uint64_t uid() const { return uid_; }
+
 private:
+  std::uint64_t uid_;
   std::vector<Point> pos_;
   std::vector<GraphEdge> edges_;
   std::vector<std::vector<EdgeId>> adj_;

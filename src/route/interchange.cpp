@@ -25,18 +25,24 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
   r.alternatives.resize(nets.size());
   r.choice.assign(nets.size(), -1);
   r.edge_usage.assign(g_.num_edges(), 0);
+  const RouteCounters counters_before = ws_.counters;
+  // Every return path calls this first so r.counters always reports the
+  // work of exactly this call.
+  auto finish = [&]() { r.counters = ws_.counters - counters_before; };
 
   // --- phase one: enumerate alternatives, seed with the shortest ----------
+  bool stopped_early = false;
   for (std::size_t i = 0; i < nets.size(); ++i) {
     if (params_.budget != nullptr) {
       if (params_.budget->stop_requested()) {
         // Remaining nets stay unrouted; the partial result is consistent.
         r.unrouted_nets += static_cast<int>(nets.size() - i);
+        stopped_early = true;
         break;
       }
       params_.budget->charge_move();
     }
-    r.alternatives[i] = m_best_routes(g_, nets[i], params_.steiner);
+    r.alternatives[i] = m_best_routes(g_, nets[i], params_.steiner, ws_);
     if (r.alternatives[i].empty()) {
       ++r.unrouted_nets;
       continue;
@@ -57,8 +63,12 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
       (void)result;
     }
   };
-  if (r.total_overflow == 0) {  // stopping criterion (1)
+  if (stopped_early || r.total_overflow == 0) {
+    // Stopping criterion (1), or the budget expired during phase one — the
+    // interchange loop would stop before its first attempt anyway, so skip
+    // its setup and return the (validated) partial selection directly.
     ensure_consistent(r);
+    finish();
     return r;
   }
 
@@ -76,6 +86,34 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
   auto remove_net_from_edge = [&](EdgeId e, std::int32_t net) {
     auto& v = nets_on_edge[static_cast<std::size_t>(e)];
     v.erase(std::find(v.begin(), v.end(), net));
+  };
+
+  // Overflow worklist: the overloaded edges, kept sorted ascending so its
+  // content is always identical to what a fresh O(E) scan would produce —
+  // attempts only ever examine nets incident to an overloaded edge, and
+  // the random draws match the previous full-scan implementation exactly.
+  std::vector<EdgeId> over;
+  for (std::size_t e = 0; e < r.edge_usage.size(); ++e)
+    if (r.edge_usage[e] > g_.edge(static_cast<EdgeId>(e)).capacity)
+      over.push_back(static_cast<EdgeId>(e));
+
+  // The single mutation point for edge usage: adjusts the count and keeps
+  // the worklist in sync when the edge crosses its capacity either way.
+  auto apply_usage_delta = [&](EdgeId e, int delta) {
+    const int cap = g_.edge(e).capacity;
+    int& usage = r.edge_usage[static_cast<std::size_t>(e)];
+    const bool was_over = usage > cap;
+    usage += delta;
+    const bool is_over = usage > cap;
+    if (was_over == is_over) return;
+    const auto it = std::lower_bound(over.begin(), over.end(), e);
+    if (is_over) {
+      over.insert(it, e);
+    } else {
+      TW_ASSERT(it != over.end() && *it == e,
+                "overflow worklist lost edge ", e);
+      over.erase(it);
+    }
   };
 
   const long long patience =
@@ -120,7 +158,7 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
           break;
         }
       if (!uses_overflow) continue;
-      auto alt = greedy_route(g_, nets[i], &extra);
+      auto alt = greedy_route(g_, nets[i], &extra, ws_);
       if (!alt) continue;
       std::sort(alt->edges.begin(), alt->edges.end());
       alt->length = 0.0;
@@ -150,13 +188,10 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
       unchanged = 0;
     }
     ++r.interchange_attempts;
+    ++ws_.counters.interchange_trials;
     ++unchanged;
 
-    // Random overflowed edge.
-    std::vector<EdgeId> over;
-    for (std::size_t e = 0; e < r.edge_usage.size(); ++e)
-      if (r.edge_usage[e] > g_.edge(static_cast<EdgeId>(e)).capacity)
-        over.push_back(static_cast<EdgeId>(e));
+    // Random overflowed edge, drawn from the maintained worklist.
     if (over.empty()) break;
     const EdgeId ej = over[static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<std::int64_t>(over.size()) - 1))];
@@ -215,11 +250,11 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
     // Apply the interchange.
     const Route& alt = r.alternatives[ni][static_cast<std::size_t>(cand.k)];
     for (EdgeId e : cur.edges) {
-      --r.edge_usage[static_cast<std::size_t>(e)];
+      apply_usage_delta(e, -1);
       remove_net_from_edge(e, net);
     }
     for (EdgeId e : alt.edges) {
-      ++r.edge_usage[static_cast<std::size_t>(e)];
+      apply_usage_delta(e, +1);
       nets_on_edge[static_cast<std::size_t>(e)].push_back(net);
     }
     r.choice[ni] = cand.k;
@@ -230,7 +265,28 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
     if (cand.dx != 0 || cand.dl != 0.0) unchanged = 0;
   }
 
+  // Fixed-point certificate: one full scan confirms the incrementally
+  // maintained worklist and overflow total against ground truth.
+  {
+    int x = 0;
+    std::size_t wl = 0;
+    for (std::size_t e = 0; e < r.edge_usage.size(); ++e) {
+      const int cap = g_.edge(static_cast<EdgeId>(e)).capacity;
+      if (r.edge_usage[e] > cap) {
+        x += r.edge_usage[e] - cap;
+        TW_ASSERT(wl < over.size() && over[wl] == static_cast<EdgeId>(e),
+                  "overflow worklist out of sync at edge ", e);
+        ++wl;
+      }
+    }
+    TW_ASSERT(wl == over.size(), "overflow worklist has ",
+              over.size() - wl, " stale entries");
+    TW_ASSERT(x == r.total_overflow, "incremental X=", r.total_overflow,
+              " but recomputed X=", x);
+  }
+
   ensure_consistent(r);
+  finish();
   return r;
 }
 

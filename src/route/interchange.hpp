@@ -36,6 +36,9 @@ struct GlobalRouteResult {
   int total_overflow = 0;     ///< X
   int unrouted_nets = 0;
   long long interchange_attempts = 0;
+  /// Search work this route() call performed (delta of the router's
+  /// workspace counters; see search_workspace.hpp).
+  RouteCounters counters;
 
   /// The selected route of a net (nullptr when unrouted).
   const Route* route_of(std::size_t net) const {
@@ -53,6 +56,9 @@ public:
 private:
   const RoutingGraph& g_;
   GlobalRouterParams params_;
+  /// One workspace serves every search the router runs (phase one and the
+  /// rip-up augmentation); repeated route() calls reuse its warm arrays.
+  SearchWorkspace ws_;
 };
 
 /// X (Eqn 24) from per-edge usage and capacities.

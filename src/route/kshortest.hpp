@@ -1,16 +1,27 @@
-// M-shortest loopless paths (Section 4.2.1).
+// M-shortest loopless paths (Section 4.2.1), via Lawler's refinement of
+// the deviation scheme.
 //
-// The paper generates the M shortest routes for two-pin nets with Lawler's
-// algorithm; we implement the classical deviation scheme (Yen's algorithm,
-// of which Lawler's is the standard refinement): the best path is found by
-// Dijkstra, and each subsequent path is the cheapest "deviation" from an
-// already-found path, obtained by blocking the deviating edge and the root
-// prefix's nodes and re-running Dijkstra from the spur node.
+// The paper generates the M shortest routes for two-pin nets with
+// Lawler's algorithm. The best path is found by Dijkstra/A*; each
+// subsequent path is the cheapest "deviation" from an already-found path,
+// obtained by blocking the deviating edges and the root prefix's nodes
+// and re-running the search from the spur node. Lawler's refinement over
+// Yen's original scheme: every found path remembers the position it
+// deviated from its parent at, and is only re-expanded from that position
+// onward — deviations at earlier positions were already enumerated when
+// the parent (or an older ancestor sharing the prefix) was expanded, so
+// re-running them can only produce duplicates. This cuts the number of
+// Dijkstra runs per accepted path from O(path length) to O(suffix
+// length) without changing the returned path set.
 //
 // k_shortest_between_sets generalizes to node *sets* on both ends (the
 // grown Steiner tree on one side, a pin's electrically-equivalent
-// alternatives on the other) by augmenting the graph with zero-length
-// virtual terminals.
+// alternatives on the other) natively: the searches are multi-source /
+// multi-target (no augmented graph copy), and the "source choice" and
+// "target choice" become deviation positions of their own — position 0
+// deviates the source (search from every source no found path uses), and
+// a found path ending at the spur node removes its target from the spur
+// search's target set.
 #pragma once
 
 #include <span>
@@ -22,12 +33,17 @@ namespace tw {
 /// Up to `k` shortest simple paths from `s` to `t`, ascending by length.
 std::vector<PathResult> k_shortest_paths(const RoutingGraph& g, NodeId s,
                                          NodeId t, int k);
+std::vector<PathResult> k_shortest_paths(const RoutingGraph& g, NodeId s,
+                                         NodeId t, int k, SearchWorkspace& ws);
 
 /// Up to `k` shortest simple paths from any source to any target node.
-/// Sources and targets must be disjoint; paths are reported in the original
-/// graph (virtual terminals stripped).
+/// Sources and targets must be disjoint (a target in the source set short-
+/// circuits to a single zero-length path) and duplicate-free.
 std::vector<PathResult> k_shortest_between_sets(
     const RoutingGraph& g, std::span<const NodeId> sources,
     std::span<const NodeId> targets, int k);
+std::vector<PathResult> k_shortest_between_sets(
+    const RoutingGraph& g, std::span<const NodeId> sources,
+    std::span<const NodeId> targets, int k, SearchWorkspace& ws);
 
 }  // namespace tw

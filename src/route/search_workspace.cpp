@@ -1,0 +1,87 @@
+#include "route/search_workspace.hpp"
+
+#include <algorithm>
+
+namespace tw {
+
+void SearchWorkspace::bind(const RoutingGraph& g) {
+  const std::size_t n = g.num_nodes();
+  const std::size_t m = g.num_edges();
+  if (dist_gen_.size() < n) {
+    dist_gen_.resize(n, 0);
+    target_gen_.resize(n, 0);
+    label_gen_.resize(n, 0);
+    nblock_gen_.resize(n, 0);
+    dist_.resize(n, kInf);
+    via_.resize(n, kNoEdge);
+    label_.resize(n, -1);
+    hdist_gen_.resize(n, 0);
+    hdist_.resize(n, kInf);
+    hvia_.resize(n, kNoEdge);
+  }
+  if (eblock_gen_.size() < m) eblock_gen_.resize(m, 0);
+
+  // Derive (incrementally — graphs are append-only) the largest scale
+  // `alpha` with alpha * manhattan(pos(a), pos(b)) <= length for every
+  // edge. When every edge is at least its endpoint manhattan distance the
+  // scale is exactly 1 (the channel-graph case: lengths are exact
+  // manhattans, so h is tight); otherwise the minimum length/manhattan
+  // ratio is shaved by a relative 1e-12 so that float rounding in
+  // `h = alpha * manhattan` can never tip the heuristic above a true
+  // remaining distance. A fresh uid or a shrunken edge count (the graph
+  // was moved-from and refilled) restarts the scan.
+  if (g.uid() != bound_uid_ || m < scanned_edges_) {
+    bound_uid_ = g.uid();
+    scanned_edges_ = 0;
+    all_at_least_manhattan_ = true;
+    min_ratio_ = kInf;
+  }
+  const auto& edges = g.edges();
+  for (std::size_t i = scanned_edges_; i < m; ++i) {
+    const GraphEdge& e = edges[i];
+    const double md =
+        static_cast<double>(manhattan(g.node_pos(e.a), g.node_pos(e.b)));
+    if (md <= 0.0) continue;  // coincident endpoints constrain nothing
+    if (e.length < md) all_at_least_manhattan_ = false;
+    min_ratio_ = std::min(min_ratio_, e.length / md);
+  }
+  scanned_edges_ = m;
+  if (all_at_least_manhattan_)
+    alpha_ = 1.0;
+  else
+    alpha_ = std::max(0.0, min_ratio_ * (1.0 - 1e-12));
+}
+
+void SearchWorkspace::heap_push(double f, double d, NodeId node) {
+  ++counters.heap_pushes;
+  heap_.push_back({f, d, node});
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t p = (i - 1) / 2;
+    if (!heap_before(heap_[i], heap_[p])) break;
+    std::swap(heap_[i], heap_[p]);
+    i = p;
+  }
+}
+
+bool SearchWorkspace::heap_pop(HeapEntry& out) {
+  if (heap_.empty()) return false;
+  out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  std::size_t i = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t best = i;
+    if (l < n && heap_before(heap_[l], heap_[best])) best = l;
+    if (r < n && heap_before(heap_[r], heap_[best])) best = r;
+    if (best == i) break;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return true;
+}
+
+}  // namespace tw

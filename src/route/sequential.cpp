@@ -24,7 +24,14 @@ SequentialResult route_sequential(const RoutingGraph& g,
     order = natural;
   }
 
-  std::vector<double> extra(g.num_edges(), 0.0);
+  SequentialScratch local;
+  SequentialScratch& scratch =
+      params.scratch != nullptr ? *params.scratch : local;
+  std::vector<double>& extra = scratch.extra;
+  extra.assign(g.num_edges(), 0.0);  // reuses capacity on a warm scratch
+  TW_REQUIRE(params.congestion_penalty >= 0.0,
+             "congestion_penalty must be non-negative (penalties are "
+             "monotone and must keep A* admissible)");
   for (int idx : order) {
     const auto i = static_cast<std::size_t>(idx);
     if (params.budget != nullptr) {
@@ -34,7 +41,7 @@ SequentialResult route_sequential(const RoutingGraph& g,
       }
       params.budget->charge_move();
     }
-    auto route = greedy_route(g, nets[i], &extra);
+    auto route = greedy_route(g, nets[i], &extra, scratch.ws);
     if (!route) {
       ++r.unrouted_nets;
       continue;

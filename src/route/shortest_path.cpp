@@ -1,120 +1,207 @@
 #include "route/shortest_path.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <queue>
+
+#include "check/contracts.hpp"
 
 namespace tw {
 namespace {
 
-constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kInf = SearchWorkspace::kInf;
 
-struct QueueEntry {
-  double dist;
-  NodeId node;
-  bool operator>(const QueueEntry& o) const { return dist > o.dist; }
+/// Bounding box of the target positions — the goal region of the A*
+/// heuristic. Manhattan distance to a box is 1-Lipschitz in the manhattan
+/// metric and zero at every target, which makes `alpha * box_manhattan`
+/// consistent whenever every edge satisfies length >= alpha * manhattan
+/// (see SearchWorkspace::bind).
+struct TargetBox {
+  Coord xlo = 0, ylo = 0, xhi = -1, yhi = -1;
+
+  bool valid() const { return xhi >= xlo; }
+  void add(Point p) {
+    if (!valid()) {
+      xlo = xhi = p.x;
+      ylo = yhi = p.y;
+      return;
+    }
+    xlo = std::min(xlo, p.x);
+    xhi = std::max(xhi, p.x);
+    ylo = std::min(ylo, p.y);
+    yhi = std::max(yhi, p.y);
+  }
 };
 
-/// Dijkstra from a set of sources; fills dist[] and the (edge, parent)
-/// arrays. Stops early once every target has been settled (when targets is
-/// non-empty).
-void run_dijkstra(const RoutingGraph& g, std::span<const NodeId> sources,
-                  std::span<const NodeId> targets, const PathQuery& q,
-                  std::vector<double>& dist, std::vector<EdgeId>& via_edge) {
-  const std::size_t n = g.num_nodes();
-  dist.assign(n, kInf);
-  via_edge.assign(n, -1);
-
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> pq;
-  for (NodeId s : sources) {
-    if (q.blocked_nodes && (*q.blocked_nodes)[static_cast<std::size_t>(s)])
-      continue;
-    dist[static_cast<std::size_t>(s)] = 0.0;
-    pq.push({0.0, s});
-  }
-
-  std::size_t targets_left = targets.size();
-  std::vector<char> is_target(n, 0);
-  for (NodeId t : targets) is_target[static_cast<std::size_t>(t)] = 1;
-
-  while (!pq.empty()) {
-    const auto [d, u] = pq.top();
-    pq.pop();
-    if (d > dist[static_cast<std::size_t>(u)]) continue;
-    if (!targets.empty() && is_target[static_cast<std::size_t>(u)]) {
-      is_target[static_cast<std::size_t>(u)] = 0;
-      if (--targets_left == 0) break;
-    }
-    for (EdgeId eid : g.incident(u)) {
-      if (q.blocked_edges && (*q.blocked_edges)[static_cast<std::size_t>(eid)])
-        continue;
-      const GraphEdge& e = g.edge(eid);
-      const NodeId v = e.other(u);
-      if (q.blocked_nodes && (*q.blocked_nodes)[static_cast<std::size_t>(v)])
-        continue;
-      double w = e.length;
-      if (q.extra_cost) w += (*q.extra_cost)[static_cast<std::size_t>(eid)];
-      const double nd = d + w;
-      if (nd < dist[static_cast<std::size_t>(v)]) {
-        dist[static_cast<std::size_t>(v)] = nd;
-        via_edge[static_cast<std::size_t>(v)] = eid;
-        pq.push({nd, v});
-      }
-    }
-  }
-}
-
-PathResult extract_path(const RoutingGraph& g,
-                        const std::vector<double>& dist,
-                        const std::vector<EdgeId>& via_edge, NodeId target) {
-  PathResult r;
-  r.dst = target;
-  r.length = dist[static_cast<std::size_t>(target)];
-  NodeId cur = target;
-  while (via_edge[static_cast<std::size_t>(cur)] >= 0) {
-    const EdgeId eid = via_edge[static_cast<std::size_t>(cur)];
-    r.edges.push_back(eid);
-    cur = g.edge(eid).other(cur);
-  }
-  r.src = cur;
-  std::reverse(r.edges.begin(), r.edges.end());
-  return r;
+double box_manhattan(Point p, const TargetBox& b) {
+  Coord dx = 0;
+  if (p.x < b.xlo)
+    dx = b.xlo - p.x;
+  else if (p.x > b.xhi)
+    dx = p.x - b.xhi;
+  Coord dy = 0;
+  if (p.y < b.ylo)
+    dy = b.ylo - p.y;
+  else if (p.y > b.yhi)
+    dy = p.y - b.yhi;
+  return static_cast<double>(dx + dy);
 }
 
 }  // namespace
 
-std::optional<PathResult> shortest_path(const RoutingGraph& g, NodeId s,
-                                        NodeId t, const PathQuery& q) {
-  const NodeId sources[] = {s};
-  const NodeId targets[] = {t};
-  return shortest_path_between_sets(g, sources, targets, q);
+NodeId search(const RoutingGraph& g, std::span<const NodeId> sources,
+              std::span<const NodeId> targets, const PathQuery& q,
+              SearchWorkspace& ws, SearchStop stop) {
+  ws.bind(g);
+  ws.begin_query();
+  ++ws.counters.dijkstra_runs;
+  if constexpr (check::kLevel >= check::kLevelFull) {
+    if (q.extra_cost != nullptr)
+      for (std::size_t e = 0; e < q.extra_cost->size(); ++e)
+        TW_ENSURE_FULL((*q.extra_cost)[e] >= 0.0, "negative extra_cost ",
+                       (*q.extra_cost)[e], " on edge ", e,
+                       " breaks A* admissibility");
+  }
+
+  auto node_blocked = [&](NodeId v) {
+    return (q.blocked_nodes != nullptr &&
+            (*q.blocked_nodes)[static_cast<std::size_t>(v)] != 0) ||
+           ws.node_blocked(v);
+  };
+  auto edge_blocked = [&](EdgeId e) {
+    return (q.blocked_edges != nullptr &&
+            (*q.blocked_edges)[static_cast<std::size_t>(e)] != 0) ||
+           ws.edge_blocked(e);
+  };
+
+  TargetBox box;
+  std::size_t targets_left = 0;
+  for (NodeId t : targets) {
+    box.add(g.node_pos(t));
+    if (ws.is_target(t)) continue;  // duplicate target entries count once
+    ws.mark_target(t);
+    ++targets_left;
+  }
+  // Target-seeking stop modes are trivially complete with no targets; only
+  // kAllReachable wants the exhaustive sweep then.
+  if (targets_left == 0 && stop != SearchStop::kAllReachable)
+    return kInvalidNode;
+
+  // An exact (promoted-query) heuristic dominates the geometric bound and
+  // returns kInf for nodes that cannot reach any target at all — those are
+  // never entered.
+  const bool exact = targets_left > 0 && ws.exact_heuristic();
+  const double alpha = targets_left > 0 ? ws.heuristic_scale() : 0.0;
+  auto h = [&](NodeId v) {
+    if (exact) return ws.exact_h(v);
+    return alpha > 0.0 ? alpha * box_manhattan(g.node_pos(v), box) : 0.0;
+  };
+
+  for (NodeId s : sources) {
+    if (node_blocked(s)) continue;
+    if (ws.dist(s) < kInf) continue;  // duplicate source entries
+    const double hs = h(s);
+    if (hs > q.cost_cap) continue;  // no wanted path through here (or kInf)
+    ws.set_dist(s, 0.0, SearchWorkspace::kNoEdge);
+    ws.heap_push(hs, 0.0, s);
+  }
+
+  SearchWorkspace::HeapEntry e;
+  while (ws.heap_pop(e)) {
+    const NodeId u = e.node;
+    if (e.d > ws.dist(u)) continue;  // stale heap entry
+    ++ws.counters.nodes_popped;
+    if (targets_left > 0 && ws.is_target(u)) {
+      if (stop == SearchStop::kFirstTarget) return u;
+      ws.unmark_target(u);
+      if (--targets_left == 0 && stop == SearchStop::kAllTargets)
+        return kInvalidNode;
+    }
+    for (EdgeId eid : g.incident(u)) {
+      if (edge_blocked(eid)) continue;
+      const GraphEdge& ge = g.edge(eid);
+      const NodeId v = ge.other(u);
+      if (node_blocked(v)) continue;
+      double w = ge.length;
+      if (q.extra_cost != nullptr)
+        w += (*q.extra_cost)[static_cast<std::size_t>(eid)];
+      const double nd = e.d + w;
+      if (nd < ws.dist(v)) {
+        const double hv = h(v);
+        if (nd + hv > q.cost_cap) continue;  // no wanted path (or hv kInf)
+        ws.set_dist(v, nd, eid);
+        ws.heap_push(nd + hv, nd, v);
+      }
+    }
+  }
+  return kInvalidNode;
 }
 
-std::vector<double> shortest_distances(const RoutingGraph& g,
-                                       std::span<const NodeId> sources,
-                                       const PathQuery& q) {
-  std::vector<double> dist;
-  std::vector<EdgeId> via_edge;
-  run_dijkstra(g, sources, {}, q, dist, via_edge);
-  return dist;
+bool extract_path(const RoutingGraph& g, const SearchWorkspace& ws,
+                  NodeId target, PathResult& out) {
+  out.edges.clear();
+  const double d = ws.dist(target);
+  if (d == kInf) return false;
+  out.dst = target;
+  out.length = d;
+  NodeId cur = target;
+  while (ws.via_edge(cur) != SearchWorkspace::kNoEdge) {
+    const EdgeId eid = ws.via_edge(cur);
+    out.edges.push_back(eid);
+    cur = g.edge(eid).other(cur);
+  }
+  out.src = cur;
+  std::reverse(out.edges.begin(), out.edges.end());
+  return true;
+}
+
+std::optional<PathResult> shortest_path(const RoutingGraph& g, NodeId s,
+                                        NodeId t, const PathQuery& q) {
+  SearchWorkspace ws;
+  return shortest_path(g, s, t, q, ws);
+}
+
+std::optional<PathResult> shortest_path(const RoutingGraph& g, NodeId s,
+                                        NodeId t, const PathQuery& q,
+                                        SearchWorkspace& ws) {
+  const NodeId sources[] = {s};
+  const NodeId targets[] = {t};
+  return shortest_path_between_sets(g, sources, targets, q, ws);
 }
 
 std::optional<PathResult> shortest_path_between_sets(
     const RoutingGraph& g, std::span<const NodeId> sources,
     std::span<const NodeId> targets, const PathQuery& q) {
-  std::vector<double> dist;
-  std::vector<EdgeId> via_edge;
-  run_dijkstra(g, sources, targets, q, dist, via_edge);
+  SearchWorkspace ws;
+  return shortest_path_between_sets(g, sources, targets, q, ws);
+}
 
-  NodeId best = kInvalidNode;
-  for (NodeId t : targets) {
-    if (dist[static_cast<std::size_t>(t)] == kInf) continue;
-    if (best == kInvalidNode ||
-        dist[static_cast<std::size_t>(t)] < dist[static_cast<std::size_t>(best)])
-      best = t;
-  }
-  if (best == kInvalidNode) return std::nullopt;
-  return extract_path(g, dist, via_edge, best);
+std::optional<PathResult> shortest_path_between_sets(
+    const RoutingGraph& g, std::span<const NodeId> sources,
+    std::span<const NodeId> targets, const PathQuery& q, SearchWorkspace& ws) {
+  ws.clear_blocks();
+  const NodeId hit = search(g, sources, targets, q, ws);
+  if (hit == kInvalidNode) return std::nullopt;
+  PathResult r;
+  extract_path(g, ws, hit, r);
+  return r;
+}
+
+std::vector<double> shortest_distances(const RoutingGraph& g,
+                                       std::span<const NodeId> sources,
+                                       const PathQuery& q) {
+  SearchWorkspace ws;
+  std::vector<double> out;
+  shortest_distances(g, sources, q, ws, out);
+  return out;
+}
+
+void shortest_distances(const RoutingGraph& g,
+                        std::span<const NodeId> sources, const PathQuery& q,
+                        SearchWorkspace& ws, std::vector<double>& out) {
+  ws.clear_blocks();
+  search(g, sources, {}, q, ws, SearchStop::kAllReachable);
+  const std::size_t n = g.num_nodes();
+  out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = ws.dist(static_cast<NodeId>(i));
 }
 
 }  // namespace tw

@@ -52,25 +52,70 @@ void mark_connected(const NetTargets& net, PartialTree& t) {
   }
 }
 
+/// One goal-directed sweep from `sources` that settles every alternative
+/// of every unconnected pin; per-pin distances are then read straight off
+/// the workspace (no dense distance vector).
+void sweep_to_unconnected(const RoutingGraph& g, const NetTargets& net,
+                          const std::vector<char>& connected,
+                          std::span<const NodeId> sources, const PathQuery& q,
+                          SearchWorkspace& ws,
+                          std::vector<NodeId>& alt_scratch) {
+  alt_scratch.clear();
+  for (std::size_t p = 0; p < net.pins.size(); ++p) {
+    if (connected[p]) continue;
+    for (NodeId alt : net.pins[p]) alt_scratch.push_back(alt);
+  }
+  ws.clear_blocks();
+  search(g, sources, alt_scratch, q, ws, SearchStop::kAllTargets);
+}
+
+/// The logical pin owning node `alt` among the unconnected pins (-1 when
+/// none does).
+int pin_of_alternative(const NetTargets& net, const std::vector<char>& connected,
+                       NodeId alt) {
+  for (std::size_t p = 0; p < net.pins.size(); ++p) {
+    if (connected[p]) continue;
+    for (NodeId a : net.pins[p])
+      if (a == alt) return static_cast<int>(p);
+  }
+  return -1;
+}
+
 /// The unconnected logical pins ordered by shortest-path distance from the
-/// tree (Prim order) — one Dijkstra answers all pins at once. Empty when
-/// all pins are connected; {-2} when some pin is unreachable and none is
-/// reachable.
+/// tree (Prim order). Empty when all pins are connected; {-2} when no
+/// unconnected pin is reachable. `full_order` asks for every reachable pin
+/// sorted (one exhaustive-over-targets sweep); without it only the nearest
+/// pin is found, via a first-target search that stops at the closest
+/// alternative instead of settling them all — the common (prim_k == 0)
+/// case pays a fraction of the sweep.
 std::vector<int> nearest_unconnected(const RoutingGraph& g,
                                      const NetTargets& net,
-                                     const PartialTree& t) {
+                                     const PartialTree& t, bool full_order,
+                                     SearchWorkspace& ws,
+                                     std::vector<NodeId>& alt_scratch) {
   bool any_unconnected = false;
   for (std::size_t p = 0; p < net.pins.size(); ++p)
     if (!t.connected[p]) any_unconnected = true;
   if (!any_unconnected) return {};
 
-  const auto dist = shortest_distances(g, t.nodes);
+  if (!full_order) {
+    alt_scratch.clear();
+    for (std::size_t p = 0; p < net.pins.size(); ++p) {
+      if (t.connected[p]) continue;
+      for (NodeId alt : net.pins[p]) alt_scratch.push_back(alt);
+    }
+    ws.clear_blocks();
+    const NodeId hit = search(g, t.nodes, alt_scratch, {}, ws);
+    if (hit == kInvalidNode) return {-2};
+    return {pin_of_alternative(net, t.connected, hit)};
+  }
+
+  sweep_to_unconnected(g, net, t.connected, t.nodes, {}, ws, alt_scratch);
   std::vector<std::pair<double, int>> order;
   for (std::size_t p = 0; p < net.pins.size(); ++p) {
     if (t.connected[p]) continue;
     double d = std::numeric_limits<double>::infinity();
-    for (NodeId alt : net.pins[p])
-      d = std::min(d, dist[static_cast<std::size_t>(alt)]);
+    for (NodeId alt : net.pins[p]) d = std::min(d, ws.dist(alt));
     if (d == std::numeric_limits<double>::infinity()) continue;
     order.push_back({d, static_cast<int>(p)});
   }
@@ -86,6 +131,13 @@ std::vector<int> nearest_unconnected(const RoutingGraph& g,
 
 std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
                                  const SteinerParams& params) {
+  SearchWorkspace ws;
+  return m_best_routes(g, net, params, ws);
+}
+
+std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
+                                 const SteinerParams& params,
+                                 SearchWorkspace& ws) {
   std::vector<Route> out;
   if (net.pins.size() <= 1) {
     out.push_back({});
@@ -111,10 +163,15 @@ std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
     beam.push_back(std::move(t));
   }
 
+  // The full Prim order is only consumed when footnote 27's multi-pin
+  // branching is on; the default branches on the nearest pin alone.
+  const bool full_order = params.prim_k > 0;
+  std::vector<NodeId> alt_scratch;
   for (std::size_t level = 1; level < net.pins.size(); ++level) {
     std::vector<PartialTree> next;
     for (const PartialTree& t : beam) {
-      const std::vector<int> pins = nearest_unconnected(g, net, t);
+      const std::vector<int> pins =
+          nearest_unconnected(g, net, t, full_order, ws, alt_scratch);
       if (pins.empty()) {
         next.push_back(t);  // already complete
         continue;
@@ -128,7 +185,8 @@ std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
       for (std::size_t b = 0; b < branch; ++b) {
         const int pin = pins[b];
         const auto paths = k_shortest_between_sets(
-            g, t.nodes, net.pins[static_cast<std::size_t>(pin)], beam_width);
+            g, t.nodes, net.pins[static_cast<std::size_t>(pin)], beam_width,
+            ws);
         for (const auto& path : paths) {
           PartialTree nt = t;
           nt.length += merge_path(g, nt, path);
@@ -171,6 +229,13 @@ std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
 
 std::optional<Route> greedy_route(const RoutingGraph& g, const NetTargets& net,
                                   const std::vector<double>* extra_cost) {
+  SearchWorkspace ws;
+  return greedy_route(g, net, extra_cost, ws);
+}
+
+std::optional<Route> greedy_route(const RoutingGraph& g, const NetTargets& net,
+                                  const std::vector<double>* extra_cost,
+                                  SearchWorkspace& ws) {
   Route route;
   if (net.pins.size() <= 1) return route;
 
@@ -183,28 +248,26 @@ std::optional<Route> greedy_route(const RoutingGraph& g, const NetTargets& net,
   std::vector<char> connected(net.pins.size(), 0);
   connected[0] = 1;
 
+  std::vector<NodeId> alt_scratch;
+  PathResult pr;
   for (std::size_t step = 1; step < net.pins.size(); ++step) {
-    // Nearest unconnected pin under congested costs: one distance sweep
-    // finds the pin, a second targeted query recovers its path.
-    const auto dist = shortest_distances(g, tree, q);
-    int best = -1;
-    double best_dist = 0.0;
+    // Nearest unconnected pin under congested costs: one first-target
+    // search finds the closest alternative of any unconnected pin; its
+    // path comes straight off the same search's parent edges.
+    alt_scratch.clear();
     for (std::size_t p = 0; p < net.pins.size(); ++p) {
       if (connected[p]) continue;
-      double d = std::numeric_limits<double>::infinity();
-      for (NodeId alt : net.pins[p])
-        d = std::min(d, dist[static_cast<std::size_t>(alt)]);
-      if (d == std::numeric_limits<double>::infinity()) continue;
-      if (best < 0 || d < best_dist) {
-        best = static_cast<int>(p);
-        best_dist = d;
-      }
+      for (NodeId alt : net.pins[p]) alt_scratch.push_back(alt);
     }
-    std::optional<PathResult> best_path;
-    if (best >= 0)
-      best_path = shortest_path_between_sets(
-          g, tree, net.pins[static_cast<std::size_t>(best)], q);
-    if (!best_path) best = -1;
+    ws.clear_blocks();
+    const NodeId hit = search(g, tree, alt_scratch, q, ws);
+    int best = -1;
+    const PathResult* best_path = nullptr;
+    if (hit != kInvalidNode) {
+      best = pin_of_alternative(net, connected, hit);
+      extract_path(g, ws, hit, pr);
+      best_path = &pr;
+    }
     if (best < 0) {
       // Some pin may already be covered by the grown tree.
       bool all = true;
@@ -258,7 +321,8 @@ bool route_connects(const RoutingGraph& g, const NetTargets& net,
   // (electrical equivalence, e.g. the two ends of a feed-through), so a
   // valid route may be a forest whose components are bridged by
   // equivalent-pin pairs.
-  std::vector<NodeId> parent(g.num_nodes());
+  // Union-find scratch, not shortest-path state.
+  std::vector<NodeId> parent(g.num_nodes());  // lint: allow(route-workspace)
   for (std::size_t i = 0; i < parent.size(); ++i)
     parent[i] = static_cast<NodeId>(i);
   auto find = [&](NodeId x) {

@@ -47,9 +47,14 @@ struct SteinerParams {
 
 /// Generates up to M candidate routes for the net, ascending by length.
 /// Returns an empty vector when the net cannot be connected (disconnected
-/// graph). Single-pin (or empty) nets yield one empty route.
+/// graph). Single-pin (or empty) nets yield one empty route. The
+/// workspace-taking overload reuses `ws` across every internal search
+/// (allocation-free once warm); the other builds a fresh one per call.
 std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
                                  const SteinerParams& params = {});
+std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
+                                 const SteinerParams& params,
+                                 SearchWorkspace& ws);
 
 /// Single greedy Prim/Dijkstra Steiner route, optionally under additive
 /// per-edge costs (congestion penalties). Used by the sequential baseline
@@ -57,6 +62,9 @@ std::vector<Route> m_best_routes(const RoutingGraph& g, const NetTargets& net,
 /// cannot be connected.
 std::optional<Route> greedy_route(const RoutingGraph& g, const NetTargets& net,
                                   const std::vector<double>* extra_cost = nullptr);
+std::optional<Route> greedy_route(const RoutingGraph& g, const NetTargets& net,
+                                  const std::vector<double>* extra_cost,
+                                  SearchWorkspace& ws);
 
 /// Validates that `route` connects the net on `g` (one alternative of every
 /// logical pin in a single connected component of the route's edges).

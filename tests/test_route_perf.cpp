@@ -1,0 +1,357 @@
+// Regression tests for the router performance core (see docs/PERF.md,
+// "Global router"): randomized equivalence of A* against plain Dijkstra,
+// of the deviation k-shortest algorithm against brute force and against
+// its Dijkstra-driven twin, consistency + same-seed determinism of the
+// worklist-driven interchange, and the zero-allocation warm-query
+// guarantee of SearchWorkspace.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <new>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "route/interchange.hpp"
+#include "route/kshortest.hpp"
+#include "route/shortest_path.hpp"
+#include "util/rng.hpp"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter. Replacing the global operator new/delete pair
+// lets the warm-query test assert that a hot search performs literally
+// zero heap allocations. The counter is process-wide but the tests are
+// single-threaded, so before/after deltas around a measured region are
+// exact.
+namespace {
+long long g_new_calls = 0;
+}  // namespace
+
+void* operator new(std::size_t n) {
+  ++g_new_calls;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace tw {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random instances. Edge lengths and extra costs are small integers so
+// every path length is an exactly representable double and cross-checks
+// can compare with ==.
+
+/// w x h grid with unit spacing 10. `exact_manhattan` gives every edge its
+/// manhattan length (the channel-graph case, A* scale alpha = 1); otherwise
+/// lengths are random in [5, 15] per step, which exercises the degraded
+/// alpha < 1 (and alpha = 0) regimes. A few random chord edges break the
+/// regular structure.
+RoutingGraph random_grid(Rng& rng, int w, int h, bool exact_manhattan) {
+  RoutingGraph g;
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) g.add_node(Point{x * 10, y * 10});
+  auto id = [w](int x, int y) { return static_cast<NodeId>(y * w + x); };
+  auto len = [&](double manhattan) {
+    return exact_manhattan ? manhattan
+                           : static_cast<double>(rng.uniform_int(5, 15));
+  };
+  for (int y = 0; y < h; ++y)
+    for (int x = 0; x < w; ++x) {
+      if (x + 1 < w) g.add_edge(id(x, y), id(x + 1, y), len(10.0), 2);
+      if (y + 1 < h) g.add_edge(id(x, y), id(x, y + 1), len(10.0), 2);
+    }
+  const int chords = static_cast<int>(rng.uniform_int(0, w));
+  for (int c = 0; c < chords; ++c) {
+    const auto a = static_cast<NodeId>(rng.uniform_int(0, w * h - 1));
+    const auto b = static_cast<NodeId>(rng.uniform_int(0, w * h - 1));
+    if (a == b) continue;
+    const Point pa = g.node_pos(a), pb = g.node_pos(b);
+    const double manhattan =
+        static_cast<double>(std::abs(pa.x - pb.x) + std::abs(pa.y - pb.y));
+    g.add_edge(a, b, len(manhattan), 2);
+  }
+  return g;
+}
+
+/// 1-3 distinct nodes, disjoint from `avoid`.
+std::vector<NodeId> random_node_set(Rng& rng, const RoutingGraph& g,
+                                    const std::set<NodeId>& avoid) {
+  std::set<NodeId> picked;
+  const int want = static_cast<int>(rng.uniform_int(1, 3));
+  for (int tries = 0; static_cast<int>(picked.size()) < want && tries < 64;
+       ++tries) {
+    const auto n = static_cast<NodeId>(
+        rng.uniform_int(0, static_cast<std::int64_t>(g.num_nodes()) - 1));
+    if (!avoid.count(n)) picked.insert(n);
+  }
+  return {picked.begin(), picked.end()};
+}
+
+double query_cost(const RoutingGraph& g, const PathResult& p,
+                  const PathQuery& q) {
+  double c = 0.0;
+  for (EdgeId e : p.edges) {
+    c += g.edge(e).length;
+    if (q.extra_cost) c += (*q.extra_cost)[static_cast<std::size_t>(e)];
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// A* vs Dijkstra. Goal direction changes which nodes are explored — and,
+// among equally-near targets, possibly which one settles first — but
+// never the returned length; and each mode on its own is a pure function
+// of the query (bit-for-bit repeatable).
+
+TEST(RoutePerf, AStarMatchesDijkstraFuzz) {
+  Rng rng(20260806);
+  int compared = 0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const bool manhattan = rng.uniform_int(0, 1) == 0;
+    const int w = static_cast<int>(rng.uniform_int(2, 6));
+    const int h = static_cast<int>(rng.uniform_int(2, 6));
+    RoutingGraph g = random_grid(rng, w, h, manhattan);
+
+    const auto sources = random_node_set(rng, g, {});
+    const auto targets = random_node_set(
+        rng, g, std::set<NodeId>(sources.begin(), sources.end()));
+    if (targets.empty()) continue;
+
+    PathQuery q;
+    std::vector<double> extra;
+    if (rng.uniform_int(0, 1) == 0) {
+      extra.resize(g.num_edges());
+      for (double& x : extra) x = static_cast<double>(rng.uniform_int(0, 5));
+      q.extra_cost = &extra;
+    }
+    std::vector<char> blocked;
+    if (rng.uniform_int(0, 1) == 0) {
+      blocked.assign(g.num_edges(), 0);
+      for (auto&& b : blocked) b = rng.uniform_int(0, 4) == 0 ? 1 : 0;
+      q.blocked_edges = &blocked;
+    }
+
+    SearchWorkspace astar;
+    SearchWorkspace plain;
+    plain.set_astar(false);
+    const auto pa = shortest_path_between_sets(g, sources, targets, q, astar);
+    const auto pd = shortest_path_between_sets(g, sources, targets, q, plain);
+    ASSERT_EQ(pa.has_value(), pd.has_value());
+    if (!pa) continue;
+    ++compared;
+    EXPECT_EQ(pa->length, pd->length);
+    EXPECT_EQ(pa->length, query_cost(g, *pa, q));
+    EXPECT_EQ(pd->length, query_cost(g, *pd, q));
+
+    // Each mode is deterministic: the same query replayed returns the
+    // identical path, not merely an equal-length one.
+    const auto pa2 = shortest_path_between_sets(g, sources, targets, q, astar);
+    ASSERT_TRUE(pa2.has_value());
+    EXPECT_EQ(pa2->edges, pa->edges);
+    EXPECT_EQ(pa2->src, pa->src);
+    EXPECT_EQ(pa2->dst, pa->dst);
+
+    // The cost cap keeps equal-cost paths and prunes anything beyond it.
+    PathQuery capped = q;
+    capped.cost_cap = pa->length;
+    SearchWorkspace ws;
+    const auto pc = shortest_path_between_sets(g, sources, targets, capped, ws);
+    ASSERT_TRUE(pc.has_value());
+    EXPECT_EQ(pc->length, pa->length);
+    capped.cost_cap = pa->length - 0.5;
+    const auto pn = shortest_path_between_sets(g, sources, targets, capped, ws);
+    EXPECT_FALSE(pn.has_value());
+  }
+  EXPECT_GT(compared, 100);  // the fuzz actually compared real paths
+}
+
+// ---------------------------------------------------------------------------
+// Deviation algorithm. Brute force enumerates every simple path by DFS;
+// the k shortest of those must match k_shortest_paths exactly by length.
+// The Dijkstra-driven twin (A* off — no exact-heuristic sweep, no goal
+// direction; only the cost cap differs in reached nodes) must produce the
+// identical length sequence.
+
+std::vector<double> brute_force_lengths(const RoutingGraph& g, NodeId s,
+                                        NodeId t) {
+  std::vector<double> lengths;
+  std::vector<char> visited(g.num_nodes(), 0);
+  std::function<void(NodeId, double)> dfs = [&](NodeId u, double len) {
+    if (u == t) {
+      lengths.push_back(len);
+      return;
+    }
+    visited[static_cast<std::size_t>(u)] = 1;
+    for (EdgeId e : g.incident(u)) {
+      const NodeId v = g.edge(e).other(u);
+      if (!visited[static_cast<std::size_t>(v)]) dfs(v, len + g.edge(e).length);
+    }
+    visited[static_cast<std::size_t>(u)] = 0;
+  };
+  dfs(s, 0.0);
+  std::sort(lengths.begin(), lengths.end());
+  return lengths;
+}
+
+TEST(RoutePerf, KShortestMatchesBruteForceFuzz) {
+  Rng rng(42);
+  for (int iter = 0; iter < 120; ++iter) {
+    const bool manhattan = rng.uniform_int(0, 1) == 0;
+    const int w = static_cast<int>(rng.uniform_int(2, 3));
+    const int h = static_cast<int>(rng.uniform_int(2, 3));
+    RoutingGraph g = random_grid(rng, w, h, manhattan);
+    const NodeId s = 0;
+    const auto t = static_cast<NodeId>(g.num_nodes() - 1);
+
+    const auto ref = brute_force_lengths(g, s, t);
+    const int k = static_cast<int>(rng.uniform_int(1, 12));
+    SearchWorkspace astar;
+    SearchWorkspace plain;
+    plain.set_astar(false);
+    const auto got = k_shortest_paths(g, s, t, k, astar);
+    const auto twin = k_shortest_paths(g, s, t, k, plain);
+
+    const std::size_t expect_n =
+        std::min<std::size_t>(static_cast<std::size_t>(k), ref.size());
+    ASSERT_EQ(got.size(), expect_n);
+    ASSERT_EQ(twin.size(), expect_n);
+    std::set<std::vector<EdgeId>> seen;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].length, ref[i]);
+      EXPECT_EQ(twin[i].length, ref[i]);
+      EXPECT_EQ(got[i].length, g.path_length(got[i].edges));
+      EXPECT_TRUE(seen.insert(got[i].edges).second) << "duplicate path";
+      const auto nodes = g.walk_nodes(got[i].src, got[i].edges);
+      ASSERT_FALSE(nodes.empty());
+      EXPECT_EQ(nodes.front(), s);
+      EXPECT_EQ(nodes.back(), t);
+      EXPECT_EQ(std::set<NodeId>(nodes.begin(), nodes.end()).size(),
+                nodes.size())
+          << "loop in path";
+    }
+  }
+}
+
+TEST(RoutePerf, KShortestBetweenSetsAStarTwinFuzz) {
+  Rng rng(7);
+  for (int iter = 0; iter < 80; ++iter) {
+    const bool manhattan = rng.uniform_int(0, 1) == 0;
+    const int w = static_cast<int>(rng.uniform_int(2, 5));
+    const int h = static_cast<int>(rng.uniform_int(2, 5));
+    RoutingGraph g = random_grid(rng, w, h, manhattan);
+    const auto sources = random_node_set(rng, g, {});
+    const auto targets = random_node_set(
+        rng, g, std::set<NodeId>(sources.begin(), sources.end()));
+    if (targets.empty()) continue;
+    const int k = static_cast<int>(rng.uniform_int(1, 8));
+
+    SearchWorkspace astar;
+    SearchWorkspace plain;
+    plain.set_astar(false);
+    const auto got = k_shortest_between_sets(g, sources, targets, k, astar);
+    const auto twin = k_shortest_between_sets(g, sources, targets, k, plain);
+    ASSERT_EQ(got.size(), twin.size());
+    for (std::size_t i = 0; i < got.size(); ++i)
+      EXPECT_EQ(got[i].length, twin[i].length);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worklist interchange. The incrementally maintained overflowed-edge list
+// must leave the router bit-for-bit deterministic per seed, and its final
+// bookkeeping must agree with an exhaustive recomputation from the
+// selected routes (the same certificate the router itself asserts).
+
+TEST(RoutePerf, InterchangeWorklistConsistentAndDeterministic) {
+  Rng rng(99);
+  for (int iter = 0; iter < 8; ++iter) {
+    RoutingGraph g = random_grid(rng, 5, 5, true);
+    std::vector<NetTargets> nets;
+    const int n_nets = static_cast<int>(rng.uniform_int(6, 14));
+    for (int i = 0; i < n_nets; ++i) {
+      NetTargets net;
+      const int pins = static_cast<int>(rng.uniform_int(2, 4));
+      std::set<NodeId> uniq;
+      while (static_cast<int>(uniq.size()) < pins)
+        uniq.insert(static_cast<NodeId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(g.num_nodes()) - 1)));
+      for (NodeId n : uniq) net.pins.push_back({n});
+      nets.push_back(std::move(net));
+    }
+
+    GlobalRouterParams params;
+    params.seed = static_cast<std::uint64_t>(iter) + 1;
+    GlobalRouter router_a(g, params);
+    GlobalRouter router_b(g, params);
+    const auto ra = router_a.route(nets);
+    const auto rb = router_b.route(nets);
+
+    // Same seed, same instance -> identical selection and bookkeeping.
+    EXPECT_EQ(ra.choice, rb.choice);
+    EXPECT_EQ(ra.edge_usage, rb.edge_usage);
+    EXPECT_EQ(ra.total_length, rb.total_length);
+    EXPECT_EQ(ra.total_overflow, rb.total_overflow);
+    EXPECT_EQ(ra.interchange_attempts, rb.interchange_attempts);
+
+    // Exhaustive recomputation from the selected routes.
+    std::vector<int> usage(g.num_edges(), 0);
+    double length = 0.0;
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      const Route* r = ra.route_of(i);
+      if (r == nullptr) continue;
+      length += r->length;
+      for (EdgeId e : r->edges) ++usage[static_cast<std::size_t>(e)];
+    }
+    EXPECT_EQ(usage, ra.edge_usage);
+    EXPECT_EQ(length, ra.total_length);
+    EXPECT_EQ(total_overflow(g, usage), ra.total_overflow);
+    EXPECT_GT(ra.counters.dijkstra_runs, 0);
+    EXPECT_EQ(ra.counters.interchange_trials, ra.interchange_attempts);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zero-allocation warm queries. Once a workspace (and the output path's
+// capacity) has warmed up on a graph, further searches must not touch the
+// heap allocator at all — the core throughput guarantee of the epoch-
+// stamped workspace design.
+
+TEST(RoutePerf, WarmQueryPerformsNoAllocations) {
+  Rng rng(123);
+  RoutingGraph g = random_grid(rng, 8, 8, true);
+  SearchWorkspace ws;
+  const NodeId sources[] = {0};
+  const NodeId targets[] = {static_cast<NodeId>(g.num_nodes() - 1),
+                            static_cast<NodeId>(g.num_nodes() / 2)};
+  const PathQuery q;
+  PathResult out;
+
+  // Warm-up: sizes the stamped arrays, the heap, and the path buffer.
+  ws.clear_blocks();
+  NodeId hit = search(g, sources, targets, q, ws);
+  ASSERT_NE(hit, kInvalidNode);
+  ASSERT_TRUE(extract_path(g, ws, hit, out));
+  const double warm_length = out.length;
+
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    const long long before = g_new_calls;
+    ws.clear_blocks();
+    hit = search(g, sources, targets, q, ws);
+    const bool ok = extract_path(g, ws, hit, out);
+    const long long after = g_new_calls;
+    ASSERT_NE(hit, kInvalidNode);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(out.length, warm_length);
+    EXPECT_EQ(after - before, 0) << "warm query allocated";
+  }
+}
+
+}  // namespace
+}  // namespace tw

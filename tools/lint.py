@@ -45,9 +45,18 @@ Rules (each reports file:line and exits nonzero on any hit):
      bare mutator call would silently desynchronize the incremental
      evaluation core (docs/PERF.md).
 
+  8. No ad-hoc search state in src/route: `std::priority_queue` and
+     per-query scratch vectors named like `dist`/`visited`/`parent` are
+     banned outside search_workspace.{hpp,cpp}. Every search must run on
+     the shared epoch-stamped SearchWorkspace — a private heap or
+     distance array would silently reintroduce the O(V) per-query resets
+     and allocations the workspace exists to eliminate, and would bypass
+     its deterministic tie-break and work counters (docs/PERF.md
+     "Global router").
+
 Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
 is one of: float-geom, raw-random, nondeterminism, raw-assert,
-checkpoint-io, raw-thread, txn-mutation.
+checkpoint-io, raw-thread, txn-mutation, route-workspace.
 """
 
 from __future__ import annotations
@@ -122,6 +131,20 @@ RULES = [
         "annealer mutations must go through MoveTxn "
         "(src/place/move_txn.hpp); direct placement mutators bypass the "
         "incremental evaluation core",
+    ),
+    (
+        "route-workspace",
+        lambda rel: rel.parts[:2] == ("src", "route")
+        and rel.name not in ("search_workspace.hpp", "search_workspace.cpp"),
+        re.compile(
+            r"std::priority_queue"
+            r"|\bstd::vector<[^>]*>\s+(dist|dists|distance|visited|seen"
+            r"|parent|parents|prev|via)\s*[;({=]"
+        ),
+        "searches in src/route must run on SearchWorkspace "
+        "(route/search_workspace.hpp); private heaps or dist/visited "
+        "arrays bypass its O(touched) resets, counters and deterministic "
+        "tie-break",
     ),
 ]
 
