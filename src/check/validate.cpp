@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
-
-#include "route/steiner.hpp"
+#include <string>
+#include <vector>
 
 namespace tw {
 namespace {
+
+using check_detail::add_issue;
 
 std::string cell_label(const Cell& c) {
   std::ostringstream os;
@@ -15,143 +17,7 @@ std::string cell_label(const Cell& c) {
   return os.str();
 }
 
-template <typename... Args>
-void add_issue(ValidationReport& r, std::string where, const Args&... args) {
-  std::ostringstream os;
-  (os << ... << args);
-  r.issues.push_back({std::move(where), os.str()});
-}
-
-bool near(double a, double b, double eps = 1e-9) {
-  return std::abs(a - b) <= eps * std::max(1.0, std::max(std::abs(a), std::abs(b)));
-}
-
 }  // namespace
-
-std::string ValidationReport::str() const {
-  if (ok()) return "ok";
-  std::ostringstream os;
-  for (std::size_t i = 0; i < issues.size(); ++i) {
-    if (i > 0) os << "; ";
-    os << issues[i].where << ": " << issues[i].detail;
-  }
-  return os.str();
-}
-
-ValidationReport validate_netlist(const Netlist& nl) {
-  ValidationReport r;
-  const auto num_cells = static_cast<std::size_t>(nl.num_cells());
-  const auto num_nets = static_cast<std::size_t>(nl.num_nets());
-  const auto num_pins = static_cast<std::size_t>(nl.num_pins());
-
-  for (std::size_t ci = 0; ci < num_cells; ++ci) {
-    const Cell& c = nl.cells()[ci];
-    if (c.id != static_cast<CellId>(ci))
-      add_issue(r, cell_label(c), "id ", c.id, " != index ", ci);
-    if (c.instances.empty()) {
-      add_issue(r, cell_label(c), "no instances");
-      continue;
-    }
-    for (std::size_t k = 0; k < c.instances.size(); ++k)
-      if (c.instances[k].pin_offsets.size() != c.pins.size())
-        add_issue(r, cell_label(c), "instance ", k, " has ",
-                  c.instances[k].pin_offsets.size(), " pin offsets for ",
-                  c.pins.size(), " pins");
-    for (PinId pid : c.pins) {
-      if (pid < 0 || static_cast<std::size_t>(pid) >= num_pins) {
-        add_issue(r, cell_label(c), "pin id ", pid, " out of range");
-        continue;
-      }
-      if (nl.pin(pid).cell != c.id)
-        add_issue(r, cell_label(c), "pin ", pid, " claims cell ",
-                  nl.pin(pid).cell);
-    }
-    for (std::size_t gi = 0; gi < c.groups.size(); ++gi) {
-      const PinGroup& g = c.groups[gi];
-      if (g.side_mask == 0)
-        add_issue(r, cell_label(c), "group ", gi, " has empty side mask");
-      for (PinId pid : g.pins) {
-        if (pid < 0 || static_cast<std::size_t>(pid) >= num_pins ||
-            nl.pin(pid).cell != c.id)
-          add_issue(r, cell_label(c), "group ", gi, " member pin ", pid,
-                    " is not a pin of this cell");
-        else if (nl.pin(pid).group != static_cast<GroupId>(gi))
-          add_issue(r, cell_label(c), "group ", gi, " member pin ", pid,
-                    " claims group ", nl.pin(pid).group);
-      }
-    }
-    if (c.is_custom()) {
-      if (c.aspect_lo <= 0.0 || c.aspect_hi < c.aspect_lo)
-        add_issue(r, cell_label(c), "bad aspect range [", c.aspect_lo, ", ",
-                  c.aspect_hi, "]");
-      for (double a : c.discrete_aspects)
-        if (a <= 0.0)
-          add_issue(r, cell_label(c), "non-positive discrete aspect ", a);
-      if (c.sites_per_edge < 1)
-        add_issue(r, cell_label(c), "sites_per_edge=", c.sites_per_edge);
-      // Pin-site capacity: the initial realization's sites must be able to
-      // hold every uncommitted pin (otherwise C3 can never reach zero).
-      int uncommitted = 0;
-      for (PinId pid : c.pins)
-        if (!nl.pin(pid).committed()) ++uncommitted;
-      if (uncommitted > 0 && c.sites_per_edge >= 1) {
-        const auto sites =
-            make_pin_sites(c.instances.front(), c.sites_per_edge,
-                           nl.tech().track_separation);
-        long long capacity = 0;
-        for (const PinSite& s : sites) capacity += s.capacity;
-        if (capacity < uncommitted)
-          add_issue(r, cell_label(c), "pin-site capacity ", capacity,
-                    " cannot hold ", uncommitted, " uncommitted pins");
-      }
-    }
-  }
-
-  for (std::size_t pi = 0; pi < num_pins; ++pi) {
-    const Pin& p = nl.pins()[pi];
-    std::ostringstream where;
-    where << "pin " << pi << " '" << p.name << "'";
-    if (p.id != static_cast<PinId>(pi))
-      add_issue(r, where.str(), "id ", p.id, " != index ", pi);
-    if (p.cell < 0 || static_cast<std::size_t>(p.cell) >= num_cells) {
-      add_issue(r, where.str(), "cell ", p.cell, " out of range");
-    } else {
-      const auto& pins = nl.cell(p.cell).pins;
-      if (std::find(pins.begin(), pins.end(), static_cast<PinId>(pi)) ==
-          pins.end())
-        add_issue(r, where.str(), "not listed by its cell ", p.cell);
-    }
-    if (p.net < 0 || static_cast<std::size_t>(p.net) >= num_nets) {
-      add_issue(r, where.str(), "net ", p.net, " out of range");
-    } else {
-      const auto& pins = nl.net(p.net).pins;
-      if (std::find(pins.begin(), pins.end(), static_cast<PinId>(pi)) ==
-          pins.end())
-        add_issue(r, where.str(), "not listed by its net ", p.net);
-    }
-    if (p.commit != PinCommit::kFixed && p.side_mask == 0)
-      add_issue(r, where.str(), "uncommitted pin with empty side mask");
-  }
-
-  for (std::size_t ni = 0; ni < num_nets; ++ni) {
-    const Net& n = nl.nets()[ni];
-    std::ostringstream where;
-    where << "net " << ni << " '" << n.name << "'";
-    if (n.id != static_cast<NetId>(ni))
-      add_issue(r, where.str(), "id ", n.id, " != index ", ni);
-    if (n.degree() < 2)
-      add_issue(r, where.str(), "degree ", n.degree(), " < 2");
-    if (n.weight_h < 0.0 || n.weight_v < 0.0)
-      add_issue(r, where.str(), "negative weight h=", n.weight_h,
-                " v=", n.weight_v);
-    for (PinId pid : n.pins)
-      if (pid < 0 || static_cast<std::size_t>(pid) >= num_pins ||
-          nl.pin(pid).net != n.id)
-        add_issue(r, where.str(), "member pin ", pid,
-                  " does not reference this net");
-  }
-  return r;
-}
 
 ValidationReport validate_placement(const Placement& placement,
                                     const PlacementCheckOptions& options) {
@@ -247,76 +113,6 @@ ValidationReport validate_placement(const Placement& placement,
                     st.pin_site[k]);
     }
   }
-  return r;
-}
-
-ValidationReport validate_routing(const RoutingGraph& g,
-                                  const std::vector<NetTargets>& nets,
-                                  const GlobalRouteResult& result) {
-  ValidationReport r;
-  if (result.choice.size() != nets.size() ||
-      result.alternatives.size() != nets.size()) {
-    add_issue(r, "result", "sizes (choice=", result.choice.size(),
-              ", alternatives=", result.alternatives.size(), ") != net count ",
-              nets.size());
-    return r;
-  }
-  if (result.edge_usage.size() != g.num_edges()) {
-    add_issue(r, "result", "edge_usage size ", result.edge_usage.size(),
-              " != edge count ", g.num_edges());
-    return r;
-  }
-
-  std::vector<int> usage(g.num_edges(), 0);
-  double length = 0.0;
-  int unrouted = 0;
-  for (std::size_t n = 0; n < nets.size(); ++n) {
-    std::ostringstream where;
-    where << "net " << n;
-    const int choice = result.choice[n];
-    if (choice < 0) {
-      ++unrouted;
-      continue;
-    }
-    if (static_cast<std::size_t>(choice) >= result.alternatives[n].size()) {
-      add_issue(r, where.str(), "choice ", choice, " of ",
-                result.alternatives[n].size(), " alternatives");
-      continue;
-    }
-    const Route& route = result.alternatives[n][static_cast<std::size_t>(choice)];
-    for (EdgeId e : route.edges) {
-      if (e < 0 || static_cast<std::size_t>(e) >= g.num_edges()) {
-        add_issue(r, where.str(), "edge ", e, " out of range");
-        continue;
-      }
-      ++usage[static_cast<std::size_t>(e)];
-    }
-    if (!std::is_sorted(route.edges.begin(), route.edges.end()) ||
-        std::adjacent_find(route.edges.begin(), route.edges.end()) !=
-            route.edges.end())
-      add_issue(r, where.str(), "route edges not sorted/deduplicated");
-    if (!route_connects(g, nets[n], route))
-      add_issue(r, where.str(), "selected route does not connect the net");
-    if (!near(route.length, g.path_length(route.edges)))
-      add_issue(r, where.str(), "route length ", route.length,
-                " != edge-length sum ", g.path_length(route.edges));
-    length += route.length;
-  }
-
-  for (std::size_t e = 0; e < usage.size(); ++e)
-    if (usage[e] != result.edge_usage[e])
-      add_issue(r, "edge " + std::to_string(e), "usage counter ",
-                result.edge_usage[e], " != recount ", usage[e]);
-  const int overflow = total_overflow(g, usage);
-  if (overflow != result.total_overflow)
-    add_issue(r, "result", "total_overflow ", result.total_overflow,
-              " != recomputed ", overflow);
-  if (unrouted != result.unrouted_nets)
-    add_issue(r, "result", "unrouted_nets ", result.unrouted_nets,
-              " != recount ", unrouted);
-  if (!near(length, result.total_length))
-    add_issue(r, "result", "total_length ", result.total_length,
-              " != recomputed ", length);
   return r;
 }
 

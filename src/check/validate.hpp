@@ -10,32 +10,13 @@
 #pragma once
 
 #include <optional>
-#include <string>
-#include <vector>
 
+#include "check/validation_report.hpp"
+#include "netlist/validate.hpp"  // re-export: validate_netlist lives with the netlist model
 #include "place/placement.hpp"
-#include "route/interchange.hpp"
+#include "route/validate.hpp"  // re-export: validate_routing lives with the route model
 
 namespace tw {
-
-struct ValidationIssue {
-  std::string where;   ///< object, e.g. "cell 3 'alu'" or "net 7"
-  std::string detail;  ///< what is wrong, with the offending values
-};
-
-struct ValidationReport {
-  std::vector<ValidationIssue> issues;
-
-  bool ok() const { return issues.empty(); }
-  /// One line per issue ("ok" when clean) — contract-message friendly.
-  std::string str() const;
-};
-
-/// Structural netlist invariants: pin/net/cell cross-references are
-/// mutually consistent, net degrees >= 2, every cell has at least one
-/// instance with per-pin offsets, custom aspect-ratio ranges are sane, and
-/// per-cell pin-site capacity can accommodate the uncommitted pins.
-ValidationReport validate_netlist(const Netlist& nl);
 
 struct PlacementCheckOptions {
   /// When set, every cell center must lie inside this core region (the
@@ -52,14 +33,5 @@ struct PlacementCheckOptions {
 /// core.
 ValidationReport validate_placement(const Placement& placement,
                                     const PlacementCheckOptions& options = {});
-
-/// Global-routing invariants: every selected route connects its net (one
-/// alternative of every logical pin in one connected component), edge
-/// usage equals the recount over selected routes, the total overflow
-/// matches the per-edge excess over capacities, and the reported length
-/// and unrouted count match the selections.
-ValidationReport validate_routing(const RoutingGraph& g,
-                                  const std::vector<NetTargets>& nets,
-                                  const GlobalRouteResult& result);
 
 }  // namespace tw

@@ -1,0 +1,53 @@
+// ValidationReport: the result type shared by every whole-structure
+// validator (netlist, placement, routing).
+//
+// This header sits at the bottom of the layering (no domain includes) so
+// that validators can live next to the structures they validate —
+// validate_netlist is owned by src/netlist, while the placement/routing
+// validators, which need the upper-layer types, stay in
+// check/validate.hpp. See DESIGN.md "Layering (normative)".
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tw {
+
+struct ValidationIssue {
+  std::string where;   ///< object, e.g. "cell 3 'alu'" or "net 7"
+  std::string detail;  ///< what is wrong, with the offending values
+};
+
+struct ValidationReport {
+  std::vector<ValidationIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+  /// Every issue on one "; "-joined line ("ok" when clean) —
+  /// contract-message friendly.
+  std::string str() const {
+    if (ok()) return "ok";
+    std::ostringstream os;
+    for (std::size_t i = 0; i < issues.size(); ++i) {
+      if (i > 0) os << "; ";
+      os << issues[i].where << ": " << issues[i].detail;
+    }
+    return os.str();
+  }
+};
+
+namespace check_detail {
+
+/// Streams the trailing arguments into one issue, so validators report
+/// the offending values the same way the contract macros do.
+template <typename... Args>
+void add_issue(ValidationReport& r, std::string where, const Args&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  r.issues.push_back({std::move(where), os.str()});
+}
+
+}  // namespace check_detail
+
+}  // namespace tw

@@ -6,7 +6,6 @@
 #include <string>
 
 #include "flow/timberwolf.hpp"
-#include "pool/pool.hpp"
 
 namespace tw {
 
@@ -30,10 +29,5 @@ PlacementSummary summarize_placement(const Placement& placement);
 /// Multi-section text report of a full flow run.
 std::string flow_report(const Netlist& nl, const Placement& placement,
                         const FlowResult& result);
-
-/// Text report of a supervised multi-replica run: one row per replica
-/// (outcome, attempts, retries/resumes, final TEIL and area), the attempt
-/// history of every failed replica, and the aggregate TEIL spread.
-std::string pool_report(const pool::PoolResult& result);
 
 }  // namespace tw

@@ -6,7 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "check/validate.hpp"
+#include "netlist/validate.hpp"
 
 namespace tw {
 namespace {

@@ -1,0 +1,136 @@
+#include "netlist/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "netlist/pin_sites.hpp"
+
+namespace tw {
+namespace {
+
+using check_detail::add_issue;
+
+std::string cell_label(const Cell& c) {
+  std::ostringstream os;
+  os << "cell " << c.id << " '" << c.name << "'";
+  return os.str();
+}
+
+}  // namespace
+
+ValidationReport validate_netlist(const Netlist& nl) {
+  ValidationReport r;
+  const auto num_cells = static_cast<std::size_t>(nl.num_cells());
+  const auto num_nets = static_cast<std::size_t>(nl.num_nets());
+  const auto num_pins = static_cast<std::size_t>(nl.num_pins());
+
+  for (std::size_t ci = 0; ci < num_cells; ++ci) {
+    const Cell& c = nl.cells()[ci];
+    if (c.id != static_cast<CellId>(ci))
+      add_issue(r, cell_label(c), "id ", c.id, " != index ", ci);
+    if (c.instances.empty()) {
+      add_issue(r, cell_label(c), "no instances");
+      continue;
+    }
+    for (std::size_t k = 0; k < c.instances.size(); ++k)
+      if (c.instances[k].pin_offsets.size() != c.pins.size())
+        add_issue(r, cell_label(c), "instance ", k, " has ",
+                  c.instances[k].pin_offsets.size(), " pin offsets for ",
+                  c.pins.size(), " pins");
+    for (PinId pid : c.pins) {
+      if (pid < 0 || static_cast<std::size_t>(pid) >= num_pins) {
+        add_issue(r, cell_label(c), "pin id ", pid, " out of range");
+        continue;
+      }
+      if (nl.pin(pid).cell != c.id)
+        add_issue(r, cell_label(c), "pin ", pid, " claims cell ",
+                  nl.pin(pid).cell);
+    }
+    for (std::size_t gi = 0; gi < c.groups.size(); ++gi) {
+      const PinGroup& g = c.groups[gi];
+      if (g.side_mask == 0)
+        add_issue(r, cell_label(c), "group ", gi, " has empty side mask");
+      for (PinId pid : g.pins) {
+        if (pid < 0 || static_cast<std::size_t>(pid) >= num_pins ||
+            nl.pin(pid).cell != c.id)
+          add_issue(r, cell_label(c), "group ", gi, " member pin ", pid,
+                    " is not a pin of this cell");
+        else if (nl.pin(pid).group != static_cast<GroupId>(gi))
+          add_issue(r, cell_label(c), "group ", gi, " member pin ", pid,
+                    " claims group ", nl.pin(pid).group);
+      }
+    }
+    if (c.is_custom()) {
+      if (c.aspect_lo <= 0.0 || c.aspect_hi < c.aspect_lo)
+        add_issue(r, cell_label(c), "bad aspect range [", c.aspect_lo, ", ",
+                  c.aspect_hi, "]");
+      for (double a : c.discrete_aspects)
+        if (a <= 0.0)
+          add_issue(r, cell_label(c), "non-positive discrete aspect ", a);
+      if (c.sites_per_edge < 1)
+        add_issue(r, cell_label(c), "sites_per_edge=", c.sites_per_edge);
+      // Pin-site capacity: the initial realization's sites must be able to
+      // hold every uncommitted pin (otherwise C3 can never reach zero).
+      int uncommitted = 0;
+      for (PinId pid : c.pins)
+        if (!nl.pin(pid).committed()) ++uncommitted;
+      if (uncommitted > 0 && c.sites_per_edge >= 1) {
+        const auto sites =
+            make_pin_sites(c.instances.front(), c.sites_per_edge,
+                           nl.tech().track_separation);
+        long long capacity = 0;
+        for (const PinSite& s : sites) capacity += s.capacity;
+        if (capacity < uncommitted)
+          add_issue(r, cell_label(c), "pin-site capacity ", capacity,
+                    " cannot hold ", uncommitted, " uncommitted pins");
+      }
+    }
+  }
+
+  for (std::size_t pi = 0; pi < num_pins; ++pi) {
+    const Pin& p = nl.pins()[pi];
+    std::ostringstream where;
+    where << "pin " << pi << " '" << p.name << "'";
+    if (p.id != static_cast<PinId>(pi))
+      add_issue(r, where.str(), "id ", p.id, " != index ", pi);
+    if (p.cell < 0 || static_cast<std::size_t>(p.cell) >= num_cells) {
+      add_issue(r, where.str(), "cell ", p.cell, " out of range");
+    } else {
+      const auto& pins = nl.cell(p.cell).pins;
+      if (std::find(pins.begin(), pins.end(), static_cast<PinId>(pi)) ==
+          pins.end())
+        add_issue(r, where.str(), "not listed by its cell ", p.cell);
+    }
+    if (p.net < 0 || static_cast<std::size_t>(p.net) >= num_nets) {
+      add_issue(r, where.str(), "net ", p.net, " out of range");
+    } else {
+      const auto& pins = nl.net(p.net).pins;
+      if (std::find(pins.begin(), pins.end(), static_cast<PinId>(pi)) ==
+          pins.end())
+        add_issue(r, where.str(), "not listed by its net ", p.net);
+    }
+    if (p.commit != PinCommit::kFixed && p.side_mask == 0)
+      add_issue(r, where.str(), "uncommitted pin with empty side mask");
+  }
+
+  for (std::size_t ni = 0; ni < num_nets; ++ni) {
+    const Net& n = nl.nets()[ni];
+    std::ostringstream where;
+    where << "net " << ni << " '" << n.name << "'";
+    if (n.id != static_cast<NetId>(ni))
+      add_issue(r, where.str(), "id ", n.id, " != index ", ni);
+    if (n.degree() < 2)
+      add_issue(r, where.str(), "degree ", n.degree(), " < 2");
+    if (n.weight_h < 0.0 || n.weight_v < 0.0)
+      add_issue(r, where.str(), "negative weight h=", n.weight_h,
+                " v=", n.weight_v);
+    for (PinId pid : n.pins)
+      if (pid < 0 || static_cast<std::size_t>(pid) >= num_pins ||
+          nl.pin(pid).net != n.id)
+        add_issue(r, where.str(), "member pin ", pid,
+                  " does not reference this net");
+  }
+  return r;
+}
+
+}  // namespace tw

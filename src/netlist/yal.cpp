@@ -7,7 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "check/validate.hpp"
+#include "netlist/validate.hpp"
 
 namespace tw {
 namespace {

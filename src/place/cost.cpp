@@ -20,7 +20,9 @@ double CostModel::calibrate_p2(Placement& placement, OverlapEngine& overlap,
   double sum_c1 = 0.0;
   double sum_c2 = 0.0;
   for (int s = 0; s < samples; ++s) {
-    placement.randomize(rng, core);
+    // Whole-placement resample during calibration, not a per-move
+    // mutation; the refresh_all() below resyncs the overlap index.
+    placement.randomize(rng, core);  // lint: allow(txn-reach)
     overlap.refresh_all();
     sum_c1 += placement.teic();
     const Coord c2 = overlap.total_overlap();

@@ -412,7 +412,7 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
       // Bulk rollback to the tracked best state: not a per-move
       // transaction, so it legitimately bypasses MoveTxn.
       for (CellId i = 0; i < num_cells; ++i)
-        placement.restore(i, best[static_cast<std::size_t>(i)]);  // lint: allow(txn-mutation)
+        placement.restore(i, best[static_cast<std::size_t>(i)]);  // lint: allow(txn-mutation) // lint: allow(txn-reach)
       overlap.refresh_all();
       current_ = model.full();
     }

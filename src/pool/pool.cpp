@@ -51,28 +51,33 @@ PoolResult ReplicaPool::run(Placement& placement) {
   // its own report slot; the joins below publish every slot to this
   // thread. No other state is shared — the netlist is immutable after
   // construction and each replica owns its placement, RNG streams, budget
-  // and checkpoint directory.
-  const auto worker = [&]() {
+  // and checkpoint directory. The capture list is explicit (enforced by
+  // semlint's pool-capture check): const views of the immutable inputs,
+  // the two atomics, and the disjoint-slot report vector.
+  const PoolParams& params = params_;
+  const Netlist& nl = nl_;
+  std::atomic<bool>& cancel = cancel_;
+  const auto worker = [n, &params, &nl, &cancel, &next, &reports]() {
     for (;;) {
       const int id = next.fetch_add(1, std::memory_order_relaxed);
       if (id >= n) return;
       ReplicaConfig cfg;
       cfg.replica = id;
-      cfg.master_seed = params_.master_seed;
-      cfg.base = params_.base;
-      cfg.max_attempts = params_.max_attempts;
-      cfg.watchdog = params_.watchdog;
-      cfg.budget_moves = params_.budget_moves;
-      cfg.budget_steps = params_.budget_steps;
-      if (!params_.checkpoint_root.empty())
+      cfg.master_seed = params.master_seed;
+      cfg.base = params.base;
+      cfg.max_attempts = params.max_attempts;
+      cfg.watchdog = params.watchdog;
+      cfg.budget_moves = params.budget_moves;
+      cfg.budget_steps = params.budget_steps;
+      if (!params.checkpoint_root.empty())
         cfg.checkpoint_dir =
-            params_.checkpoint_root + "/replica-" + std::to_string(id);
-      cfg.checkpoint_every = params_.checkpoint_every;
-      cfg.checkpoint_keep = params_.checkpoint_keep;
-      cfg.faults = params_.fault_for ? params_.fault_for(id) : nullptr;
-      cfg.cancel = &cancel_;
+            params.checkpoint_root + "/replica-" + std::to_string(id);
+      cfg.checkpoint_every = params.checkpoint_every;
+      cfg.checkpoint_keep = params.checkpoint_keep;
+      cfg.faults = params.fault_for ? params.fault_for(id) : nullptr;
+      cfg.cancel = &cancel;
       try {
-        reports[static_cast<std::size_t>(id)] = run_replica(nl_, cfg);
+        reports[static_cast<std::size_t>(id)] = run_replica(nl, cfg);
       } catch (const std::exception& e) {
         // run_replica absorbs flow failures itself; anything reaching
         // here (bad_alloc, a throwing contract trap) still must not take

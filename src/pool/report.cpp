@@ -1,0 +1,62 @@
+#include "pool/report.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/tableio.hpp"
+
+namespace tw {
+
+std::string pool_report(const pool::PoolResult& result) {
+  std::ostringstream os;
+  os << "Replica pool report\n";
+  os << "===================\n\n";
+
+  Table replicas({"replica", "outcome", "attempts", "resumed", "TEIL",
+                  "chip area", "fingerprint"});
+  for (const pool::ReplicaReport& r : result.replicas) {
+    int resumed = 0;
+    for (const pool::AttemptRecord& a : r.attempts) resumed += a.resumed;
+    const bool ok = r.outcome == pool::ReplicaOutcome::kSucceeded;
+    std::ostringstream fp;
+    fp << std::hex << r.fingerprint;
+    replicas.add_row(
+        {Table::integer(r.replica) +
+             (result.best == r.replica ? " *" : ""),
+         pool::to_string(r.outcome),
+         Table::integer(static_cast<long long>(r.attempts.size())),
+         Table::integer(resumed),
+         ok ? Table::num(r.final_teil, 0) : "-",
+         ok ? Table::integer(r.final_chip_area) : "-",
+         ok ? fp.str() : "-"});
+  }
+  os << replicas.str() << "\n";
+  os << "(* = selected best-feasible replica)\n\n";
+
+  const pool::PoolStats& st = result.stats;
+  os << "replicas: " << st.succeeded << " succeeded, " << st.failed
+     << " failed; " << st.attempts << " attempt(s), " << st.retries
+     << " retr" << (st.retries == 1 ? "y" : "ies") << "\n";
+  if (st.succeeded > 0) {
+    os << "TEIL spread: best " << Table::num(st.teil_best, 0) << ", mean "
+       << Table::num(st.teil_mean, 0) << ", worst "
+       << Table::num(st.teil_worst, 0) << ", stddev "
+       << Table::num(st.teil_stddev, 1) << "\n";
+  }
+
+  for (const pool::ReplicaReport& r : result.replicas) {
+    if (r.outcome == pool::ReplicaOutcome::kSucceeded &&
+        r.attempts.size() == 1)
+      continue;
+    os << "\nreplica " << r.replica << " attempt history:\n";
+    for (const pool::AttemptRecord& a : r.attempts) {
+      os << "  #" << a.attempt << (a.resumed ? " [resumed]" : " [cold]")
+         << " seed " << a.seed << ": " << pool::to_string(a.outcome);
+      if (!a.error.empty()) os << " — " << a.error;
+      os << " (" << a.moves << " moves, " << a.steps << " steps)\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace tw

@@ -1,0 +1,19 @@
+// Human-readable report of a supervised multi-replica run.
+//
+// Lives in src/pool (not src/flow): the pool orchestrates flows, so it
+// sits above them in the layering, and a flow-layer header must not
+// reach up into pool types (see DESIGN.md "Layering (normative)").
+#pragma once
+
+#include <string>
+
+#include "pool/pool.hpp"
+
+namespace tw {
+
+/// Text report of a supervised multi-replica run: one row per replica
+/// (outcome, attempts, retries/resumes, final TEIL and area), the attempt
+/// history of every failed replica, and the aggregate TEIL spread.
+std::string pool_report(const pool::PoolResult& result);
+
+}  // namespace tw

@@ -270,8 +270,10 @@ void apply_placement(Placement& p, const PackedPlacement& packed) {
   for (std::size_t i = 0; i < packed.cells.size(); ++i) {
     const PackedCell& c = packed.cells[i];
     try {
-      p.restore_cell(static_cast<CellId>(i), c.center, c.orient, c.instance,
-                     c.aspect, c.pin_site);
+      // Bulk checkpoint restore, not a per-move transaction: callers
+      // rebuild the overlap/cost engines from scratch after applying.
+      p.restore_cell(static_cast<CellId>(i), c.center, c.orient,  // lint: allow(txn-reach)
+                     c.instance, c.aspect, c.pin_site);
     } catch (const std::invalid_argument& e) {
       throw CheckpointError(CheckpointErrc::kCorrupt,
                             "cell " + std::to_string(i) + ": " + e.what());

@@ -3,7 +3,7 @@
 #include <algorithm>
 
 #include "check/contracts.hpp"
-#include "check/validate.hpp"
+#include "route/validate.hpp"
 #include "util/log.hpp"
 
 namespace tw {

@@ -1,0 +1,91 @@
+#include "route/validate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include "route/steiner.hpp"
+
+namespace tw {
+namespace {
+
+using check_detail::add_issue;
+
+bool near(double a, double b, double eps = 1e-9) {
+  return std::abs(a - b) <= eps * std::max(1.0, std::max(std::abs(a), std::abs(b)));
+}
+
+}  // namespace
+
+ValidationReport validate_routing(const RoutingGraph& g,
+                                  const std::vector<NetTargets>& nets,
+                                  const GlobalRouteResult& result) {
+  ValidationReport r;
+  if (result.choice.size() != nets.size() ||
+      result.alternatives.size() != nets.size()) {
+    add_issue(r, "result", "sizes (choice=", result.choice.size(),
+              ", alternatives=", result.alternatives.size(), ") != net count ",
+              nets.size());
+    return r;
+  }
+  if (result.edge_usage.size() != g.num_edges()) {
+    add_issue(r, "result", "edge_usage size ", result.edge_usage.size(),
+              " != edge count ", g.num_edges());
+    return r;
+  }
+
+  std::vector<int> usage(g.num_edges(), 0);
+  double length = 0.0;
+  int unrouted = 0;
+  for (std::size_t n = 0; n < nets.size(); ++n) {
+    std::ostringstream where;
+    where << "net " << n;
+    const int choice = result.choice[n];
+    if (choice < 0) {
+      ++unrouted;
+      continue;
+    }
+    if (static_cast<std::size_t>(choice) >= result.alternatives[n].size()) {
+      add_issue(r, where.str(), "choice ", choice, " of ",
+                result.alternatives[n].size(), " alternatives");
+      continue;
+    }
+    const Route& route = result.alternatives[n][static_cast<std::size_t>(choice)];
+    for (EdgeId e : route.edges) {
+      if (e < 0 || static_cast<std::size_t>(e) >= g.num_edges()) {
+        add_issue(r, where.str(), "edge ", e, " out of range");
+        continue;
+      }
+      ++usage[static_cast<std::size_t>(e)];
+    }
+    if (!std::is_sorted(route.edges.begin(), route.edges.end()) ||
+        std::adjacent_find(route.edges.begin(), route.edges.end()) !=
+            route.edges.end())
+      add_issue(r, where.str(), "route edges not sorted/deduplicated");
+    if (!route_connects(g, nets[n], route))
+      add_issue(r, where.str(), "selected route does not connect the net");
+    if (!near(route.length, g.path_length(route.edges)))
+      add_issue(r, where.str(), "route length ", route.length,
+                " != edge-length sum ", g.path_length(route.edges));
+    length += route.length;
+  }
+
+  for (std::size_t e = 0; e < usage.size(); ++e)
+    if (usage[e] != result.edge_usage[e])
+      add_issue(r, "edge " + std::to_string(e), "usage counter ",
+                result.edge_usage[e], " != recount ", usage[e]);
+  const int overflow = total_overflow(g, usage);
+  if (overflow != result.total_overflow)
+    add_issue(r, "result", "total_overflow ", result.total_overflow,
+              " != recomputed ", overflow);
+  if (unrouted != result.unrouted_nets)
+    add_issue(r, "result", "unrouted_nets ", result.unrouted_nets,
+              " != recount ", unrouted);
+  if (!near(length, result.total_length))
+    add_issue(r, "result", "total_length ", result.total_length,
+              " != recomputed ", length);
+  return r;
+}
+
+}  // namespace tw

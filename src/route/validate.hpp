@@ -1,0 +1,27 @@
+// Routing-result validator.
+//
+// Lives in src/route (not src/check): its whole vocabulary — RoutingGraph,
+// NetTargets, GlobalRouteResult — is route-layer, and the interchange
+// engine self-audits with it, so placing it in src/check would force a
+// route -> check-domain edge upward through the layering (see DESIGN.md
+// "Layering (normative)"). check/validate.hpp re-exports it next to the
+// other domain validators.
+#pragma once
+
+#include <vector>
+
+#include "check/validation_report.hpp"
+#include "route/interchange.hpp"
+
+namespace tw {
+
+/// Global-routing invariants: every selected route connects its net (one
+/// alternative of every logical pin in one connected component), edge
+/// usage equals the recount over selected routes, the total overflow
+/// matches the per-edge excess over capacities, and the reported length
+/// and unrouted count match the selections.
+ValidationReport validate_routing(const RoutingGraph& g,
+                                  const std::vector<NetTargets>& nets,
+                                  const GlobalRouteResult& result);
+
+}  // namespace tw

@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "fingerprint.hpp"
-#include "flow/report.hpp"
+#include "pool/report.hpp"
 #include "pool/pool.hpp"
 #include "recover/fault.hpp"
 #include "util/rng.hpp"

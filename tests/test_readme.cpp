@@ -4,7 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "fingerprint.hpp"
-#include "flow/report.hpp"
+#include "pool/report.hpp"
 #include "flow/timberwolf.hpp"
 #include "netlist/parser.hpp"
 #include "netlist/yal.hpp"

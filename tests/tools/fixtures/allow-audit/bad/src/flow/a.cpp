@@ -1,0 +1,4 @@
+namespace tw {
+int plain(int x) { return x; }       // lint: allow(bogus-rule)
+int also_plain(int x) { return x; }  // lint: allow(raw-assert)
+}  // namespace tw

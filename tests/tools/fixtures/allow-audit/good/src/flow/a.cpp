@@ -1,0 +1,6 @@
+namespace tw {
+int checked(int x) {
+  assert(x > 0);  // lint: allow(raw-assert)
+  return x;
+}
+}  // namespace tw

@@ -1,0 +1,6 @@
+#include <string>
+namespace tw::recover {
+std::string checkpoint_path(const std::string& dir, int n) {
+  return dir + "/ckpt-000001.twcp";
+}
+}  // namespace tw::recover

@@ -1,0 +1,5 @@
+#pragma once
+namespace tw {
+using Coord = double;
+Coord half_span(Coord c);
+}  // namespace tw

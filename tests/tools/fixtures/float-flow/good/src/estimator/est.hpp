@@ -1,0 +1,7 @@
+#pragma once
+#include <cstdint>
+namespace tw {
+using Coord = std::int64_t;
+Coord half_span(Coord c);
+double cost_of(double wirelen);
+}  // namespace tw

@@ -1,0 +1,4 @@
+#pragma once
+namespace tw {
+inline double scale_factor() { return 0.5; }
+}  // namespace tw

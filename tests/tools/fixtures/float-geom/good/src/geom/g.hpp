@@ -1,0 +1,5 @@
+#pragma once
+#include <cstdint>
+namespace tw {
+inline std::int64_t scale_factor() { return 2; }
+}  // namespace tw

@@ -1,0 +1,2 @@
+#pragma once
+#include "top/t.hpp"

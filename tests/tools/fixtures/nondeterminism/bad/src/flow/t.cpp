@@ -1,0 +1,6 @@
+#include <chrono>
+namespace tw {
+long long stamp() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+}  // namespace tw

@@ -1,0 +1,3 @@
+namespace tw {
+long long stamp(long long counter) { return counter + 1; }
+}  // namespace tw

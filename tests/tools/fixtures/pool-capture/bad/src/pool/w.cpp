@@ -1,0 +1,7 @@
+namespace tw::pool {
+void spawn(void (*run)(int&)) {
+  int counter = 0;
+  auto w = [&counter, run]() { run(counter); };
+  w();
+}
+}  // namespace tw::pool

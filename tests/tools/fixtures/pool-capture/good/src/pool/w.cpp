@@ -1,0 +1,8 @@
+#include <atomic>
+namespace tw::pool {
+void spawn(void (*run)(std::atomic<int>&), std::atomic<int>& slots) {
+  std::atomic<int>& counter = slots;
+  auto w = [&counter, run]() { run(counter); };
+  w();
+}
+}  // namespace tw::pool

@@ -1,0 +1,6 @@
+namespace tw {
+int checked(int x) {
+  TW_REQUIRE(x > 0, "x=", x);
+  return x;
+}
+}  // namespace tw

@@ -1,0 +1,7 @@
+#include <random>
+namespace tw {
+int roll() {
+  std::mt19937 gen(42);
+  return static_cast<int>(gen());
+}
+}  // namespace tw

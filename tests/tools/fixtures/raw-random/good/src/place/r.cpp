@@ -1,0 +1,5 @@
+namespace tw {
+class Rng;
+int roll(Rng& rng);
+int roll_twice(Rng& rng) { return roll(rng) + roll(rng); }
+}  // namespace tw

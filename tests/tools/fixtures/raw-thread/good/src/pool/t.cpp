@@ -1,0 +1,7 @@
+#include <thread>
+namespace tw::pool {
+void run_async(void (*fn)()) {
+  std::thread worker(fn);
+  worker.join();
+}
+}  // namespace tw::pool

@@ -1,0 +1,7 @@
+#pragma once
+namespace tw {
+class Rng;
+using LocalRng = Rng;
+double entropy_of(LocalRng rng);
+inline double jitter(LocalRng rng) { return entropy_of(rng); }
+}  // namespace tw

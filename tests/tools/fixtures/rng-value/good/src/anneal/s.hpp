@@ -1,0 +1,5 @@
+#pragma once
+namespace tw {
+class Rng;
+double jitter(Rng& rng);
+}  // namespace tw

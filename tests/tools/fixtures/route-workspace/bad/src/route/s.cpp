@@ -1,0 +1,9 @@
+#include <queue>
+namespace tw {
+int pop_min(std::priority_queue<int>& heap);
+int search() {
+  std::priority_queue<int> frontier;
+  frontier.push(3);
+  return pop_min(frontier);
+}
+}  // namespace tw

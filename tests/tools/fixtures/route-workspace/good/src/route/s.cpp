@@ -1,0 +1,5 @@
+namespace tw {
+class SearchWorkspace;
+int search(SearchWorkspace& ws);
+int search_twice(SearchWorkspace& ws) { return search(ws) + search(ws); }
+}  // namespace tw

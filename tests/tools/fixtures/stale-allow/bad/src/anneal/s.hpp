@@ -1,0 +1,5 @@
+#pragma once
+namespace tw {
+class Rng;
+void stir(Rng& rng);  // lint: allow(rng-value)
+}  // namespace tw

