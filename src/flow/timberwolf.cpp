@@ -98,15 +98,27 @@ FlowResult TimberWolfMC::run_impl(Placement& placement,
     hooks.budget = params_.recover.budget;
     hooks.faults = params_.recover.faults;
     hooks.checkpoint_every = params_.recover.checkpoint_every;
-    if (sink) {
+    if (sink || params_.recover.on_progress) {
       hooks.on_checkpoint = [&](const Stage1Cursor& cur) {
-        recover::FlowCheckpoint fc;
-        fc.master_seed = params_.seed;
-        fc.digest = digest;
-        fc.phase = recover::FlowPhase::kStage1;
-        fc.s1 = cur;
-        fc.placement = recover::pack_placement(placement);
-        sink->save(fc);
+        if (sink) {
+          recover::FlowCheckpoint fc;
+          fc.master_seed = params_.seed;
+          fc.digest = digest;
+          fc.phase = recover::FlowPhase::kStage1;
+          fc.s1 = cur;
+          fc.placement = recover::pack_placement(placement);
+          sink->save(fc);
+        }
+        if (params_.recover.on_progress) {
+          FlowProgress pg;
+          pg.phase = recover::FlowPhase::kStage1;
+          pg.step = cur.next_step;
+          pg.pass = 0;
+          pg.t = cur.t;
+          if (!cur.partial.trace.empty())
+            pg.cost = cur.partial.trace.back().avg_cost;
+          params_.recover.on_progress(pg);
+        }
       };
     }
     stage1.set_hooks(std::move(hooks));
@@ -136,18 +148,29 @@ FlowResult TimberWolfMC::run_impl(Placement& placement,
   hooks.budget = params_.recover.budget;
   hooks.faults = params_.recover.faults;
   hooks.checkpoint_every = params_.recover.checkpoint_every;
-  if (sink) {
+  if (sink || params_.recover.on_progress) {
     hooks.on_checkpoint = [&](const Stage2Cursor& cur) {
-      recover::FlowCheckpoint fc;
-      fc.master_seed = params_.seed;
-      fc.digest = digest;
-      fc.phase = recover::FlowPhase::kStage2;
-      fc.s1_done = r.stage1;
-      fc.stage1_teil = r.stage1_teil;
-      fc.stage1_chip_area = r.stage1_chip_area;
-      fc.s2 = cur;
-      fc.placement = recover::pack_placement(placement);
-      sink->save(fc);
+      if (sink) {
+        recover::FlowCheckpoint fc;
+        fc.master_seed = params_.seed;
+        fc.digest = digest;
+        fc.phase = recover::FlowPhase::kStage2;
+        fc.s1_done = r.stage1;
+        fc.stage1_teil = r.stage1_teil;
+        fc.stage1_chip_area = r.stage1_chip_area;
+        fc.s2 = cur;
+        fc.placement = recover::pack_placement(placement);
+        sink->save(fc);
+      }
+      if (params_.recover.on_progress) {
+        FlowProgress pg;
+        pg.phase = recover::FlowPhase::kStage2;
+        pg.step = cur.anneal.steps;
+        pg.pass = cur.pass;
+        pg.t = cur.anneal.t;
+        pg.cost = cur.rp.teil;
+        params_.recover.on_progress(pg);
+      }
     };
   }
   stage2.set_hooks(std::move(hooks));

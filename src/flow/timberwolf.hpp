@@ -11,11 +11,31 @@
 // for the comparisons of Table 4.
 #pragma once
 
+#include <functional>
+
 #include "place/stage1.hpp"
 #include "recover/checkpoint.hpp"
 #include "refine/stage2.hpp"
 
 namespace tw {
+
+/// One progress sample of a running flow, emitted at the same temperature-
+/// step boundaries checkpoints are written at (every `checkpoint_every`
+/// steps), whether or not a checkpoint sink is configured. This is the
+/// placement service's streaming-progress source: the samples are pure
+/// observations — emitting them never consumes RNG state or otherwise
+/// perturbs the run, so an observed flow stays byte-identical to a bare
+/// one.
+struct FlowProgress {
+  recover::FlowPhase phase = recover::FlowPhase::kStage1;
+  int step = 0;       ///< temperature steps completed in the current anneal
+  int pass = 0;       ///< stage-2 refinement pass in flight (0 in stage 1)
+  double t = 0.0;     ///< current annealing temperature
+  /// Best available cost estimate at this boundary: the last completed
+  /// temperature step's average cost in stage 1, the in-flight pass's
+  /// post-routing TEIL in stage 2 (0.0 while nothing is measured yet).
+  double cost = 0.0;
+};
 
 /// Run-lifecycle options (see docs/ROBUSTNESS.md). All pointers are
 /// non-owning and optional; with everything defaulted the flow behaves —
@@ -38,6 +58,10 @@ struct FlowRecoverOptions {
   /// Deterministic kill points: FaultPlan for the recovery tests, the
   /// replica pool's watchdog probe for supervised runs.
   recover::FaultInjector* faults = nullptr;
+  /// Streaming progress observer, called at every `checkpoint_every`-th
+  /// temperature-step boundary of both stages (see FlowProgress). May be
+  /// set without a checkpoint_dir. Must not throw.
+  std::function<void(const FlowProgress&)> on_progress;
 };
 
 struct FlowParams {

@@ -9,7 +9,7 @@ namespace {
 std::string summarize(const ParseReport& report) {
   if (report.ok()) return "parse failed (no diagnostics)";
   std::ostringstream os;
-  os << report.diagnostics.size() << " parse error(s):\n" << report.str();
+  os << report.total() << " parse error(s):\n" << report.str();
   return os.str();
 }
 
@@ -24,13 +24,22 @@ std::string ParseDiagnostic::str() const {
 }
 
 void ParseReport::add(int line, int column, std::string message) {
-  if (saturated()) return;
+  if (saturated()) {
+    // Past the cap the detail is dropped but the defect is still counted:
+    // the report's totals and rendering distinguish "exactly 50 errors"
+    // from "50 reported, N more suppressed".
+    ++suppressed;
+    return;
+  }
   diagnostics.push_back({line, column, std::move(message)});
 }
 
 std::string ParseReport::str() const {
   std::ostringstream os;
   for (const ParseDiagnostic& d : diagnostics) os << d.str() << "\n";
+  if (suppressed > 0)
+    os << "... " << suppressed << " more diagnostic(s) suppressed (cap "
+       << kMaxDiagnostics << ")\n";
   return os.str();
 }
 

@@ -23,20 +23,30 @@ struct ParseDiagnostic {
 };
 
 struct ParseReport {
-  /// Parsers stop recording (and stop scanning) past this many
-  /// diagnostics — a binary file fed to a text parser should not produce
-  /// a million errors.
+  /// Parsers stop recording detail past this many diagnostics — a binary
+  /// file fed to a text parser should not produce a million errors. The
+  /// overflow is *counted*, never silently dropped: `suppressed` reports
+  /// how many further diagnostics saturation swallowed, and str() names
+  /// that number so a report that hit the cap is distinguishable from one
+  /// whose input had exactly kMaxDiagnostics defects.
   static constexpr int kMaxDiagnostics = 50;
 
   std::vector<ParseDiagnostic> diagnostics;
+  /// Diagnostics recorded past the kMaxDiagnostics cap (count only).
+  int suppressed = 0;
 
   bool ok() const { return diagnostics.empty(); }
   bool saturated() const {
     return static_cast<int>(diagnostics.size()) >= kMaxDiagnostics;
   }
+  /// Total defects seen, including the suppressed tail.
+  int total() const {
+    return static_cast<int>(diagnostics.size()) + suppressed;
+  }
   void add(int line, int column, std::string message);
 
-  /// All diagnostics, one per line.
+  /// All diagnostics, one per line, plus a trailing suppression summary
+  /// ("... N more diagnostic(s) suppressed") when the cap was hit.
   std::string str() const;
 };
 

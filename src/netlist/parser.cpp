@@ -245,7 +245,9 @@ std::optional<Netlist> parse_netlist(std::istream& in, ParseReport& report) {
 
   while (std::getline(in, line)) {
     ++st.line_no;
-    if (report.saturated()) break;
+    // Past the diagnostic cap the scan continues: ParseReport::add only
+    // counts (no detail, no memory growth), so the report can state how
+    // many defects saturation suppressed instead of truncating silently.
     const std::size_t hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     std::istringstream is(line);
@@ -263,7 +265,7 @@ std::optional<Netlist> parse_netlist(std::istream& in, ParseReport& report) {
     st.cur = nullptr;
   }
   st.cur = nullptr;
-  if (!cell_name.empty() && !report.saturated())
+  if (!cell_name.empty())
     report.add(st.line_no, 0, "unterminated cell block " + cell_name);
   if (!report.ok()) return std::nullopt;
 

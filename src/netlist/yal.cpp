@@ -228,7 +228,10 @@ std::optional<Netlist> parse_yal(std::istream& in, ParseReport& report,
   };
 
   std::string tok = lex.next();
-  while (!tok.empty() && !report.saturated()) {
+  // The scan runs to end-of-input even once the report saturates: add()
+  // then only counts the suppressed diagnostics, so the total defect
+  // count is reported instead of the tail being truncated silently.
+  while (!tok.empty()) {
     if (upper(tok) != "MODULE") {
       report.add(lex.line(), lex.column(),
                  "expected MODULE, got '" + tok + "'");

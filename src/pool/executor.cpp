@@ -1,0 +1,222 @@
+#include "pool/executor.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "check/contracts.hpp"
+#include "util/log.hpp"
+
+namespace tw::pool {
+namespace {
+
+/// Deterministic best-feasible order, identical to ReplicaPool's: lower
+/// TEIL, then smaller chip area, then lower replica id (implicit via
+/// strict improvement over the in-order scan).
+bool improves(const ReplicaReport& candidate, const ReplicaReport& best) {
+  if (candidate.final_teil != best.final_teil)
+    return candidate.final_teil < best.final_teil;
+  return candidate.final_chip_area < best.final_chip_area;
+}
+
+int select_best(const std::vector<ReplicaReport>& replicas) {
+  int best = -1;
+  for (int i = 0; i < static_cast<int>(replicas.size()); ++i) {
+    const ReplicaReport& r = replicas[static_cast<std::size_t>(i)];
+    if (r.outcome != ReplicaOutcome::kSucceeded) continue;
+    if (best < 0 || improves(r, replicas[static_cast<std::size_t>(best)]))
+      best = i;
+  }
+  return best;
+}
+
+ReplicaReport rejected_report(int replica, const std::string& why) {
+  ReplicaReport r;
+  r.replica = replica;
+  r.outcome = ReplicaOutcome::kFailed;
+  AttemptRecord rec;
+  rec.outcome = AttemptOutcome::kError;
+  rec.error = why;
+  r.attempts.push_back(std::move(rec));
+  return r;
+}
+
+}  // namespace
+
+struct PoolExecutor::Shared {
+  /// One submitted job's live state. `cancel` is the only field touched
+  /// outside `mu`: workers read it lock-free through ReplicaConfig, and
+  /// each worker writes only its own `reports` slot — the disjoint-slot
+  /// pattern of ReplicaPool — before re-acquiring `mu` to decrement
+  /// `remaining`, which is what publishes the slot to whoever assembles
+  /// the result.
+  struct JobState {
+    ExecutorJob spec;
+    std::atomic<bool> cancel{false};
+    int remaining = 0;                    // guarded by mu
+    std::vector<ReplicaReport> reports;   // disjoint slots, one per task
+  };
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stopping = false;                                        // mu
+  std::map<std::uint64_t, std::shared_ptr<JobState>> jobs;      // mu
+  std::deque<std::pair<std::shared_ptr<JobState>, int>> queue;  // mu
+  std::vector<std::thread> workers;  // mu; joined once by shutdown()
+  Hooks hooks;                       // immutable after construction
+
+  void worker_loop();
+  ReplicaReport run_task(const std::shared_ptr<JobState>& job, int replica);
+};
+
+ReplicaReport PoolExecutor::Shared::run_task(
+    const std::shared_ptr<JobState>& job, int replica) {
+  const ExecutorJob& spec = job->spec;
+  ReplicaConfig cfg;
+  cfg.replica = replica;
+  cfg.master_seed = spec.master_seed;
+  cfg.base = spec.base;
+  cfg.max_attempts = spec.max_attempts;
+  cfg.watchdog = spec.watchdog;
+  cfg.budget_moves = spec.budget_moves;
+  cfg.budget_steps = spec.budget_steps;
+  if (!spec.checkpoint_root.empty())
+    cfg.checkpoint_dir =
+        spec.checkpoint_root + "/replica-" + std::to_string(replica);
+  cfg.checkpoint_every = spec.checkpoint_every;
+  cfg.checkpoint_keep = spec.checkpoint_keep;
+  cfg.adopt_existing = spec.adopt_existing;
+  cfg.cancel = &job->cancel;
+  if (hooks.on_progress) {
+    const auto forward = hooks.on_progress;
+    const std::uint64_t id = spec.job;
+    cfg.on_progress = [forward, id, replica](const FlowProgress& pg) {
+      forward(id, replica, pg);
+    };
+  }
+  try {
+    return run_replica(*spec.nl, cfg);
+  } catch (const std::exception& e) {
+    // run_replica absorbs flow failures; anything reaching here
+    // (bad_alloc, a throwing contract trap) must not take the worker —
+    // and with it every queued job — down.
+    return rejected_report(replica, e.what());
+  }
+}
+
+void PoolExecutor::Shared::worker_loop() {
+  for (;;) {
+    std::shared_ptr<JobState> job;
+    int replica = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      while (queue.empty() && !stopping) cv.wait(lock);
+      if (queue.empty()) return;  // stopping and fully drained
+      job = std::move(queue.front().first);
+      replica = queue.front().second;
+      queue.pop_front();
+    }
+
+    ReplicaReport rep = run_task(job, replica);
+    rep.replica = replica;
+    job->reports[static_cast<std::size_t>(replica)] = std::move(rep);
+
+    ExecutorResult done;
+    bool finished = false;
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (--job->remaining == 0) {
+        finished = true;
+        done.job = job->spec.job;
+        done.replicas = std::move(job->reports);
+        jobs.erase(job->spec.job);
+      }
+    }
+    if (!finished) continue;
+
+    done.best = select_best(done.replicas);
+    int succeeded = 0;
+    for (const ReplicaReport& r : done.replicas)
+      succeeded += r.outcome == ReplicaOutcome::kSucceeded ? 1 : 0;
+    log_info("executor job ", done.job, ": ", succeeded, "/",
+             done.replicas.size(), " replica(s) succeeded",
+             done.best >= 0
+                 ? ", best teil=" + std::to_string(
+                       done.best_report().final_teil)
+                 : ", no usable result");
+    // Outside the lock: on_done may re-enter submit()/cancel().
+    if (hooks.on_done) hooks.on_done(std::move(done));
+  }
+}
+
+PoolExecutor::PoolExecutor(int threads, Hooks hooks)
+    : shared_(std::make_shared<Shared>()),
+      threads_(std::max(1, threads)) {
+  shared_->hooks = std::move(hooks);
+  const std::shared_ptr<Shared> sh = shared_;
+  shared_->workers.reserve(static_cast<std::size_t>(threads_));
+  for (int i = 0; i < threads_; ++i)
+    shared_->workers.emplace_back([sh]() { sh->worker_loop(); });
+}
+
+PoolExecutor::~PoolExecutor() { shutdown(); }
+
+void PoolExecutor::submit(ExecutorJob job) {
+  TW_REQUIRE(job.nl != nullptr, "executor job ", job.job, " has no netlist");
+  TW_REQUIRE(job.replicas >= 1, "replicas=", job.replicas);
+  const int n = job.replicas;
+  const std::uint64_t id = job.job;
+
+  auto st = std::make_shared<Shared::JobState>();
+  st->spec = std::move(job);
+  st->remaining = n;
+  st->reports.resize(static_cast<std::size_t>(n));
+
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    if (!shared_->stopping) {
+      // The emplace must stay outside TW_REQUIRE: contract macros (and
+      // their argument expressions) compile away at TW_CHECK_LEVEL=0.
+      const bool inserted = shared_->jobs.emplace(id, st).second;
+      TW_REQUIRE(inserted, "duplicate executor job id ", id);
+      (void)inserted;
+      for (int i = 0; i < n; ++i) shared_->queue.emplace_back(st, i);
+      shared_->cv.notify_all();
+      return;
+    }
+  }
+
+  // Shut down: complete the job immediately (on the submitting thread)
+  // with every replica failed — never silently dropped.
+  ExecutorResult done;
+  done.job = id;
+  for (int i = 0; i < n; ++i)
+    done.replicas.push_back(rejected_report(i, "executor is shut down"));
+  if (shared_->hooks.on_done) shared_->hooks.on_done(std::move(done));
+}
+
+void PoolExecutor::cancel(std::uint64_t job) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  const auto it = shared_->jobs.find(job);
+  if (it != shared_->jobs.end())
+    it->second->cancel.store(true, std::memory_order_relaxed);
+}
+
+void PoolExecutor::shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(shared_->mu);
+    shared_->stopping = true;
+    for (auto& [id, st] : shared_->jobs)
+      st->cancel.store(true, std::memory_order_relaxed);
+    workers.swap(shared_->workers);
+    shared_->cv.notify_all();
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+}  // namespace tw::pool

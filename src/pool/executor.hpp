@@ -1,0 +1,118 @@
+// PoolExecutor: a long-lived, multi-job replica executor.
+//
+// ReplicaPool (pool.hpp) runs ONE job's replicas to completion and tears
+// its workers down. A server cannot afford that shape: jobs arrive and
+// finish continuously, and all of them must share one fixed worker pool
+// so a burst of submissions degrades into queueing, never into unbounded
+// thread creation. PoolExecutor keeps the pool's supervision semantics —
+// every replica runs through run_replica (watchdog, capped retries,
+// checkpoint resume, typed attempt records) — but decouples the worker
+// threads from job lifetime:
+//
+//   * submit() enqueues one task per replica and returns immediately;
+//     tasks from different jobs interleave FIFO on the shared workers, so
+//     a large job cannot starve the queue behind it of all progress.
+//   * per-job cooperative cancellation (cancel()) flips the job's cancel
+//     flag; running replicas wind down gracefully through the existing
+//     RunBudget cancel path and still report their best feasible state.
+//   * completion and streaming progress surface through callbacks that
+//     fire on worker threads — the receiver owns its synchronization
+//     (the placement service pushes into a mutex-guarded event queue and
+//     wakes its poll loop through a pipe).
+//
+// Results are deterministic per job: each replica is a pure function of
+// (netlist, spec, replica id), so neither the worker count nor the
+// interleaving with other jobs changes any job's outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pool/replica.hpp"
+
+namespace tw::pool {
+
+/// One job's execution request. `nl` is non-owning and must stay alive
+/// until the job's on_done callback has returned.
+struct ExecutorJob {
+  std::uint64_t job = 0;      ///< caller's id, threaded through callbacks
+  const Netlist* nl = nullptr;
+  /// Stage parameters (seed/recover ignored; see ReplicaConfig::base).
+  FlowParams base;
+  std::uint64_t master_seed = 1;
+  int replicas = 1;
+  int max_attempts = 2;
+  WatchdogPolicy watchdog;
+  /// Per-replica work quota (RunBudget semantics: graceful wind-down).
+  std::int64_t budget_moves = recover::RunBudget::kUnlimited;
+  std::int64_t budget_steps = recover::RunBudget::kUnlimited;
+  /// When non-empty, replica `i` checkpoints into
+  /// `<checkpoint_root>/replica-<i>`.
+  std::string checkpoint_root;
+  int checkpoint_every = 5;
+  int checkpoint_keep = 4;
+  /// Crash re-adoption (see ReplicaConfig::adopt_existing): first attempts
+  /// resume from surviving checkpoints instead of starting cold.
+  bool adopt_existing = false;
+};
+
+/// Terminal state of one executed job.
+struct ExecutorResult {
+  std::uint64_t job = 0;
+  std::vector<ReplicaReport> replicas;  ///< indexed by replica id
+  int best = -1;  ///< best-feasible replica, -1 when every replica failed
+
+  bool ok() const { return best >= 0; }
+  const ReplicaReport& best_report() const {
+    return replicas.at(static_cast<std::size_t>(best));
+  }
+};
+
+class PoolExecutor {
+ public:
+  /// Both callbacks fire on executor worker threads, possibly
+  /// concurrently for different jobs; they must not throw and must do
+  /// their own locking. on_progress is per replica and high-frequency;
+  /// on_done fires exactly once per submitted job (even for jobs whose
+  /// every replica failed, and for jobs drained by shutdown).
+  struct Hooks {
+    std::function<void(ExecutorResult)> on_done;
+    std::function<void(std::uint64_t job, int replica, const FlowProgress&)>
+        on_progress;
+  };
+
+  /// Starts `threads` workers (>= 1) immediately.
+  PoolExecutor(int threads, Hooks hooks);
+  ~PoolExecutor();  ///< shutdown() + join
+
+  PoolExecutor(const PoolExecutor&) = delete;
+  PoolExecutor& operator=(const PoolExecutor&) = delete;
+
+  /// Enqueues the job's replicas. Jobs submitted after shutdown() are
+  /// completed immediately with every replica failed (outcome recorded as
+  /// an error attempt), never silently dropped.
+  void submit(ExecutorJob job);
+
+  /// Cooperative per-job cancellation: running replicas wind down to
+  /// their best feasible state (still reported through on_done); queued
+  /// replicas start, observe the flag at their first poll boundary, and
+  /// wind down immediately. No-op for unknown/finished jobs.
+  void cancel(std::uint64_t job);
+
+  /// Stops accepting work, cancels every in-flight job, drains the task
+  /// queue (each job still gets its on_done) and joins the workers.
+  /// Idempotent.
+  void shutdown();
+
+  int threads() const { return threads_; }
+
+ private:
+  struct Shared;  // mutex-guarded queue/jobs state, defined in executor.cpp
+
+  std::shared_ptr<Shared> shared_;
+  int threads_ = 0;
+};
+
+}  // namespace tw::pool

@@ -154,22 +154,16 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
     rec.watchdog_allowance = cfg.watchdog.allowance(attempt);
 
     // Retry policy: resume from the newest *valid* checkpoint of a
-    // previous attempt when one survives (find_latest_checkpoint already
-    // skips torn or bit-rotted files); cold-restart on the next rotated
-    // seed otherwise. A checkpoint from a different netlist (a stale
-    // directory) cannot be resumed and is treated as absent.
+    // previous attempt when one survives (adopt_checkpoint skips torn or
+    // bit-rotted files and checkpoints from a different netlist — a stale
+    // directory is treated as absent); cold-restart on the next rotated
+    // seed otherwise. With `adopt_existing` (the placement service's
+    // crash-recovery path) even the first attempt adopts a surviving
+    // checkpoint, so a job killed mid-anneal continues instead of
+    // restarting from scratch.
     std::optional<recover::FlowCheckpoint> cp;
-    if (!cfg.checkpoint_dir.empty() && attempt > 0) {
-      if (const auto latest =
-              recover::find_latest_checkpoint(cfg.checkpoint_dir)) {
-        try {
-          cp = recover::load_checkpoint(*latest);
-        } catch (const recover::CheckpointError&) {
-          cp.reset();
-        }
-      }
-      if (cp && cp->digest != digest) cp.reset();
-    }
+    if (!cfg.checkpoint_dir.empty() && (attempt > 0 || cfg.adopt_existing))
+      cp = recover::adopt_checkpoint(cfg.checkpoint_dir, digest);
     rec.resumed = cp.has_value();
     if (cp) {
       // Resuming binds the attempt to the seed the checkpoint was taken
@@ -186,6 +180,7 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
     params.recover.checkpoint_dir = cfg.checkpoint_dir;
     params.recover.checkpoint_every = cfg.checkpoint_every;
     params.recover.checkpoint_keep = cfg.checkpoint_keep;
+    params.recover.on_progress = cfg.on_progress;
     recover::RunBudget budget(cfg.budget_moves, cfg.budget_steps);
     params.recover.budget = &budget;
     ReplicaProbe probe(cfg.replica, attempt, budget, rec.watchdog_allowance,

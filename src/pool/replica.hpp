@@ -144,6 +144,13 @@ struct ReplicaConfig {
   /// Checkpoint directory of this replica ("" disables checkpoints and
   /// with them resume-on-retry).
   std::string checkpoint_dir;
+  /// Adopt a surviving valid checkpoint on the *first* attempt too (not
+  /// just on retries). This is the placement service's crash-recovery
+  /// path: a daemon restarted after kill -9 re-runs its in-flight jobs
+  /// with adopt_existing set, so each one continues from the newest
+  /// checkpoint its killed predecessor wrote — byte-identical to the
+  /// uninterrupted run — instead of re-annealing from scratch.
+  bool adopt_existing = false;
   int checkpoint_every = 5;
   int checkpoint_keep = 4;
   /// Deterministic fault injection for this replica (non-owning; polled
@@ -155,6 +162,10 @@ struct ReplicaConfig {
   /// winds down gracefully to its best feasible state; no further
   /// attempts start.
   const std::atomic<bool>* cancel = nullptr;
+  /// Streaming progress observer forwarded into the flow (see
+  /// FlowProgress). Called from whatever thread runs the replica; the
+  /// receiver owns its own synchronization. Must not throw.
+  std::function<void(const FlowProgress&)> on_progress;
 };
 
 /// Runs one replica to its terminal state: attempt, classify, retry with

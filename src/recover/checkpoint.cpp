@@ -9,6 +9,7 @@
 
 #include "netlist/parser.hpp"
 #include "place/placement.hpp"
+#include "util/log.hpp"
 
 namespace tw::recover {
 namespace {
@@ -464,11 +465,19 @@ std::string FileCheckpointSink::save(const FlowCheckpoint& cp) {
     // Prune only after the new file is durably in place, so the newest
     // `keep_` files always exist on disk. Each removal is an atomic
     // unlink; a failure to remove is not a lost checkpoint, so it only
-    // degrades retention, never the save.
+    // degrades retention, never the save — but it is an early sign of a
+    // disk going bad (read-only remount, permission rot), so every
+    // failure is surfaced through the log before it escalates into a
+    // kIo write failure on the next save.
     for (const auto& [n, old] : list_checkpoints(dir_)) {
       if (n > counter_ - keep_) continue;
       std::error_code ec;
       std::filesystem::remove(old, ec);
+      if (ec) {
+        ++prune_failures_;
+        log_warn("checkpoint prune failed: ", old, ": ", ec.message(),
+                 " (errno ", ec.value(), ")");
+      }
     }
   }
   return path;
@@ -487,6 +496,26 @@ std::optional<std::string> find_latest_checkpoint(const std::string& dir) {
       // back to the next older candidate instead of poisoning the resume.
       continue;
     }
+  }
+  return std::nullopt;
+}
+
+std::optional<FlowCheckpoint> adopt_checkpoint(
+    const std::string& dir, std::uint64_t digest,
+    std::optional<std::uint64_t> seed) {
+  std::vector<std::pair<int, std::string>> files = list_checkpoints(dir);
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [n, path] : files) {
+    FlowCheckpoint cp;
+    try {
+      cp = load_checkpoint(path);
+    } catch (const CheckpointError&) {
+      continue;  // torn / bit-rotted / foreign file: try the next older one
+    }
+    if (cp.digest != digest) continue;      // stale directory
+    if (seed && cp.master_seed != *seed) continue;
+    return cp;
   }
   return std::nullopt;
 }

@@ -117,11 +117,18 @@ class FileCheckpointSink {
   const std::string& dir() const { return dir_; }
   int keep() const { return keep_; }
 
+  /// Retention-prune removals that failed since construction. Each failure
+  /// is also logged (path + errno) the moment it happens: pruning trouble
+  /// is an early symptom of the disk problems that later surface as kIo
+  /// write failures, so it must never be silent.
+  int prune_failures() const { return prune_failures_; }
+
  private:
   std::string dir_;
   int keep_ = 0;
   int counter_ = 0;  ///< number of the last file written (resumes from dir)
   int saved_ = 0;    ///< files written by *this* sink instance
+  int prune_failures_ = 0;
 };
 
 /// Path of the newest *valid* checkpoint in `dir`: candidates (ckpt-NNNNNN
@@ -130,5 +137,16 @@ class FileCheckpointSink {
 /// newest file falls back to the next older one instead of poisoning the
 /// resume. Returns nullopt when the directory holds no valid checkpoint.
 std::optional<std::string> find_latest_checkpoint(const std::string& dir);
+
+/// Checkpoint adoption: the newest valid checkpoint in `dir` that belongs
+/// to (`digest`, optionally `seed`) — the supervised-retry and crash-
+/// recovery entry point shared by the replica pool and the placement
+/// service. Candidates are probed newest-first; files that fail the
+/// frame/CRC/decode checks, or that were taken on a different netlist (a
+/// stale directory), or — when `seed` is given — under a different master
+/// seed, are skipped. Returns nullopt when nothing adoptable survives.
+std::optional<FlowCheckpoint> adopt_checkpoint(
+    const std::string& dir, std::uint64_t digest,
+    std::optional<std::uint64_t> seed = std::nullopt);
 
 }  // namespace tw::recover

@@ -9,6 +9,7 @@ const char* to_string(FaultSite site) {
     case FaultSite::kStage2Step: return "stage2.step";
     case FaultSite::kStage2Accept: return "stage2.accept";
     case FaultSite::kStage2Pass: return "stage2.pass";
+    case FaultSite::kRouteNet: return "route.net";
   }
   return "unknown";
 }

@@ -24,9 +24,10 @@ enum class FaultSite : std::uint8_t {
   kStage2Step,       ///< top of a stage-2 refinement-anneal temperature step
   kStage2Accept,     ///< after an accepted stage-2 move
   kStage2Pass,       ///< start of a stage-2 refinement pass
+  kRouteNet,         ///< before each net the global router (stage 3) routes
 };
 
-inline constexpr std::size_t kNumFaultSites = 5;
+inline constexpr std::size_t kNumFaultSites = 6;
 
 const char* to_string(FaultSite site);
 

@@ -341,6 +341,7 @@ Stage2Result Stage2Refiner::run_impl(Placement& placement, const Rect& core,
       GlobalRouterParams router_params = params_.router;
       router_params.seed = rng_();
       router_params.budget = budget;
+      router_params.faults = hooks_.faults;
       GlobalRouter router(cg.graph, router_params);
       const auto targets = build_net_targets(nl_, cg);
       const GlobalRouteResult routed = router.route(targets);

@@ -33,6 +33,8 @@ GlobalRouteResult GlobalRouter::route(const std::vector<NetTargets>& nets) {
   // --- phase one: enumerate alternatives, seed with the shortest ----------
   bool stopped_early = false;
   for (std::size_t i = 0; i < nets.size(); ++i) {
+    if (params_.faults != nullptr)
+      params_.faults->poll(recover::FaultSite::kRouteNet);
     if (params_.budget != nullptr) {
       if (params_.budget->stop_requested()) {
         // Remaining nets stay unrouted; the partial result is consistent.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include "recover/budget.hpp"
+#include "recover/fault.hpp"
 #include "route/steiner.hpp"
 #include "util/rng.hpp"
 
@@ -23,6 +24,11 @@ struct GlobalRouterParams {
   /// router stops where it stands — the selection so far is always a
   /// consistent (if overflowed) routing.
   recover::RunBudget* budget = nullptr;
+  /// Optional kill points (non-owning): kRouteNet is polled before each
+  /// net of phase one, so a crash mid-routing (after the stage-2 pass
+  /// boundary, before the pass's anneal writes its first checkpoint) is
+  /// reproducible in the resume tests. Polls never consume RNG state.
+  recover::FaultInjector* faults = nullptr;
 };
 
 struct GlobalRouteResult {

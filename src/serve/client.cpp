@@ -1,0 +1,124 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace tw::serve {
+
+struct Client::Impl {
+  int fd = -1;
+  FrameParser parser;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Client::Client(const std::string& socket_path)
+    : impl_(std::make_unique<Impl>()) {
+  sockaddr_un addr{};
+  if (socket_path.size() >= sizeof addr.sun_path)
+    throw ServeError(ServeErrc::kIo, "socket path too long: " + socket_path);
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  impl_->fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (impl_->fd < 0)
+    throw ServeError(ServeErrc::kIo,
+                     "socket() failed: " + std::string(std::strerror(errno)));
+  if (::connect(impl_->fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof addr) < 0)
+    throw ServeError(ServeErrc::kIo, "connect(" + socket_path + ") failed: " +
+                                         std::strerror(errno));
+}
+
+Client::~Client() = default;
+
+void Client::send(const Message& m) {
+  const std::vector<std::uint8_t> frame = encode_frame(m);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(impl_->fd, frame.data() + off,
+                             frame.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw ServeError(ServeErrc::kDisconnected,
+                       "send failed: " + std::string(std::strerror(errno)));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+Message Client::recv() {
+  while (!impl_->parser.has_message()) {
+    std::uint8_t buf[4096];
+    const ssize_t n = ::read(impl_->fd, buf, sizeof buf);
+    if (n > 0) {
+      impl_->parser.feed(
+          std::span<const std::uint8_t>(buf, static_cast<std::size_t>(n)));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw ServeError(ServeErrc::kDisconnected,
+                     n == 0 ? "daemon closed the connection"
+                            : "read failed: " +
+                                  std::string(std::strerror(errno)));
+  }
+  return impl_->parser.take_message();
+}
+
+Client::SubmitOutcome Client::submit_and_wait(
+    const SubmitRequest& req,
+    const std::function<void(const ProgressEvent&)>& on_progress) {
+  send(req);
+  SubmitOutcome out;
+
+  Message first = recv();
+  if (auto* rej = std::get_if<RejectReply>(&first)) {
+    out.rejected = std::move(*rej);
+    return out;
+  }
+  auto* ack = std::get_if<SubmitReply>(&first);
+  if (ack == nullptr)
+    throw ServeError(ServeErrc::kProtocol,
+                     "expected submit_reply or reject, got " +
+                         std::string(to_string(type_of(first))));
+  out.ack = *ack;
+
+  for (;;) {
+    Message m = recv();
+    if (auto* pg = std::get_if<ProgressEvent>(&m)) {
+      if (on_progress && pg->job == out.ack.job) on_progress(*pg);
+      continue;
+    }
+    if (auto* res = std::get_if<ResultEvent>(&m)) {
+      if (res->job != out.ack.job) continue;  // another job on this conn
+      out.result = std::move(*res);
+      return out;
+    }
+    throw ServeError(ServeErrc::kProtocol,
+                     "expected progress or result, got " +
+                         std::string(to_string(type_of(m))));
+  }
+}
+
+bool Client::ping() {
+  send(PingRequest{});
+  const Message m = recv();
+  return std::holds_alternative<PongReply>(m);
+}
+
+void Client::shutdown_server() {
+  send(ShutdownRequest{});
+  const Message m = recv();
+  if (!std::holds_alternative<PongReply>(m))
+    throw ServeError(ServeErrc::kProtocol,
+                     "shutdown not acknowledged (got " +
+                         std::string(to_string(type_of(m))) + ")");
+}
+
+}  // namespace tw::serve

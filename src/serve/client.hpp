@@ -1,0 +1,59 @@
+// Blocking client for the placement service: what twcli and the tests
+// speak. One connection, synchronous frame exchange, typed errors — a
+// dropped daemon surfaces as ServeError(kDisconnected), a malformed
+// stream as the parser's typed error, never a hang on garbage.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "serve/wire.hpp"
+
+namespace tw::serve {
+
+class Client {
+ public:
+  /// Connects to the daemon's Unix socket; throws ServeError(kIo) when
+  /// the daemon is not there.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Writes one frame (blocking until fully written).
+  void send(const Message& m);
+
+  /// Reads the next frame (blocking). Throws ServeError(kDisconnected)
+  /// when the daemon closes the connection first.
+  Message recv();
+
+  /// Outcome of submit_and_wait: exactly one of `rejected` or `ack` is
+  /// meaningful; `result` is set whenever the job reached a terminal
+  /// event on this connection.
+  struct SubmitOutcome {
+    std::optional<RejectReply> rejected;
+    SubmitReply ack;
+    std::optional<ResultEvent> result;
+  };
+
+  /// Submits and blocks until the job's terminal ResultEvent (or a
+  /// rejection), invoking `on_progress` for each streamed sample.
+  SubmitOutcome submit_and_wait(
+      const SubmitRequest& req,
+      const std::function<void(const ProgressEvent&)>& on_progress = {});
+
+  /// Round-trips a ping; false when the daemon misbehaves (wrong reply).
+  bool ping();
+
+  /// Asks the daemon to drain and exit; returns once it acknowledged.
+  void shutdown_server();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tw::serve

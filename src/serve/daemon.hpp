@@ -1,0 +1,88 @@
+// twserved's core: a single-threaded poll() loop over a Unix domain
+// socket, speaking serve::wire frames.
+//
+// All concurrency stays where the repo confines it: annealing runs on the
+// PoolExecutor's workers (src/pool); the daemon thread owns every socket,
+// the scheduler, and all protocol state. Worker callbacks never touch any
+// of that — they enqueue onto a mutex-guarded event queue and wake the
+// poll loop through a self-pipe, so the loop is the only place scheduler
+// methods run.
+//
+// Crash safety is the point of the design, and it is testable on demand:
+// KillSpec arms a deterministic in-process kill switch — at the Nth
+// occurrence of a named lifecycle point the daemon dies via
+// std::_Exit(137), the closest in-process analog of SIGKILL (no unwind,
+// no flush, no destructors). The soak harness kills a daemon mid-anneal,
+// restarts it, and asserts the served results are fingerprint-identical
+// to an uninterrupted daemon's. Kill points:
+//
+//   "post-journal"  after a submission's write-ahead record, before its
+//                   ack — the job must survive although no client ever
+//                   saw an id for it;
+//   "post-ack"      after the ack reached the socket;
+//   "progress"      on a streamed progress event (mid-anneal: the soak
+//                   harness's main kill site);
+//   "pre-finish"    a result arrived from the executor but neither cache
+//                   nor journal saw it — the restart re-adopts and
+//                   reproduces it;
+//   "post-finish"   result cached + journaled but the reply never sent —
+//                   the restart serves the duplicate from cache.
+//
+// Degradation is graceful and typed end to end: queue-full and
+// quota-exceeded submissions get RejectReply frames, a client disconnect
+// cooperatively cancels its job only when that job has no other watcher
+// (journal-recovered jobs have none and always run to completion, into
+// the cache), and a malformed frame drops that connection — never the
+// daemon.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+
+namespace tw::serve {
+
+/// One armed kill point: die at the `count`-th occurrence of `site`.
+struct KillSpec {
+  std::string site;
+  int count = 1;
+};
+
+struct DaemonConfig {
+  std::string socket_path;
+  SchedulerConfig scheduler;
+  std::vector<KillSpec> kill_at;  ///< deterministic crash points (tests)
+};
+
+class Daemon {
+ public:
+  /// Binds + listens on the socket (replacing a stale socket file) and
+  /// builds the scheduler — which is where journal replay and job
+  /// re-adoption happen, before the first client can connect. Throws
+  /// ServeError(kIo) when the socket cannot be set up.
+  explicit Daemon(DaemonConfig cfg);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Serves until a ShutdownRequest frame arrives or request_stop() is
+  /// called, then drains gracefully (in-flight jobs wind down, results
+  /// are cached + journaled + delivered) and returns 0.
+  int run();
+
+  /// Thread-safe stop for in-process tests: wakes the loop, which then
+  /// drains exactly as for a ShutdownRequest.
+  void request_stop();
+
+  const Scheduler& scheduler() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tw::serve

@@ -1,0 +1,213 @@
+#include "serve/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace tw::serve {
+namespace {
+
+using recover::ByteReader;
+using recover::ByteWriter;
+
+enum class JournalOp : std::uint8_t {
+  kSubmitted = 0,
+  kFinished = 1,
+  kCancelled = 2,
+};
+
+std::vector<std::uint8_t> encode_submitted(std::uint64_t job,
+                                           const JobParams& params,
+                                           const std::string& yal) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(JournalOp::kSubmitted));
+  w.u64(job);
+  encode_params(w, params);
+  w.u32(static_cast<std::uint32_t>(yal.size()));
+  for (const char ch : yal) w.u8(static_cast<std::uint8_t>(ch));
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_terminal(JournalOp op, std::uint64_t job) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u64(job);
+  return w.take();
+}
+
+/// Frames one record: u32 payload size | u32 CRC-32 | payload.
+void frame_record(std::ofstream& out, const std::vector<std::uint8_t>& p) {
+  ByteWriter h;
+  h.u32(static_cast<std::uint32_t>(p.size()));
+  h.u32(recover::crc32(p));
+  const std::vector<std::uint8_t>& hb = h.bytes();
+  out.write(reinterpret_cast<const char*>(hb.data()),
+            static_cast<std::streamsize>(hb.size()));
+  out.write(reinterpret_cast<const char*>(p.data()),
+            static_cast<std::streamsize>(p.size()));
+  out.flush();
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_)
+    throw ServeError(ServeErrc::kIo, "cannot open journal " + path_);
+}
+
+void JobJournal::append(const std::vector<std::uint8_t>& payload) {
+  frame_record(out_, payload);
+  if (!out_)
+    throw ServeError(ServeErrc::kIo, "journal append failed: " + path_);
+  ++appended_;
+}
+
+void JobJournal::record_submitted(std::uint64_t job, const JobParams& params,
+                                  const std::string& netlist_yal) {
+  append(encode_submitted(job, params, netlist_yal));
+}
+
+void JobJournal::record_finished(std::uint64_t job) {
+  append(encode_terminal(JournalOp::kFinished, job));
+}
+
+void JobJournal::record_cancelled(std::uint64_t job) {
+  append(encode_terminal(JournalOp::kCancelled, job));
+}
+
+void JobJournal::compact(const std::vector<LiveJob>& live) {
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw ServeError(ServeErrc::kIo, "cannot open " + tmp);
+    for (const LiveJob& j : live) {
+      frame_record(out, encode_submitted(j.job, j.params, j.netlist_yal));
+      if (j.cancelled)
+        frame_record(out, encode_terminal(JournalOp::kCancelled, j.job));
+      // A replayed cancel marker is not terminal (the job is still owed a
+      // result); kCancelled only finalizes a job *not* in `live`.
+    }
+    if (!out)
+      throw ServeError(ServeErrc::kIo, "short write to " + tmp);
+  }
+  out_.close();
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_, ec);
+  if (ec) {
+    // The old journal is untouched; reopen it and keep appending.
+    out_.open(path_, std::ios::binary | std::ios::app);
+    throw ServeError(ServeErrc::kIo, "rename " + tmp + " -> " + path_ +
+                                         " failed: " + ec.message());
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_)
+    throw ServeError(ServeErrc::kIo, "cannot reopen journal " + path_);
+  log_info("journal compacted: ", path_, " now holds ", live.size(),
+           " live job(s)");
+}
+
+JournalReplay JobJournal::replay(const std::string& path) {
+  JournalReplay out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // no journal yet: empty history
+  std::vector<std::uint8_t> bytes(
+      (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+
+  // Ordered map by hand: replay preserves submission order for re-adoption
+  // (jobs restart in the order they were accepted).
+  std::vector<LiveJob> jobs;
+  const auto find = [&jobs](std::uint64_t id) -> LiveJob* {
+    for (LiveJob& j : jobs)
+      if (j.job == id) return &j;
+    return nullptr;
+  };
+  std::vector<std::uint64_t> finished;
+  const auto is_finished = [&finished](std::uint64_t id) {
+    for (const std::uint64_t f : finished)
+      if (f == id) return true;
+    return false;
+  };
+
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    if (bytes.size() - pos < 8) {
+      out.torn_tail = true;
+      break;
+    }
+    ByteReader hr(std::span<const std::uint8_t>(bytes.data() + pos, 8));
+    const std::uint32_t size = hr.u32();
+    const std::uint32_t crc = hr.u32();
+    if (size > kMaxPayload || bytes.size() - pos - 8 < size) {
+      out.torn_tail = true;
+      break;
+    }
+    const std::span<const std::uint8_t> payload(bytes.data() + pos + 8, size);
+    if (recover::crc32(payload) != crc) {
+      out.torn_tail = true;
+      break;
+    }
+    pos += 8 + size;
+
+    try {
+      ByteReader r(payload);
+      const auto op = static_cast<JournalOp>(r.u8());
+      const std::uint64_t id = r.u64();
+      out.max_job = std::max(out.max_job, id);
+      switch (op) {
+        case JournalOp::kSubmitted: {
+          LiveJob j;
+          j.job = id;
+          j.params = decode_params(r);
+          const std::size_t n = r.length_prefix(1);
+          j.netlist_yal.reserve(n);
+          for (std::size_t i = 0; i < n; ++i)
+            j.netlist_yal.push_back(static_cast<char>(r.u8()));
+          r.expect_end();
+          // A resubmit of an id that already finished (compaction races
+          // cannot produce this, but defensive) is ignored.
+          if (find(id) == nullptr && !is_finished(id))
+            jobs.push_back(std::move(j));
+          break;
+        }
+        case JournalOp::kFinished: {
+          finished.push_back(id);
+          for (std::size_t i = 0; i < jobs.size(); ++i)
+            if (jobs[i].job == id) {
+              jobs.erase(jobs.begin() + static_cast<std::ptrdiff_t>(i));
+              ++out.dropped;
+              break;
+            }
+          break;
+        }
+        case JournalOp::kCancelled: {
+          if (LiveJob* j = find(id)) j->cancelled = true;
+          break;
+        }
+        default:
+          // Unknown op in an otherwise CRC-valid record: a newer format.
+          // Skip the record, keep replaying — better a partial history
+          // than none.
+          log_warn("journal ", path, ": skipping record with unknown op");
+      }
+      ++out.records;
+    } catch (const recover::CheckpointError& e) {
+      // CRC passed but the payload decodes short/corrupt: count the tail
+      // as torn and stop — later records may depend on this one.
+      log_warn("journal ", path, ": corrupt record (", e.what(),
+               "); dropping it and the tail");
+      out.torn_tail = true;
+      break;
+    }
+  }
+  out.live = std::move(jobs);
+  if (out.torn_tail)
+    log_warn("journal ", path, ": torn tail dropped after ", out.records,
+             " valid record(s)");
+  return out;
+}
+
+}  // namespace tw::serve

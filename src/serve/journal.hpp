@@ -1,0 +1,83 @@
+// Write-ahead job journal: the daemon's crash-durable source of truth.
+//
+// Every accepted submission is appended (and flushed to the kernel)
+// *before* the client sees its ack, so a daemon killed with SIGKILL at
+// any instant can reconstruct exactly the set of jobs it ever promised to
+// run: replay the journal, drop the ones with a terminal record, re-adopt
+// the rest from their surviving checkpoints. Records use the same
+// defensive framing as everything else this package persists —
+// size | CRC-32 | payload — and replay is torn-tail tolerant: a crash
+// mid-append leaves a truncated or CRC-broken final record, which replay
+// drops (reporting it) while keeping every record before it. Appends are
+// strictly sequential, so any valid prefix is a consistent history.
+//
+// The journal only grows while the daemon runs; compact() rewrites it
+// (atomic temp + rename) keeping only records of still-live jobs, so a
+// long-lived daemon's journal is bounded by its in-flight work, not its
+// lifetime throughput.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace tw::serve {
+
+/// One submitted-but-not-finished job reconstructed by replay.
+struct LiveJob {
+  std::uint64_t job = 0;
+  JobParams params;
+  std::string netlist_yal;
+  bool cancelled = false;  ///< a cancel record followed the submit
+};
+
+/// Everything replay learns from a journal file.
+struct JournalReplay {
+  std::vector<LiveJob> live;    ///< submitted, no terminal record (in order)
+  std::uint64_t max_job = 0;    ///< highest job id ever journaled
+  int records = 0;              ///< valid records read
+  int dropped = 0;              ///< finished/cancelled-away submissions
+  bool torn_tail = false;       ///< trailing partial/corrupt record dropped
+};
+
+class JobJournal {
+ public:
+  /// Opens `path` for appending (created if missing; parent directory
+  /// must exist). Throws ServeError(kIo) when the file cannot be opened.
+  explicit JobJournal(std::string path);
+
+  /// Appends + flushes one record; throws ServeError(kIo) on write
+  /// failure. The flush pushes the record to the kernel, which is what
+  /// kill -9 survivability requires (only power loss defeats it).
+  void record_submitted(std::uint64_t job, const JobParams& params,
+                        const std::string& netlist_yal);
+  void record_finished(std::uint64_t job);
+  void record_cancelled(std::uint64_t job);
+
+  /// Rewrites the journal keeping only `live` jobs' submit records
+  /// (their cancel markers preserved), via atomic temp + rename, then
+  /// reopens for appending. Throws ServeError(kIo) on failure; the old
+  /// journal survives intact in that case.
+  void compact(const std::vector<LiveJob>& live);
+
+  int appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  /// Reads a journal back. A missing file is an empty history, not an
+  /// error; a torn tail is dropped and flagged. Never throws for content
+  /// defects — a journal is daemon-owned state, and replay must always
+  /// make the best of what survived.
+  static JournalReplay replay(const std::string& path);
+
+ private:
+  void append(const std::vector<std::uint8_t>& payload);
+
+  std::string path_;
+  std::ofstream out_;
+  int appended_ = 0;
+};
+
+}  // namespace tw::serve

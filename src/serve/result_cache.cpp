@@ -1,0 +1,214 @@
+#include "serve/result_cache.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "util/log.hpp"
+
+namespace tw::serve {
+namespace {
+
+namespace fs = std::filesystem;
+using recover::ByteReader;
+using recover::ByteWriter;
+
+constexpr std::uint8_t kMagic[4] = {'T', 'W', 'R', 'C'};
+constexpr std::uint32_t kCacheVersion = 1;
+
+std::string entry_name(int counter) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "res-%06d.twr", counter);
+  return buf;
+}
+
+/// res-NNNNNN.twr -> NNNNNN, or -1 for foreign files.
+int entry_number(const std::string& name) {
+  if (name.size() != 14 || name.rfind("res-", 0) != 0 ||
+      name.substr(10) != ".twr")
+    return -1;
+  int n = 0;
+  for (int i = 4; i < 10; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return -1;
+    n = n * 10 + (c - '0');
+  }
+  return n;
+}
+
+std::vector<std::uint8_t> encode_entry(const CacheKey& key,
+                                       const CachedResult& r) {
+  ByteWriter w;
+  w.u64(key.netlist);
+  w.u64(key.params);
+  w.u8(static_cast<std::uint8_t>(r.status));
+  w.u64(r.fingerprint);
+  w.f64(r.final_teil);
+  w.i64(r.final_chip_area);
+  w.i32(r.replicas_succeeded);
+  w.i32(r.replicas_total);
+  w.i32(r.attempts);
+  return w.take();
+}
+
+bool decode_entry(const std::vector<std::uint8_t>& bytes, CacheKey& key,
+                  CachedResult& r) {
+  try {
+    ByteReader fr(bytes);
+    for (const std::uint8_t m : kMagic)
+      if (fr.u8() != m) return false;
+    if (fr.u32() != kCacheVersion) return false;
+    const std::size_t size = fr.length_prefix(1);
+    const std::uint32_t crc = fr.u32();
+    if (size != fr.remaining()) return false;
+    const std::span<const std::uint8_t> payload(
+        bytes.data() + (bytes.size() - size), size);
+    if (recover::crc32(payload) != crc) return false;
+    ByteReader pr(payload);
+    key.netlist = pr.u64();
+    key.params = pr.u64();
+    const std::uint8_t status = pr.u8();
+    if (status > static_cast<std::uint8_t>(JobStatus::kFailed)) return false;
+    r.status = static_cast<JobStatus>(status);
+    r.fingerprint = pr.u64();
+    r.final_teil = pr.f64();
+    r.final_chip_area = pr.i64();
+    r.replicas_succeeded = pr.i32();
+    r.replicas_total = pr.i32();
+    r.attempts = pr.i32();
+    pr.expect_end();
+    return true;
+  } catch (const recover::CheckpointError&) {
+    return false;  // truncated/corrupt: caller logs and skips
+  }
+}
+
+}  // namespace
+
+bool cacheable(JobStatus status) {
+  return status == JobStatus::kCompleted ||
+         status == JobStatus::kBudgetExhausted;
+}
+
+ResultCache::ResultCache(std::string dir, int capacity)
+    : dir_(std::move(dir)), capacity_(std::max(1, capacity)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw ServeError(ServeErrc::kIo,
+                     "cannot create cache dir " + dir_ + ": " + ec.message());
+
+  // Load in counter order so that on a duplicate key the newest file
+  // wins, matching what put() would have left in memory.
+  std::vector<int> numbers;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    const int n = entry_number(e.path().filename().string());
+    if (n >= 0) numbers.push_back(n);
+  }
+  std::sort(numbers.begin(), numbers.end());
+  for (const int n : numbers) {
+    counter_ = std::max(counter_, n);
+    const std::string path = dir_ + "/" + entry_name(n);
+    std::ifstream in(path, std::ios::binary);
+    std::vector<std::uint8_t> bytes(
+        (std::istreambuf_iterator<char>(in)),
+        std::istreambuf_iterator<char>());
+    CacheKey key;
+    CachedResult r;
+    if (!in.good() && bytes.empty()) {
+      log_warn("result cache: unreadable entry ", path, "; skipping");
+      continue;
+    }
+    if (!decode_entry(bytes, key, r)) {
+      log_warn("result cache: invalid entry ", path,
+               " (torn write or foreign file); skipping");
+      continue;
+    }
+    index_[key] = Entry{n, r};
+    ++loaded_;
+  }
+  prune();
+}
+
+std::optional<CachedResult> ResultCache::lookup(const CacheKey& key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second.result;
+}
+
+void ResultCache::put(const CacheKey& key, const CachedResult& result) {
+  if (!cacheable(result.status)) return;
+
+  const std::vector<std::uint8_t> payload = encode_entry(key, result);
+  ByteWriter w;
+  for (const std::uint8_t m : kMagic) w.u8(m);
+  w.u32(kCacheVersion);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(recover::crc32(payload));
+
+  const int n = ++counter_;
+  const std::string path = dir_ + "/" + entry_name(n);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const std::vector<std::uint8_t>& hb = w.bytes();
+    out.write(reinterpret_cast<const char*>(hb.data()),
+              static_cast<std::streamsize>(hb.size()));
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+    if (!out)
+      throw ServeError(ServeErrc::kIo, "cannot write cache entry " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw ServeError(ServeErrc::kIo, "rename " + tmp + " -> " + path +
+                                         " failed: " + ec.message());
+  index_[key] = Entry{n, result};
+  prune();
+}
+
+void ResultCache::prune() {
+  while (static_cast<int>(index_.size()) > capacity_) {
+    // Evict the entry backed by the oldest file (FIFO by counter).
+    auto victim = index_.begin();
+    for (auto it = index_.begin(); it != index_.end(); ++it)
+      if (it->second.counter < victim->second.counter) victim = it;
+    const std::string path = dir_ + "/" + entry_name(victim->second.counter);
+    std::error_code ec;
+    fs::remove(path, ec);
+    if (ec) {
+      ++prune_failures_;
+      log_warn("result cache prune failed: ", path, ": ", ec.message(),
+               " (errno ", ec.value(), ")");
+    }
+    index_.erase(victim);
+  }
+
+  // Sweep superseded files (same key rewritten under a newer counter):
+  // anything on disk not backing a live entry and older than the newest
+  // file is garbage.
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir_, ec)) {
+    const int n = entry_number(e.path().filename().string());
+    if (n < 0 || n >= counter_) continue;
+    bool live = false;
+    for (const auto& [key, entry] : index_)
+      if (entry.counter == n) {
+        live = true;
+        break;
+      }
+    if (live) continue;
+    std::error_code rec;
+    fs::remove(e.path(), rec);
+    if (rec) {
+      ++prune_failures_;
+      log_warn("result cache prune failed: ", e.path().string(), ": ",
+               rec.message(), " (errno ", rec.value(), ")");
+    }
+  }
+}
+
+}  // namespace tw::serve

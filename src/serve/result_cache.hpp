@@ -1,0 +1,92 @@
+// Bounded on-disk result cache: dedup identical submissions across
+// daemon restarts.
+//
+// The key is (netlist digest, params digest) — two submissions agree on
+// both exactly when they are the same deterministic computation, so the
+// cached terminal result of the first IS the result of the second, down
+// to the bit-exact fingerprint. Only deterministic terminal states are
+// cached: kCompleted and kBudgetExhausted (a work budget is part of the
+// params, so the partial result it stops at is reproducible). kCancelled
+// depends on when the cancel arrived and kFailed may be environmental;
+// neither is cached — an identical resubmission re-runs them.
+//
+// Entries are counter-named files (res-NNNNNN.twr, atomic temp + rename,
+// CRC-framed) in one directory; the counter resumes above the largest
+// file present, and when two files carry the same key the newer wins.
+// Capacity bounds the directory FIFO-style: oldest files are pruned after
+// each put, and — like checkpoint retention — every prune failure is
+// logged with path and errno and counted, never silent.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "serve/wire.hpp"
+
+namespace tw::serve {
+
+struct CacheKey {
+  std::uint64_t netlist = 0;  ///< recover::netlist_digest
+  std::uint64_t params = 0;   ///< serve::params_digest
+
+  bool operator==(const CacheKey&) const = default;
+  bool operator<(const CacheKey& o) const {
+    return netlist != o.netlist ? netlist < o.netlist : params < o.params;
+  }
+};
+
+/// The cached terminal state of one job (everything a ResultEvent needs
+/// except the per-submission job id and `cached` flag).
+struct CachedResult {
+  JobStatus status = JobStatus::kCompleted;
+  std::uint64_t fingerprint = 0;
+  double final_teil = 0.0;
+  std::int64_t final_chip_area = 0;
+  std::int32_t replicas_succeeded = 0;
+  std::int32_t replicas_total = 0;
+  std::int32_t attempts = 0;
+};
+
+/// True for the deterministic terminal states the cache stores.
+bool cacheable(JobStatus status);
+
+class ResultCache {
+ public:
+  /// Creates `dir` if needed and loads every valid entry (invalid files
+  /// are logged and skipped — a torn write from a killed daemon must not
+  /// poison the cache). `capacity` > 0 bounds the entry count.
+  ResultCache(std::string dir, int capacity);
+
+  std::optional<CachedResult> lookup(const CacheKey& key) const;
+
+  /// Persists (atomic temp + rename) then indexes the entry; prunes the
+  /// oldest files beyond capacity. Non-cacheable statuses are ignored.
+  /// Throws ServeError(kIo) when the entry cannot be written.
+  void put(const CacheKey& key, const CachedResult& result);
+
+  int size() const { return static_cast<int>(index_.size()); }
+  int capacity() const { return capacity_; }
+  int loaded() const { return loaded_; }  ///< valid entries found at startup
+  int prune_failures() const { return prune_failures_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct Entry {
+    int counter = 0;  ///< file number backing this entry
+    CachedResult result;
+  };
+
+  void prune();
+
+  std::string dir_;
+  int capacity_ = 0;
+  int counter_ = 0;  ///< number of the last file written
+  int loaded_ = 0;
+  int prune_failures_ = 0;
+  std::map<CacheKey, Entry> index_;
+};
+
+}  // namespace tw::serve

@@ -1,0 +1,344 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "netlist/parser.hpp"
+#include "netlist/yal.hpp"
+#include "recover/checkpoint.hpp"
+#include "util/log.hpp"
+
+namespace tw::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kDoneRing = 64;      // finished ids kept for query()
+constexpr int kCompactEvery = 16;  // journal compaction cadence (finishes)
+
+Submitted rejected(RejectCode code, std::string detail) {
+  Submitted out;
+  out.kind = Submitted::Kind::kRejected;
+  out.reject = RejectReply{code, std::move(detail)};
+  return out;
+}
+
+ResultEvent event_from(std::uint64_t job, const CachedResult& r,
+                       bool cached) {
+  ResultEvent ev;
+  ev.job = job;
+  ev.status = r.status;
+  ev.cached = cached;
+  ev.fingerprint = r.fingerprint;
+  ev.final_teil = r.final_teil;
+  ev.final_chip_area = r.final_chip_area;
+  ev.replicas_succeeded = r.replicas_succeeded;
+  ev.replicas_total = r.replicas_total;
+  ev.attempts = r.attempts;
+  return ev;
+}
+
+/// Job-level rollup of an executor result. The winning attempt is always
+/// the best replica's last (run_replica returns at the first usable one).
+ResultEvent event_from(const pool::ExecutorResult& r) {
+  ResultEvent ev;
+  ev.job = r.job;
+  ev.replicas_total = static_cast<std::int32_t>(r.replicas.size());
+  for (const pool::ReplicaReport& rep : r.replicas) {
+    ev.attempts += static_cast<std::int32_t>(rep.attempts.size());
+    if (rep.outcome == pool::ReplicaOutcome::kSucceeded)
+      ++ev.replicas_succeeded;
+  }
+  if (r.best < 0) {
+    ev.status = JobStatus::kFailed;
+    for (const pool::ReplicaReport& rep : r.replicas)
+      if (!rep.attempts.empty()) {
+        ev.detail = "replica " + std::to_string(rep.replica) + ": " +
+                    rep.attempts.back().error;
+        break;
+      }
+    return ev;
+  }
+  const pool::ReplicaReport& best = r.best_report();
+  switch (best.attempts.back().outcome) {
+    case pool::AttemptOutcome::kBudgetExhausted:
+      ev.status = JobStatus::kBudgetExhausted;
+      break;
+    case pool::AttemptOutcome::kCancelled:
+      ev.status = JobStatus::kCancelled;
+      break;
+    default:
+      ev.status = JobStatus::kCompleted;
+  }
+  ev.fingerprint = best.fingerprint;
+  ev.final_teil = best.final_teil;
+  ev.final_chip_area = best.final_chip_area;
+  return ev;
+}
+
+CachedResult cached_from(const ResultEvent& ev) {
+  CachedResult r;
+  r.status = ev.status;
+  r.fingerprint = ev.fingerprint;
+  r.final_teil = ev.final_teil;
+  r.final_chip_area = ev.final_chip_area;
+  r.replicas_succeeded = ev.replicas_succeeded;
+  r.replicas_total = ev.replicas_total;
+  r.attempts = ev.attempts;
+  return r;
+}
+
+}  // namespace
+
+FlowParams flow_params_from(const JobParams& p) {
+  FlowParams f;
+  if (p.s1_attempts_per_cell > 0)
+    f.stage1.attempts_per_cell = p.s1_attempts_per_cell;
+  if (p.s1_p2_samples > 0) f.stage1.p2_samples = p.s1_p2_samples;
+  if (p.s2_attempts_per_cell > 0)
+    f.stage2.attempts_per_cell = p.s2_attempts_per_cell;
+  if (p.steiner_m > 0) f.stage2.router.steiner.m = p.steiner_m;
+  return f;
+}
+
+std::optional<Netlist> parse_submission(const std::string& text,
+                                        ParseReport& report) {
+  // Format sniff: YAL input always carries MODULE blocks; the native
+  // netlist format has no such keyword.
+  if (text.find("MODULE") != std::string::npos)
+    return parse_yal_string(text, report);
+  return parse_netlist_string(text, report);
+}
+
+Scheduler::Scheduler(SchedulerConfig cfg, pool::PoolExecutor::Hooks hooks)
+    : state_dir_(std::move(cfg.state_dir)), limits_(cfg.limits) {
+  std::error_code ec;
+  fs::create_directories(state_dir_ + "/jobs", ec);
+  if (ec)
+    throw ServeError(ServeErrc::kIo, "cannot create state dir " + state_dir_ +
+                                         ": " + ec.message());
+  cache_ = std::make_unique<ResultCache>(state_dir_ + "/cache",
+                                         cfg.cache_capacity);
+  const std::string journal_path = state_dir_ + "/journal.twj";
+  JournalReplay replayed = JobJournal::replay(journal_path);
+  journal_ = std::make_unique<JobJournal>(journal_path);
+  next_job_ = replayed.max_job + 1;
+  executor_ = std::make_unique<pool::PoolExecutor>(std::max(1, cfg.threads),
+                                                   std::move(hooks));
+
+  // Crash recovery: every journaled job without a terminal record is
+  // still owed a result.
+  for (LiveJob& lj : replayed.live) {
+    ParseReport report;
+    std::optional<Netlist> nl = parse_submission(lj.netlist_yal, report);
+    if (!nl) {
+      // It parsed when accepted; if it no longer does the journal record
+      // is damaged in a CRC-surviving way (or the parser changed).
+      // Retire it visibly rather than crash-looping on it forever.
+      log_warn("recovery: journaled job ", lj.job,
+               " no longer parses; retiring it: ", report.str());
+      journal_->record_finished(lj.job);
+      continue;
+    }
+    const CacheKey key{recover::netlist_digest(*nl),
+                       params_digest(lj.params)};
+    if (cache_->lookup(key).has_value()) {
+      // The result reached the cache but the kill landed before the
+      // journal's finished record: the work is done, only the
+      // bookkeeping was lost.
+      journal_->record_finished(lj.job);
+      continue;
+    }
+    Job job;
+    job.id = lj.job;
+    job.key = key;
+    job.params = lj.params;
+    job.yal = std::move(lj.netlist_yal);
+    job.nl = std::make_unique<Netlist>(std::move(*nl));
+    job.cancelled = lj.cancelled;
+    recovered_.push_back(lj.job);
+    enqueue(std::move(job), /*adopt_existing=*/true);
+    if (lj.cancelled) executor_->cancel(lj.job);
+  }
+  if (!recovered_.empty())
+    log_info("recovery: re-adopted ", recovered_.size(),
+             " in-flight job(s) from journal", replayed.torn_tail
+                 ? " (torn journal tail dropped)" : "");
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+void Scheduler::shutdown() {
+  if (executor_) executor_->shutdown();
+}
+
+std::string Scheduler::job_dir(std::uint64_t id) const {
+  return state_dir_ + "/jobs/job-" + std::to_string(id);
+}
+
+void Scheduler::enqueue(Job&& job, bool adopt_existing) {
+  pool::ExecutorJob ej;
+  ej.job = job.id;
+  ej.base = flow_params_from(job.params);
+  ej.master_seed = job.params.master_seed;
+  ej.replicas = job.params.replicas;
+  ej.max_attempts = std::max(1, job.params.max_attempts);
+  ej.watchdog.initial_moves = job.params.watchdog_moves;
+  ej.budget_moves = job.params.budget_moves;
+  ej.budget_steps = job.params.budget_steps;
+  ej.checkpoint_root = job_dir(job.id);
+  ej.checkpoint_every = std::max(1, job.params.checkpoint_every);
+  ej.checkpoint_keep = std::max(0, job.params.checkpoint_keep);
+  ej.adopt_existing = adopt_existing;
+
+  running_[job.key] = job.id;
+  const auto [it, inserted] = jobs_.emplace(job.id, std::move(job));
+  // The netlist pointer handed to the executor lives in the job table
+  // until finish(); map nodes never move.
+  ej.nl = it->second.nl.get();
+  executor_->submit(std::move(ej));
+}
+
+Submitted Scheduler::submit(const SubmitRequest& req) {
+  const JobParams& p = req.params;
+  if (p.replicas < 1 || p.max_attempts < 1)
+    return rejected(RejectCode::kBadRequest,
+                    "replicas and max_attempts must be >= 1");
+  if (p.replicas > limits_.max_replicas)
+    return rejected(RejectCode::kQuotaExceeded,
+                    "requested " + std::to_string(p.replicas) +
+                        " replica(s); quota is " +
+                        std::to_string(limits_.max_replicas));
+  if (limits_.max_budget_moves >= 0 &&
+      (p.budget_moves < 0 || p.budget_moves > limits_.max_budget_moves))
+    return rejected(RejectCode::kQuotaExceeded,
+                    "requested move budget " +
+                        (p.budget_moves < 0
+                             ? std::string("unlimited")
+                             : std::to_string(p.budget_moves)) +
+                        " exceeds quota " +
+                        std::to_string(limits_.max_budget_moves));
+  if (limits_.max_budget_steps >= 0 &&
+      (p.budget_steps < 0 || p.budget_steps > limits_.max_budget_steps))
+    return rejected(RejectCode::kQuotaExceeded,
+                    "requested step budget " +
+                        (p.budget_steps < 0
+                             ? std::string("unlimited")
+                             : std::to_string(p.budget_steps)) +
+                        " exceeds quota " +
+                        std::to_string(limits_.max_budget_steps));
+
+  ParseReport report;
+  std::optional<Netlist> nl = parse_submission(req.netlist_yal, report);
+  if (!nl)
+    return rejected(RejectCode::kParseError, report.str());
+  if (limits_.max_cells > 0 &&
+      static_cast<int>(nl->num_cells()) > limits_.max_cells)
+    return rejected(RejectCode::kQuotaExceeded,
+                    "netlist has " + std::to_string(nl->num_cells()) +
+                        " cell(s); quota is " +
+                        std::to_string(limits_.max_cells));
+
+  const CacheKey key{recover::netlist_digest(*nl), params_digest(p)};
+
+  // Dedup, cheapest first: a durable result beats an in-flight job.
+  if (const std::optional<CachedResult> hit = cache_->lookup(key)) {
+    Submitted out;
+    out.kind = Submitted::Kind::kCached;
+    out.job = next_job_++;  // an id for the reply; no work, no journal
+    out.disposition = Disposition::kCached;
+    out.cached = event_from(out.job, *hit, /*cached=*/true);
+    return out;
+  }
+  if (const auto it = running_.find(key); it != running_.end()) {
+    Submitted out;
+    out.kind = Submitted::Kind::kAccepted;
+    out.job = it->second;
+    out.disposition = Disposition::kDuplicateRunning;
+    return out;
+  }
+
+  if (in_flight() >= limits_.max_jobs)
+    return rejected(RejectCode::kQueueFull,
+                    std::to_string(in_flight()) +
+                        " job(s) in flight; admission cap is " +
+                        std::to_string(limits_.max_jobs));
+
+  // Accept: the write-ahead record precedes everything the client will
+  // ever observe — once the ack is on the wire, the job survives SIGKILL.
+  const std::uint64_t id = next_job_++;
+  journal_->record_submitted(id, p, req.netlist_yal);
+
+  Job job;
+  job.id = id;
+  job.key = key;
+  job.params = p;
+  job.yal = req.netlist_yal;
+  job.nl = std::make_unique<Netlist>(std::move(*nl));
+  enqueue(std::move(job), /*adopt_existing=*/false);
+
+  Submitted out;
+  out.kind = Submitted::Kind::kAccepted;
+  out.job = id;
+  out.disposition = Disposition::kFresh;
+  return out;
+}
+
+bool Scheduler::cancel(std::uint64_t job) {
+  const auto it = jobs_.find(job);
+  if (it == jobs_.end()) return false;
+  if (!it->second.cancelled) {
+    it->second.cancelled = true;
+    journal_->record_cancelled(job);
+    executor_->cancel(job);
+  }
+  return true;
+}
+
+std::optional<JobState> Scheduler::query(std::uint64_t job) const {
+  if (jobs_.count(job) > 0) return JobState::kRunning;
+  for (const auto& [id, state] : done_ring_)
+    if (id == job) return state;
+  return std::nullopt;
+}
+
+ResultEvent Scheduler::finish(pool::ExecutorResult r) {
+  ResultEvent ev = event_from(r);
+  const auto it = jobs_.find(r.job);
+  if (it == jobs_.end()) return ev;  // rejected-at-shutdown stub
+  Job& job = it->second;
+
+  // Cache before the journal's terminal record: if the daemon dies
+  // between the two, recovery finds the cached result and completes the
+  // bookkeeping instead of re-running the job.
+  cache_->put(job.key, cached_from(ev));
+  journal_->record_finished(job.id);
+  running_.erase(job.key);
+
+  // The checkpoint tree served its purpose; reclaim the disk.
+  std::error_code ec;
+  fs::remove_all(job_dir(job.id), ec);
+  if (ec)
+    log_warn("cannot remove job dir ", job_dir(job.id), ": ", ec.message());
+
+  done_ring_.emplace_back(job.id, JobState::kDone);
+  while (done_ring_.size() > kDoneRing) done_ring_.pop_front();
+  jobs_.erase(it);
+
+  if (++finished_since_compact_ >= kCompactEvery) {
+    finished_since_compact_ = 0;
+    std::vector<LiveJob> live;
+    live.reserve(jobs_.size());
+    for (const auto& [id, j] : jobs_)
+      live.push_back(LiveJob{j.id, j.params, j.yal, j.cancelled});
+    try {
+      journal_->compact(live);
+    } catch (const ServeError& e) {
+      log_warn("journal compaction failed (journal intact): ", e.what());
+    }
+  }
+  return ev;
+}
+
+}  // namespace tw::serve

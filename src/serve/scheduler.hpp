@@ -1,0 +1,151 @@
+// Job scheduler of the placement service: admission control, quotas,
+// dedup, journaling and crash recovery — everything the daemon decides,
+// with no sockets anywhere, so the whole policy layer is unit-testable
+// in-process.
+//
+// Lifecycle of a submission:
+//
+//   parse (typed kParseError reject on failure, diagnostics attached) ->
+//   quota check (kQuotaExceeded: replicas / cells / work budget) ->
+//   admission (kQueueFull past max_jobs in flight) ->
+//   dedup: identical (netlist digest, params digest) against the result
+//     cache (serve the cached terminal result, no annealing) and against
+//     in-flight jobs (attach to the running job) ->
+//   journal the submission (write-ahead: durable before the ack) ->
+//   enqueue on the shared PoolExecutor under the job's RunBudget quota.
+//
+// Crash recovery (construction): replay the journal, drop jobs with a
+// terminal record, finish jobs whose results already reached the cache
+// (the cache put happens before the journal's finished record, so a kill
+// between the two serves from cache instead of re-running), and resubmit
+// the rest with adopt_existing set — each replica continues from the
+// newest valid checkpoint its killed predecessor wrote.
+//
+// Threading: every method here runs on the daemon thread. The executor's
+// callbacks fire on worker threads and must be routed back (the daemon
+// queues them and calls finish() from its loop).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "netlist/parse_report.hpp"
+#include "pool/executor.hpp"
+#include "serve/journal.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/wire.hpp"
+
+namespace tw::serve {
+
+/// Per-job quotas and admission limits. -1 work limits mean "unlimited
+/// allowed"; when a limit is set, a request *above* it — including a
+/// request for unlimited work — is rejected kQuotaExceeded, never
+/// silently clamped.
+struct SchedulerLimits {
+  int max_jobs = 8;       ///< jobs in flight before kQueueFull
+  int max_replicas = 8;   ///< per-job replica quota
+  int max_cells = 0;      ///< netlist-size (memory) quota; 0 = unlimited
+  std::int64_t max_budget_moves = -1;
+  std::int64_t max_budget_steps = -1;
+};
+
+struct SchedulerConfig {
+  /// Root of all daemon state: journal.twj, cache/, jobs/job-<id>/.
+  std::string state_dir;
+  SchedulerLimits limits;
+  int threads = 2;          ///< executor worker threads
+  int cache_capacity = 64;  ///< result cache entries kept on disk
+};
+
+/// Outcome of submit(): exactly one of the three shapes.
+struct Submitted {
+  enum class Kind : std::uint8_t { kAccepted, kCached, kRejected };
+  Kind kind = Kind::kRejected;
+  // kAccepted:
+  std::uint64_t job = 0;
+  Disposition disposition = Disposition::kFresh;
+  // kCached: the terminal event to send right after the ack.
+  ResultEvent cached;
+  // kRejected:
+  RejectReply reject;
+};
+
+class Scheduler {
+ public:
+  /// Builds the state directory, replays the journal and resubmits the
+  /// in-flight jobs of a killed predecessor (see recovered()). `hooks`
+  /// goes to the PoolExecutor verbatim — both callbacks fire on worker
+  /// threads; route results back into finish() on the daemon thread.
+  Scheduler(SchedulerConfig cfg, pool::PoolExecutor::Hooks hooks);
+  ~Scheduler();
+
+  Submitted submit(const SubmitRequest& req);
+
+  /// Cooperative cancel; journaled so a restart doesn't resurrect the
+  /// job at full length. False for unknown/finished jobs.
+  bool cancel(std::uint64_t job);
+
+  /// kRunning while in flight, kDone for recently finished jobs, nullopt
+  /// for ids this daemon never saw (or finished long ago).
+  std::optional<JobState> query(std::uint64_t job) const;
+
+  /// Terminal bookkeeping for one executor result (daemon thread): cache
+  /// the result, journal the completion, free the job's netlist and
+  /// checkpoint tree, compact the journal when enough dead records
+  /// accumulated. Returns the event to broadcast.
+  ResultEvent finish(pool::ExecutorResult r);
+
+  /// Jobs resurrected from the journal at construction, in submission
+  /// order (they have no watchers; their results land in the cache).
+  const std::vector<std::uint64_t>& recovered() const { return recovered_; }
+
+  int in_flight() const { return static_cast<int>(jobs_.size()); }
+  const SchedulerLimits& limits() const { return limits_; }
+  ResultCache& cache() { return *cache_; }
+
+  /// Drains the executor (cancelling in-flight jobs); their on_done
+  /// callbacks still fire during the drain.
+  void shutdown();
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    CacheKey key;
+    JobParams params;
+    std::string yal;  ///< original text, kept for journal compaction
+    std::unique_ptr<Netlist> nl;
+    bool cancelled = false;
+  };
+
+  std::string job_dir(std::uint64_t id) const;
+  void enqueue(Job&& job, bool adopt_existing);
+
+  std::string state_dir_;
+  SchedulerLimits limits_;
+  std::unique_ptr<ResultCache> cache_;
+  std::unique_ptr<JobJournal> journal_;
+  std::unique_ptr<pool::PoolExecutor> executor_;
+  std::map<std::uint64_t, Job> jobs_;       ///< in flight
+  std::map<CacheKey, std::uint64_t> running_;  ///< dedup: key -> job id
+  std::deque<std::pair<std::uint64_t, JobState>> done_ring_;  ///< recent
+  std::vector<std::uint64_t> recovered_;
+  std::uint64_t next_job_ = 1;
+  int finished_since_compact_ = 0;
+};
+
+/// Maps the wire-visible knobs onto FlowParams (0 = library default).
+FlowParams flow_params_from(const JobParams& p);
+
+/// Parses a submission's netlist text: YAL when it contains a MODULE
+/// keyword, the native netlist format otherwise. Returns nullopt with
+/// diagnostics (suppressed-overflow counts included) in `report`.
+std::optional<Netlist> parse_submission(const std::string& text,
+                                        ParseReport& report);
+
+}  // namespace tw::serve

@@ -1,0 +1,398 @@
+#include "serve/wire.hpp"
+
+#include <utility>
+
+namespace tw::serve {
+namespace {
+
+using recover::ByteReader;
+using recover::ByteWriter;
+using recover::CheckpointError;
+
+constexpr std::uint8_t kMagic[4] = {'T', 'W', 'S', 'V'};
+constexpr std::size_t kHeaderSize = 4 + 4 + 4 + 4 + 4;  // magic..crc
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void put_str(ByteWriter& w, const std::string& s) {
+  w.u32(static_cast<std::uint32_t>(s.size()));
+  for (const char ch : s) w.u8(static_cast<std::uint8_t>(ch));
+}
+
+std::string get_str(ByteReader& r) {
+  const std::size_t n = r.length_prefix(1);
+  std::string s;
+  s.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    s.push_back(static_cast<char>(r.u8()));
+  return s;
+}
+
+std::uint8_t get_enum(ByteReader& r, std::uint8_t max, const char* what) {
+  const std::uint8_t v = r.u8();
+  if (v > max)
+    throw ServeError(ServeErrc::kCorrupt,
+                     std::string(what) + " out of range: " +
+                         std::to_string(static_cast<int>(v)));
+  return v;
+}
+
+// --- per-message payload codecs --------------------------------------------
+
+void encode_payload(ByteWriter& w, const SubmitRequest& m) {
+  encode_params(w, m.params);
+  put_str(w, m.netlist_yal);
+  w.u8(m.want_progress ? 1 : 0);
+}
+
+SubmitRequest decode_submit(ByteReader& r) {
+  SubmitRequest m;
+  m.params = decode_params(r);
+  m.netlist_yal = get_str(r);
+  m.want_progress = r.u8() != 0;
+  return m;
+}
+
+void encode_payload(ByteWriter& w, const SubmitReply& m) {
+  w.u64(m.job);
+  w.u8(static_cast<std::uint8_t>(m.disposition));
+}
+
+SubmitReply decode_submit_reply(ByteReader& r) {
+  SubmitReply m;
+  m.job = r.u64();
+  m.disposition = static_cast<Disposition>(get_enum(r, 2, "disposition"));
+  return m;
+}
+
+void encode_payload(ByteWriter& w, const RejectReply& m) {
+  w.u8(static_cast<std::uint8_t>(m.code));
+  put_str(w, m.detail);
+}
+
+RejectReply decode_reject(ByteReader& r) {
+  RejectReply m;
+  m.code = static_cast<RejectCode>(get_enum(r, 5, "reject code"));
+  m.detail = get_str(r);
+  return m;
+}
+
+void encode_payload(ByteWriter& w, const ProgressEvent& m) {
+  w.u64(m.job);
+  w.i32(m.replica);
+  w.u8(m.phase);
+  w.i32(m.step);
+  w.i32(m.pass);
+  w.f64(m.t);
+  w.f64(m.cost);
+}
+
+ProgressEvent decode_progress(ByteReader& r) {
+  ProgressEvent m;
+  m.job = r.u64();
+  m.replica = r.i32();
+  m.phase = get_enum(r, 1, "flow phase");
+  m.step = r.i32();
+  m.pass = r.i32();
+  m.t = r.f64();
+  m.cost = r.f64();
+  return m;
+}
+
+void encode_payload(ByteWriter& w, const ResultEvent& m) {
+  w.u64(m.job);
+  w.u8(static_cast<std::uint8_t>(m.status));
+  w.u8(m.cached ? 1 : 0);
+  w.u64(m.fingerprint);
+  w.f64(m.final_teil);
+  w.i64(m.final_chip_area);
+  w.i32(m.replicas_succeeded);
+  w.i32(m.replicas_total);
+  w.i32(m.attempts);
+  put_str(w, m.detail);
+}
+
+ResultEvent decode_result(ByteReader& r) {
+  ResultEvent m;
+  m.job = r.u64();
+  m.status = static_cast<JobStatus>(get_enum(r, 3, "job status"));
+  m.cached = r.u8() != 0;
+  m.fingerprint = r.u64();
+  m.final_teil = r.f64();
+  m.final_chip_area = r.i64();
+  m.replicas_succeeded = r.i32();
+  m.replicas_total = r.i32();
+  m.attempts = r.i32();
+  m.detail = get_str(r);
+  return m;
+}
+
+void encode_payload(ByteWriter& w, const StatusReply& m) {
+  w.u64(m.job);
+  w.u8(static_cast<std::uint8_t>(m.state));
+}
+
+StatusReply decode_status(ByteReader& r) {
+  StatusReply m;
+  m.job = r.u64();
+  m.state = static_cast<JobState>(get_enum(r, 2, "job state"));
+  return m;
+}
+
+void encode_payload(ByteWriter& w, const QueryRequest& m) { w.u64(m.job); }
+void encode_payload(ByteWriter& w, const CancelRequest& m) { w.u64(m.job); }
+void encode_payload(ByteWriter&, const PingRequest&) {}
+void encode_payload(ByteWriter&, const ShutdownRequest&) {}
+void encode_payload(ByteWriter&, const PongReply&) {}
+
+Message decode_payload(MsgType type, std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  Message m;
+  switch (type) {
+    case MsgType::kSubmit: m = decode_submit(r); break;
+    case MsgType::kQuery: m = QueryRequest{r.u64()}; break;
+    case MsgType::kCancel: m = CancelRequest{r.u64()}; break;
+    case MsgType::kPing: m = PingRequest{}; break;
+    case MsgType::kShutdown: m = ShutdownRequest{}; break;
+    case MsgType::kSubmitReply: m = decode_submit_reply(r); break;
+    case MsgType::kReject: m = decode_reject(r); break;
+    case MsgType::kProgress: m = decode_progress(r); break;
+    case MsgType::kResult: m = decode_result(r); break;
+    case MsgType::kStatus: m = decode_status(r); break;
+    case MsgType::kPong: m = PongReply{}; break;
+    default:
+      throw ServeError(ServeErrc::kCorrupt,
+                       "unknown message type " +
+                           std::to_string(static_cast<std::uint32_t>(type)));
+  }
+  r.expect_end();
+  return m;
+}
+
+}  // namespace
+
+const char* to_string(ServeErrc code) {
+  switch (code) {
+    case ServeErrc::kIo: return "io";
+    case ServeErrc::kDisconnected: return "disconnected";
+    case ServeErrc::kBadMagic: return "bad_magic";
+    case ServeErrc::kBadVersion: return "bad_version";
+    case ServeErrc::kBadCrc: return "bad_crc";
+    case ServeErrc::kOversized: return "oversized";
+    case ServeErrc::kCorrupt: return "corrupt";
+    case ServeErrc::kProtocol: return "protocol";
+  }
+  return "unknown";
+}
+
+ServeError::ServeError(ServeErrc code, const std::string& detail)
+    : std::runtime_error(std::string("serve error (") + to_string(code) +
+                         "): " + detail),
+      code_(code) {}
+
+void encode_params(recover::ByteWriter& w, const JobParams& p) {
+  w.u64(p.master_seed);
+  w.i32(p.replicas);
+  w.i32(p.max_attempts);
+  w.i64(p.budget_moves);
+  w.i64(p.budget_steps);
+  w.i64(p.watchdog_moves);
+  w.i32(p.s1_attempts_per_cell);
+  w.i32(p.s1_p2_samples);
+  w.i32(p.s2_attempts_per_cell);
+  w.i32(p.steiner_m);
+  w.i32(p.checkpoint_every);
+  w.i32(p.checkpoint_keep);
+}
+
+JobParams decode_params(recover::ByteReader& r) {
+  JobParams p;
+  p.master_seed = r.u64();
+  p.replicas = r.i32();
+  p.max_attempts = r.i32();
+  p.budget_moves = r.i64();
+  p.budget_steps = r.i64();
+  p.watchdog_moves = r.i64();
+  p.s1_attempts_per_cell = r.i32();
+  p.s1_p2_samples = r.i32();
+  p.s2_attempts_per_cell = r.i32();
+  p.steiner_m = r.i32();
+  p.checkpoint_every = r.i32();
+  p.checkpoint_keep = r.i32();
+  return p;
+}
+
+std::uint64_t params_digest(const JobParams& p) {
+  ByteWriter w;
+  encode_params(w, p);
+  return fnv1a(w.bytes());
+}
+
+const char* to_string(MsgType t) {
+  switch (t) {
+    case MsgType::kSubmit: return "submit";
+    case MsgType::kQuery: return "query";
+    case MsgType::kCancel: return "cancel";
+    case MsgType::kPing: return "ping";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kSubmitReply: return "submit_reply";
+    case MsgType::kReject: return "reject";
+    case MsgType::kProgress: return "progress";
+    case MsgType::kResult: return "result";
+    case MsgType::kStatus: return "status";
+    case MsgType::kPong: return "pong";
+  }
+  return "unknown";
+}
+
+const char* to_string(Disposition d) {
+  switch (d) {
+    case Disposition::kFresh: return "fresh";
+    case Disposition::kDuplicateRunning: return "duplicate_running";
+    case Disposition::kCached: return "cached";
+  }
+  return "unknown";
+}
+
+const char* to_string(RejectCode c) {
+  switch (c) {
+    case RejectCode::kQueueFull: return "queue_full";
+    case RejectCode::kQuotaExceeded: return "quota_exceeded";
+    case RejectCode::kParseError: return "parse_error";
+    case RejectCode::kUnknownJob: return "unknown_job";
+    case RejectCode::kShuttingDown: return "shutting_down";
+    case RejectCode::kBadRequest: return "bad_request";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobStatus s) {
+  switch (s) {
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kBudgetExhausted: return "budget_exhausted";
+    case JobStatus::kCancelled: return "cancelled";
+    case JobStatus::kFailed: return "failed";
+  }
+  return "unknown";
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+  }
+  return "unknown";
+}
+
+MsgType type_of(const Message& m) {
+  struct Visitor {
+    MsgType operator()(const SubmitRequest&) { return MsgType::kSubmit; }
+    MsgType operator()(const QueryRequest&) { return MsgType::kQuery; }
+    MsgType operator()(const CancelRequest&) { return MsgType::kCancel; }
+    MsgType operator()(const PingRequest&) { return MsgType::kPing; }
+    MsgType operator()(const ShutdownRequest&) { return MsgType::kShutdown; }
+    MsgType operator()(const SubmitReply&) { return MsgType::kSubmitReply; }
+    MsgType operator()(const RejectReply&) { return MsgType::kReject; }
+    MsgType operator()(const ProgressEvent&) { return MsgType::kProgress; }
+    MsgType operator()(const ResultEvent&) { return MsgType::kResult; }
+    MsgType operator()(const StatusReply&) { return MsgType::kStatus; }
+    MsgType operator()(const PongReply&) { return MsgType::kPong; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+std::vector<std::uint8_t> encode_frame(const Message& m) {
+  ByteWriter pw;
+  std::visit([&pw](const auto& msg) { encode_payload(pw, msg); }, m);
+  const std::vector<std::uint8_t> payload = pw.take();
+  if (payload.size() > kMaxPayload)
+    throw ServeError(ServeErrc::kOversized,
+                     "payload of " + std::to_string(payload.size()) +
+                         " bytes exceeds cap " + std::to_string(kMaxPayload));
+
+  ByteWriter w;
+  for (const std::uint8_t b : kMagic) w.u8(b);
+  w.u32(kWireVersion);
+  w.u32(static_cast<std::uint32_t>(type_of(m)));
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(recover::crc32(payload));
+  std::vector<std::uint8_t> frame = w.take();
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+void FrameParser::feed(std::span<const std::uint8_t> bytes) {
+  // Compact the consumed prefix before growing: the buffer stays bounded
+  // by one partial frame plus one read chunk.
+  if (pos_ > 0) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  while (try_parse()) {}
+}
+
+bool FrameParser::try_parse() {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderSize) return false;
+  const std::uint8_t* h = buf_.data() + pos_;
+  for (int i = 0; i < 4; ++i)
+    if (h[i] != kMagic[i])
+      throw ServeError(ServeErrc::kBadMagic,
+                       "stream does not start with TWSV");
+  const auto rd32 = [h](int at) {
+    return static_cast<std::uint32_t>(h[at]) |
+           static_cast<std::uint32_t>(h[at + 1]) << 8 |
+           static_cast<std::uint32_t>(h[at + 2]) << 16 |
+           static_cast<std::uint32_t>(h[at + 3]) << 24;
+  };
+  const std::uint32_t version = rd32(4);
+  if (version != kWireVersion)
+    throw ServeError(ServeErrc::kBadVersion,
+                     "frame version " + std::to_string(version) +
+                         " != " + std::to_string(kWireVersion));
+  const std::uint32_t type = rd32(8);
+  const std::uint32_t size = rd32(12);
+  const std::uint32_t crc = rd32(16);
+  if (size > kMaxPayload)
+    throw ServeError(ServeErrc::kOversized,
+                     "frame payload of " + std::to_string(size) +
+                         " bytes exceeds cap " + std::to_string(kMaxPayload));
+  if (avail < kHeaderSize + size) return false;
+
+  const std::span<const std::uint8_t> payload(h + kHeaderSize, size);
+  if (recover::crc32(payload) != crc)
+    throw ServeError(ServeErrc::kBadCrc, "frame payload CRC mismatch");
+  Message m;
+  try {
+    m = decode_payload(static_cast<MsgType>(type), payload);
+  } catch (const CheckpointError& e) {
+    // ByteReader bounds/length failures surface as CheckpointError;
+    // re-type them for this layer.
+    throw ServeError(ServeErrc::kCorrupt, e.what());
+  }
+  pos_ += kHeaderSize + size;
+  ready_.push_back(std::move(m));
+  return true;
+}
+
+bool FrameParser::has_message() { return !ready_.empty(); }
+
+Message FrameParser::take_message() {
+  if (ready_.empty())
+    throw ServeError(ServeErrc::kProtocol, "take_message on empty parser");
+  Message m = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return m;
+}
+
+}  // namespace tw::serve

@@ -93,6 +93,36 @@ TEST(BadInput, MultipleDefectsAreAllReported) {
     EXPECT_GE(d.line, 0) << d.str();
 }
 
+TEST(BadInput, SaturationCountsTheSuppressedTail) {
+  // 200 defective lines against a 50-diagnostic cap: the overflow must be
+  // counted and named, not silently dropped, so a saturated report is
+  // distinguishable from one whose input had exactly kMaxDiagnostics
+  // defects.
+  std::string text;
+  for (int i = 0; i < 200; ++i) text += "bogus directive " + std::to_string(i) + "\n";
+  ParseReport report;
+  const auto nl = parse_netlist_string(text, report);
+  EXPECT_FALSE(nl.has_value());
+  ASSERT_TRUE(report.saturated()) << report.str();
+  EXPECT_EQ(static_cast<int>(report.diagnostics.size()),
+            ParseReport::kMaxDiagnostics);
+  EXPECT_GT(report.suppressed, 0);
+  EXPECT_EQ(report.total(),
+            ParseReport::kMaxDiagnostics + report.suppressed);
+  EXPECT_NE(report.str().find("more diagnostic(s) suppressed"),
+            std::string::npos)
+      << report.str();
+}
+
+TEST(BadInput, UnsaturatedReportsDoNotClaimSuppression) {
+  ParseReport report;
+  (void)parse_netlist_file(
+      std::string(TW_BAD_INPUT_DIR) + "/multiple_errors.net", report);
+  EXPECT_EQ(report.suppressed, 0);
+  EXPECT_EQ(report.total(), static_cast<int>(report.diagnostics.size()));
+  EXPECT_EQ(report.str().find("suppressed"), std::string::npos);
+}
+
 TEST(BadInput, YalResynchronizesAcrossModules) {
   ParseReport report;
   const auto nl = parse_yal_file(

@@ -3,12 +3,17 @@
 // checks for every identifier the README mentions.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <thread>
+
 #include "fingerprint.hpp"
 #include "pool/report.hpp"
 #include "flow/timberwolf.hpp"
 #include "netlist/parser.hpp"
 #include "netlist/yal.hpp"
 #include "pool/pool.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
 #include "workload/paper_circuits.hpp"
 
 namespace {
@@ -50,6 +55,57 @@ TEST(Readme, PoolSnippetEntryPointsExist) {
   EXPECT_EQ(pr.stats.succeeded, 2);
   EXPECT_NE(tw::pool_report(pr).find("Replica pool report"),
             std::string::npos);
+}
+
+TEST(Readme, PlacementServiceQuickStartFlowWorks) {
+  // The README's twserved/twcli walkthrough, in-process: a daemon on a
+  // Unix socket, a YAL submission with the --fast knobs, a duplicate
+  // served from cache, then shutdown. (The binaries are thin flag
+  // parsers over exactly these entry points.)
+  namespace serve = tw::serve;
+  const std::string socket_path = ::testing::TempDir() + "/tw_readme.sock";
+  const std::string state_dir = ::testing::TempDir() + "/tw_readme_state";
+  std::filesystem::remove(socket_path);
+  std::filesystem::remove_all(state_dir);
+  std::filesystem::create_directories(state_dir);
+
+  serve::DaemonConfig cfg;
+  cfg.socket_path = socket_path;
+  cfg.scheduler.state_dir = state_dir;
+  cfg.scheduler.threads = 2;
+  serve::Daemon daemon(std::move(cfg));
+  std::thread server([&daemon] { daemon.run(); });
+
+  {
+    serve::Client client(socket_path);
+    EXPECT_TRUE(client.ping());
+
+    serve::SubmitRequest req;
+    req.netlist_yal = tw::write_yal(tw::generate_circuit(tw::tiny_circuit(9)));
+    req.params.replicas = 2;
+    req.params.s1_attempts_per_cell = 12;   // twcli --fast
+    req.params.s1_p2_samples = 6;
+    req.params.s2_attempts_per_cell = 8;
+    req.params.steiner_m = 4;
+
+    const serve::Client::SubmitOutcome first =
+        client.submit_and_wait(req, nullptr);
+    ASSERT_FALSE(first.rejected.has_value());
+    EXPECT_EQ(first.ack.disposition, serve::Disposition::kFresh);
+    ASSERT_TRUE(first.result.has_value());
+    EXPECT_EQ(first.result->status, serve::JobStatus::kCompleted);
+    EXPECT_FALSE(first.result->cached);
+
+    // "dedups identical submissions against an on-disk result cache"
+    const serve::Client::SubmitOutcome dup =
+        client.submit_and_wait(req, nullptr);
+    ASSERT_TRUE(dup.result.has_value());
+    EXPECT_TRUE(dup.result->cached);
+    EXPECT_EQ(dup.result->fingerprint, first.result->fingerprint);
+
+    client.shutdown_server();
+  }
+  server.join();
 }
 
 TEST(Readme, MentionedEntryPointsExist) {

@@ -9,8 +9,10 @@
 
 #include <filesystem>
 
+#include "check/validate.hpp"
 #include "fingerprint.hpp"
 #include "flow/timberwolf.hpp"
+#include "recover/budget.hpp"
 #include "recover/checkpoint.hpp"
 #include "recover/fault.hpp"
 #include "workload/paper_circuits.hpp"
@@ -122,6 +124,82 @@ TEST(Resume, Stage2KilledLater) {
 TEST(Resume, Stage2KilledAtAPassBoundary) {
   EXPECT_EQ(kill_and_resume(FaultSite::kStage2Pass, 1, "tw_res_s2c"),
             baseline());
+}
+
+TEST(Resume, Stage3RoutingKilledAtAnEarlyNet) {
+  // Dying inside stage-3 global routing loses the partial pass; the
+  // resume replays it from the last checkpointed boundary and must still
+  // converge to the same bytes.
+  EXPECT_EQ(kill_and_resume(FaultSite::kRouteNet, 2, "tw_res_s3a"),
+            baseline());
+}
+
+TEST(Resume, Stage3RoutingKilledDeepInThePass) {
+  EXPECT_EQ(kill_and_resume(FaultSite::kRouteNet, 8, "tw_res_s3b"),
+            baseline());
+}
+
+/// Observer for the budget wind-down test: records how much work the
+/// budget had charged when stage-3 routing first polled, without ever
+/// killing anything.
+class RouteBudgetProbe final : public recover::FaultInjector {
+ public:
+  explicit RouteBudgetProbe(const recover::RunBudget* budget)
+      : budget_(budget) {}
+
+  void poll(FaultSite site) override {
+    if (site != FaultSite::kRouteNet) return;
+    ++route_polls_;
+    if (first_route_moves_ < 0)
+      first_route_moves_ = budget_->moves_charged();
+  }
+
+  std::int64_t first_route_moves() const { return first_route_moves_; }
+  std::int64_t route_polls() const { return route_polls_; }
+
+ private:
+  const recover::RunBudget* budget_;
+  std::int64_t first_route_moves_ = -1;
+  std::int64_t route_polls_ = 0;
+};
+
+// A work quota that expires while stage-3 routing is under way must wind
+// down gracefully: typed kBudgetExhausted outcome and a placement that
+// still validates. (No fingerprint claim — budget counters are not part
+// of the checkpoint, so a budgeted run is its own reproducible schedule,
+// compared against nothing.)
+TEST(Resume, BudgetExpiryDuringRoutingWindsDownToAValidPlacement) {
+  // Measurement run: where does routing start, in budget-moves terms?
+  recover::RunBudget unlimited;
+  RouteBudgetProbe probe(&unlimited);
+  FlowParams params = fast_flow(kSeed);
+  params.recover.budget = &unlimited;
+  params.recover.faults = &probe;
+  {
+    Placement p(test_netlist());
+    const FlowResult r = TimberWolfMC(test_netlist(), params).run(p);
+    ASSERT_EQ(r.outcome, RunOutcome::kCompleted);
+  }
+  ASSERT_GT(probe.route_polls(), 0) << "stage 3 never polled";
+  ASSERT_GE(probe.first_route_moves(), 0);
+
+  // Budgeted run: the quota lands just past the first routed net, so the
+  // exhaustion is observed during (or immediately after) stage-3 work.
+  recover::RunBudget budget(probe.first_route_moves() + 50,
+                            recover::RunBudget::kUnlimited);
+  RouteBudgetProbe confirm(&budget);
+  FlowParams capped = fast_flow(kSeed);
+  capped.recover.budget = &budget;
+  capped.recover.faults = &confirm;
+  Placement p(test_netlist());
+  const FlowResult r = TimberWolfMC(test_netlist(), capped).run(p);
+
+  EXPECT_EQ(r.outcome, RunOutcome::kBudgetExhausted);
+  EXPECT_GT(confirm.route_polls(), 0)
+      << "the quota fired before routing ever started";
+  EXPECT_GE(budget.moves_charged(), probe.first_route_moves());
+  const ValidationReport vr = validate_placement(p);
+  EXPECT_TRUE(vr.ok()) << vr.str();
 }
 
 TEST(Resume, NetlistMismatchIsTypedError) {

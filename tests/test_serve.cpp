@@ -1,0 +1,845 @@
+// Placement service (src/serve): wire-protocol framing against truncated,
+// corrupted and hostile byte streams; write-ahead journal replay with torn
+// tails and compaction; the bounded on-disk result cache; the scheduler's
+// typed admission control (quotas, queue-full, parse rejection), dedup
+// against running and cached work, and crash recovery (journal replay +
+// checkpoint re-adoption reproducing the uninterrupted fingerprint); and
+// the daemon end-to-end over a real Unix socket — submit, progress
+// streaming, cached duplicates, cooperative cancel, graceful shutdown.
+//
+// Tests may use std::thread (the raw-thread lint rule confines threads in
+// src/ to the pool); the daemon cases run Daemon::run() on a test thread
+// and stop it with request_stop().
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "netlist/parser.hpp"
+#include "netlist/yal.hpp"
+#include "pool/executor.hpp"
+#include "recover/checkpoint.hpp"
+#include "serve/client.hpp"
+#include "serve/daemon.hpp"
+#include "serve/journal.hpp"
+#include "serve/result_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/wire.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+using namespace tw::serve;
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + "/" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// YAL text of the compact workload circuit the pool tests anneal.
+const std::string& test_yal() {
+  static const std::string yal =
+      write_yal(generate_circuit(tiny_circuit(21)));
+  return yal;
+}
+
+/// The fast parameterization (the knobs tests/fingerprint.hpp's fast_flow
+/// sets), expressed as wire-visible JobParams.
+JobParams fast_params(std::uint64_t seed) {
+  JobParams p;
+  p.master_seed = seed;
+  p.s1_attempts_per_cell = 12;
+  p.s1_p2_samples = 6;
+  p.s2_attempts_per_cell = 8;
+  p.steiner_m = 4;
+  p.checkpoint_every = 1;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+
+TEST(WireTest, RoundTripsEveryMessageType) {
+  SubmitRequest submit;
+  submit.params = fast_params(42);
+  submit.params.budget_moves = 123456;
+  submit.netlist_yal = "MODULE a;\nENDMODULE;\n";
+  submit.want_progress = true;
+
+  ResultEvent result;
+  result.job = 9;
+  result.status = JobStatus::kBudgetExhausted;
+  result.cached = true;
+  result.fingerprint = 0xdeadbeefcafef00dull;
+  result.final_teil = 6318.25;
+  result.final_chip_area = 863950;
+  result.replicas_succeeded = 2;
+  result.replicas_total = 3;
+  result.attempts = 5;
+  result.detail = "partial";
+
+  const std::vector<Message> all = {
+      submit,
+      QueryRequest{7},
+      CancelRequest{8},
+      PingRequest{},
+      ShutdownRequest{},
+      SubmitReply{11, Disposition::kDuplicateRunning},
+      RejectReply{RejectCode::kQuotaExceeded, "too many replicas"},
+      ProgressEvent{3, 1, 1, 40, 2, 81.5, 1234.75},
+      result,
+      StatusReply{5, JobState::kRunning},
+      PongReply{},
+  };
+
+  FrameParser parser;
+  for (const Message& m : all) {
+    const std::vector<std::uint8_t> frame = encode_frame(m);
+    parser.feed(frame);
+  }
+  for (const Message& m : all) {
+    ASSERT_TRUE(parser.has_message());
+    const Message got = parser.take_message();
+    EXPECT_EQ(type_of(got), type_of(m));
+  }
+  EXPECT_FALSE(parser.has_message());
+  EXPECT_EQ(parser.buffered(), 0u);
+}
+
+TEST(WireTest, DecodedFieldsSurviveTheRoundTrip) {
+  SubmitRequest submit;
+  submit.params = fast_params(77);
+  submit.netlist_yal = test_yal();
+  submit.want_progress = true;
+
+  FrameParser parser;
+  parser.feed(encode_frame(submit));
+  ASSERT_TRUE(parser.has_message());
+  const auto got = std::get<SubmitRequest>(parser.take_message());
+  EXPECT_EQ(got.params, submit.params);
+  EXPECT_EQ(got.netlist_yal, submit.netlist_yal);
+  EXPECT_TRUE(got.want_progress);
+
+  ResultEvent r;
+  r.job = 4;
+  r.status = JobStatus::kCompleted;
+  r.fingerprint = 0x123456789abcdef0ull;
+  r.final_teil = 0.1;
+  r.final_chip_area = 77;
+  parser.feed(encode_frame(r));
+  ASSERT_TRUE(parser.has_message());
+  const auto gr = std::get<ResultEvent>(parser.take_message());
+  EXPECT_EQ(gr.job, 4u);
+  EXPECT_EQ(gr.status, JobStatus::kCompleted);
+  EXPECT_EQ(gr.fingerprint, r.fingerprint);
+  EXPECT_DOUBLE_EQ(gr.final_teil, 0.1);
+  EXPECT_EQ(gr.final_chip_area, 77);
+}
+
+TEST(WireTest, ByteAtATimeFeedingReassembles) {
+  const std::vector<std::uint8_t> frame =
+      encode_frame(StatusReply{31, JobState::kDone});
+  FrameParser parser;
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    EXPECT_FALSE(parser.has_message()) << "message before byte " << i;
+    parser.feed(std::span(&frame[i], 1));
+  }
+  ASSERT_TRUE(parser.has_message());
+  const auto got = std::get<StatusReply>(parser.take_message());
+  EXPECT_EQ(got.job, 31u);
+  EXPECT_EQ(got.state, JobState::kDone);
+}
+
+TEST(WireTest, BadMagicIsTyped) {
+  std::vector<std::uint8_t> junk = {'H', 'T', 'T', 'P', '/', '1', '.', '1',
+                                    ' ', ' ', ' ', ' ', ' ', ' ', ' ', ' ',
+                                    ' ', ' ', ' ', ' '};
+  FrameParser parser;
+  try {
+    parser.feed(junk);
+    (void)parser.has_message();
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrc::kBadMagic);
+  }
+}
+
+TEST(WireTest, CorruptPayloadFailsTheCrc) {
+  std::vector<std::uint8_t> frame = encode_frame(QueryRequest{123});
+  frame.back() ^= 0x01;  // flip one payload bit
+  FrameParser parser;
+  try {
+    parser.feed(frame);
+    (void)parser.has_message();
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrc::kBadCrc);
+  }
+}
+
+TEST(WireTest, WrongVersionIsTyped) {
+  std::vector<std::uint8_t> frame = encode_frame(PingRequest{});
+  frame[4] = 0xEE;  // version field (little-endian) after the 4-byte magic
+  FrameParser parser;
+  try {
+    parser.feed(frame);
+    (void)parser.has_message();
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrc::kBadVersion);
+  }
+}
+
+TEST(WireTest, OversizedLengthPrefixNeverAllocates) {
+  // A hostile header claiming a multi-GiB payload must be rejected from
+  // the 20 header bytes alone.
+  std::vector<std::uint8_t> frame = encode_frame(PingRequest{});
+  frame[12] = 0xFF;  // payload-size field
+  frame[13] = 0xFF;
+  frame[14] = 0xFF;
+  frame[15] = 0x7F;
+  FrameParser parser;
+  try {
+    parser.feed(std::span(frame.data(), 20));
+    (void)parser.has_message();
+    FAIL() << "expected ServeError";
+  } catch (const ServeError& e) {
+    EXPECT_EQ(e.code(), ServeErrc::kOversized);
+  }
+}
+
+TEST(WireTest, ParamsDigestSeparatesEveryField) {
+  const JobParams base = fast_params(1);
+  std::vector<JobParams> variants(12, base);
+  variants[0].master_seed = 2;
+  variants[1].replicas = 4;
+  variants[2].max_attempts = 9;
+  variants[3].budget_moves = 5;
+  variants[4].budget_steps = 6;
+  variants[5].watchdog_moves = 7;
+  variants[6].s1_attempts_per_cell = 99;
+  variants[7].s1_p2_samples = 98;
+  variants[8].s2_attempts_per_cell = 97;
+  variants[9].steiner_m = 96;
+  variants[10].checkpoint_every = 95;
+  variants[11].checkpoint_keep = 94;
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    EXPECT_NE(params_digest(variants[i]), params_digest(base))
+        << "field " << i << " does not reach the digest";
+  EXPECT_EQ(params_digest(base), params_digest(fast_params(1)));
+}
+
+// ---------------------------------------------------------------------------
+// Write-ahead journal
+
+TEST(JournalTest, ReplayReconstructsLiveJobsInOrder) {
+  const std::string dir = fresh_dir("tw_srv_journal");
+  const std::string path = dir + "/journal.twj";
+  {
+    JobJournal j(path);
+    j.record_submitted(1, fast_params(1), "netlist one");
+    j.record_submitted(2, fast_params(2), "netlist two");
+    j.record_submitted(3, fast_params(3), "netlist three");
+    j.record_finished(2);
+    j.record_cancelled(3);
+  }
+  const JournalReplay r = JobJournal::replay(path);
+  EXPECT_EQ(r.records, 5);
+  EXPECT_EQ(r.max_job, 3u);
+  EXPECT_EQ(r.dropped, 1);
+  EXPECT_FALSE(r.torn_tail);
+  ASSERT_EQ(r.live.size(), 2u);
+  EXPECT_EQ(r.live[0].job, 1u);
+  EXPECT_EQ(r.live[0].netlist_yal, "netlist one");
+  EXPECT_FALSE(r.live[0].cancelled);
+  EXPECT_EQ(r.live[1].job, 3u);
+  EXPECT_TRUE(r.live[1].cancelled);
+  EXPECT_EQ(r.live[1].params, fast_params(3));
+}
+
+TEST(JournalTest, MissingJournalIsAnEmptyHistory) {
+  const JournalReplay r =
+      JobJournal::replay(fresh_dir("tw_srv_nojournal") + "/none.twj");
+  EXPECT_TRUE(r.live.empty());
+  EXPECT_EQ(r.records, 0);
+  EXPECT_FALSE(r.torn_tail);
+}
+
+TEST(JournalTest, TornTailIsDroppedEarlierRecordsSurvive) {
+  const std::string dir = fresh_dir("tw_srv_torn");
+  const std::string path = dir + "/journal.twj";
+  {
+    JobJournal j(path);
+    j.record_submitted(1, fast_params(1), "first");
+    j.record_submitted(2, fast_params(2), "second");
+  }
+  // Chop bytes off the tail: a kill mid-append leaves exactly this shape.
+  const auto full = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full - 5);
+
+  const JournalReplay r = JobJournal::replay(path);
+  EXPECT_TRUE(r.torn_tail);
+  EXPECT_EQ(r.records, 1);
+  ASSERT_EQ(r.live.size(), 1u);
+  EXPECT_EQ(r.live[0].job, 1u);
+  EXPECT_EQ(r.live[0].netlist_yal, "first");
+}
+
+TEST(JournalTest, CorruptTailRecordIsDroppedNotFatal) {
+  const std::string dir = fresh_dir("tw_srv_crc");
+  const std::string path = dir + "/journal.twj";
+  {
+    JobJournal j(path);
+    j.record_submitted(1, fast_params(1), "good");
+    j.record_submitted(2, fast_params(2), "about to rot");
+  }
+  {  // Flip a byte inside the LAST record's payload.
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 3u);
+    bytes[bytes.size() - 3] ^= 0x40;
+    std::ofstream(path, std::ios::binary | std::ios::trunc)
+        .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const JournalReplay r = JobJournal::replay(path);
+  EXPECT_TRUE(r.torn_tail);
+  ASSERT_EQ(r.live.size(), 1u);
+  EXPECT_EQ(r.live[0].job, 1u);
+}
+
+TEST(JournalTest, CompactionKeepsOnlyLiveJobsAndCancelMarkers) {
+  const std::string dir = fresh_dir("tw_srv_compact");
+  const std::string path = dir + "/journal.twj";
+  JobJournal j(path);
+  for (std::uint64_t id = 1; id <= 6; ++id)
+    j.record_submitted(id, fast_params(id), "job " + std::to_string(id));
+  for (std::uint64_t id = 1; id <= 4; ++id) j.record_finished(id);
+  j.record_cancelled(6);
+
+  JournalReplay before = JobJournal::replay(path);
+  ASSERT_EQ(before.live.size(), 2u);
+  j.compact(before.live);
+
+  const JournalReplay after = JobJournal::replay(path);
+  EXPECT_EQ(after.dropped, 0);
+  ASSERT_EQ(after.live.size(), 2u);
+  EXPECT_EQ(after.live[0].job, 5u);
+  EXPECT_FALSE(after.live[0].cancelled);
+  EXPECT_EQ(after.live[1].job, 6u);
+  EXPECT_TRUE(after.live[1].cancelled);
+  EXPECT_EQ(after.max_job, 6u);
+
+  // The journal stays appendable after the rewrite.
+  j.record_submitted(7, fast_params(7), "post-compact");
+  const JournalReplay more = JobJournal::replay(path);
+  ASSERT_EQ(more.live.size(), 3u);
+  EXPECT_EQ(more.live[2].job, 7u);
+}
+
+// ---------------------------------------------------------------------------
+// Result cache
+
+CachedResult sample_result(std::uint64_t fp) {
+  CachedResult r;
+  r.status = JobStatus::kCompleted;
+  r.fingerprint = fp;
+  r.final_teil = 123.5;
+  r.final_chip_area = 999;
+  r.replicas_succeeded = 1;
+  r.replicas_total = 1;
+  r.attempts = 1;
+  return r;
+}
+
+TEST(ResultCacheTest, PutLookupAndReloadAcrossRestart) {
+  const std::string dir = fresh_dir("tw_srv_cache1");
+  const CacheKey key{0x1111, 0x2222};
+  {
+    ResultCache cache(dir, 8);
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    cache.put(key, sample_result(0xabcd));
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->fingerprint, 0xabcdu);
+    EXPECT_DOUBLE_EQ(hit->final_teil, 123.5);
+  }
+  // A fresh instance (daemon restart) reloads the entry from disk.
+  ResultCache cache(dir, 8);
+  EXPECT_EQ(cache.loaded(), 1);
+  const auto hit = cache.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->fingerprint, 0xabcdu);
+  EXPECT_EQ(hit->status, JobStatus::kCompleted);
+}
+
+TEST(ResultCacheTest, CapacityBoundsFifoEvictOldest) {
+  const std::string dir = fresh_dir("tw_srv_cache2");
+  ResultCache cache(dir, 3);
+  for (std::uint64_t i = 1; i <= 5; ++i)
+    cache.put(CacheKey{i, i}, sample_result(i));
+  EXPECT_EQ(cache.size(), 3);
+  EXPECT_FALSE(cache.lookup(CacheKey{1, 1}).has_value());
+  EXPECT_FALSE(cache.lookup(CacheKey{2, 2}).has_value());
+  for (std::uint64_t i = 3; i <= 5; ++i)
+    EXPECT_TRUE(cache.lookup(CacheKey{i, i}).has_value()) << i;
+  EXPECT_EQ(cache.prune_failures(), 0);
+
+  // The directory itself is bounded too, not just the index.
+  int files = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    files += e.path().extension() == ".twr" ? 1 : 0;
+  EXPECT_EQ(files, 3);
+}
+
+TEST(ResultCacheTest, NonDeterministicTerminalStatesAreNotCached) {
+  const std::string dir = fresh_dir("tw_srv_cache3");
+  ResultCache cache(dir, 8);
+  CachedResult cancelled = sample_result(1);
+  cancelled.status = JobStatus::kCancelled;
+  CachedResult failed = sample_result(2);
+  failed.status = JobStatus::kFailed;
+  CachedResult partial = sample_result(3);
+  partial.status = JobStatus::kBudgetExhausted;
+
+  cache.put(CacheKey{1, 1}, cancelled);
+  cache.put(CacheKey{2, 2}, failed);
+  cache.put(CacheKey{3, 3}, partial);
+
+  EXPECT_FALSE(cacheable(JobStatus::kCancelled));
+  EXPECT_FALSE(cacheable(JobStatus::kFailed));
+  EXPECT_TRUE(cacheable(JobStatus::kBudgetExhausted));
+  EXPECT_TRUE(cacheable(JobStatus::kCompleted));
+  EXPECT_FALSE(cache.lookup(CacheKey{1, 1}).has_value());
+  EXPECT_FALSE(cache.lookup(CacheKey{2, 2}).has_value());
+  EXPECT_TRUE(cache.lookup(CacheKey{3, 3}).has_value());
+}
+
+TEST(ResultCacheTest, TornEntryFromAKilledDaemonIsSkippedOnLoad) {
+  const std::string dir = fresh_dir("tw_srv_cache4");
+  {
+    ResultCache cache(dir, 8);
+    cache.put(CacheKey{10, 10}, sample_result(10));
+  }
+  // A garbage .twr file (torn write, disk rot) must not poison the load.
+  std::ofstream(dir + "/res-000099.twr", std::ios::binary)
+      << "not a cache entry";
+  ResultCache cache(dir, 8);
+  EXPECT_EQ(cache.loaded(), 1);
+  EXPECT_TRUE(cache.lookup(CacheKey{10, 10}).has_value());
+
+  // And the counter resumed above the junk file's number: a new put must
+  // not collide with (or be shadowed by) anything present.
+  cache.put(CacheKey{11, 11}, sample_result(11));
+  ResultCache reloaded(dir, 8);
+  EXPECT_TRUE(reloaded.lookup(CacheKey{11, 11}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+
+/// Routes PoolExecutor callbacks (worker threads) back to the test thread,
+/// exactly as the daemon's event queue does.
+struct DoneQueue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<pool::ExecutorResult> results;
+
+  pool::PoolExecutor::Hooks hooks() {
+    pool::PoolExecutor::Hooks h;
+    h.on_done = [this](pool::ExecutorResult r) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        results.push_back(std::move(r));
+      }
+      cv.notify_all();
+    };
+    return h;
+  }
+
+  pool::ExecutorResult wait_pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !results.empty(); });
+    pool::ExecutorResult r = std::move(results.front());
+    results.pop_front();
+    return r;
+  }
+};
+
+SubmitRequest fast_submit(std::uint64_t seed) {
+  SubmitRequest req;
+  req.params = fast_params(seed);
+  req.netlist_yal = test_yal();
+  return req;
+}
+
+TEST(SchedulerTest, QuotaViolationsAreTypedRejections) {
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_quota");
+  cfg.threads = 1;
+  cfg.limits.max_replicas = 2;
+  cfg.limits.max_cells = 4;  // the test netlist has 21
+  cfg.limits.max_budget_moves = 1000;
+  Scheduler sched(cfg, q.hooks());
+
+  SubmitRequest req = fast_submit(1);
+  req.params.replicas = 3;  // above max_replicas
+  Submitted s = sched.submit(req);
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kQuotaExceeded);
+
+  req = fast_submit(1);
+  req.params.budget_moves = 5000;  // above max_budget_moves
+  s = sched.submit(req);
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kQuotaExceeded);
+
+  req = fast_submit(1);  // budget_moves = -1: unlimited request under a cap
+  s = sched.submit(req);
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kQuotaExceeded);
+
+  req = fast_submit(1);
+  req.params.budget_moves = 500;  // within quota — but the netlist is not
+  s = sched.submit(req);
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kQuotaExceeded);
+  EXPECT_NE(s.reject.detail.find("cell"), std::string::npos);
+
+  req.params.replicas = 0;  // degenerate request
+  s = sched.submit(req);
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kBadRequest);
+
+  EXPECT_EQ(sched.in_flight(), 0);
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, UnparseableNetlistIsRejectedWithDiagnostics) {
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_parse");
+  cfg.threads = 1;
+  Scheduler sched(cfg, q.hooks());
+
+  SubmitRequest req;
+  req.params = fast_params(1);
+  req.netlist_yal = "MODULE broken;\n  TYPE GENERAL;\nthis is not YAL";
+  const Submitted s = sched.submit(req);
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kParseError);
+  EXPECT_FALSE(s.reject.detail.empty());
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, QueueFullPastMaxJobsInFlight) {
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_qfull");
+  cfg.threads = 1;
+  cfg.limits.max_jobs = 1;
+  Scheduler sched(cfg, q.hooks());
+
+  const Submitted first = sched.submit(fast_submit(1));
+  ASSERT_EQ(first.kind, Submitted::Kind::kAccepted);
+  EXPECT_EQ(sched.in_flight(), 1);
+
+  // A *different* job (other seed => other params digest) has no slot.
+  const Submitted second = sched.submit(fast_submit(2));
+  ASSERT_EQ(second.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(second.reject.code, RejectCode::kQueueFull);
+
+  // Once the first finishes, the slot frees up.
+  (void)sched.finish(q.wait_pop());
+  EXPECT_EQ(sched.in_flight(), 0);
+  const Submitted third = sched.submit(fast_submit(2));
+  EXPECT_EQ(third.kind, Submitted::Kind::kAccepted);
+  (void)sched.finish(q.wait_pop());
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, IdenticalRunningSubmissionAttachesNotRequeues) {
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_attach");
+  cfg.threads = 1;
+  Scheduler sched(cfg, q.hooks());
+
+  const Submitted a = sched.submit(fast_submit(5));
+  ASSERT_EQ(a.kind, Submitted::Kind::kAccepted);
+  EXPECT_EQ(a.disposition, Disposition::kFresh);
+
+  const Submitted b = sched.submit(fast_submit(5));
+  ASSERT_EQ(b.kind, Submitted::Kind::kAccepted);
+  EXPECT_EQ(b.disposition, Disposition::kDuplicateRunning);
+  EXPECT_EQ(b.job, a.job);
+  EXPECT_EQ(sched.in_flight(), 1) << "the duplicate must not enqueue work";
+
+  (void)sched.finish(q.wait_pop());
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, FinishedResultsServeDuplicatesFromCacheAcrossRestart) {
+  const std::string state = fresh_dir("tw_srv_dedup");
+  std::uint64_t fresh_fp = 0;
+  {
+    DoneQueue q;
+    SchedulerConfig cfg;
+    cfg.state_dir = state;
+    cfg.threads = 1;
+    Scheduler sched(cfg, q.hooks());
+    ASSERT_EQ(sched.submit(fast_submit(5)).kind, Submitted::Kind::kAccepted);
+    const ResultEvent done = sched.finish(q.wait_pop());
+    EXPECT_EQ(done.status, JobStatus::kCompleted);
+    EXPECT_FALSE(done.cached);
+    fresh_fp = done.fingerprint;
+    ASSERT_NE(fresh_fp, 0u);
+
+    // Same process: the duplicate is served from cache, nothing enqueued.
+    const Submitted dup = sched.submit(fast_submit(5));
+    ASSERT_EQ(dup.kind, Submitted::Kind::kCached);
+    EXPECT_TRUE(dup.cached.cached);
+    EXPECT_EQ(dup.cached.fingerprint, fresh_fp);
+    EXPECT_EQ(sched.in_flight(), 0);
+    sched.shutdown();
+  }
+
+  // Fresh daemon, same state dir: nothing to recover (the journal saw the
+  // completion), and the duplicate still comes from the on-disk cache.
+  DoneQueue q2;
+  SchedulerConfig cfg2;
+  cfg2.state_dir = state;
+  cfg2.threads = 1;
+  Scheduler sched2(cfg2, q2.hooks());
+  EXPECT_TRUE(sched2.recovered().empty());
+  const Submitted dup = sched2.submit(fast_submit(5));
+  ASSERT_EQ(dup.kind, Submitted::Kind::kCached);
+  EXPECT_EQ(dup.cached.fingerprint, fresh_fp);
+  sched2.shutdown();
+}
+
+// The crash-recovery acceptance test at the policy layer: a scheduler dies
+// (destroyed without finish()) with a journaled job in flight; its
+// successor on the same state dir re-adopts the job from the journal and
+// the surviving checkpoints, and the finished result fingerprints
+// identically to a never-interrupted scheduler's run of the same job.
+TEST(SchedulerTest, RecoveryReadoptsJournaledJobsAndReproducesBytes) {
+  // Ground truth: an uninterrupted scheduler in its own state dir.
+  std::uint64_t clean_fp = 0;
+  {
+    DoneQueue q;
+    SchedulerConfig cfg;
+    cfg.state_dir = fresh_dir("tw_srv_clean");
+    cfg.threads = 1;
+    Scheduler sched(cfg, q.hooks());
+    ASSERT_EQ(sched.submit(fast_submit(9)).kind, Submitted::Kind::kAccepted);
+    clean_fp = sched.finish(q.wait_pop()).fingerprint;
+    ASSERT_NE(clean_fp, 0u);
+    sched.shutdown();
+  }
+
+  const std::string state = fresh_dir("tw_srv_recover");
+  {
+    DoneQueue q;
+    SchedulerConfig cfg;
+    cfg.state_dir = state;
+    cfg.threads = 1;
+    Scheduler sched(cfg, q.hooks());
+    ASSERT_EQ(sched.submit(fast_submit(9)).kind, Submitted::Kind::kAccepted);
+    // Die without ever calling finish(): the journal holds a submitted
+    // record with no terminal record, exactly like a SIGKILL.
+  }
+
+  DoneQueue q2;
+  SchedulerConfig cfg2;
+  cfg2.state_dir = state;
+  cfg2.threads = 1;
+  Scheduler sched2(cfg2, q2.hooks());
+  ASSERT_EQ(sched2.recovered().size(), 1u);
+  const ResultEvent done = sched2.finish(q2.wait_pop());
+  EXPECT_EQ(done.job, sched2.recovered()[0]);
+  EXPECT_EQ(done.status, JobStatus::kCompleted);
+  EXPECT_EQ(done.fingerprint, clean_fp)
+      << "re-adopted run diverged from the uninterrupted one";
+
+  // Third restart: the journal was settled by finish(); nothing recovers,
+  // and the result is now a cache hit.
+  sched2.shutdown();
+  DoneQueue q3;
+  Scheduler sched3(cfg2, q3.hooks());
+  EXPECT_TRUE(sched3.recovered().empty());
+  const Submitted dup = sched3.submit(fast_submit(9));
+  ASSERT_EQ(dup.kind, Submitted::Kind::kCached);
+  EXPECT_EQ(dup.cached.fingerprint, clean_fp);
+  sched3.shutdown();
+}
+
+TEST(SchedulerTest, ParseSubmissionSpeaksBothFormats) {
+  ParseReport report;
+  EXPECT_TRUE(parse_submission(test_yal(), report).has_value());
+  EXPECT_TRUE(report.diagnostics.empty());
+
+  const Netlist nl = generate_circuit(tiny_circuit(7));
+  ParseReport native_report;
+  const auto native = parse_submission(write_netlist(nl), native_report);
+  ASSERT_TRUE(native.has_value());
+  EXPECT_EQ(native->num_cells(), nl.num_cells());
+
+  ParseReport bad_report;
+  EXPECT_FALSE(parse_submission("neither format", bad_report).has_value());
+  EXPECT_GT(bad_report.total(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon end-to-end over a real Unix socket
+
+struct DaemonFixture {
+  std::string socket_path;
+  std::string state_dir;
+  Daemon daemon;
+  std::thread thread;
+
+  explicit DaemonFixture(const std::string& leaf,
+                         SchedulerLimits limits = {})
+      : socket_path(::testing::TempDir() + "/" + leaf + ".sock"),
+        state_dir(fresh_dir(leaf)),
+        daemon([&] {
+          std::filesystem::remove(socket_path);
+          DaemonConfig cfg;
+          cfg.socket_path = socket_path;
+          cfg.scheduler.state_dir = state_dir;
+          cfg.scheduler.threads = 2;
+          cfg.scheduler.limits = limits;
+          return cfg;
+        }()) {
+    thread = std::thread([this] { daemon.run(); });
+  }
+
+  ~DaemonFixture() {
+    daemon.request_stop();
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(DaemonTest, PingSubmitProgressAndCachedDuplicate) {
+  DaemonFixture fx("tw_srv_daemon1");
+  Client client(fx.socket_path);
+  EXPECT_TRUE(client.ping());
+
+  SubmitRequest req = fast_submit(3);
+  req.want_progress = true;
+  int progress_events = 0;
+  const Client::SubmitOutcome first = client.submit_and_wait(
+      req, [&](const ProgressEvent& pg) {
+        ++progress_events;
+        EXPECT_GE(pg.replica, 0);
+      });
+  ASSERT_FALSE(first.rejected.has_value());
+  EXPECT_EQ(first.ack.disposition, Disposition::kFresh);
+  ASSERT_TRUE(first.result.has_value());
+  EXPECT_EQ(first.result->status, JobStatus::kCompleted);
+  EXPECT_FALSE(first.result->cached);
+  EXPECT_GT(progress_events, 0);
+  const std::uint64_t fp = first.result->fingerprint;
+  ASSERT_NE(fp, 0u);
+
+  // Identical resubmission: served from cache, bit-identical, instant.
+  Client dup_client(fx.socket_path);
+  const Client::SubmitOutcome dup = dup_client.submit_and_wait(req);
+  ASSERT_FALSE(dup.rejected.has_value());
+  EXPECT_EQ(dup.ack.disposition, Disposition::kCached);
+  ASSERT_TRUE(dup.result.has_value());
+  EXPECT_TRUE(dup.result->cached);
+  EXPECT_EQ(dup.result->fingerprint, fp);
+}
+
+TEST(DaemonTest, QueryAndTypedUnknownJob) {
+  DaemonFixture fx("tw_srv_daemon2");
+  Client client(fx.socket_path);
+
+  client.send(QueryRequest{424242});
+  const Message m = client.recv();
+  const auto* rej = std::get_if<RejectReply>(&m);
+  ASSERT_NE(rej, nullptr);
+  EXPECT_EQ(rej->code, RejectCode::kUnknownJob);
+}
+
+TEST(DaemonTest, ExplicitCancelWindsDownToAUsableResult) {
+  DaemonFixture fx("tw_srv_daemon3");
+  Client client(fx.socket_path);
+
+  // An oversized stage-1 schedule: a run long enough (seconds) that the
+  // cancel frame beats its completion by a wide margin.
+  SubmitRequest req;
+  req.params.master_seed = 11;
+  req.params.checkpoint_every = 1;
+  req.params.s1_attempts_per_cell = 5000;
+  req.netlist_yal = test_yal();
+  client.send(req);
+  Message m = client.recv();
+  const auto* ack = std::get_if<SubmitReply>(&m);
+  ASSERT_NE(ack, nullptr);
+
+  client.send(CancelRequest{ack->job});
+  // Skip frames until the job's terminal event.
+  for (;;) {
+    m = client.recv();
+    if (const auto* r = std::get_if<ResultEvent>(&m)) {
+      EXPECT_EQ(r->job, ack->job);
+      EXPECT_EQ(r->status, JobStatus::kCancelled);
+      EXPECT_FALSE(r->cached);
+      break;
+    }
+  }
+}
+
+TEST(DaemonTest, QuotaRejectionReachesTheClientTyped) {
+  SchedulerLimits limits;
+  limits.max_replicas = 1;
+  DaemonFixture fx("tw_srv_daemon4", limits);
+  Client client(fx.socket_path);
+
+  SubmitRequest req = fast_submit(1);
+  req.params.replicas = 4;
+  const Client::SubmitOutcome out = client.submit_and_wait(req);
+  ASSERT_TRUE(out.rejected.has_value());
+  EXPECT_EQ(out.rejected->code, RejectCode::kQuotaExceeded);
+}
+
+TEST(DaemonTest, ShutdownFrameDrainsAndStops) {
+  const std::string leaf = "tw_srv_daemon5";
+  const std::string socket_path = ::testing::TempDir() + "/" + leaf + ".sock";
+  std::filesystem::remove(socket_path);
+  DaemonConfig cfg;
+  cfg.socket_path = socket_path;
+  cfg.scheduler.state_dir = fresh_dir(leaf);
+  cfg.scheduler.threads = 1;
+  auto daemon = std::make_unique<Daemon>(cfg);
+  int rc = -1;
+  std::thread t([&] { rc = daemon->run(); });
+
+  {
+    Client client(socket_path);
+    client.shutdown_server();
+  }
+  t.join();
+  EXPECT_EQ(rc, 0);
+
+  // Once the drained daemon is gone, so is its socket — a late client
+  // gets a typed connection error, not a hang.
+  daemon.reset();
+  EXPECT_THROW(Client{socket_path}, ServeError);
+}
+
+}  // namespace
+}  // namespace tw

@@ -1,0 +1,11 @@
+// Fixture: socket syscalls outside src/serve must fire daemon-syscalls.
+#include <sys/socket.h>
+#include <sys/un.h>
+
+int open_side_channel() {
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  listen(fd, 4);
+  return accept(fd, nullptr, nullptr);
+}

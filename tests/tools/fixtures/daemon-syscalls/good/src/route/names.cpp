@@ -1,0 +1,17 @@
+// Fixture guard: legitimate identifiers that merely contain or resemble
+// socket tokens must NOT fire daemon-syscalls outside src/serve.
+struct Graph {};
+struct Workspace {
+  void bind(const Graph&) {}
+};
+struct Injector {
+  void poll(int) {}
+};
+bool metropolis_accept(long delta) { return delta <= 0; }
+
+int run(Workspace& ws, Injector& inj) {
+  Graph g;
+  ws.bind(g);
+  inj.poll(3);
+  return metropolis_accept(-1) ? 0 : 1;
+}

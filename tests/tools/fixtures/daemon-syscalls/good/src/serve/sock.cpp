@@ -1,0 +1,11 @@
+// Fixture twin: the same syscalls are fine inside src/serve.
+#include <sys/socket.h>
+#include <sys/un.h>
+
+int open_listener() {
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  sockaddr_un addr{};
+  connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  listen(fd, 4);
+  return accept(fd, nullptr, nullptr);
+}

@@ -54,9 +54,21 @@ Rules (each reports file:line and exits nonzero on any hit):
      its deterministic tie-break and work counters (docs/PERF.md
      "Global router").
 
+  9. No socket/daemon syscalls outside src/serve: `socket(`, `listen(`,
+     `accept(`, `connect(`, `setsockopt(`, `sendmsg(`/`recvmsg(` and the
+     <sys/socket.h>/<sys/un.h> headers are banned elsewhere in src/. All
+     process-boundary I/O belongs to the placement service
+     (docs/ROBUSTNESS.md "Placement service"); a stray socket in library
+     code would make algorithm results depend on peers the determinism
+     and crash-recovery audits never see. (`bind`/`poll`/`send`/`recv`
+     are legitimate method names elsewhere — SearchWorkspace::bind,
+     FaultInjector::poll — so the rule keys on the unambiguous tokens
+     and the headers, which any real socket code must include.)
+
 Lines may opt out with a trailing `// lint: allow(<rule>)` where <rule>
 is one of: float-geom, raw-random, nondeterminism, raw-assert,
-checkpoint-io, raw-thread, txn-mutation, route-workspace — or one of
+checkpoint-io, raw-thread, txn-mutation, route-workspace,
+daemon-syscalls — or one of
 tools/semlint.py's semantic rules (rng-value, txn-reach, layer-dag,
 float-flow, pool-capture), which that tool audits itself.
 
@@ -153,6 +165,18 @@ RULES = [
         "(route/search_workspace.hpp); private heaps or dist/visited "
         "arrays bypass its O(touched) resets, counters and deterministic "
         "tie-break",
+    ),
+    (
+        "daemon-syscalls",
+        lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "serve"),
+        re.compile(
+            r"(?<![\w.:>])(socket|listen|accept4?|connect|setsockopt"
+            r"|recvmsg|sendmsg|ppoll)\s*\("
+            r"|\bsys/socket\.h|\bsys/un\.h|\bsockaddr_un\b"
+        ),
+        "socket/daemon syscalls live only in src/serve (the placement "
+        "service, docs/ROBUSTNESS.md); library code must stay free of "
+        "process-boundary I/O",
     ),
 ]
 

@@ -1,0 +1,247 @@
+#!/usr/bin/env python3
+"""Kill/restart soak harness for the placement service (twserved/twcli).
+
+The acceptance criterion of docs/ROBUSTNESS.md "Placement service",
+checked end-to-end over real processes and a real Unix socket: a daemon
+killed hard at any point in a job's life must, after restart, converge
+to the *byte-identical* result of a never-interrupted run — by journal
+replay plus checkpoint re-adoption (work in flight), or by serving the
+result cache (work that finished before the crash).
+
+Scenarios (each against a fresh state dir, same submission throughout):
+
+  1. baseline        - uninterrupted runs (one per seed); records the
+                       reference fingerprints
+  2. mid-anneal kill - three concurrent submissions; `--kill-at
+                       progress:250` fires deep in the anneal with the
+                       queue loaded; restart re-adopts the journaled jobs
+                       from their newest checkpoints and duplicate
+                       submissions must return every baseline fingerprint
+  3. pre-ack kill    - `--kill-at post-journal:1` dies after the WAL write
+                       but before the client ever saw an ack; the job
+                       still exists after restart (write-ahead ordering)
+  4. SIGKILL roulette- a real `kill -9` at an arbitrary wall-clock moment;
+                       whatever state it lands in (queued, annealing,
+                       finished), the restarted daemon must still produce
+                       the baseline fingerprint, then serve the duplicate
+                       from cache (cached=1)
+
+Exit code 0 on success; nonzero with a diagnostic on any mismatch.
+Registered as the ctest case `serve.soak` and run by the service-soak
+CI job.
+"""
+
+import argparse
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+SEEDS = [11, 12, 13]
+
+
+def submit_args(seed):
+    return ["--fast", "--replicas", "2", "--checkpoint-every", "1",
+            "--seed", str(seed)]
+
+
+def info(msg):
+    print(f"service_soak: {msg}", flush=True)
+
+
+def fail(msg):
+    print(f"service_soak: FAIL: {msg}", file=sys.stderr, flush=True)
+    sys.exit(1)
+
+
+class Daemon:
+    """One twserved process over a per-scenario state dir."""
+
+    def __init__(self, binary, root, kill_at=None):
+        self.socket = os.path.join(root, "tw.sock")
+        self.state = os.path.join(root, "state")
+        self.log = open(os.path.join(root, "daemon.log"), "ab")
+        # A killed predecessor leaves its socket file behind; remove it
+        # first so waiting for the path to appear observes the *new*
+        # daemon's bind, not the stale file.
+        if os.path.exists(self.socket):
+            os.unlink(self.socket)
+        cmd = [binary, "--socket", self.socket, "--state", self.state]
+        for spec in kill_at or []:
+            cmd += ["--kill-at", spec]
+        self.proc = subprocess.Popen(cmd, stdout=self.log, stderr=self.log)
+        deadline = time.monotonic() + 10.0
+        while not os.path.exists(self.socket):
+            if self.proc.poll() is not None:
+                fail(f"daemon exited rc={self.proc.returncode} before "
+                     "creating its socket")
+            if time.monotonic() > deadline:
+                fail("daemon never created its socket")
+            time.sleep(0.01)
+
+    def wait_killed(self, timeout=120.0):
+        """Waits for the armed kill switch (hard exit 137)."""
+        try:
+            rc = self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.proc.kill()
+            fail("armed kill point never fired")
+        if rc != 137:
+            fail(f"expected hard-exit 137, daemon exited rc={rc}")
+        self.log.close()
+
+    def sigkill(self):
+        self.proc.send_signal(signal.SIGKILL)
+        self.proc.wait(timeout=30.0)
+        self.log.close()
+
+    def stop(self):
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=30.0)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        self.log.close()
+
+
+def cli(binary, socket, *args, check=True, timeout=300.0):
+    out = subprocess.run([binary, "--socket", socket, *args],
+                         capture_output=True, text=True, timeout=timeout)
+    if check and out.returncode != 0:
+        fail(f"twcli {' '.join(args)} rc={out.returncode}: "
+             f"{out.stdout}{out.stderr}")
+    return out
+
+
+def submit(twcli, socket, yal, seed):
+    """Submits the canonical job for `seed`, returns (fingerprint, cached)."""
+    out = cli(twcli, socket, "submit", yal, *submit_args(seed))
+    m = re.search(r"^result job=\d+ status=(\S+) cached=(\d) "
+                  r"fingerprint=([0-9a-f]{16})", out.stdout, re.M)
+    if not m:
+        fail(f"no result line in twcli output:\n{out.stdout}{out.stderr}")
+    if m.group(1) != "completed":
+        fail(f"job ended status={m.group(1)}, wanted completed")
+    return m.group(3), m.group(2) == "1"
+
+
+def shutdown(twcli, socket):
+    cli(twcli, socket, "shutdown")
+
+
+def scenario_root(work, name):
+    root = os.path.join(work, name)
+    os.makedirs(root)
+    return root
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--twserved", required=True)
+    ap.add_argument("--twcli", required=True)
+    ap.add_argument("--yal", required=True, help="netlist to submit")
+    ap.add_argument("--workdir", default=None,
+                    help="scratch root (default: fresh temp dir)")
+    args = ap.parse_args()
+
+    work = args.workdir or tempfile.mkdtemp(prefix="tw_soak_")
+    if args.workdir:
+        shutil.rmtree(work, ignore_errors=True)
+        os.makedirs(work)
+
+    # 1. Baselines: the fingerprints every recovery below must reproduce.
+    root = scenario_root(work, "baseline")
+    d = Daemon(args.twserved, root)
+    baseline = {}
+    for seed in SEEDS:
+        baseline[seed], cached = submit(args.twcli, d.socket, args.yal, seed)
+        if cached:
+            fail(f"baseline run seed={seed} claims to be cached")
+    shutdown(args.twcli, d.socket)
+    d.stop()
+    info("baselines " + " ".join(
+        f"seed{s}={baseline[s]}" for s in SEEDS))
+
+    # 2. Deterministic mid-anneal kill under concurrent load: three jobs
+    # are submitted at once and the daemon dies at the 250th progress
+    # event, deep in the anneal, with the queue loaded and the running
+    # jobs journaled and checkpointed. The restart re-adopts them; the
+    # duplicate submissions attach to the recovered runs (or hit the
+    # cache if one already finished) and must see the baseline bytes.
+    root = scenario_root(work, "kill_mid_anneal")
+    d = Daemon(args.twserved, root, kill_at=["progress:250"])
+    doomed = [subprocess.Popen(
+        [args.twcli, "--socket", d.socket, "submit", args.yal,
+         *submit_args(seed)],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+        for seed in SEEDS]
+    d.wait_killed()
+    for p in doomed:
+        p.wait(timeout=60.0)  # their connections died with the daemon
+    d = Daemon(args.twserved, root)  # same state dir: journal replay
+    for seed in SEEDS:
+        fp, _ = submit(args.twcli, d.socket, args.yal, seed)
+        if fp != baseline[seed]:
+            fail(f"mid-anneal recovery seed={seed} fingerprint {fp} != "
+                 f"baseline {baseline[seed]}")
+    shutdown(args.twcli, d.socket)
+    d.stop()
+    info("mid-anneal kill under concurrent load recovered byte-identically")
+
+    # 3. Kill between journal write and ack: write-ahead ordering means
+    # the job exists after restart even though no client ever saw an ack.
+    root = scenario_root(work, "kill_pre_ack")
+    d = Daemon(args.twserved, root, kill_at=["post-journal:1"])
+    victim = subprocess.Popen(
+        [args.twcli, "--socket", d.socket, "submit", args.yal,
+         *submit_args(SEEDS[0])],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    d.wait_killed()
+    victim.wait(timeout=60.0)
+    d = Daemon(args.twserved, root)
+    fp, _ = submit(args.twcli, d.socket, args.yal, SEEDS[0])
+    if fp != baseline[SEEDS[0]]:
+        fail(f"pre-ack recovery fingerprint {fp} != baseline "
+             f"{baseline[SEEDS[0]]}")
+    shutdown(args.twcli, d.socket)
+    d.stop()
+    info("pre-ack kill recovered byte-identically")
+
+    # 4. SIGKILL at an arbitrary moment. The landing point varies run to
+    # run (that is the point); the postcondition never does.
+    root = scenario_root(work, "sigkill")
+    d = Daemon(args.twserved, root)
+    victim = subprocess.Popen(
+        [args.twcli, "--socket", d.socket, "submit", args.yal,
+         *submit_args(SEEDS[0])],
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL)
+    time.sleep(0.05)
+    d.sigkill()
+    victim.wait(timeout=60.0)
+    d = Daemon(args.twserved, root)
+    fp, _ = submit(args.twcli, d.socket, args.yal, SEEDS[0])
+    if fp != baseline[SEEDS[0]]:
+        fail(f"SIGKILL recovery fingerprint {fp} != baseline "
+             f"{baseline[SEEDS[0]]}")
+    # By now the job is terminal either way: the next duplicate must be
+    # served from the on-disk result cache without re-annealing.
+    fp, cached = submit(args.twcli, d.socket, args.yal, SEEDS[0])
+    if not cached or fp != baseline[SEEDS[0]]:
+        fail(f"expected cached baseline duplicate, got cached={cached} "
+             f"fingerprint={fp}")
+    shutdown(args.twcli, d.socket)
+    d.stop()
+    info("SIGKILL recovered byte-identically; duplicate served from cache")
+
+    if not args.workdir:
+        shutil.rmtree(work, ignore_errors=True)
+    print("service_soak: OK (4 scenarios, all byte-identical)")
+
+
+if __name__ == "__main__":
+    main()

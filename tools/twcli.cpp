@@ -1,0 +1,208 @@
+// twcli: command-line client of the placement service.
+//
+//   twcli --socket /tmp/tw.sock submit design.yal --replicas 2 --progress
+//   twcli --socket /tmp/tw.sock query 7
+//   twcli --socket /tmp/tw.sock cancel 7
+//   twcli --socket /tmp/tw.sock ping
+//   twcli --socket /tmp/tw.sock shutdown
+//
+// Output is line-oriented and machine-parseable (the soak harness greps
+// it): the terminal line of a submission is
+//   result job=N status=S cached=0|1 fingerprint=HEX teil=T area=A
+// Exit codes: 0 result delivered (any status but failed), 1 job failed,
+// 2 usage error, 3 rejected by the daemon, 4 transport error.
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace tw::serve;
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void usage() {
+  std::cerr <<
+      "usage: twcli --socket PATH COMMAND [args]\n"
+      "commands:\n"
+      "  submit FILE [--seed N] [--replicas N] [--max-attempts N]\n"
+      "              [--budget-moves N] [--budget-steps N]\n"
+      "              [--watchdog-moves N] [--checkpoint-every N]\n"
+      "              [--checkpoint-keep N] [--fast] [--progress]\n"
+      "  query JOB\n"
+      "  cancel JOB\n"
+      "  ping\n"
+      "  shutdown\n";
+}
+
+std::string hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+int run_submit(Client& client, const std::vector<std::string>& args) {
+  SubmitRequest req;
+  std::string file;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "twcli: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--seed") req.params.master_seed = std::stoull(value());
+    else if (a == "--replicas") req.params.replicas = std::stoi(value());
+    else if (a == "--max-attempts")
+      req.params.max_attempts = std::stoi(value());
+    else if (a == "--budget-moves")
+      req.params.budget_moves = std::stoll(value());
+    else if (a == "--budget-steps")
+      req.params.budget_steps = std::stoll(value());
+    else if (a == "--watchdog-moves")
+      req.params.watchdog_moves = std::stoll(value());
+    else if (a == "--checkpoint-every")
+      req.params.checkpoint_every = std::stoi(value());
+    else if (a == "--checkpoint-keep")
+      req.params.checkpoint_keep = std::stoi(value());
+    else if (a == "--fast") {
+      // The compact parameterization the repo's determinism tests run
+      // under: finishes in milliseconds on the sample benchmarks.
+      req.params.s1_attempts_per_cell = 12;
+      req.params.s1_p2_samples = 6;
+      req.params.s2_attempts_per_cell = 8;
+      req.params.steiner_m = 4;
+    } else if (a == "--progress") {
+      req.want_progress = true;
+    } else if (!a.empty() && a[0] != '-' && file.empty()) {
+      file = a;
+    } else {
+      std::cerr << "twcli: unknown submit option " << a << "\n";
+      return 2;
+    }
+  }
+  if (file.empty()) {
+    std::cerr << "twcli: submit needs a netlist file\n";
+    return 2;
+  }
+  try {
+    req.netlist_yal = read_text_file(file);
+  } catch (const std::exception& e) {
+    std::cerr << "twcli: " << e.what() << "\n";
+    return 2;
+  }
+
+  const Client::SubmitOutcome out = client.submit_and_wait(
+      req, [](const ProgressEvent& pg) {
+        std::cout << "progress job=" << pg.job << " replica=" << pg.replica
+                  << " phase=" << static_cast<int>(pg.phase)
+                  << " step=" << pg.step << " pass=" << pg.pass
+                  << " t=" << pg.t << " cost=" << pg.cost << "\n";
+      });
+  if (out.rejected) {
+    std::cerr << "rejected code=" << to_string(out.rejected->code)
+              << " detail=" << out.rejected->detail << "\n";
+    return 3;
+  }
+  std::cout << "accepted job=" << out.ack.job
+            << " disposition=" << to_string(out.ack.disposition) << "\n";
+  if (!out.result) {
+    std::cerr << "twcli: connection ended without a result\n";
+    return 4;
+  }
+  const ResultEvent& r = *out.result;
+  std::cout << "result job=" << r.job << " status=" << to_string(r.status)
+            << " cached=" << (r.cached ? 1 : 0)
+            << " fingerprint=" << hex64(r.fingerprint)
+            << " teil=" << r.final_teil << " area=" << r.final_chip_area
+            << " replicas=" << r.replicas_succeeded << "/"
+            << r.replicas_total << " attempts=" << r.attempts << "\n";
+  if (r.status == JobStatus::kFailed) {
+    std::cerr << "failed: " << r.detail << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string command;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (command.empty()) {
+      command = a;
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (socket_path.empty() || command.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    Client client(socket_path);
+    if (command == "submit") return run_submit(client, rest);
+    if (command == "ping") {
+      if (!client.ping()) return 4;
+      std::cout << "pong\n";
+      return 0;
+    }
+    if (command == "shutdown") {
+      client.shutdown_server();
+      std::cout << "shutdown acknowledged\n";
+      return 0;
+    }
+    if (command == "query" || command == "cancel") {
+      if (rest.empty()) {
+        std::cerr << "twcli: " << command << " needs a job id\n";
+        return 2;
+      }
+      const std::uint64_t job = std::stoull(rest[0]);
+      client.send(command == "query" ? Message(QueryRequest{job})
+                                     : Message(CancelRequest{job}));
+      const Message m = client.recv();
+      if (const auto* st = std::get_if<StatusReply>(&m)) {
+        std::cout << "status job=" << st->job
+                  << " state=" << to_string(st->state) << "\n";
+        return 0;
+      }
+      if (const auto* rej = std::get_if<RejectReply>(&m)) {
+        std::cerr << "rejected code=" << to_string(rej->code)
+                  << " detail=" << rej->detail << "\n";
+        return 3;
+      }
+      std::cerr << "twcli: unexpected reply\n";
+      return 4;
+    }
+    std::cerr << "twcli: unknown command " << command << "\n";
+    usage();
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "twcli: " << e.what() << "\n";
+    return 4;
+  }
+}

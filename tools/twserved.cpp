@@ -1,0 +1,113 @@
+// twserved: the crash-safe placement service daemon.
+//
+//   twserved --socket /tmp/tw.sock --state /var/lib/twserved
+//
+// Accepts placement jobs (YAL or native netlist text) over a Unix domain
+// socket, journals every accepted job before acking, anneals them on a
+// shared replica-pool executor under per-job work quotas, streams
+// progress, dedups identical submissions against a bounded on-disk result
+// cache, and survives kill -9 at any point: on restart the journal is
+// replayed and in-flight jobs continue from their newest valid
+// checkpoints. See docs/ROBUSTNESS.md "Placement service".
+//
+// --kill-at site:count arms the deterministic crash switch (the soak
+// harness's instrument); see serve/daemon.hpp for the site names.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/daemon.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr <<
+      "usage: twserved --socket PATH --state DIR [options]\n"
+      "  --socket PATH        Unix socket to listen on (required)\n"
+      "  --state DIR          journal/cache/checkpoint root (required)\n"
+      "  --threads N          executor worker threads (default 2)\n"
+      "  --max-jobs N         jobs in flight before queue-full (default 8)\n"
+      "  --max-replicas N     per-job replica quota (default 8)\n"
+      "  --max-cells N        netlist-size quota, 0=unlimited (default 0)\n"
+      "  --max-budget-moves N per-job move-quota cap, -1=unlimited\n"
+      "  --max-budget-steps N per-job step-quota cap, -1=unlimited\n"
+      "  --cache-capacity N   result cache entries kept (default 64)\n"
+      "  --kill-at SITE:N     die hard at the N-th SITE event (testing;\n"
+      "                       sites: post-journal post-ack progress\n"
+      "                       pre-finish post-finish; repeatable)\n";
+}
+
+bool parse_kill(const std::string& arg, tw::serve::KillSpec& out) {
+  const std::size_t colon = arg.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out.site = arg.substr(0, colon);
+  try {
+    out.count = std::stoi(arg.substr(colon + 1));
+  } catch (...) {
+    return false;
+  }
+  return out.count >= 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tw::serve::DaemonConfig cfg;
+  tw::serve::SchedulerConfig& sc = cfg.scheduler;
+
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= args.size()) {
+        std::cerr << "twserved: " << a << " needs a value\n";
+        std::exit(2);
+      }
+      return args[++i];
+    };
+    if (a == "--socket") cfg.socket_path = value();
+    else if (a == "--state") sc.state_dir = value();
+    else if (a == "--threads") sc.threads = std::stoi(value());
+    else if (a == "--max-jobs") sc.limits.max_jobs = std::stoi(value());
+    else if (a == "--max-replicas")
+      sc.limits.max_replicas = std::stoi(value());
+    else if (a == "--max-cells") sc.limits.max_cells = std::stoi(value());
+    else if (a == "--max-budget-moves")
+      sc.limits.max_budget_moves = std::stoll(value());
+    else if (a == "--max-budget-steps")
+      sc.limits.max_budget_steps = std::stoll(value());
+    else if (a == "--cache-capacity")
+      sc.cache_capacity = std::stoi(value());
+    else if (a == "--kill-at") {
+      tw::serve::KillSpec k;
+      if (!parse_kill(value(), k)) {
+        std::cerr << "twserved: bad --kill-at (want site:count)\n";
+        return 2;
+      }
+      cfg.kill_at.push_back(std::move(k));
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "twserved: unknown option " << a << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (cfg.socket_path.empty() || sc.state_dir.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    tw::serve::Daemon daemon(std::move(cfg));
+    return daemon.run();
+  } catch (const std::exception& e) {
+    std::cerr << "twserved: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
