@@ -79,9 +79,26 @@ FlowResult TimberWolfMC::run_impl(Placement& placement,
   std::uint64_t digest = 0;
   if (!params_.recover.checkpoint_dir.empty()) {
     sink.emplace(params_.recover.checkpoint_dir,
-                 params_.recover.checkpoint_keep);
+                 params_.recover.checkpoint_keep,
+                 params_.recover.checkpoint_quota_bytes,
+                 params_.recover.disk_faults);
     digest = recover::netlist_digest(nl_);
   }
+
+  // Checkpoint preemption: park the run at the boundary whose checkpoint
+  // was just durably saved — the resume replays from exactly here, so
+  // nothing is lost and the preempted-then-resumed run stays
+  // byte-identical to an uninterrupted one. Only meaningful with a sink:
+  // a run that takes no checkpoints has nowhere to park and ignores the
+  // flag.
+  const auto preempt_point = [this](const char* where) {
+    // Cancellation wins over preemption: a cancelled run must wind down
+    // to a result now, not park for later.
+    if (params_.recover.budget != nullptr &&
+        params_.recover.budget->preempt_requested() &&
+        !params_.recover.budget->cancelled())
+      throw recover::Preempted(where);
+  };
 
   // --- stage 1 ---------------------------------------------------------------
   const bool skip_stage1 =
@@ -108,6 +125,7 @@ FlowResult TimberWolfMC::run_impl(Placement& placement,
           fc.s1 = cur;
           fc.placement = recover::pack_placement(placement);
           sink->save(fc);
+          preempt_point("stage1 step boundary");
         }
         if (params_.recover.on_progress) {
           FlowProgress pg;
@@ -161,6 +179,7 @@ FlowResult TimberWolfMC::run_impl(Placement& placement,
         fc.s2 = cur;
         fc.placement = recover::pack_placement(placement);
         sink->save(fc);
+        preempt_point("stage2 step boundary");
       }
       if (params_.recover.on_progress) {
         FlowProgress pg;

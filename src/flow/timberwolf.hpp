@@ -50,6 +50,13 @@ struct FlowRecoverOptions {
   /// directory, pruning older ones atomically after each write. 0 keeps
   /// everything (the pre-pool behavior).
   int checkpoint_keep = 0;
+  /// Byte quota for the checkpoint directory; a save that would exceed it
+  /// is refused with CheckpointError(kQuotaExceeded) after pruning what
+  /// retention allows. 0 means unbounded.
+  std::uint64_t checkpoint_quota_bytes = 0;
+  /// Disk-fault injection seam for the checkpoint sink (tests script
+  /// ENOSPC / short writes through it; see recover::DiskFaultPlan).
+  recover::DiskFaultInjector* disk_faults = nullptr;
   /// Work budget and cooperative cancellation, honored by both stages and
   /// the global router. On expiry the flow degrades gracefully: the
   /// annealer quenches (improvements only), keeps the best feasible state

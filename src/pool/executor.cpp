@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <condition_variable>
-#include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -45,36 +45,89 @@ ReplicaReport rejected_report(int replica, const std::string& why) {
   return r;
 }
 
+int clamp_priority(int p) {
+  return std::clamp(p, 0, kNumPriorities - 1);
+}
+
 }  // namespace
 
 struct PoolExecutor::Shared {
-  /// One submitted job's live state. `cancel` is the only field touched
-  /// outside `mu`: workers read it lock-free through ReplicaConfig, and
-  /// each worker writes only its own `reports` slot — the disjoint-slot
-  /// pattern of ReplicaPool — before re-acquiring `mu` to decrement
-  /// `remaining`, which is what publishes the slot to whoever assembles
-  /// the result.
+  /// One submitted job's live state. `cancel` and `preempt` are the only
+  /// fields touched outside `mu`: workers read them lock-free through
+  /// ReplicaConfig, and each worker writes only its own `reports` slot —
+  /// the disjoint-slot pattern of ReplicaPool — before re-acquiring `mu`
+  /// to decrement `remaining`, which is what publishes the slot to
+  /// whoever assembles the result.
   struct JobState {
     ExecutorJob spec;
     std::atomic<bool> cancel{false};
-    int remaining = 0;                    // guarded by mu
+    std::atomic<bool> preempt{false};
+    int remaining = 0;                    // mu: tasks not yet reported
+    int running = 0;                      // mu: tasks on a worker right now
     std::vector<ReplicaReport> reports;   // disjoint slots, one per task
+    /// Per-replica crash/preempt re-adoption flags (mu): a preempted
+    /// replica re-runs with adoption on so it resumes its own parked
+    /// checkpoint instead of cold-starting.
+    std::vector<bool> adopt;
+  };
+
+  /// Priority-ordered ready queue. Key = (kNumPriorities - 1 - priority,
+  /// seq): workers always claim the highest priority, FIFO within a
+  /// class — deterministic for any arrival order.
+  using QueueKey = std::pair<int, std::uint64_t>;
+  struct Task {
+    std::shared_ptr<JobState> job;
+    int replica = 0;
   };
 
   std::mutex mu;
   std::condition_variable cv;
   bool stopping = false;                                        // mu
+  std::uint64_t next_seq = 0;                                   // mu
   std::map<std::uint64_t, std::shared_ptr<JobState>> jobs;      // mu
-  std::deque<std::pair<std::shared_ptr<JobState>, int>> queue;  // mu
+  std::map<QueueKey, Task> queue;                               // mu
+  std::int64_t preempted = 0;                                   // mu
+  std::int64_t resumed = 0;                                     // mu
   std::vector<std::thread> workers;  // mu; joined once by shutdown()
   Hooks hooks;                       // immutable after construction
 
+  void enqueue_locked(const std::shared_ptr<JobState>& st, int replica) {
+    const QueueKey key{kNumPriorities - 1 - clamp_priority(st->spec.priority),
+                       next_seq++};
+    queue.emplace(key, Task{st, replica});
+  }
+
+  /// Picks the preemption victim for an arriving job of `priority`: the
+  /// lowest-priority running job strictly below it that checkpoints (a
+  /// job without a checkpoint root cannot park), newest job id as the
+  /// deterministic tiebreak. Returns nullptr when nothing qualifies.
+  std::shared_ptr<JobState> preempt_victim_locked(int priority) {
+    std::shared_ptr<JobState> victim;
+    for (const auto& [id, st] : jobs) {
+      if (st->running <= 0) continue;
+      if (st->spec.checkpoint_root.empty()) continue;
+      if (clamp_priority(st->spec.priority) >= priority) continue;
+      if (st->preempt.load(std::memory_order_relaxed)) continue;
+      if (!victim ||
+          clamp_priority(st->spec.priority) <
+              clamp_priority(victim->spec.priority) ||
+          (clamp_priority(st->spec.priority) ==
+               clamp_priority(victim->spec.priority) &&
+           st->spec.job > victim->spec.job))
+        victim = st;
+    }
+    return victim;
+  }
+
   void worker_loop();
-  ReplicaReport run_task(const std::shared_ptr<JobState>& job, int replica);
+  /// Runs one task. nullopt means the task was preempted and re-queued —
+  /// no report slot was filled and `remaining` must not budge.
+  std::optional<ReplicaReport> run_task(const std::shared_ptr<JobState>& job,
+                                        int replica, bool adopt);
 };
 
-ReplicaReport PoolExecutor::Shared::run_task(
-    const std::shared_ptr<JobState>& job, int replica) {
+std::optional<ReplicaReport> PoolExecutor::Shared::run_task(
+    const std::shared_ptr<JobState>& job, int replica, bool adopt) {
   const ExecutorJob& spec = job->spec;
   ReplicaConfig cfg;
   cfg.replica = replica;
@@ -89,8 +142,11 @@ ReplicaReport PoolExecutor::Shared::run_task(
         spec.checkpoint_root + "/replica-" + std::to_string(replica);
   cfg.checkpoint_every = spec.checkpoint_every;
   cfg.checkpoint_keep = spec.checkpoint_keep;
-  cfg.adopt_existing = spec.adopt_existing;
+  cfg.checkpoint_quota_bytes = spec.checkpoint_quota_bytes;
+  cfg.disk_faults = spec.disk_faults;
+  cfg.adopt_existing = adopt;
   cfg.cancel = &job->cancel;
+  cfg.preempt = &job->preempt;
   if (hooks.on_progress) {
     const auto forward = hooks.on_progress;
     const std::uint64_t id = spec.job;
@@ -100,6 +156,19 @@ ReplicaReport PoolExecutor::Shared::run_task(
   }
   try {
     return run_replica(*spec.nl, cfg);
+  } catch (const recover::Preempted& e) {
+    // Parked, not failed: the replica's newest checkpoint holds exactly
+    // this boundary. Re-queue it (at the job's own priority) with
+    // adoption on; the resumed run is byte-identical to one that was
+    // never preempted, because resume replays from the saved cursor.
+    log_info("executor job ", spec.job, " replica ", replica, " ", e.what(),
+             "; re-queued for resume");
+    std::lock_guard<std::mutex> lock(mu);
+    job->adopt[static_cast<std::size_t>(replica)] = true;
+    ++preempted;
+    enqueue_locked(job, replica);
+    cv.notify_one();
+    return std::nullopt;
   } catch (const std::exception& e) {
     // run_replica absorbs flow failures; anything reaching here
     // (bad_alloc, a throwing contract trap) must not take the worker —
@@ -112,28 +181,40 @@ void PoolExecutor::Shared::worker_loop() {
   for (;;) {
     std::shared_ptr<JobState> job;
     int replica = -1;
+    bool adopt = false;
     {
       std::unique_lock<std::mutex> lock(mu);
       while (queue.empty() && !stopping) cv.wait(lock);
       if (queue.empty()) return;  // stopping and fully drained
-      job = std::move(queue.front().first);
-      replica = queue.front().second;
-      queue.pop_front();
+      const auto it = queue.begin();
+      job = std::move(it->second.job);
+      replica = it->second.replica;
+      queue.erase(it);
+      ++job->running;
+      adopt = job->adopt[static_cast<std::size_t>(replica)];
+      if (adopt) ++resumed;
+      // Claiming a task of a preempted job un-parks it: everything of
+      // higher priority that triggered the preemption has already
+      // drained ahead of it in the queue.
+      job->preempt.store(false, std::memory_order_relaxed);
     }
 
-    ReplicaReport rep = run_task(job, replica);
-    rep.replica = replica;
-    job->reports[static_cast<std::size_t>(replica)] = std::move(rep);
+    std::optional<ReplicaReport> rep = run_task(job, replica, adopt);
 
     ExecutorResult done;
     bool finished = false;
     {
       std::lock_guard<std::mutex> lock(mu);
-      if (--job->remaining == 0) {
-        finished = true;
-        done.job = job->spec.job;
-        done.replicas = std::move(job->reports);
-        jobs.erase(job->spec.job);
+      --job->running;
+      if (rep.has_value()) {
+        rep->replica = replica;
+        job->reports[static_cast<std::size_t>(replica)] = std::move(*rep);
+        if (--job->remaining == 0) {
+          finished = true;
+          done.job = job->spec.job;
+          done.replicas = std::move(job->reports);
+          jobs.erase(job->spec.job);
+        }
       }
     }
     if (!finished) continue;
@@ -170,11 +251,13 @@ void PoolExecutor::submit(ExecutorJob job) {
   TW_REQUIRE(job.replicas >= 1, "replicas=", job.replicas);
   const int n = job.replicas;
   const std::uint64_t id = job.job;
+  const int priority = clamp_priority(job.priority);
 
   auto st = std::make_shared<Shared::JobState>();
   st->spec = std::move(job);
   st->remaining = n;
   st->reports.resize(static_cast<std::size_t>(n));
+  st->adopt.assign(static_cast<std::size_t>(n), st->spec.adopt_existing);
 
   {
     std::lock_guard<std::mutex> lock(shared_->mu);
@@ -184,7 +267,22 @@ void PoolExecutor::submit(ExecutorJob job) {
       const bool inserted = shared_->jobs.emplace(id, st).second;
       TW_REQUIRE(inserted, "duplicate executor job id ", id);
       (void)inserted;
-      for (int i = 0; i < n; ++i) shared_->queue.emplace_back(st, i);
+      for (int i = 0; i < n; ++i) shared_->enqueue_locked(st, i);
+      // Priority admission: when every worker is busy and something of
+      // lower priority is running, ask it to park at its next
+      // checkpoint so this job starts sooner. One victim per
+      // submission — preemption frees that job's workers as its
+      // replicas reach their boundaries.
+      int running_total = 0;
+      for (const auto& [jid, js] : shared_->jobs) running_total += js->running;
+      if (priority > 0 && running_total >= threads_) {
+        if (const auto victim = shared_->preempt_victim_locked(priority)) {
+          victim->preempt.store(true, std::memory_order_relaxed);
+          log_info("executor job ", id, " (priority ", priority,
+                   ") preempts job ", victim->spec.job, " (priority ",
+                   clamp_priority(victim->spec.priority), ")");
+        }
+      }
       shared_->cv.notify_all();
       return;
     }
@@ -206,6 +304,14 @@ void PoolExecutor::cancel(std::uint64_t job) {
     it->second->cancel.store(true, std::memory_order_relaxed);
 }
 
+void PoolExecutor::preempt(std::uint64_t job) {
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  const auto it = shared_->jobs.find(job);
+  if (it != shared_->jobs.end() && it->second->running > 0 &&
+      !it->second->spec.checkpoint_root.empty())
+    it->second->preempt.store(true, std::memory_order_relaxed);
+}
+
 void PoolExecutor::shutdown() {
   std::vector<std::thread> workers;
   {
@@ -217,6 +323,20 @@ void PoolExecutor::shutdown() {
     shared_->cv.notify_all();
   }
   for (std::thread& t : workers) t.join();
+}
+
+PoolExecutor::Stats PoolExecutor::stats() const {
+  Stats s;
+  std::lock_guard<std::mutex> lock(shared_->mu);
+  for (const auto& [key, task] : shared_->queue)
+    ++s.queued[static_cast<std::size_t>(
+        clamp_priority(task.job->spec.priority))];
+  for (const auto& [id, st] : shared_->jobs)
+    s.running[static_cast<std::size_t>(clamp_priority(st->spec.priority))] +=
+        st->running;
+  s.preempted = shared_->preempted;
+  s.resumed = shared_->resumed;
+  return s;
 }
 
 }  // namespace tw::pool

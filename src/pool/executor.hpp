@@ -25,6 +25,7 @@
 // interleaving with other jobs changes any job's outcome.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -33,6 +34,12 @@
 #include "pool/replica.hpp"
 
 namespace tw::pool {
+
+/// Priority classes an executor job may carry. Kept as a small integer
+/// band here (the wire protocol owns the user-facing enum): higher runs
+/// first, and an arriving higher-priority job may checkpoint-preempt a
+/// running lower-priority one when every worker is busy.
+inline constexpr int kNumPriorities = 3;
 
 /// One job's execution request. `nl` is non-owning and must stay alive
 /// until the job's on_done callback has returned.
@@ -44,6 +51,10 @@ struct ExecutorJob {
   std::uint64_t master_seed = 1;
   int replicas = 1;
   int max_attempts = 2;
+  /// Scheduling class, clamped into [0, kNumPriorities): 0 = batch,
+  /// 1 = normal, 2 = urgent. Affects *when* the job runs, never what it
+  /// computes — results stay byte-identical across priorities.
+  int priority = 1;
   WatchdogPolicy watchdog;
   /// Per-replica work quota (RunBudget semantics: graceful wind-down).
   std::int64_t budget_moves = recover::RunBudget::kUnlimited;
@@ -53,6 +64,12 @@ struct ExecutorJob {
   std::string checkpoint_root;
   int checkpoint_every = 5;
   int checkpoint_keep = 4;
+  /// Per-replica checkpoint-directory byte quota (0 = unbounded); see
+  /// ReplicaConfig::checkpoint_quota_bytes.
+  std::uint64_t checkpoint_quota_bytes = 0;
+  /// Disk-fault injection seam forwarded to every replica's checkpoint
+  /// sink (non-owning, thread-safe implementation required).
+  recover::DiskFaultInjector* disk_faults = nullptr;
   /// Crash re-adoption (see ReplicaConfig::adopt_existing): first attempts
   /// resume from surviving checkpoints instead of starting cold.
   bool adopt_existing = false;
@@ -101,10 +118,33 @@ class PoolExecutor {
   /// wind down immediately. No-op for unknown/finished jobs.
   void cancel(std::uint64_t job);
 
+  /// Requests checkpoint preemption of a running job: its running
+  /// replicas park at their next checkpoint-write boundary (the
+  /// checkpoint is saved first, so zero work is lost) and re-enter the
+  /// queue at the job's priority, to resume byte-identically when a
+  /// worker frees up. Best-effort and cooperative: jobs that take no
+  /// checkpoints, or replicas that finish before reaching a boundary,
+  /// simply complete. submit() calls this automatically for the
+  /// lowest-priority running job when a higher-priority submission finds
+  /// every worker busy. No-op for unknown/finished jobs.
+  void preempt(std::uint64_t job);
+
   /// Stops accepting work, cancels every in-flight job, drains the task
   /// queue (each job still gets its on_done) and joins the workers.
   /// Idempotent.
   void shutdown();
+
+  /// Scheduling observability for load-shedding decisions: queue depth
+  /// and running tasks per priority class, plus cumulative counts of
+  /// preempted task parkings and resumes. Counts *tasks* (replicas), not
+  /// jobs.
+  struct Stats {
+    std::array<int, kNumPriorities> queued{};
+    std::array<int, kNumPriorities> running{};
+    std::int64_t preempted = 0;  ///< tasks parked at a checkpoint so far
+    std::int64_t resumed = 0;    ///< parked tasks claimed again so far
+  };
+  Stats stats() const;
 
   int threads() const { return threads_; }
 

@@ -27,18 +27,25 @@ class ReplicaProbe final : public recover::FaultInjector {
  public:
   ReplicaProbe(int replica, int attempt, recover::RunBudget& budget,
                std::int64_t allowance, recover::FaultInjector* inner,
-               const std::atomic<bool>* cancel)
+               const std::atomic<bool>* cancel,
+               const std::atomic<bool>* preempt)
       : replica_(replica),
         attempt_(attempt),
         budget_(budget),
         allowance_(allowance),
         inner_(inner),
-        cancel_(cancel) {}
+        cancel_(cancel),
+        preempt_(preempt) {}
 
   void poll(recover::FaultSite site) override {
     if (inner_ != nullptr) inner_->poll(site);
     if (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed))
       budget_.request_cancel();
+    // Fold the executor's preempt request into the budget; the flow acts
+    // on it only at its next checkpoint-write boundary (and not at all
+    // when cancelled — cancellation is the stronger request).
+    if (preempt_ != nullptr && preempt_->load(std::memory_order_relaxed))
+      budget_.request_preempt();
     if (allowance_ != WatchdogPolicy::kUnlimited &&
         budget_.moves_charged() > allowance_)
       throw WatchdogExpired(replica_, attempt_, budget_.moves_charged(),
@@ -52,6 +59,7 @@ class ReplicaProbe final : public recover::FaultInjector {
   std::int64_t allowance_;
   recover::FaultInjector* inner_;
   const std::atomic<bool>* cancel_;
+  const std::atomic<bool>* preempt_;
 };
 
 std::uint64_t fnv1a(const std::string& text) {
@@ -147,11 +155,19 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
   const std::uint64_t digest = recover::netlist_digest(nl);
   const int max_attempts = std::max(1, cfg.max_attempts);
   int rotation = 0;  // cold starts consumed, drives the seed rotation
+  // Checkpoint-off degraded mode: once an attempt dies on a checkpoint
+  // write failure (full disk, byte quota), later attempts stop *writing*
+  // checkpoints instead of dying the same way again — the job still
+  // finishes, only crash resumability is lost. Adoption of checkpoints
+  // already on disk keeps working, so the retry resumes the dead
+  // attempt's progress first.
+  bool checkpoints_off = false;
 
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     AttemptRecord rec;
     rec.attempt = attempt;
     rec.watchdog_allowance = cfg.watchdog.allowance(attempt);
+    rec.checkpoints_disabled = checkpoints_off;
 
     // Retry policy: resume from the newest *valid* checkpoint of a
     // previous attempt when one survives (adopt_checkpoint skips torn or
@@ -177,14 +193,16 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
     FlowParams params = cfg.base;
     params.seed = rec.seed;
     params.recover = {};
-    params.recover.checkpoint_dir = cfg.checkpoint_dir;
+    params.recover.checkpoint_dir = checkpoints_off ? "" : cfg.checkpoint_dir;
     params.recover.checkpoint_every = cfg.checkpoint_every;
     params.recover.checkpoint_keep = cfg.checkpoint_keep;
+    params.recover.checkpoint_quota_bytes = cfg.checkpoint_quota_bytes;
+    params.recover.disk_faults = cfg.disk_faults;
     params.recover.on_progress = cfg.on_progress;
     recover::RunBudget budget(cfg.budget_moves, cfg.budget_steps);
     params.recover.budget = &budget;
     ReplicaProbe probe(cfg.replica, attempt, budget, rec.watchdog_allowance,
-                       cfg.faults, cfg.cancel);
+                       cfg.faults, cfg.cancel, cfg.preempt);
     params.recover.faults = &probe;
 
     Placement placement(nl);
@@ -212,6 +230,10 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
         usable = true;
         report.flow = fr;
       }
+    } catch (const recover::Preempted&) {
+      // Not a failure: the replica is parked at a just-written checkpoint.
+      // Unwind to the executor, which re-queues it to resume later.
+      throw;
     } catch (const recover::InjectedFault& e) {
       rec.outcome = AttemptOutcome::kFaultKilled;
       rec.error = e.what();
@@ -221,6 +243,11 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
     } catch (const recover::CheckpointError& e) {
       rec.outcome = AttemptOutcome::kCheckpointError;
       rec.error = e.what();
+      // The *write* path failed; stop writing checkpoints on later
+      // attempts rather than tripping over the same disk again. (A
+      // checkpoint that fails to *load* is skipped by adopt_checkpoint,
+      // not thrown, so this cannot misfire on read problems.)
+      checkpoints_off = true;
     } catch (const std::exception& e) {
       rec.outcome = AttemptOutcome::kError;
       rec.error = e.what();
@@ -231,6 +258,7 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
 
     if (usable) {
       report.outcome = ReplicaOutcome::kSucceeded;
+      report.checkpoint_off = checkpoints_off;
       report.placement = recover::pack_placement(placement);
       report.fingerprint = result_fingerprint(placement, report.flow);
       report.final_teil = report.flow.final_teil;
@@ -257,6 +285,7 @@ ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg) {
   }
 
   report.outcome = ReplicaOutcome::kFailed;
+  report.checkpoint_off = checkpoints_off;
   return report;
 }
 

@@ -86,6 +86,11 @@ struct AttemptRecord {
   int attempt = 0;            ///< zero-based attempt index
   std::uint64_t seed = 0;     ///< master seed the flow ran under
   bool resumed = false;       ///< continued from a surviving checkpoint
+  /// The attempt ran with checkpoint *writes* disabled: a previous
+  /// attempt's checkpoint failure (full disk, quota) degraded the
+  /// replica to checkpoint-off mode. Adoption of checkpoints already on
+  /// disk still works — only new writes are dropped.
+  bool checkpoints_disabled = false;
   AttemptOutcome outcome = AttemptOutcome::kError;
   /// The flow's own outcome, valid when the flow returned (kCompleted /
   /// kBudgetExhausted / kCancelled / kInvalid).
@@ -109,6 +114,11 @@ struct ReplicaReport {
   int replica = 0;
   ReplicaOutcome outcome = ReplicaOutcome::kFailed;
   std::vector<AttemptRecord> attempts;
+  /// The replica finished in checkpoint-off degraded mode (some attempt
+  /// hit a checkpoint write failure / quota and later attempts stopped
+  /// writing checkpoints). The result is still fully valid — only crash
+  /// resumability was lost — but the caller should surface it.
+  bool checkpoint_off = false;
 
   // Valid when outcome == kSucceeded:
   FlowResult flow;                       ///< the winning attempt's result
@@ -153,6 +163,14 @@ struct ReplicaConfig {
   bool adopt_existing = false;
   int checkpoint_every = 5;
   int checkpoint_keep = 4;
+  /// Byte quota for this replica's checkpoint directory (0 = unbounded).
+  /// A save that would exceed it fails typed; the supervisor then
+  /// degrades the replica to checkpoint-off mode instead of crashing.
+  std::uint64_t checkpoint_quota_bytes = 0;
+  /// Disk-fault injection seam forwarded to the checkpoint sink
+  /// (non-owning; shared across replicas, so implementations are
+  /// thread-safe — see recover::DiskFaultInjector).
+  recover::DiskFaultInjector* disk_faults = nullptr;
   /// Deterministic fault injection for this replica (non-owning; polled
   /// across all of its attempts, so a plan's Nth-poll arms address the
   /// replica's whole supervised lifetime).
@@ -162,6 +180,14 @@ struct ReplicaConfig {
   /// winds down gracefully to its best feasible state; no further
   /// attempts start.
   const std::atomic<bool>* cancel = nullptr;
+  /// Checkpoint-preemption request (non-owning). When it reads true at a
+  /// poll boundary the attempt's budget is flagged and the flow parks at
+  /// its next checkpoint-write boundary by throwing recover::Preempted —
+  /// which run_replica deliberately does NOT absorb: it unwinds to the
+  /// executor, which re-queues the replica to resume later from that
+  /// checkpoint (byte-identical, zero work lost). Ignored by replicas
+  /// that take no checkpoints, and cancellation wins when both are set.
+  const std::atomic<bool>* preempt = nullptr;
   /// Streaming progress observer forwarded into the flow (see
   /// FlowProgress). Called from whatever thread runs the replica; the
   /// receiver owns its own synchronization. Must not throw.
@@ -170,8 +196,11 @@ struct ReplicaConfig {
 
 /// Runs one replica to its terminal state: attempt, classify, retry with
 /// resume-or-rotate, give up after max_attempts. Never throws for flow
-/// failures — those are recorded in the report; only programming errors
-/// (std::bad_alloc, contract aborts) escape.
+/// failures — those are recorded in the report — with one deliberate
+/// exception: recover::Preempted (see ReplicaConfig::preempt) propagates
+/// to the caller, because a preempted replica is parked, not failed.
+/// Only programming errors (std::bad_alloc, contract aborts) escape
+/// otherwise.
 ReplicaReport run_replica(const Netlist& nl, const ReplicaConfig& cfg);
 
 }  // namespace tw::pool

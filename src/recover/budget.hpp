@@ -13,8 +13,22 @@
 
 #include <atomic>
 #include <cstdint>
+#include <stdexcept>
 
 namespace tw::recover {
+
+/// Thrown by the flow at a checkpoint-write boundary when the budget's
+/// preempt flag is set (see RunBudget::request_preempt). The checkpoint
+/// for the current step was already durably saved when this unwinds, so
+/// a later resume via adopt_checkpoint replays from exactly here —
+/// byte-identical to the uninterrupted run, with zero work lost. The
+/// flow does not catch it; the supervising executor does, and re-queues
+/// the run instead of counting it as a failure.
+class Preempted : public std::runtime_error {
+ public:
+  explicit Preempted(const std::string& where)
+      : std::runtime_error("preempted at " + where) {}
+};
 
 /// How a flow / stage run ended (FlowResult::outcome and friends).
 enum class RunOutcome : std::uint8_t {
@@ -52,6 +66,22 @@ class RunBudget {
     return cancelled_.load(std::memory_order_relaxed);
   }
 
+  /// Requests checkpoint preemption: the run parks at its next
+  /// checkpoint-write boundary by throwing Preempted *after* the
+  /// checkpoint is durably saved. Unlike cancellation this is not a
+  /// wind-down — no quench runs, no partial result is produced — the run
+  /// is expected to be resumed later from that checkpoint and finish
+  /// byte-identically. Ignored by runs that take no checkpoints (there
+  /// is nowhere to park them).
+  void request_preempt() { preempt_.store(true, std::memory_order_relaxed); }
+
+  bool preempt_requested() const {
+    return preempt_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms a budget for the resumed run after a preemption.
+  void clear_preempt() { preempt_.store(false, std::memory_order_relaxed); }
+
   bool exhausted() const {
     const std::int64_t mm = max_moves_;
     const std::int64_t ms = max_steps_;
@@ -82,6 +112,7 @@ class RunBudget {
   std::atomic<std::int64_t> moves_{0};
   std::atomic<std::int64_t> steps_{0};
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> preempt_{false};
 };
 
 }  // namespace tw::recover

@@ -332,9 +332,11 @@ FlowCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
   return cp;
 }
 
-void write_checkpoint_file(const std::string& path, const FlowCheckpoint& cp) {
-  const std::vector<std::uint8_t> payload = encode_checkpoint(cp);
+namespace {
 
+/// Frames `payload` and writes it atomically to `path` (temp + rename).
+void write_framed_payload(const std::string& path,
+                          std::span<const std::uint8_t> payload) {
   ByteWriter header;
   for (const char c : kMagic) header.u8(static_cast<std::uint8_t>(c));
   header.u32(kCheckpointVersion);
@@ -367,6 +369,12 @@ void write_checkpoint_file(const std::string& path, const FlowCheckpoint& cp) {
   if (ec)
     throw CheckpointError(CheckpointErrc::kIo,
                           "rename " + tmp + " -> " + path + ": " + ec.message());
+}
+
+}  // namespace
+
+void write_checkpoint_file(const std::string& path, const FlowCheckpoint& cp) {
+  write_framed_payload(path, encode_checkpoint(cp));
 }
 
 FlowCheckpoint load_checkpoint(const std::string& path) {
@@ -442,25 +450,86 @@ std::vector<std::pair<int, std::string>> list_checkpoints(
 
 }  // namespace
 
-FileCheckpointSink::FileCheckpointSink(std::string dir, int keep)
-    : dir_(std::move(dir)), keep_(keep) {
+FileCheckpointSink::FileCheckpointSink(std::string dir, int keep,
+                                       std::uint64_t quota_bytes,
+                                       DiskFaultInjector* disk_faults)
+    : dir_(std::move(dir)),
+      keep_(keep),
+      quota_bytes_(quota_bytes),
+      disk_faults_(disk_faults) {
   std::error_code ec;
   std::filesystem::create_directories(dir_, ec);
   if (ec)
     throw CheckpointError(CheckpointErrc::kIo,
                           "cannot create " + dir_ + ": " + ec.message());
-  // Continue numbering after whatever an earlier attempt left behind.
-  for (const auto& [n, path] : list_checkpoints(dir_))
+  // Continue numbering after whatever an earlier attempt left behind, and
+  // start the byte ledger from what is already on disk so the quota
+  // covers a predecessor's files too.
+  for (const auto& [n, path] : list_checkpoints(dir_)) {
     counter_ = std::max(counter_, n);
+    std::uintmax_t sz = std::filesystem::file_size(path, ec);
+    if (!ec) bytes_ += static_cast<std::uint64_t>(sz);
+  }
+}
+
+void FileCheckpointSink::prune_upto(int upto) {
+  for (const auto& [n, old] : list_checkpoints(dir_)) {
+    if (n > upto) continue;
+    std::error_code ec;
+    const std::uintmax_t sz = std::filesystem::file_size(old, ec);
+    std::error_code rmec;
+    std::filesystem::remove(old, rmec);
+    if (rmec) {
+      ++prune_failures_;
+      log_warn("checkpoint prune failed: ", old, ": ", rmec.message(),
+               " (errno ", rmec.value(), ")");
+    } else if (!ec) {
+      bytes_ -= std::min(bytes_, static_cast<std::uint64_t>(sz));
+    }
+  }
 }
 
 std::string FileCheckpointSink::save(const FlowCheckpoint& cp) {
   char name[32];
   std::snprintf(name, sizeof(name), "ckpt-%06d.twcp", counter_ + 1);
   const std::string path = dir_ + "/" + name;
-  write_checkpoint_file(path, cp);
+
+  const std::vector<std::uint8_t> payload = encode_checkpoint(cp);
+  const auto frame = static_cast<std::uint64_t>(payload.size()) + 16;
+
+  if (quota_bytes_ > 0 && bytes_ + frame > quota_bytes_) {
+    // Make room the retention policy allows before giving up: the save
+    // that would exceed the quota may only do so because older files it
+    // would prune anyway are still on disk.
+    if (keep_ > 0) prune_upto(counter_ - keep_ + 1);
+    if (bytes_ + frame > quota_bytes_)
+      throw CheckpointError(
+          CheckpointErrc::kQuotaExceeded,
+          dir_ + " holds " + std::to_string(bytes_) + " byte(s), frame of " +
+              std::to_string(frame) + " would exceed the quota of " +
+              std::to_string(quota_bytes_));
+  }
+
+  if (disk_faults_ != nullptr) {
+    const DiskFault f = disk_faults_->write_fault(DiskSite::kCheckpointWrite);
+    if (f == DiskFault::kShortWrite) {
+      // Leave a genuinely truncated temp file behind — exactly what a
+      // dying disk leaves — then fail like the real short-write path.
+      std::ofstream out(path + ".tmp", std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(payload.data()),
+                static_cast<std::streamsize>(std::min<std::size_t>(
+                    payload.size(), 7)));
+    }
+    if (f != DiskFault::kNone)
+      throw CheckpointError(CheckpointErrc::kIo,
+                            std::string("injected ") + to_string(f) +
+                                " writing " + path);
+  }
+
+  write_framed_payload(path, payload);
   ++counter_;
   ++saved_;
+  bytes_ += frame;
   if (keep_ > 0) {
     // Prune only after the new file is durably in place, so the newest
     // `keep_` files always exist on disk. Each removal is an atomic
@@ -469,16 +538,7 @@ std::string FileCheckpointSink::save(const FlowCheckpoint& cp) {
     // disk going bad (read-only remount, permission rot), so every
     // failure is surfaced through the log before it escalates into a
     // kIo write failure on the next save.
-    for (const auto& [n, old] : list_checkpoints(dir_)) {
-      if (n > counter_ - keep_) continue;
-      std::error_code ec;
-      std::filesystem::remove(old, ec);
-      if (ec) {
-        ++prune_failures_;
-        log_warn("checkpoint prune failed: ", old, ": ", ec.message(),
-                 " (errno ", ec.value(), ")");
-      }
-    }
+    prune_upto(counter_ - keep_);
   }
   return path;
 }

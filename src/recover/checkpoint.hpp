@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "place/stage1.hpp"
+#include "recover/fault.hpp"
 #include "recover/serialize.hpp"
 #include "refine/stage2.hpp"
 
@@ -108,7 +109,22 @@ class FileCheckpointSink {
   /// `keep` checkpoint files are pruned (each removal is an atomic unlink,
   /// and pruning runs only after the new file is durably renamed in, so
   /// the newest `keep` files always exist). `keep` == 0 keeps everything.
-  explicit FileCheckpointSink(std::string dir, int keep = 0);
+  ///
+  /// `quota_bytes` > 0 bounds the directory by *size*: a save whose frame
+  /// would push the checkpoint bytes on disk past the quota first prunes
+  /// what retention allows, then — if still over — refuses with a typed
+  /// CheckpointError(kQuotaExceeded) *before* writing anything. The
+  /// caller (the replica supervisor) treats that like any other
+  /// checkpoint failure and degrades to checkpoint-off; the quota is
+  /// never exceeded and never silently "fixed" by dropping the newest
+  /// state.
+  ///
+  /// `disk_faults`, when set, is polled (DiskSite::kCheckpointWrite)
+  /// before each write so tests can script ENOSPC / short-write failures
+  /// (docs/ROBUSTNESS.md "Disk-fault injection").
+  explicit FileCheckpointSink(std::string dir, int keep = 0,
+                              std::uint64_t quota_bytes = 0,
+                              DiskFaultInjector* disk_faults = nullptr);
 
   /// Writes the next numbered file; returns the path written.
   std::string save(const FlowCheckpoint& cp);
@@ -117,6 +133,11 @@ class FileCheckpointSink {
   const std::string& dir() const { return dir_; }
   int keep() const { return keep_; }
 
+  /// Checkpoint bytes currently on disk in `dir` (frame + payload, as
+  /// maintained across saves and prunes by this sink instance).
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint64_t quota_bytes() const { return quota_bytes_; }
+
   /// Retention-prune removals that failed since construction. Each failure
   /// is also logged (path + errno) the moment it happens: pruning trouble
   /// is an early symptom of the disk problems that later surface as kIo
@@ -124,10 +145,16 @@ class FileCheckpointSink {
   int prune_failures() const { return prune_failures_; }
 
  private:
+  /// Removes checkpoint files numbered <= `upto`, keeping `bytes_` true.
+  void prune_upto(int upto);
+
   std::string dir_;
   int keep_ = 0;
+  std::uint64_t quota_bytes_ = 0;
+  DiskFaultInjector* disk_faults_ = nullptr;
   int counter_ = 0;  ///< number of the last file written (resumes from dir)
   int saved_ = 0;    ///< files written by *this* sink instance
+  std::uint64_t bytes_ = 0;  ///< checkpoint bytes on disk in dir_
   int prune_failures_ = 0;
 };
 

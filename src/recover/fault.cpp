@@ -33,4 +33,51 @@ void FaultPlan::poll(FaultSite site) {
   }
 }
 
+const char* to_string(DiskSite site) {
+  switch (site) {
+    case DiskSite::kCheckpointWrite: return "checkpoint.write";
+    case DiskSite::kJournalAppend: return "journal.append";
+    case DiskSite::kJournalRotate: return "journal.rotate";
+    case DiskSite::kCacheWrite: return "cache.write";
+  }
+  return "unknown";
+}
+
+const char* to_string(DiskFault fault) {
+  switch (fault) {
+    case DiskFault::kNone: return "none";
+    case DiskFault::kEnospc: return "enospc";
+    case DiskFault::kShortWrite: return "short_write";
+  }
+  return "unknown";
+}
+
+void DiskFaultPlan::fail_at(DiskSite site, std::int64_t nth, DiskFault kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  arms_.push_back({site, nth, kind, /*persistent=*/false, /*fired=*/false});
+}
+
+void DiskFaultPlan::fail_from(DiskSite site, std::int64_t nth,
+                              DiskFault kind) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  arms_.push_back({site, nth, kind, /*persistent=*/true, /*fired=*/false});
+}
+
+DiskFault DiskFaultPlan::write_fault(DiskSite site) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t n = counts_[static_cast<std::size_t>(site)]++;
+  for (Arm& arm : arms_) {
+    if (arm.site != site) continue;
+    if (arm.persistent ? n < arm.nth : (arm.fired || arm.nth != n)) continue;
+    arm.fired = true;
+    return arm.kind;
+  }
+  return DiskFault::kNone;
+}
+
+std::int64_t DiskFaultPlan::count(DiskSite site) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return counts_[static_cast<std::size_t>(site)];
+}
+
 }  // namespace tw::recover

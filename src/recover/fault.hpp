@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -90,6 +91,83 @@ class FaultPlan : public FaultInjector {
 
   std::vector<Arm> arms_;
   std::array<std::int64_t, kNumFaultSites> counts_{};
+};
+
+// --- disk-fault injection ---------------------------------------------------
+//
+// The durability layers (checkpoint sink, job journal, result cache) all
+// end in "write bytes to disk" operations whose failure modes — ENOSPC,
+// short writes from a dying device — are what their degraded modes exist
+// for, yet are nearly impossible to provoke in a test without root
+// tricks. The seam below lets a test script those failures at exact
+// write indices: each durable-write site polls `write_fault(site)`
+// before touching the filesystem and translates a non-kNone answer into
+// the same typed error a real failure would produce (for kShortWrite,
+// after leaving a genuinely truncated temp/tail behind, so torn-state
+// handling is exercised too). Polls are counted, never timed.
+
+/// Instrumented durable-write sites.
+enum class DiskSite : std::uint8_t {
+  kCheckpointWrite = 0,  ///< FileCheckpointSink::save
+  kJournalAppend,        ///< job-journal record append
+  kJournalRotate,        ///< journal segment rotation / compaction rewrite
+  kCacheWrite,           ///< result-cache entry write
+};
+
+inline constexpr std::size_t kNumDiskSites = 4;
+
+const char* to_string(DiskSite site);
+
+/// What a polled write should pretend happened.
+enum class DiskFault : std::uint8_t {
+  kNone = 0,    ///< write proceeds normally
+  kEnospc,      ///< fail before writing anything (disk full)
+  kShortWrite,  ///< write a truncated prefix, then fail (torn record)
+};
+
+const char* to_string(DiskFault fault);
+
+/// The poll interface the durable-write sites are instrumented against.
+/// Unlike FaultInjector this is polled from several threads at once (the
+/// daemon thread journals while pool workers checkpoint), so
+/// implementations must be thread-safe.
+class DiskFaultInjector {
+ public:
+  virtual ~DiskFaultInjector() = default;
+
+  /// Counts one write at `site`; returns the fault the writer must
+  /// simulate. Deterministic in the per-site poll sequence alone.
+  virtual DiskFault write_fault(DiskSite site) = 0;
+};
+
+class DiskFaultPlan : public DiskFaultInjector {
+ public:
+  /// Arms a one-shot fault at the `nth` (zero-based) write to `site`.
+  void fail_at(DiskSite site, std::int64_t nth,
+               DiskFault kind = DiskFault::kEnospc);
+
+  /// Arms a persistent fault: every write to `site` from the `nth` on
+  /// fails — the "disk stays full" model the degraded modes exist for.
+  void fail_from(DiskSite site, std::int64_t nth,
+                 DiskFault kind = DiskFault::kEnospc);
+
+  DiskFault write_fault(DiskSite site) override;
+
+  /// Writes polled so far at `site`.
+  std::int64_t count(DiskSite site) const;
+
+ private:
+  struct Arm {
+    DiskSite site;
+    std::int64_t nth;
+    DiskFault kind;
+    bool persistent;
+    bool fired = false;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Arm> arms_;
+  std::array<std::int64_t, kNumDiskSites> counts_{};
 };
 
 }  // namespace tw::recover

@@ -29,6 +29,7 @@ const char* to_string(CheckpointErrc code) {
     case CheckpointErrc::kCorrupt: return "corrupt";
     case CheckpointErrc::kNetlistMismatch: return "netlist_mismatch";
     case CheckpointErrc::kSeedMismatch: return "seed_mismatch";
+    case CheckpointErrc::kQuotaExceeded: return "quota_exceeded";
   }
   return "unknown";
 }

@@ -29,6 +29,7 @@ enum class CheckpointErrc {
   kCorrupt,         ///< structurally invalid payload (bad enum, size, ...)
   kNetlistMismatch, ///< checkpoint was taken on a different netlist
   kSeedMismatch,    ///< checkpoint was taken under a different master seed
+  kQuotaExceeded,   ///< write refused: the directory's byte quota is full
 };
 
 /// Human-readable name of an error code ("bad_crc", "truncated", ...).

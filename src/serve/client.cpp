@@ -112,6 +112,17 @@ bool Client::ping() {
   return std::holds_alternative<PongReply>(m);
 }
 
+StatsReply Client::stats() {
+  send(StatsRequest{});
+  Message m = recv();
+  auto* s = std::get_if<StatsReply>(&m);
+  if (s == nullptr)
+    throw ServeError(ServeErrc::kProtocol,
+                     "expected stats_reply, got " +
+                         std::string(to_string(type_of(m))));
+  return std::move(*s);
+}
+
 void Client::shutdown_server() {
   send(ShutdownRequest{});
   const Message m = recv();

@@ -48,6 +48,11 @@ class Client {
   /// Round-trips a ping; false when the daemon misbehaves (wrong reply).
   bool ping();
 
+  /// Fetches the daemon's health snapshot (queue depth by priority,
+  /// shed/preempt counters, disk budget usage, degraded-mode flags).
+  /// Throws ServeError on transport failure or an unexpected reply.
+  StatsReply stats();
+
   /// Asks the daemon to drain and exit; returns once it acknowledged.
   void shutdown_server();
 

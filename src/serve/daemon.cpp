@@ -6,6 +6,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstdlib>
@@ -57,6 +58,7 @@ struct Conn {
   std::size_t out_pos = 0;
   std::vector<std::uint64_t> watching;  ///< jobs this client awaits
   bool want_progress = false;
+  int idle = 0;  ///< consecutive poll-timeout ticks with no bytes read
 };
 
 }  // namespace
@@ -73,6 +75,8 @@ struct Daemon::Impl {
   std::vector<KillSpec> kill_at;
   std::atomic<bool> stop{false};
   bool stopping = false;
+  std::int64_t progress_dropped = 0;  ///< events shed off slow readers
+  std::int64_t reaped = 0;            ///< idle connections reaped
 
   ~Impl() {
     for (auto& [fd, c] : conns) ::close(fd);
@@ -135,6 +139,16 @@ struct Daemon::Impl {
   // --- outbound ------------------------------------------------------------
 
   void queue_frame(Conn& c, const Message& m) {
+    // Slow-reader defense: a connection whose outgoing buffer is past its
+    // bound stops receiving progress events (dropped, counted). Every
+    // other frame — acks, rejects, results — is queued regardless:
+    // results are never dropped, so the buffer's true bound is
+    // max_out_bytes plus the non-progress frames still owed.
+    if (std::holds_alternative<ProgressEvent>(m) &&
+        c.out.size() - c.out_pos >= cfg.max_out_bytes) {
+      ++progress_dropped;
+      return;
+    }
     const std::vector<std::uint8_t> frame = encode_frame(m);
     c.out.insert(c.out.end(), frame.begin(), frame.end());
     flush(c);
@@ -183,7 +197,12 @@ struct Daemon::Impl {
     }
   }
 
-  void drop_conn(int fd) {
+  /// `cancel_watched` distinguishes a client that *left* (voluntary
+  /// disconnect / dead socket: its jobs lose a watcher and may be
+  /// cooperatively cancelled) from one the daemon *reaped* for idling:
+  /// a reaped client's jobs were journaled and paid for — they run to
+  /// completion into the cache, where the client's reconnect finds them.
+  void drop_conn(int fd, bool cancel_watched) {
     const auto it = conns.find(fd);
     if (it == conns.end()) return;
     // Client-disconnect cooperative cancel: a job whose *last* watcher
@@ -196,7 +215,7 @@ struct Daemon::Impl {
       std::erase(w->second, fd);
       if (w->second.empty()) {
         watchers.erase(w);
-        if (scheduler->cancel(job))
+        if (cancel_watched && scheduler->cancel(job))
           log_info("job ", job,
                    ": last watcher disconnected; cancelling cooperatively");
       }
@@ -263,6 +282,13 @@ struct Daemon::Impl {
       queue_frame(c, PongReply{});
       return true;
     }
+    if (std::get_if<StatsRequest>(&m) != nullptr) {
+      StatsReply s = scheduler->stats();
+      s.progress_dropped = progress_dropped;
+      s.reaped = reaped;
+      queue_frame(c, s);
+      return true;
+    }
     if (std::get_if<ShutdownRequest>(&m) != nullptr) {
       queue_frame(c, PongReply{});
       stop.store(true, std::memory_order_relaxed);
@@ -280,6 +306,7 @@ struct Daemon::Impl {
     for (;;) {
       const ssize_t n = ::read(c.fd, buf, sizeof buf);
       if (n > 0) {
+        c.idle = 0;  // any inbound byte proves the client alive
         try {
           c.parser.feed(std::span<const std::uint8_t>(buf,
                                                       static_cast<std::size_t>(n)));
@@ -361,11 +388,31 @@ struct Daemon::Impl {
                                                ? POLLOUT : 0)),
                        0});
 
-      const int rc = ::poll(fds.data(), fds.size(), -1);
+      // The poll timeout is the daemon's clock: one expiry = one tick of
+      // poll_tick_ms (the only notion of elapsed time in src/ — actual
+      // clock reads are banned by lint). Idle deadlines count these.
+      const int timeout =
+          cfg.idle_ticks > 0 ? std::max(1, cfg.poll_tick_ms) : -1;
+      const int rc = ::poll(fds.data(), fds.size(), timeout);
       if (rc < 0) {
         if (errno == EINTR) continue;
         throw ServeError(ServeErrc::kIo, "poll() failed: " +
                                              std::string(std::strerror(errno)));
+      }
+      if (rc == 0) {
+        // Tick: age every connection; reap the ones past the idle
+        // deadline. Their watched jobs keep running (see drop_conn).
+        std::vector<int> expired;
+        for (auto& [fd, c] : conns)
+          if (++c.idle >= cfg.idle_ticks) expired.push_back(fd);
+        for (const int fd : expired) {
+          log_info("reaping idle connection (", cfg.idle_ticks,
+                   " tick(s) of ", cfg.poll_tick_ms,
+                   "ms); its jobs keep running");
+          ++reaped;
+          drop_conn(fd, /*cancel_watched=*/false);
+        }
+        continue;
       }
 
       if ((fds[0].revents & POLLIN) != 0) accept_conns();
@@ -389,7 +436,7 @@ struct Daemon::Impl {
         if (alive && (p.revents & POLLOUT) != 0) alive = flush(c);
         if (!alive) dead.push_back(p.fd);
       }
-      for (const int fd : dead) drop_conn(fd);
+      for (const int fd : dead) drop_conn(fd, /*cancel_watched=*/true);
     }
     return drain_and_exit();
   }

@@ -28,14 +28,21 @@
 //   "post-finish"   result cached + journaled but the reply never sent —
 //                   the restart serves the duplicate from cache.
 //
-// Degradation is graceful and typed end to end: queue-full and
-// quota-exceeded submissions get RejectReply frames, a client disconnect
-// cooperatively cancels its job only when that job has no other watcher
-// (journal-recovered jobs have none and always run to completion, into
-// the cache), and a malformed frame drops that connection — never the
-// daemon.
+// Degradation is graceful and typed end to end: overloaded and
+// quota-exceeded submissions get RejectReply frames (kOverloaded carries
+// a retry hint), a client disconnect cooperatively cancels its job only
+// when that job has no other watcher (journal-recovered jobs have none
+// and always run to completion, into the cache), and a malformed frame
+// drops that connection — never the daemon. Slow and half-dead clients
+// are defended against without wall-clock reads: the poll loop's timeout
+// expiries are the daemon's clock ticks, idle connections are reaped
+// after a configured tick count (their jobs keep running), and a
+// connection whose outgoing buffer is past its bound stops receiving
+// progress events — never results. A StatsRequest frame answers with the
+// full health snapshot (see StatsReply).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -55,6 +62,23 @@ struct DaemonConfig {
   std::string socket_path;
   SchedulerConfig scheduler;
   std::vector<KillSpec> kill_at;  ///< deterministic crash points (tests)
+
+  // --- connection defense --------------------------------------------------
+  /// poll() timeout. Each expiry is one "tick" — the daemon's only unit
+  /// of elapsed time (no clock reads anywhere in src/, by lint rule), so
+  /// idle deadlines are counted in ticks of this length.
+  int poll_tick_ms = 500;
+  /// Reap a connection after this many consecutive idle ticks (no bytes
+  /// read from it). 0 disables reaping. Reaped clients lose their
+  /// *connection*, never their jobs: a reap does not trigger the
+  /// last-watcher cooperative cancel — the journaled job runs on and its
+  /// result lands in the cache for the client's reconnect.
+  int idle_ticks = 0;
+  /// Per-connection outgoing buffer bound. A slow reader whose buffer is
+  /// past this limit stops receiving ProgressEvents (dropped, counted);
+  /// acks, rejects and ResultEvents are always queued — results are
+  /// never dropped.
+  std::size_t max_out_bytes = 1u << 20;
 };
 
 class Daemon {

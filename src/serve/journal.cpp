@@ -1,5 +1,6 @@
 #include "serve/journal.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <utility>
@@ -9,6 +10,7 @@
 namespace tw::serve {
 namespace {
 
+namespace fs = std::filesystem;
 using recover::ByteReader;
 using recover::ByteWriter;
 
@@ -17,6 +19,38 @@ enum class JournalOp : std::uint8_t {
   kFinished = 1,
   kCancelled = 2,
 };
+
+std::string segment_name(int number) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "seg-%06d.twj", number);
+  return buf;
+}
+
+/// seg-NNNNNN.twj -> NNNNNN, or -1 for foreign files.
+int segment_number(const std::string& name) {
+  if (name.size() != 14 || name.rfind("seg-", 0) != 0 ||
+      name.substr(10) != ".twj")
+    return -1;
+  int n = 0;
+  for (int i = 4; i < 10; ++i) {
+    const char c = name[static_cast<std::size_t>(i)];
+    if (c < '0' || c > '9') return -1;
+    n = n * 10 + (c - '0');
+  }
+  return n;
+}
+
+/// All segment numbers under `dir`, ascending. Missing dir -> empty.
+std::vector<int> list_segments(const std::string& dir) {
+  std::vector<int> numbers;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    const int n = segment_number(e.path().filename().string());
+    if (n >= 0) numbers.push_back(n);
+  }
+  std::sort(numbers.begin(), numbers.end());
+  return numbers;
+}
 
 std::vector<std::uint8_t> encode_submitted(std::uint64_t job,
                                            const JobParams& params,
@@ -38,94 +72,31 @@ std::vector<std::uint8_t> encode_terminal(JournalOp op, std::uint64_t job) {
 }
 
 /// Frames one record: u32 payload size | u32 CRC-32 | payload.
-void frame_record(std::ofstream& out, const std::vector<std::uint8_t>& p) {
-  ByteWriter h;
-  h.u32(static_cast<std::uint32_t>(p.size()));
-  h.u32(recover::crc32(p));
-  const std::vector<std::uint8_t>& hb = h.bytes();
-  out.write(reinterpret_cast<const char*>(hb.data()),
-            static_cast<std::streamsize>(hb.size()));
-  out.write(reinterpret_cast<const char*>(p.data()),
-            static_cast<std::streamsize>(p.size()));
-  out.flush();
+std::vector<std::uint8_t> frame_record(const std::vector<std::uint8_t>& p) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(p.size()));
+  w.u32(recover::crc32(p));
+  std::vector<std::uint8_t> frame = w.take();
+  frame.insert(frame.end(), p.begin(), p.end());
+  return frame;
 }
 
-}  // namespace
-
-JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_)
-    throw ServeError(ServeErrc::kIo, "cannot open journal " + path_);
-}
-
-void JobJournal::append(const std::vector<std::uint8_t>& payload) {
-  frame_record(out_, payload);
-  if (!out_)
-    throw ServeError(ServeErrc::kIo, "journal append failed: " + path_);
-  ++appended_;
-}
-
-void JobJournal::record_submitted(std::uint64_t job, const JobParams& params,
-                                  const std::string& netlist_yal) {
-  append(encode_submitted(job, params, netlist_yal));
-}
-
-void JobJournal::record_finished(std::uint64_t job) {
-  append(encode_terminal(JournalOp::kFinished, job));
-}
-
-void JobJournal::record_cancelled(std::uint64_t job) {
-  append(encode_terminal(JournalOp::kCancelled, job));
-}
-
-void JobJournal::compact(const std::vector<LiveJob>& live) {
-  const std::string tmp = path_ + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out)
-      throw ServeError(ServeErrc::kIo, "cannot open " + tmp);
-    for (const LiveJob& j : live) {
-      frame_record(out, encode_submitted(j.job, j.params, j.netlist_yal));
-      if (j.cancelled)
-        frame_record(out, encode_terminal(JournalOp::kCancelled, j.job));
-      // A replayed cancel marker is not terminal (the job is still owed a
-      // result); kCancelled only finalizes a job *not* in `live`.
-    }
-    if (!out)
-      throw ServeError(ServeErrc::kIo, "short write to " + tmp);
-  }
-  out_.close();
-  std::error_code ec;
-  std::filesystem::rename(tmp, path_, ec);
-  if (ec) {
-    // The old journal is untouched; reopen it and keep appending.
-    out_.open(path_, std::ios::binary | std::ios::app);
-    throw ServeError(ServeErrc::kIo, "rename " + tmp + " -> " + path_ +
-                                         " failed: " + ec.message());
-  }
-  out_.open(path_, std::ios::binary | std::ios::app);
-  if (!out_)
-    throw ServeError(ServeErrc::kIo, "cannot reopen journal " + path_);
-  log_info("journal compacted: ", path_, " now holds ", live.size(),
-           " live job(s)");
-}
-
-JournalReplay JobJournal::replay(const std::string& path) {
-  JournalReplay out;
+/// Decodes one segment's records into the shared replay state. Returns
+/// true when the whole segment parsed cleanly, false when it ended on a
+/// torn or corrupt record (everything before it was kept).
+bool replay_segment(const std::string& path, JournalReplay& out,
+                    std::vector<LiveJob>& jobs,
+                    std::vector<std::uint64_t>& finished) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return out;  // no journal yet: empty history
+  if (!in) return true;  // vanished between listing and open: nothing lost
   std::vector<std::uint8_t> bytes(
       (std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
 
-  // Ordered map by hand: replay preserves submission order for re-adoption
-  // (jobs restart in the order they were accepted).
-  std::vector<LiveJob> jobs;
   const auto find = [&jobs](std::uint64_t id) -> LiveJob* {
     for (LiveJob& j : jobs)
       if (j.job == id) return &j;
     return nullptr;
   };
-  std::vector<std::uint64_t> finished;
   const auto is_finished = [&finished](std::uint64_t id) {
     for (const std::uint64_t f : finished)
       if (f == id) return true;
@@ -134,22 +105,13 @@ JournalReplay JobJournal::replay(const std::string& path) {
 
   std::size_t pos = 0;
   while (pos < bytes.size()) {
-    if (bytes.size() - pos < 8) {
-      out.torn_tail = true;
-      break;
-    }
+    if (bytes.size() - pos < 8) return false;
     ByteReader hr(std::span<const std::uint8_t>(bytes.data() + pos, 8));
     const std::uint32_t size = hr.u32();
     const std::uint32_t crc = hr.u32();
-    if (size > kMaxPayload || bytes.size() - pos - 8 < size) {
-      out.torn_tail = true;
-      break;
-    }
+    if (size > kMaxPayload || bytes.size() - pos - 8 < size) return false;
     const std::span<const std::uint8_t> payload(bytes.data() + pos + 8, size);
-    if (recover::crc32(payload) != crc) {
-      out.torn_tail = true;
-      break;
-    }
+    if (recover::crc32(payload) != crc) return false;
     pos += 8 + size;
 
     try {
@@ -167,8 +129,9 @@ JournalReplay JobJournal::replay(const std::string& path) {
           for (std::size_t i = 0; i < n; ++i)
             j.netlist_yal.push_back(static_cast<char>(r.u8()));
           r.expect_end();
-          // A resubmit of an id that already finished (compaction races
-          // cannot produce this, but defensive) is ignored.
+          // A re-submit of an id already seen or already finished is
+          // ignored — this is what makes an interrupted compaction
+          // (old segments + compacted segment coexisting) converge.
           if (find(id) == nullptr && !is_finished(id))
             jobs.push_back(std::move(j));
           break;
@@ -195,18 +158,208 @@ JournalReplay JobJournal::replay(const std::string& path) {
       }
       ++out.records;
     } catch (const recover::CheckpointError& e) {
-      // CRC passed but the payload decodes short/corrupt: count the tail
-      // as torn and stop — later records may depend on this one.
+      // CRC passed but the payload decodes short/corrupt: stop at this
+      // record — later ones may depend on it.
       log_warn("journal ", path, ": corrupt record (", e.what(),
-               "); dropping it and the tail");
-      out.torn_tail = true;
-      break;
+               "); dropping it and the segment tail");
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+JobJournal::JobJournal(std::string dir, std::uint64_t max_segment_bytes,
+                       recover::DiskFaultInjector* disk_faults)
+    : dir_(std::move(dir)),
+      max_segment_bytes_(std::max<std::uint64_t>(1, max_segment_bytes)),
+      disk_faults_(disk_faults) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec)
+    throw ServeError(ServeErrc::kIo, "cannot create journal dir " + dir_ +
+                                         ": " + ec.message());
+  const std::vector<int> numbers = list_segments(dir_);
+  segments_ = static_cast<int>(numbers.size());
+  for (const int n : numbers) {
+    std::error_code sec;
+    const std::uint64_t sz = fs::file_size(dir_ + "/" + segment_name(n), sec);
+    if (!sec) total_bytes_ += sz;
+    if (n == numbers.back()) seg_bytes_ = sec ? 0 : sz;
+  }
+  // Append to the newest existing segment; start segment 1 fresh.
+  open_segment(numbers.empty() ? 1 : numbers.back());
+  if (numbers.empty()) segments_ = 1;
+}
+
+void JobJournal::open_segment(int number) {
+  seg_ = number;
+  out_.close();
+  out_.clear();
+  out_.open(dir_ + "/" + segment_name(seg_), std::ios::binary | std::ios::app);
+  if (!out_)
+    throw ServeError(ServeErrc::kIo,
+                     "cannot open journal segment " + dir_ + "/" +
+                         segment_name(seg_));
+}
+
+void JobJournal::append(const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> frame = frame_record(payload);
+
+  // Rotate before the append that would burst the segment cap (never
+  // split a record; an oversized record gets a segment of its own).
+  if (seg_bytes_ > 0 && seg_bytes_ + frame.size() > max_segment_bytes_) {
+    if (disk_faults_ != nullptr) {
+      const recover::DiskFault f =
+          disk_faults_->write_fault(recover::DiskSite::kJournalRotate);
+      if (f != recover::DiskFault::kNone)
+        throw ServeError(ServeErrc::kIo,
+                         std::string("injected ") + recover::to_string(f) +
+                             " rotating journal segment " +
+                             segment_name(seg_ + 1));
+    }
+    open_segment(seg_ + 1);
+    ++segments_;
+    seg_bytes_ = 0;
+  }
+
+  if (disk_faults_ != nullptr) {
+    const recover::DiskFault f =
+        disk_faults_->write_fault(recover::DiskSite::kJournalAppend);
+    if (f == recover::DiskFault::kShortWrite) {
+      // Model the torn tail a real short write leaves: part of the frame
+      // reaches the segment, then the write fails. Replay must drop it.
+      const std::size_t cut = std::min<std::size_t>(frame.size(), 5);
+      out_.write(reinterpret_cast<const char*>(frame.data()),
+                 static_cast<std::streamsize>(cut));
+      out_.flush();
+      seg_bytes_ += cut;
+      total_bytes_ += cut;
+      throw ServeError(ServeErrc::kIo,
+                       "injected short_write appending to journal segment " +
+                           segment_name(seg_));
+    }
+    if (f != recover::DiskFault::kNone)
+      throw ServeError(ServeErrc::kIo,
+                       std::string("injected ") + recover::to_string(f) +
+                           " appending to journal segment " +
+                           segment_name(seg_));
+  }
+
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_)
+    throw ServeError(ServeErrc::kIo, "journal append failed: " + dir_ + "/" +
+                                         segment_name(seg_));
+  seg_bytes_ += frame.size();
+  total_bytes_ += frame.size();
+  ++appended_;
+}
+
+void JobJournal::record_submitted(std::uint64_t job, const JobParams& params,
+                                  const std::string& netlist_yal) {
+  append(encode_submitted(job, params, netlist_yal));
+}
+
+void JobJournal::record_finished(std::uint64_t job) {
+  append(encode_terminal(JournalOp::kFinished, job));
+}
+
+void JobJournal::record_cancelled(std::uint64_t job) {
+  append(encode_terminal(JournalOp::kCancelled, job));
+}
+
+void JobJournal::compact(const std::vector<LiveJob>& live) {
+  // The compacted history goes into a segment numbered above every
+  // existing one, so replay order puts it last and its re-submits win
+  // nothing / lose nothing against the old records (see replay_segment).
+  const int target = seg_ + 1;
+  const std::string path = dir_ + "/" + segment_name(target);
+  const std::string tmp = path + ".tmp";
+  std::uint64_t written = 0;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw ServeError(ServeErrc::kIo, "cannot open " + tmp);
+    for (const LiveJob& j : live) {
+      const std::vector<std::uint8_t> sub =
+          frame_record(encode_submitted(j.job, j.params, j.netlist_yal));
+      out.write(reinterpret_cast<const char*>(sub.data()),
+                static_cast<std::streamsize>(sub.size()));
+      written += sub.size();
+      if (j.cancelled) {
+        const std::vector<std::uint8_t> can =
+            frame_record(encode_terminal(JournalOp::kCancelled, j.job));
+        out.write(reinterpret_cast<const char*>(can.data()),
+                  static_cast<std::streamsize>(can.size()));
+        written += can.size();
+      }
+      // A replayed cancel marker is not terminal (the job is still owed a
+      // result); kCancelled only finalizes a job *not* in `live`.
+    }
+    if (!out)
+      throw ServeError(ServeErrc::kIo, "short write to " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec)
+    throw ServeError(ServeErrc::kIo, "rename " + tmp + " -> " + path +
+                                         " failed: " + ec.message());
+
+  // The compacted segment is durable; everything older is now redundant.
+  // Unlink failures leave extra-but-consistent history, so they only warn.
+  out_.close();
+  int kept_segments = 1;
+  std::uint64_t kept_bytes = written;
+  for (const int n : list_segments(dir_)) {
+    if (n >= target) continue;
+    std::error_code rec;
+    fs::remove(dir_ + "/" + segment_name(n), rec);
+    if (rec) {
+      ++kept_segments;
+      std::error_code sec;
+      const std::uint64_t sz =
+          fs::file_size(dir_ + "/" + segment_name(n), sec);
+      if (!sec) kept_bytes += sz;
+      log_warn("journal compaction: cannot remove old segment ",
+               segment_name(n), ": ", rec.message());
+    }
+  }
+  open_segment(target);
+  segments_ = kept_segments;
+  seg_bytes_ = written;
+  total_bytes_ = kept_bytes;
+  log_info("journal compacted: ", dir_, " now holds ", live.size(),
+           " live job(s) in ", segments_, " segment(s), ", total_bytes_,
+           " byte(s)");
+}
+
+JournalReplay JobJournal::replay(const std::string& dir) {
+  JournalReplay out;
+  std::vector<LiveJob> jobs;
+  std::vector<std::uint64_t> finished;
+  const std::vector<int> numbers = list_segments(dir);
+  out.segments = static_cast<int>(numbers.size());
+  for (const int n : numbers) {
+    const std::string path = dir + "/" + segment_name(n);
+    const bool clean = replay_segment(path, out, jobs, finished);
+    if (!clean) {
+      // A torn tail is the expected signature of a crash mid-append, but
+      // only the newest segment was ever mid-append; damage anywhere else
+      // is on-disk corruption and gets its own flag.
+      if (n == numbers.back())
+        out.torn_tail = true;
+      else
+        out.torn_interior = true;
+      log_warn("journal ", path, ": torn/corrupt record dropped (",
+               n == numbers.back() ? "newest segment: crash tail"
+                                   : "interior segment: disk damage",
+               ")");
     }
   }
   out.live = std::move(jobs);
-  if (out.torn_tail)
-    log_warn("journal ", path, ": torn tail dropped after ", out.records,
-             " valid record(s)");
   return out;
 }
 

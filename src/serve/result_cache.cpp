@@ -92,8 +92,11 @@ bool cacheable(JobStatus status) {
          status == JobStatus::kBudgetExhausted;
 }
 
-ResultCache::ResultCache(std::string dir, int capacity)
-    : dir_(std::move(dir)), capacity_(std::max(1, capacity)) {
+ResultCache::ResultCache(std::string dir, std::uint64_t budget_bytes,
+                         recover::DiskFaultInjector* disk_faults)
+    : dir_(std::move(dir)),
+      budget_bytes_(budget_bytes),
+      disk_faults_(disk_faults) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec)
@@ -126,7 +129,11 @@ ResultCache::ResultCache(std::string dir, int capacity)
                " (torn write or foreign file); skipping");
       continue;
     }
-    index_[key] = Entry{n, r};
+    // Replacing a same-key entry from an older file: drop the old size.
+    if (const auto it = index_.find(key); it != index_.end())
+      bytes_ -= std::min(bytes_, it->second.bytes);
+    index_[key] = Entry{n, static_cast<std::uint64_t>(bytes.size()), r};
+    bytes_ += bytes.size();
     ++loaded_;
   }
   prune();
@@ -147,10 +154,35 @@ void ResultCache::put(const CacheKey& key, const CachedResult& result) {
   w.u32(kCacheVersion);
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.u32(recover::crc32(payload));
+  const std::uint64_t total = w.bytes().size() + payload.size();
+  if (budget_bytes_ > 0 && total > budget_bytes_)
+    throw ServeError(ServeErrc::kIo,
+                     "cache entry of " + std::to_string(total) +
+                         " byte(s) exceeds the whole cache budget of " +
+                         std::to_string(budget_bytes_));
 
   const int n = ++counter_;
   const std::string path = dir_ + "/" + entry_name(n);
   const std::string tmp = path + ".tmp";
+
+  if (disk_faults_ != nullptr) {
+    const recover::DiskFault f =
+        disk_faults_->write_fault(recover::DiskSite::kCacheWrite);
+    if (f == recover::DiskFault::kShortWrite) {
+      // Leave a genuinely truncated temp file behind, like a real
+      // mid-write failure would; the atomic rename never happens.
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      const std::vector<std::uint8_t>& hb = w.bytes();
+      out.write(reinterpret_cast<const char*>(hb.data()),
+                static_cast<std::streamsize>(
+                    std::min<std::size_t>(hb.size(), 3)));
+    }
+    if (f != recover::DiskFault::kNone)
+      throw ServeError(ServeErrc::kIo,
+                       std::string("injected ") + recover::to_string(f) +
+                           " writing cache entry " + tmp);
+  }
+
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     const std::vector<std::uint8_t>& hb = w.bytes();
@@ -166,12 +198,15 @@ void ResultCache::put(const CacheKey& key, const CachedResult& result) {
   if (ec)
     throw ServeError(ServeErrc::kIo, "rename " + tmp + " -> " + path +
                                          " failed: " + ec.message());
-  index_[key] = Entry{n, result};
+  if (const auto it = index_.find(key); it != index_.end())
+    bytes_ -= std::min(bytes_, it->second.bytes);
+  index_[key] = Entry{n, total, result};
+  bytes_ += total;
   prune();
 }
 
 void ResultCache::prune() {
-  while (static_cast<int>(index_.size()) > capacity_) {
+  while (budget_bytes_ > 0 && bytes_ > budget_bytes_ && !index_.empty()) {
     // Evict the entry backed by the oldest file (FIFO by counter).
     auto victim = index_.begin();
     for (auto it = index_.begin(); it != index_.end(); ++it)
@@ -184,6 +219,8 @@ void ResultCache::prune() {
       log_warn("result cache prune failed: ", path, ": ", ec.message(),
                " (errno ", ec.value(), ")");
     }
+    bytes_ -= std::min(bytes_, victim->second.bytes);
+    ++evictions_;
     index_.erase(victim);
   }
 

@@ -13,8 +13,11 @@
 // Entries are counter-named files (res-NNNNNN.twr, atomic temp + rename,
 // CRC-framed) in one directory; the counter resumes above the largest
 // file present, and when two files carry the same key the newer wins.
-// Capacity bounds the directory FIFO-style: oldest files are pruned after
-// each put, and — like checkpoint retention — every prune failure is
+// The directory is bounded by a *byte* budget, not an entry count —
+// that is the resource the disk actually runs out of. Oldest files are
+// evicted FIFO after each put until the directory fits; an entry larger
+// than the whole budget is refused up front (typed), never written and
+// immediately evicted. Like checkpoint retention, every prune failure is
 // logged with path and errno and counted, never silent.
 #pragma once
 
@@ -24,6 +27,7 @@
 #include <string>
 #include <utility>
 
+#include "recover/fault.hpp"
 #include "serve/wire.hpp"
 
 namespace tw::serve {
@@ -57,35 +61,47 @@ class ResultCache {
  public:
   /// Creates `dir` if needed and loads every valid entry (invalid files
   /// are logged and skipped — a torn write from a killed daemon must not
-  /// poison the cache). `capacity` > 0 bounds the entry count.
-  ResultCache(std::string dir, int capacity);
+  /// poison the cache). `budget_bytes` bounds the directory's total
+  /// entry bytes (0 = unbounded); entries beyond it are evicted oldest
+  /// first, including at startup when a budget shrank across restarts.
+  /// `disk_faults` is the injection seam for put() (site kCacheWrite).
+  ResultCache(std::string dir, std::uint64_t budget_bytes,
+              recover::DiskFaultInjector* disk_faults = nullptr);
 
   std::optional<CachedResult> lookup(const CacheKey& key) const;
 
-  /// Persists (atomic temp + rename) then indexes the entry; prunes the
-  /// oldest files beyond capacity. Non-cacheable statuses are ignored.
-  /// Throws ServeError(kIo) when the entry cannot be written.
+  /// Persists (atomic temp + rename) then indexes the entry; evicts the
+  /// oldest files until the directory fits the byte budget again.
+  /// Non-cacheable statuses are ignored; an entry that alone exceeds the
+  /// whole budget is refused with ServeError(kIo) rather than thrashing
+  /// the cache. Throws ServeError(kIo) when the entry cannot be written.
   void put(const CacheKey& key, const CachedResult& result);
 
   int size() const { return static_cast<int>(index_.size()); }
-  int capacity() const { return capacity_; }
+  std::uint64_t bytes() const { return bytes_; }  ///< live entry bytes
+  std::uint64_t budget_bytes() const { return budget_bytes_; }
   int loaded() const { return loaded_; }  ///< valid entries found at startup
+  std::int64_t evictions() const { return evictions_; }
   int prune_failures() const { return prune_failures_; }
   const std::string& dir() const { return dir_; }
 
  private:
   struct Entry {
-    int counter = 0;  ///< file number backing this entry
+    int counter = 0;          ///< file number backing this entry
+    std::uint64_t bytes = 0;  ///< its on-disk size
     CachedResult result;
   };
 
   void prune();
 
   std::string dir_;
-  int capacity_ = 0;
+  std::uint64_t budget_bytes_ = 0;
+  recover::DiskFaultInjector* disk_faults_ = nullptr;
   int counter_ = 0;  ///< number of the last file written
   int loaded_ = 0;
+  std::int64_t evictions_ = 0;
   int prune_failures_ = 0;
+  std::uint64_t bytes_ = 0;
   std::map<CacheKey, Entry> index_;
 };
 

@@ -14,13 +14,19 @@ namespace {
 
 namespace fs = std::filesystem;
 
+// The wire protocol's priority classes and the executor's scheduling
+// bands are the same three-step ladder; a drift here would silently
+// misroute priorities.
+static_assert(kNumPriorityClasses == pool::kNumPriorities);
+
 constexpr int kDoneRing = 64;      // finished ids kept for query()
 constexpr int kCompactEvery = 16;  // journal compaction cadence (finishes)
 
-Submitted rejected(RejectCode code, std::string detail) {
+Submitted rejected(RejectCode code, std::string detail,
+                   std::uint32_t retry_after_ms = 0) {
   Submitted out;
   out.kind = Submitted::Kind::kRejected;
-  out.reject = RejectReply{code, std::move(detail)};
+  out.reject = RejectReply{code, std::move(detail), retry_after_ms};
   return out;
 }
 
@@ -91,6 +97,15 @@ CachedResult cached_from(const ResultEvent& ev) {
 
 }  // namespace
 
+int SchedulerLimits::shed_threshold(JobPriority p) const {
+  switch (p) {
+    case JobPriority::kUrgent: return max_jobs;
+    case JobPriority::kNormal: return std::max(1, max_jobs * 3 / 4);
+    case JobPriority::kBatch: return std::max(1, max_jobs / 2);
+  }
+  return max_jobs;
+}
+
 FlowParams flow_params_from(const JobParams& p) {
   FlowParams f;
   if (p.s1_attempts_per_cell > 0)
@@ -112,17 +127,22 @@ std::optional<Netlist> parse_submission(const std::string& text,
 }
 
 Scheduler::Scheduler(SchedulerConfig cfg, pool::PoolExecutor::Hooks hooks)
-    : state_dir_(std::move(cfg.state_dir)), limits_(cfg.limits) {
+    : state_dir_(std::move(cfg.state_dir)),
+      limits_(cfg.limits),
+      checkpoint_quota_bytes_(cfg.checkpoint_quota_bytes),
+      journal_compact_bytes_(cfg.journal_compact_bytes),
+      disk_faults_(cfg.disk_faults) {
   std::error_code ec;
   fs::create_directories(state_dir_ + "/jobs", ec);
   if (ec)
     throw ServeError(ServeErrc::kIo, "cannot create state dir " + state_dir_ +
                                          ": " + ec.message());
   cache_ = std::make_unique<ResultCache>(state_dir_ + "/cache",
-                                         cfg.cache_capacity);
-  const std::string journal_path = state_dir_ + "/journal.twj";
-  JournalReplay replayed = JobJournal::replay(journal_path);
-  journal_ = std::make_unique<JobJournal>(journal_path);
+                                         cfg.cache_budget_bytes, disk_faults_);
+  const std::string journal_dir = state_dir_ + "/journal";
+  JournalReplay replayed = JobJournal::replay(journal_dir);
+  journal_ = std::make_unique<JobJournal>(
+      journal_dir, cfg.journal_segment_bytes, disk_faults_);
   next_job_ = replayed.max_job + 1;
   executor_ = std::make_unique<pool::PoolExecutor>(std::max(1, cfg.threads),
                                                    std::move(hooks));
@@ -138,7 +158,12 @@ Scheduler::Scheduler(SchedulerConfig cfg, pool::PoolExecutor::Hooks hooks)
       // Retire it visibly rather than crash-looping on it forever.
       log_warn("recovery: journaled job ", lj.job,
                " no longer parses; retiring it: ", report.str());
-      journal_->record_finished(lj.job);
+      try {
+        journal_->record_finished(lj.job);
+      } catch (const ServeError& e) {
+        journal_degraded_ = true;
+        log_warn("recovery: cannot journal retirement: ", e.what());
+      }
       continue;
     }
     const CacheKey key{recover::netlist_digest(*nl),
@@ -147,7 +172,12 @@ Scheduler::Scheduler(SchedulerConfig cfg, pool::PoolExecutor::Hooks hooks)
       // The result reached the cache but the kill landed before the
       // journal's finished record: the work is done, only the
       // bookkeeping was lost.
-      journal_->record_finished(lj.job);
+      try {
+        journal_->record_finished(lj.job);
+      } catch (const ServeError& e) {
+        journal_degraded_ = true;
+        log_warn("recovery: cannot journal retirement: ", e.what());
+      }
       continue;
     }
     Job job;
@@ -190,6 +220,9 @@ void Scheduler::enqueue(Job&& job, bool adopt_existing) {
   ej.checkpoint_root = job_dir(job.id);
   ej.checkpoint_every = std::max(1, job.params.checkpoint_every);
   ej.checkpoint_keep = std::max(0, job.params.checkpoint_keep);
+  ej.checkpoint_quota_bytes = checkpoint_quota_bytes_;
+  ej.disk_faults = disk_faults_;
+  ej.priority = static_cast<int>(job.params.priority);
   ej.adopt_existing = adopt_existing;
 
   running_[job.key] = job.id;
@@ -259,16 +292,37 @@ Submitted Scheduler::submit(const SubmitRequest& req) {
     return out;
   }
 
-  if (in_flight() >= limits_.max_jobs)
-    return rejected(RejectCode::kQueueFull,
-                    std::to_string(in_flight()) +
-                        " job(s) in flight; admission cap is " +
-                        std::to_string(limits_.max_jobs));
+  // Priority-aware load shedding: each class has its own admission
+  // threshold (batch is shed first, urgent last), and a shed submission
+  // gets a typed kOverloaded with a deterministic retry hint scaled by
+  // how far past the threshold the daemon is.
+  const int threshold = limits_.shed_threshold(p.priority);
+  if (in_flight() >= threshold) {
+    ++shed_;
+    const auto excess = static_cast<std::uint32_t>(in_flight() - threshold);
+    return rejected(RejectCode::kOverloaded,
+                    std::to_string(in_flight()) + " job(s) in flight; " +
+                        to_string(p.priority) + " admission threshold is " +
+                        std::to_string(threshold),
+                    /*retry_after_ms=*/250 * (excess + 1));
+  }
 
   // Accept: the write-ahead record precedes everything the client will
   // ever observe — once the ack is on the wire, the job survives SIGKILL.
+  // A journal that cannot take the record means the daemon is out of the
+  // disk it needs to make that promise: shed the submission (typed,
+  // retryable) rather than accept work that would not survive a crash.
   const std::uint64_t id = next_job_++;
-  journal_->record_submitted(id, p, req.netlist_yal);
+  try {
+    journal_->record_submitted(id, p, req.netlist_yal);
+  } catch (const ServeError& e) {
+    journal_degraded_ = true;
+    ++shed_;
+    log_warn("journal write failed; shedding submission: ", e.what());
+    return rejected(RejectCode::kOverloaded,
+                    std::string("journal write failed: ") + e.what(),
+                    /*retry_after_ms=*/1000);
+  }
 
   Job job;
   job.id = id;
@@ -290,7 +344,15 @@ bool Scheduler::cancel(std::uint64_t job) {
   if (it == jobs_.end()) return false;
   if (!it->second.cancelled) {
     it->second.cancelled = true;
-    journal_->record_cancelled(job);
+    try {
+      journal_->record_cancelled(job);
+    } catch (const ServeError& e) {
+      // Degraded, not fatal: the cancel still takes effect now; only a
+      // restart in this window would resurrect the job at full length.
+      journal_degraded_ = true;
+      log_warn("journal cancel record failed (cancel still effective): ",
+               e.what());
+    }
     executor_->cancel(job);
   }
   return true;
@@ -305,15 +367,38 @@ std::optional<JobState> Scheduler::query(std::uint64_t job) const {
 
 ResultEvent Scheduler::finish(pool::ExecutorResult r) {
   ResultEvent ev = event_from(r);
+  for (const pool::ReplicaReport& rep : r.replicas)
+    if (rep.checkpoint_off) {
+      ++checkpoint_off_jobs_;
+      break;
+    }
   const auto it = jobs_.find(r.job);
   if (it == jobs_.end()) return ev;  // rejected-at-shutdown stub
   Job& job = it->second;
 
   // Cache before the journal's terminal record: if the daemon dies
   // between the two, recovery finds the cached result and completes the
-  // bookkeeping instead of re-running the job.
-  cache_->put(job.key, cached_from(ev));
-  journal_->record_finished(job.id);
+  // bookkeeping instead of re-running the job. A cache that cannot be
+  // written degrades to cache-off mode — the job still completes and its
+  // result is still delivered; only cross-restart dedup is lost.
+  if (!cache_off_) {
+    try {
+      cache_->put(job.key, cached_from(ev));
+    } catch (const ServeError& e) {
+      cache_off_ = true;
+      log_warn("result cache write failed; cache-off mode engaged: ",
+               e.what());
+    }
+  }
+  try {
+    journal_->record_finished(job.id);
+  } catch (const ServeError& e) {
+    // The job is done and its result is about to be delivered; a lost
+    // terminal record only means a restart would re-run (or re-serve
+    // from cache) this job. Degraded, not fatal.
+    journal_degraded_ = true;
+    log_warn("journal finish record failed: ", e.what());
+  }
   running_.erase(job.key);
 
   // The checkpoint tree served its purpose; reclaim the disk.
@@ -326,19 +411,55 @@ ResultEvent Scheduler::finish(pool::ExecutorResult r) {
   while (done_ring_.size() > kDoneRing) done_ring_.pop_front();
   jobs_.erase(it);
 
-  if (++finished_since_compact_ >= kCompactEvery) {
-    finished_since_compact_ = 0;
-    std::vector<LiveJob> live;
-    live.reserve(jobs_.size());
-    for (const auto& [id, j] : jobs_)
-      live.push_back(LiveJob{j.id, j.params, j.yal, j.cancelled});
-    try {
-      journal_->compact(live);
-    } catch (const ServeError& e) {
-      log_warn("journal compaction failed (journal intact): ", e.what());
-    }
-  }
+  ++finished_since_compact_;
+  maybe_compact();
   return ev;
+}
+
+void Scheduler::maybe_compact() {
+  // Two triggers: a finish-count cadence (bounds dead *records*) and a
+  // byte threshold (bounds dead *bytes* — a few huge netlists can blow
+  // the size budget long before the cadence fires).
+  const bool by_count = finished_since_compact_ >= kCompactEvery;
+  const bool by_bytes =
+      journal_compact_bytes_ > 0 && journal_->bytes() > journal_compact_bytes_;
+  if (!by_count && !by_bytes) return;
+  finished_since_compact_ = 0;
+  std::vector<LiveJob> live;
+  live.reserve(jobs_.size());
+  for (const auto& [id, j] : jobs_)
+    live.push_back(LiveJob{j.id, j.params, j.yal, j.cancelled});
+  try {
+    journal_->compact(live);
+  } catch (const ServeError& e) {
+    journal_degraded_ = true;
+    log_warn("journal compaction failed (journal intact): ", e.what());
+  }
+}
+
+StatsReply Scheduler::stats() const {
+  StatsReply s;
+  s.jobs_in_flight = in_flight();
+  const pool::PoolExecutor::Stats xs = executor_->stats();
+  for (int p = 0; p < kNumPriorityClasses; ++p) {
+    s.queued[static_cast<std::size_t>(p)] =
+        xs.queued[static_cast<std::size_t>(p)];
+    s.running[static_cast<std::size_t>(p)] =
+        xs.running[static_cast<std::size_t>(p)];
+  }
+  s.shed = shed_;
+  s.preempted = xs.preempted;
+  s.resumed = xs.resumed;
+  s.recovered = static_cast<std::int64_t>(recovered_.size());
+  s.cache_evictions = cache_->evictions();
+  s.journal_bytes = journal_->bytes();
+  s.journal_segments = journal_->segments();
+  s.cache_bytes = cache_->bytes();
+  s.cache_budget_bytes = cache_->budget_bytes();
+  s.cache_off = cache_off_;
+  s.journal_degraded = journal_degraded_;
+  s.checkpoint_off_jobs = checkpoint_off_jobs_;
+  return s;
 }
 
 }  // namespace tw::serve

@@ -48,19 +48,38 @@ namespace tw::serve {
 /// request for unlimited work — is rejected kQuotaExceeded, never
 /// silently clamped.
 struct SchedulerLimits {
-  int max_jobs = 8;       ///< jobs in flight before kQueueFull
+  /// Jobs in flight before load shedding. The cap is priority-graded:
+  /// urgent jobs are admitted up to max_jobs, normal up to 3/4 of it,
+  /// batch up to 1/2 — so under pressure the cheap-to-delay classes are
+  /// shed first, with a typed kOverloaded reject carrying a retry hint.
+  int max_jobs = 8;
   int max_replicas = 8;   ///< per-job replica quota
   int max_cells = 0;      ///< netlist-size (memory) quota; 0 = unlimited
   std::int64_t max_budget_moves = -1;
   std::int64_t max_budget_steps = -1;
+
+  /// The in-flight count at which priority class `p` is shed.
+  int shed_threshold(JobPriority p) const;
 };
 
 struct SchedulerConfig {
-  /// Root of all daemon state: journal.twj, cache/, jobs/job-<id>/.
+  /// Root of all daemon state: journal/, cache/, jobs/job-<id>/.
   std::string state_dir;
   SchedulerLimits limits;
-  int threads = 2;          ///< executor worker threads
-  int cache_capacity = 64;  ///< result cache entries kept on disk
+  int threads = 2;  ///< executor worker threads
+  // Disk budgets (0 = unbounded where noted):
+  std::uint64_t cache_budget_bytes = 8u << 20;  ///< result cache bytes
+  std::uint64_t journal_segment_bytes = 1u << 20;  ///< per-segment cap
+  /// Compact the journal whenever its total size passes this (on top of
+  /// the finish-count cadence).
+  std::uint64_t journal_compact_bytes = 4u << 20;
+  /// Per-replica checkpoint-directory byte quota (0 = unbounded); a save
+  /// that would burst it fails typed and the replica degrades to
+  /// checkpoint-off mode.
+  std::uint64_t checkpoint_quota_bytes = 0;
+  /// Disk-fault injection seam shared by journal, cache and checkpoint
+  /// sinks (non-owning; must be thread-safe — workers poll it too).
+  recover::DiskFaultInjector* disk_faults = nullptr;
 };
 
 /// Outcome of submit(): exactly one of the three shapes.
@@ -105,9 +124,18 @@ class Scheduler {
   /// order (they have no watchers; their results land in the cache).
   const std::vector<std::uint64_t>& recovered() const { return recovered_; }
 
+  /// The scheduler's half of the health snapshot: queue/running depth by
+  /// priority, shed/preempt/recovery counters, disk budget usage and the
+  /// degraded-mode flags. The daemon fills in its connection-level
+  /// counters (progress_dropped, reaped) before sending.
+  StatsReply stats() const;
+
   int in_flight() const { return static_cast<int>(jobs_.size()); }
   const SchedulerLimits& limits() const { return limits_; }
   ResultCache& cache() { return *cache_; }
+  JobJournal& journal() { return *journal_; }
+  bool cache_off() const { return cache_off_; }
+  bool journal_degraded() const { return journal_degraded_; }
 
   /// Drains the executor (cancelling in-flight jobs); their on_done
   /// callbacks still fire during the drain.
@@ -125,9 +153,13 @@ class Scheduler {
 
   std::string job_dir(std::uint64_t id) const;
   void enqueue(Job&& job, bool adopt_existing);
+  void maybe_compact();
 
   std::string state_dir_;
   SchedulerLimits limits_;
+  std::uint64_t checkpoint_quota_bytes_ = 0;
+  std::uint64_t journal_compact_bytes_ = 0;
+  recover::DiskFaultInjector* disk_faults_ = nullptr;
   std::unique_ptr<ResultCache> cache_;
   std::unique_ptr<JobJournal> journal_;
   std::unique_ptr<pool::PoolExecutor> executor_;
@@ -137,6 +169,11 @@ class Scheduler {
   std::vector<std::uint64_t> recovered_;
   std::uint64_t next_job_ = 1;
   int finished_since_compact_ = 0;
+  // Degradation state and shed accounting (see StatsReply):
+  bool cache_off_ = false;        ///< cache writes disabled after IO failure
+  bool journal_degraded_ = false; ///< some journal write failed (typed)
+  std::int64_t shed_ = 0;
+  std::int64_t checkpoint_off_jobs_ = 0;
 };
 
 /// Maps the wire-visible knobs onto FlowParams (0 = library default).

@@ -75,12 +75,14 @@ SubmitReply decode_submit_reply(ByteReader& r) {
 void encode_payload(ByteWriter& w, const RejectReply& m) {
   w.u8(static_cast<std::uint8_t>(m.code));
   put_str(w, m.detail);
+  w.u32(m.retry_after_ms);
 }
 
 RejectReply decode_reject(ByteReader& r) {
   RejectReply m;
-  m.code = static_cast<RejectCode>(get_enum(r, 5, "reject code"));
+  m.code = static_cast<RejectCode>(get_enum(r, 6, "reject code"));
   m.detail = get_str(r);
+  m.retry_after_ms = r.u32();
   return m;
 }
 
@@ -146,10 +148,53 @@ StatusReply decode_status(ByteReader& r) {
   return m;
 }
 
+void encode_payload(ByteWriter& w, const StatsReply& m) {
+  w.i32(m.jobs_in_flight);
+  for (const std::int32_t q : m.queued) w.i32(q);
+  for (const std::int32_t q : m.running) w.i32(q);
+  w.i64(m.shed);
+  w.i64(m.preempted);
+  w.i64(m.resumed);
+  w.i64(m.recovered);
+  w.i64(m.cache_evictions);
+  w.i64(m.progress_dropped);
+  w.i64(m.reaped);
+  w.u64(m.journal_bytes);
+  w.i32(m.journal_segments);
+  w.u64(m.cache_bytes);
+  w.u64(m.cache_budget_bytes);
+  w.u8(m.cache_off ? 1 : 0);
+  w.u8(m.journal_degraded ? 1 : 0);
+  w.i64(m.checkpoint_off_jobs);
+}
+
+StatsReply decode_stats_reply(ByteReader& r) {
+  StatsReply m;
+  m.jobs_in_flight = r.i32();
+  for (std::int32_t& q : m.queued) q = r.i32();
+  for (std::int32_t& q : m.running) q = r.i32();
+  m.shed = r.i64();
+  m.preempted = r.i64();
+  m.resumed = r.i64();
+  m.recovered = r.i64();
+  m.cache_evictions = r.i64();
+  m.progress_dropped = r.i64();
+  m.reaped = r.i64();
+  m.journal_bytes = r.u64();
+  m.journal_segments = r.i32();
+  m.cache_bytes = r.u64();
+  m.cache_budget_bytes = r.u64();
+  m.cache_off = r.u8() != 0;
+  m.journal_degraded = r.u8() != 0;
+  m.checkpoint_off_jobs = r.i64();
+  return m;
+}
+
 void encode_payload(ByteWriter& w, const QueryRequest& m) { w.u64(m.job); }
 void encode_payload(ByteWriter& w, const CancelRequest& m) { w.u64(m.job); }
 void encode_payload(ByteWriter&, const PingRequest&) {}
 void encode_payload(ByteWriter&, const ShutdownRequest&) {}
+void encode_payload(ByteWriter&, const StatsRequest&) {}
 void encode_payload(ByteWriter&, const PongReply&) {}
 
 Message decode_payload(MsgType type, std::span<const std::uint8_t> bytes) {
@@ -161,6 +206,8 @@ Message decode_payload(MsgType type, std::span<const std::uint8_t> bytes) {
     case MsgType::kCancel: m = CancelRequest{r.u64()}; break;
     case MsgType::kPing: m = PingRequest{}; break;
     case MsgType::kShutdown: m = ShutdownRequest{}; break;
+    case MsgType::kStats: m = StatsRequest{}; break;
+    case MsgType::kStatsReply: m = decode_stats_reply(r); break;
     case MsgType::kSubmitReply: m = decode_submit_reply(r); break;
     case MsgType::kReject: m = decode_reject(r); break;
     case MsgType::kProgress: m = decode_progress(r); break;
@@ -210,6 +257,7 @@ void encode_params(recover::ByteWriter& w, const JobParams& p) {
   w.i32(p.steiner_m);
   w.i32(p.checkpoint_every);
   w.i32(p.checkpoint_keep);
+  w.u8(static_cast<std::uint8_t>(p.priority));
 }
 
 JobParams decode_params(recover::ByteReader& r) {
@@ -226,13 +274,27 @@ JobParams decode_params(recover::ByteReader& r) {
   p.steiner_m = r.i32();
   p.checkpoint_every = r.i32();
   p.checkpoint_keep = r.i32();
+  p.priority = static_cast<JobPriority>(get_enum(r, 2, "job priority"));
   return p;
 }
 
 std::uint64_t params_digest(const JobParams& p) {
+  // Priority schedules work; it never changes the work. Digest a copy
+  // with it zeroed so identical jobs dedup across priority classes.
+  JobParams canon = p;
+  canon.priority = JobPriority::kBatch;
   ByteWriter w;
-  encode_params(w, p);
+  encode_params(w, canon);
   return fnv1a(w.bytes());
+}
+
+const char* to_string(JobPriority p) {
+  switch (p) {
+    case JobPriority::kBatch: return "batch";
+    case JobPriority::kNormal: return "normal";
+    case JobPriority::kUrgent: return "urgent";
+  }
+  return "unknown";
 }
 
 const char* to_string(MsgType t) {
@@ -242,12 +304,14 @@ const char* to_string(MsgType t) {
     case MsgType::kCancel: return "cancel";
     case MsgType::kPing: return "ping";
     case MsgType::kShutdown: return "shutdown";
+    case MsgType::kStats: return "stats";
     case MsgType::kSubmitReply: return "submit_reply";
     case MsgType::kReject: return "reject";
     case MsgType::kProgress: return "progress";
     case MsgType::kResult: return "result";
     case MsgType::kStatus: return "status";
     case MsgType::kPong: return "pong";
+    case MsgType::kStatsReply: return "stats_reply";
   }
   return "unknown";
 }
@@ -269,6 +333,7 @@ const char* to_string(RejectCode c) {
     case RejectCode::kUnknownJob: return "unknown_job";
     case RejectCode::kShuttingDown: return "shutting_down";
     case RejectCode::kBadRequest: return "bad_request";
+    case RejectCode::kOverloaded: return "overloaded";
   }
   return "unknown";
 }
@@ -299,12 +364,14 @@ MsgType type_of(const Message& m) {
     MsgType operator()(const CancelRequest&) { return MsgType::kCancel; }
     MsgType operator()(const PingRequest&) { return MsgType::kPing; }
     MsgType operator()(const ShutdownRequest&) { return MsgType::kShutdown; }
+    MsgType operator()(const StatsRequest&) { return MsgType::kStats; }
     MsgType operator()(const SubmitReply&) { return MsgType::kSubmitReply; }
     MsgType operator()(const RejectReply&) { return MsgType::kReject; }
     MsgType operator()(const ProgressEvent&) { return MsgType::kProgress; }
     MsgType operator()(const ResultEvent&) { return MsgType::kResult; }
     MsgType operator()(const StatusReply&) { return MsgType::kStatus; }
     MsgType operator()(const PongReply&) { return MsgType::kPong; }
+    MsgType operator()(const StatsReply&) { return MsgType::kStatsReply; }
   };
   return std::visit(Visitor{}, m);
 }

@@ -20,6 +20,7 @@
 // the second is served from the result cache instead of re-annealing.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
@@ -31,7 +32,9 @@
 
 namespace tw::serve {
 
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2 added: JobParams::priority, RejectReply::retry_after_ms,
+/// kOverloaded, and the kStats/kStatsReply exchange.
+inline constexpr std::uint32_t kWireVersion = 2;
 
 /// Hard cap on any frame's payload: a corrupt or hostile length prefix
 /// must not trigger a giant allocation. Netlists of the paper's scale are
@@ -67,11 +70,27 @@ class ServeError : public std::runtime_error {
 // ---------------------------------------------------------------------------
 // Job parameters
 
+/// Scheduling class of a job. Priority decides *when* a job runs — queue
+/// order, load shedding, who gets checkpoint-preempted under pressure —
+/// never *what* it computes: results stay byte-identical across priority
+/// classes, which is why priority is excluded from params_digest (same
+/// work at different priorities dedups together).
+enum class JobPriority : std::uint8_t {
+  kBatch = 0,   ///< shed first under load, preempted first
+  kNormal = 1,  ///< the default
+  kUrgent = 2,  ///< shed last; may checkpoint-preempt lower classes
+};
+
+inline constexpr int kNumPriorityClasses = 3;
+
+const char* to_string(JobPriority p);
+
 /// The submitter-visible knobs of one job. Value 0 means "server default"
 /// for the per-stage fields; the seed and supervision fields are taken
 /// literally. The encoding of this struct (canonical field order) is the
 /// params half of the dedup key, so two JobParams dedup together exactly
-/// when every field matches.
+/// when every field matches — except `priority`, which is zeroed before
+/// digesting (see JobPriority).
 struct JobParams {
   std::uint64_t master_seed = 1;
   std::int32_t replicas = 1;
@@ -91,6 +110,8 @@ struct JobParams {
   std::int32_t steiner_m = 0;
   std::int32_t checkpoint_every = 5;
   std::int32_t checkpoint_keep = 4;
+  /// Scheduling class (see JobPriority); not part of the dedup digest.
+  JobPriority priority = JobPriority::kNormal;
 
   bool operator==(const JobParams&) const = default;
 };
@@ -98,7 +119,9 @@ struct JobParams {
 void encode_params(recover::ByteWriter& w, const JobParams& p);
 JobParams decode_params(recover::ByteReader& r);
 
-/// FNV-1a over the canonical encoding: the params half of the dedup key.
+/// FNV-1a over the canonical encoding with `priority` zeroed: the params
+/// half of the dedup key. Priority affects scheduling only, so the same
+/// work submitted urgent and batch must hash — and dedup — identically.
 std::uint64_t params_digest(const JobParams& p);
 
 // ---------------------------------------------------------------------------
@@ -111,6 +134,7 @@ enum class MsgType : std::uint32_t {
   kCancel = 3,
   kPing = 4,
   kShutdown = 5,
+  kStats = 6,
   // server -> client
   kSubmitReply = 64,
   kReject = 65,
@@ -118,6 +142,7 @@ enum class MsgType : std::uint32_t {
   kResult = 67,
   kStatus = 68,
   kPong = 69,
+  kStatsReply = 70,
 };
 
 const char* to_string(MsgType t);
@@ -143,6 +168,9 @@ struct PingRequest {};
 /// Graceful stop: drain in-flight jobs' wind-down, journal, exit 0.
 struct ShutdownRequest {};
 
+/// Health/observability probe: the server answers with a StatsReply.
+struct StatsRequest {};
+
 /// How a submission was admitted.
 enum class Disposition : std::uint8_t {
   kFresh = 0,             ///< new work, queued for annealing
@@ -166,6 +194,10 @@ enum class RejectCode : std::uint8_t {
   kUnknownJob = 3,     ///< query/cancel for a job id the server never had
   kShuttingDown = 4,   ///< server is draining; no new work
   kBadRequest = 5,     ///< structurally valid frame, semantically invalid
+  /// Load shed: the server is past this priority class's admission
+  /// threshold (or out of a disk resource it needs to accept work).
+  /// Transient by construction — retry_after_ms carries the hint.
+  kOverloaded = 6,
 };
 
 const char* to_string(RejectCode c);
@@ -173,6 +205,9 @@ const char* to_string(RejectCode c);
 struct RejectReply {
   RejectCode code = RejectCode::kBadRequest;
   std::string detail;
+  /// Backoff hint for kOverloaded (0 for every other code): how long the
+  /// client should wait before resubmitting. A hint, not a promise.
+  std::uint32_t retry_after_ms = 0;
 };
 
 /// One streamed progress sample (mirrors FlowProgress + job/replica ids).
@@ -227,10 +262,42 @@ struct StatusReply {
 
 struct PongReply {};
 
+/// The server's health snapshot: queue pressure by priority, every
+/// degradation the daemon has taken (shed, preempted, reaped, dropped),
+/// and how full the disk budgets are. One frame answers "is this daemon
+/// healthy, and if not, what did it sacrifice" — the overload and
+/// disk-full soak scenarios assert against these fields.
+struct StatsReply {
+  std::int32_t jobs_in_flight = 0;
+  /// Executor tasks (replicas, not jobs) waiting / running per class.
+  std::array<std::int32_t, kNumPriorityClasses> queued{};
+  std::array<std::int32_t, kNumPriorityClasses> running{};
+  // Cumulative counters since daemon start:
+  std::int64_t shed = 0;       ///< submissions rejected kOverloaded
+  std::int64_t preempted = 0;  ///< replica tasks parked at a checkpoint
+  std::int64_t resumed = 0;    ///< parked tasks picked back up
+  std::int64_t recovered = 0;  ///< jobs re-adopted from the journal at boot
+  std::int64_t cache_evictions = 0;   ///< entries evicted for the byte budget
+  std::int64_t progress_dropped = 0;  ///< events dropped on slow readers
+  std::int64_t reaped = 0;            ///< idle connections reaped
+  // Disk budget usage:
+  std::uint64_t journal_bytes = 0;
+  std::int32_t journal_segments = 0;
+  std::uint64_t cache_bytes = 0;
+  std::uint64_t cache_budget_bytes = 0;  ///< 0 = unbounded
+  // Degraded modes currently in effect (typed, never silent):
+  bool cache_off = false;      ///< result-cache writes disabled after IO failure
+  bool journal_degraded = false;  ///< a journal write failed at least once
+  std::int64_t checkpoint_off_jobs = 0;  ///< jobs finished checkpoint-off
+
+  bool operator==(const StatsReply&) const = default;
+};
+
 using Message =
     std::variant<SubmitRequest, QueryRequest, CancelRequest, PingRequest,
-                 ShutdownRequest, SubmitReply, RejectReply, ProgressEvent,
-                 ResultEvent, StatusReply, PongReply>;
+                 ShutdownRequest, StatsRequest, SubmitReply, RejectReply,
+                 ProgressEvent, ResultEvent, StatusReply, PongReply,
+                 StatsReply>;
 
 MsgType type_of(const Message& m);
 

@@ -8,11 +8,16 @@
 // only holds when the workers share no mutable state.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <condition_variable>
 #include <filesystem>
 #include <map>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "fingerprint.hpp"
+#include "pool/executor.hpp"
 #include "pool/report.hpp"
 #include "pool/pool.hpp"
 #include "recover/fault.hpp"
@@ -364,6 +369,143 @@ TEST(ReplicaPoolTest, PoolReportRendersOutcomesAndHistories) {
   // The retried replica's attempt history is spelled out.
   EXPECT_NE(report.find("replica 0 attempt history"), std::string::npos);
   EXPECT_NE(report.find("fault_killed"), std::string::npos);
+}
+
+// ---------------------------------------------------------------- executor
+
+/// Collects PoolExecutor completions (worker threads) in arrival order.
+struct DoneLog {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<pool::ExecutorResult> done;
+
+  pool::PoolExecutor::Hooks hooks() {
+    pool::PoolExecutor::Hooks h;
+    h.on_done = [this](pool::ExecutorResult r) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        done.push_back(std::move(r));
+      }
+      cv.notify_all();
+    };
+    return h;
+  }
+
+  /// Blocks until `n` jobs completed; returns their ids in finish order.
+  std::vector<std::uint64_t> wait_for(std::size_t n) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return done.size() >= n; });
+    std::vector<std::uint64_t> order;
+    for (const pool::ExecutorResult& r : done) order.push_back(r.job);
+    return order;
+  }
+
+  pool::ExecutorResult result_for(std::uint64_t job) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const pool::ExecutorResult& r : done)
+      if (r.job == job) return r;
+    ADD_FAILURE() << "no result for job " << job;
+    return {};
+  }
+};
+
+pool::ExecutorJob executor_job(std::uint64_t id, std::uint64_t seed,
+                               int priority) {
+  pool::ExecutorJob j;
+  j.job = id;
+  j.nl = &test_netlist();
+  j.base = fast_flow(0);
+  j.master_seed = seed;
+  j.priority = priority;
+  return j;
+}
+
+/// Polls until the executor runs >= 1 task of priority class `prio`.
+void wait_until_running(pool::PoolExecutor& ex, int prio) {
+  for (int i = 0; i < 5000; ++i) {
+    if (ex.stats().running[static_cast<std::size_t>(prio)] >= 1) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  FAIL() << "no priority-" << prio << " task ever ran";
+}
+
+TEST(PoolExecutorTest, QueueDrainsInPriorityOrderUrgentOvertakesBatch) {
+  DoneLog log;
+  pool::PoolExecutor ex(/*threads=*/1, log.hooks());
+
+  // Job 1 occupies the single worker. It takes no checkpoints, so it can
+  // NOT be preempted — the later jobs genuinely queue behind it. Slowed
+  // ~5x past the fast parameterization so it is still annealing when
+  // they arrive.
+  pool::ExecutorJob pin = executor_job(1, 100, /*priority=*/1);
+  pin.base.stage1.attempts_per_cell = 60;
+  ex.submit(pin);
+  wait_until_running(ex, 1);
+
+  // A batch job arrives first, an urgent one second.
+  ex.submit(executor_job(2, 200, /*priority=*/0));
+  ex.submit(executor_job(3, 300, /*priority=*/2));
+  const pool::PoolExecutor::Stats st = ex.stats();
+  EXPECT_EQ(st.queued[0], 1);
+  EXPECT_EQ(st.queued[2], 1);
+  EXPECT_EQ(st.preempted, 0) << "an unparkable job must never be preempted";
+
+  const std::vector<std::uint64_t> order = log.wait_for(3);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 3, 2}))
+      << "the urgent job must overtake the earlier-queued batch job";
+  ex.shutdown();
+}
+
+// The preemption acceptance test at the executor layer: an urgent arrival
+// on a saturated pool parks the running batch job at its next checkpoint
+// save, runs, and the parked job then resumes from that checkpoint — with
+// a final fingerprint byte-identical to a never-preempted run of the same
+// job. Scheduling pressure must be invisible in the bytes.
+TEST(PoolExecutorTest, AutoPreemptionResumesByteIdentically) {
+  const auto victim_job = [&](const std::string& leaf) {
+    pool::ExecutorJob j = executor_job(1, kMaster, /*priority=*/0);
+    j.base.stage1.attempts_per_cell = 60;
+    j.base.stage2.attempts_per_cell = 40;
+    j.checkpoint_root = fresh_dir(leaf);
+    j.checkpoint_every = 1;
+    return j;
+  };
+
+  // Ground truth: the same job on an idle executor.
+  std::uint64_t clean_fp = 0;
+  {
+    DoneLog log;
+    pool::PoolExecutor ex(/*threads=*/1, log.hooks());
+    ex.submit(victim_job("tw_exec_clean"));
+    (void)log.wait_for(1);
+    const pool::ExecutorResult r = log.result_for(1);
+    ASSERT_TRUE(r.ok());
+    clean_fp = r.best_report().fingerprint;
+    ASSERT_NE(clean_fp, 0u);
+    ex.shutdown();
+  }
+
+  DoneLog log;
+  pool::PoolExecutor ex(/*threads=*/1, log.hooks());
+  ex.submit(victim_job("tw_exec_preempt"));
+  wait_until_running(ex, 0);
+
+  // The urgent submission finds the only worker busy with a lower class:
+  // submit() preempts the batch job automatically.
+  ex.submit(executor_job(2, 777, /*priority=*/2));
+  (void)log.wait_for(2);
+
+  const pool::PoolExecutor::Stats st = ex.stats();
+  EXPECT_GE(st.preempted, 1) << "the urgent job never displaced the batch";
+  EXPECT_GE(st.resumed, 1) << "the parked task was never claimed again";
+
+  const pool::ExecutorResult urgent = log.result_for(2);
+  ASSERT_TRUE(urgent.ok());
+  const pool::ExecutorResult batch = log.result_for(1);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(batch.best_report().fingerprint, clean_fp)
+      << "preempted-then-resumed run diverged from the uninterrupted one";
+  ex.shutdown();
 }
 
 }  // namespace

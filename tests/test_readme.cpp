@@ -103,6 +103,23 @@ TEST(Readme, PlacementServiceQuickStartFlowWorks) {
     EXPECT_TRUE(dup.result->cached);
     EXPECT_EQ(dup.result->fingerprint, first.result->fingerprint);
 
+    // "A `stats` request snapshots the daemon's health" — the fields the
+    // README's example output names must exist and be plausible here.
+    const serve::StatsReply stats = client.stats();
+    EXPECT_EQ(stats.jobs_in_flight, 0);
+    EXPECT_GT(stats.journal_bytes, 0u);
+    EXPECT_GE(stats.journal_segments, 1);
+    EXPECT_GT(stats.cache_bytes, 0u);
+    EXPECT_EQ(stats.shed, 0);
+    EXPECT_EQ(stats.preempted, 0);
+
+    // "--priority batch|normal|urgent" and the typed overloaded shed the
+    // README describes are wire-level identifiers; keep them honest.
+    static_assert(serve::kNumPriorityClasses == 3);
+    EXPECT_STREQ(serve::to_string(serve::JobPriority::kUrgent), "urgent");
+    EXPECT_STREQ(serve::to_string(serve::RejectCode::kOverloaded),
+                 "overloaded");
+
     client.shutdown_server();
   }
   server.join();

@@ -25,6 +25,9 @@ using recover::ByteReader;
 using recover::ByteWriter;
 using recover::CheckpointErrc;
 using recover::CheckpointError;
+using recover::DiskFault;
+using recover::DiskFaultPlan;
+using recover::DiskSite;
 using recover::FaultPlan;
 using recover::FaultSite;
 using recover::FlowCheckpoint;
@@ -362,6 +365,78 @@ TEST(Checkpoint, SinkResumesNumberingAfterExistingFiles) {
   EXPECT_EQ(std::filesystem::path(next).filename().string(),
             "ckpt-000004.twcp");
   EXPECT_EQ(recover::find_latest_checkpoint(dir), next);
+}
+
+TEST(Checkpoint, SinkQuotaPrunesForRoomThenRefusesTyped) {
+  // Size one empty-checkpoint frame via an unbounded probe sink (frames
+  // are identical for identical checkpoints).
+  std::uint64_t frame = 0;
+  {
+    recover::FileCheckpointSink probe(temp_dir("tw_ckpt_quota_probe"));
+    (void)probe.save(FlowCheckpoint{});
+    frame = probe.bytes();
+    ASSERT_GT(frame, 0u);
+  }
+
+  // With retention to prune, the quota makes room instead of refusing:
+  // every save lands, and the directory never exceeds the budget.
+  const std::string dir = temp_dir("tw_ckpt_quota");
+  recover::FileCheckpointSink sink(dir, /*keep=*/2,
+                                   /*quota_bytes=*/2 * frame + frame / 2);
+  for (int i = 0; i < 5; ++i) (void)sink.save(FlowCheckpoint{});
+  EXPECT_EQ(sink.saved(), 5);
+  EXPECT_LE(sink.bytes(), sink.quota_bytes());
+  EXPECT_EQ(sink.prune_failures(), 0);
+
+  // With nothing prunable (keep=0 retains everything), the save that
+  // would burst the quota is refused *before* writing: typed, and the
+  // directory is exactly as it was.
+  const std::string tight_dir = temp_dir("tw_ckpt_quota_tight");
+  recover::FileCheckpointSink tight(tight_dir, /*keep=*/0,
+                                    /*quota_bytes=*/2 * frame);
+  (void)tight.save(FlowCheckpoint{});
+  const std::string last = tight.save(FlowCheckpoint{});
+  try {
+    (void)tight.save(FlowCheckpoint{});
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kQuotaExceeded);
+  }
+  EXPECT_EQ(tight.saved(), 2);
+  EXPECT_EQ(tight.bytes(), 2 * frame);
+  int files = 0;
+  for ([[maybe_unused]] const auto& e :
+       std::filesystem::directory_iterator(tight_dir))
+    ++files;
+  EXPECT_EQ(files, 2) << "a refused save must not leave partial files";
+  EXPECT_EQ(recover::find_latest_checkpoint(tight_dir), last);
+}
+
+TEST(Checkpoint, SinkHonorsInjectedDiskFaults) {
+  const std::string dir = temp_dir("tw_ckpt_fault");
+  DiskFaultPlan plan;
+  plan.fail_at(DiskSite::kCheckpointWrite, 1, DiskFault::kEnospc);
+  plan.fail_at(DiskSite::kCheckpointWrite, 2, DiskFault::kShortWrite);
+  recover::FileCheckpointSink sink(dir, /*keep=*/0, /*quota_bytes=*/0,
+                                   &plan);
+  const std::string first = sink.save(FlowCheckpoint{});  // write 0: clean
+  for (int i = 0; i < 2; ++i) {  // write 1: ENOSPC, write 2: short write
+    try {
+      (void)sink.save(FlowCheckpoint{});
+      FAIL() << "expected CheckpointError";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.code(), CheckpointErrc::kIo);
+    }
+  }
+  EXPECT_EQ(sink.saved(), 1);
+  // Neither failure reached the durable name: the newest *valid*
+  // checkpoint is still the clean first save (the short write left only
+  // a truncated .tmp, which adoption never reads).
+  EXPECT_EQ(recover::find_latest_checkpoint(dir), first);
+  // The disk "recovers"; the sink keeps working.
+  const std::string next = sink.save(FlowCheckpoint{});
+  EXPECT_EQ(recover::find_latest_checkpoint(dir), next);
+  EXPECT_EQ(plan.count(DiskSite::kCheckpointWrite), 4);
 }
 
 TEST(Checkpoint, FindLatestSkipsCorruptNewest) {

@@ -1,17 +1,21 @@
 // Placement service (src/serve): wire-protocol framing against truncated,
-// corrupted and hostile byte streams; write-ahead journal replay with torn
-// tails and compaction; the bounded on-disk result cache; the scheduler's
-// typed admission control (quotas, queue-full, parse rejection), dedup
-// against running and cached work, and crash recovery (journal replay +
-// checkpoint re-adoption reproducing the uninterrupted fingerprint); and
-// the daemon end-to-end over a real Unix socket — submit, progress
-// streaming, cached duplicates, cooperative cancel, graceful shutdown.
+// corrupted and hostile byte streams; segmented write-ahead journal
+// replay with rotation, torn tails and crash-safe compaction; the
+// byte-budgeted on-disk result cache; the scheduler's typed admission
+// control (quotas, priority-aware overload shedding, parse rejection),
+// dedup against running and cached work, checkpoint preemption with
+// byte-identical resume, disk-fault degraded modes, and crash recovery
+// (journal replay + checkpoint re-adoption reproducing the uninterrupted
+// fingerprint); and the daemon end-to-end over a real Unix socket —
+// submit, progress streaming, cached duplicates, cooperative cancel,
+// stats snapshots, graceful shutdown.
 //
 // Tests may use std::thread (the raw-thread lint rule confines threads in
 // src/ to the pool); the daemon cases run Daemon::run() on a test thread
 // and stop it with request_stop().
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
@@ -25,6 +29,7 @@
 #include "netlist/yal.hpp"
 #include "pool/executor.hpp"
 #include "recover/checkpoint.hpp"
+#include "recover/fault.hpp"
 #include "serve/client.hpp"
 #include "serve/daemon.hpp"
 #include "serve/journal.hpp"
@@ -87,18 +92,36 @@ TEST(WireTest, RoundTripsEveryMessageType) {
   result.attempts = 5;
   result.detail = "partial";
 
+  StatsReply stats;
+  stats.jobs_in_flight = 3;
+  stats.queued = {1, 0, 2};
+  stats.running = {0, 1, 1};
+  stats.shed = 7;
+  stats.preempted = 2;
+  stats.resumed = 2;
+  stats.journal_bytes = 4096;
+  stats.journal_segments = 2;
+  stats.cache_bytes = 512;
+  stats.cache_budget_bytes = 1024;
+  stats.cache_off = true;
+  stats.journal_degraded = true;
+  stats.checkpoint_off_jobs = 1;
+
   const std::vector<Message> all = {
       submit,
       QueryRequest{7},
       CancelRequest{8},
       PingRequest{},
       ShutdownRequest{},
+      StatsRequest{},
       SubmitReply{11, Disposition::kDuplicateRunning},
       RejectReply{RejectCode::kQuotaExceeded, "too many replicas"},
+      RejectReply{RejectCode::kOverloaded, "3 in flight", 750},
       ProgressEvent{3, 1, 1, 40, 2, 81.5, 1234.75},
       result,
       StatusReply{5, JobState::kRunning},
       PongReply{},
+      stats,
   };
 
   FrameParser parser;
@@ -143,6 +166,49 @@ TEST(WireTest, DecodedFieldsSurviveTheRoundTrip) {
   EXPECT_EQ(gr.fingerprint, r.fingerprint);
   EXPECT_DOUBLE_EQ(gr.final_teil, 0.1);
   EXPECT_EQ(gr.final_chip_area, 77);
+}
+
+TEST(WireTest, PriorityAndRetryHintSurviveTheRoundTrip) {
+  SubmitRequest submit;
+  submit.params = fast_params(9);
+  submit.params.priority = JobPriority::kUrgent;
+  submit.netlist_yal = "MODULE a;\nENDMODULE;\n";
+
+  FrameParser parser;
+  parser.feed(encode_frame(submit));
+  ASSERT_TRUE(parser.has_message());
+  const auto got = std::get<SubmitRequest>(parser.take_message());
+  EXPECT_EQ(got.params.priority, JobPriority::kUrgent);
+
+  parser.feed(encode_frame(
+      RejectReply{RejectCode::kOverloaded, "busy", 1250}));
+  ASSERT_TRUE(parser.has_message());
+  const auto rej = std::get<RejectReply>(parser.take_message());
+  EXPECT_EQ(rej.code, RejectCode::kOverloaded);
+  EXPECT_EQ(rej.retry_after_ms, 1250u);
+
+  StatsReply stats;
+  stats.jobs_in_flight = 5;
+  stats.queued = {3, 2, 1};
+  stats.running = {0, 2, 1};
+  stats.shed = 11;
+  stats.preempted = 4;
+  stats.resumed = 3;
+  stats.recovered = 2;
+  stats.cache_evictions = 6;
+  stats.progress_dropped = 99;
+  stats.reaped = 1;
+  stats.journal_bytes = 123456;
+  stats.journal_segments = 3;
+  stats.cache_bytes = 789;
+  stats.cache_budget_bytes = 8192;
+  stats.cache_off = true;
+  stats.journal_degraded = true;
+  stats.checkpoint_off_jobs = 2;
+  parser.feed(encode_frame(stats));
+  ASSERT_TRUE(parser.has_message());
+  const auto gs = std::get<StatsReply>(parser.take_message());
+  EXPECT_EQ(gs, stats);
 }
 
 TEST(WireTest, ByteAtATimeFeedingReassembles) {
@@ -236,27 +302,54 @@ TEST(WireTest, ParamsDigestSeparatesEveryField) {
     EXPECT_NE(params_digest(variants[i]), params_digest(base))
         << "field " << i << " does not reach the digest";
   EXPECT_EQ(params_digest(base), params_digest(fast_params(1)));
+
+  // Priority is deliberately EXCLUDED: it routes scheduling, it does not
+  // change the computation, so identical work dedups across classes.
+  JobParams urgent = base;
+  urgent.priority = JobPriority::kUrgent;
+  EXPECT_EQ(params_digest(urgent), params_digest(base))
+      << "priority must not reach the digest (it would defeat dedup)";
 }
 
 // ---------------------------------------------------------------------------
 // Write-ahead journal
 
+/// Path of the newest (highest-numbered) segment file in `dir`.
+std::string newest_segment(const std::string& dir) {
+  std::string best;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string name = e.path().filename().string();
+    if (name.starts_with("seg-") && e.path().extension() == ".twj" &&
+        (best.empty() || name > std::filesystem::path(best).filename().string()))
+      best = e.path().string();
+  }
+  return best;
+}
+
+int count_segments(const std::string& dir) {
+  int n = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    n += e.path().extension() == ".twj" ? 1 : 0;
+  return n;
+}
+
 TEST(JournalTest, ReplayReconstructsLiveJobsInOrder) {
-  const std::string dir = fresh_dir("tw_srv_journal");
-  const std::string path = dir + "/journal.twj";
+  const std::string dir = fresh_dir("tw_srv_journal") + "/journal";
   {
-    JobJournal j(path);
+    JobJournal j(dir);
     j.record_submitted(1, fast_params(1), "netlist one");
     j.record_submitted(2, fast_params(2), "netlist two");
     j.record_submitted(3, fast_params(3), "netlist three");
     j.record_finished(2);
     j.record_cancelled(3);
   }
-  const JournalReplay r = JobJournal::replay(path);
+  const JournalReplay r = JobJournal::replay(dir);
   EXPECT_EQ(r.records, 5);
   EXPECT_EQ(r.max_job, 3u);
   EXPECT_EQ(r.dropped, 1);
+  EXPECT_EQ(r.segments, 1);
   EXPECT_FALSE(r.torn_tail);
+  EXPECT_FALSE(r.torn_interior);
   ASSERT_EQ(r.live.size(), 2u);
   EXPECT_EQ(r.live[0].job, 1u);
   EXPECT_EQ(r.live[0].netlist_yal, "netlist one");
@@ -268,26 +361,28 @@ TEST(JournalTest, ReplayReconstructsLiveJobsInOrder) {
 
 TEST(JournalTest, MissingJournalIsAnEmptyHistory) {
   const JournalReplay r =
-      JobJournal::replay(fresh_dir("tw_srv_nojournal") + "/none.twj");
+      JobJournal::replay(fresh_dir("tw_srv_nojournal") + "/none");
   EXPECT_TRUE(r.live.empty());
   EXPECT_EQ(r.records, 0);
+  EXPECT_EQ(r.segments, 0);
   EXPECT_FALSE(r.torn_tail);
 }
 
 TEST(JournalTest, TornTailIsDroppedEarlierRecordsSurvive) {
-  const std::string dir = fresh_dir("tw_srv_torn");
-  const std::string path = dir + "/journal.twj";
+  const std::string dir = fresh_dir("tw_srv_torn") + "/journal";
   {
-    JobJournal j(path);
+    JobJournal j(dir);
     j.record_submitted(1, fast_params(1), "first");
     j.record_submitted(2, fast_params(2), "second");
   }
   // Chop bytes off the tail: a kill mid-append leaves exactly this shape.
+  const std::string path = newest_segment(dir);
   const auto full = std::filesystem::file_size(path);
   std::filesystem::resize_file(path, full - 5);
 
-  const JournalReplay r = JobJournal::replay(path);
+  const JournalReplay r = JobJournal::replay(dir);
   EXPECT_TRUE(r.torn_tail);
+  EXPECT_FALSE(r.torn_interior);
   EXPECT_EQ(r.records, 1);
   ASSERT_EQ(r.live.size(), 1u);
   EXPECT_EQ(r.live[0].job, 1u);
@@ -295,13 +390,13 @@ TEST(JournalTest, TornTailIsDroppedEarlierRecordsSurvive) {
 }
 
 TEST(JournalTest, CorruptTailRecordIsDroppedNotFatal) {
-  const std::string dir = fresh_dir("tw_srv_crc");
-  const std::string path = dir + "/journal.twj";
+  const std::string dir = fresh_dir("tw_srv_crc") + "/journal";
   {
-    JobJournal j(path);
+    JobJournal j(dir);
     j.record_submitted(1, fast_params(1), "good");
     j.record_submitted(2, fast_params(2), "about to rot");
   }
+  const std::string path = newest_segment(dir);
   {  // Flip a byte inside the LAST record's payload.
     std::ifstream in(path, std::ios::binary);
     std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
@@ -311,26 +406,89 @@ TEST(JournalTest, CorruptTailRecordIsDroppedNotFatal) {
     std::ofstream(path, std::ios::binary | std::ios::trunc)
         .write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   }
-  const JournalReplay r = JobJournal::replay(path);
+  const JournalReplay r = JobJournal::replay(dir);
   EXPECT_TRUE(r.torn_tail);
   ASSERT_EQ(r.live.size(), 1u);
   EXPECT_EQ(r.live[0].job, 1u);
 }
 
+TEST(JournalTest, RotationSplitsRecordsAcrossSegmentsReplaySeesOneStream) {
+  const std::string dir = fresh_dir("tw_srv_rotate") + "/journal";
+  // A segment cap small enough that every submit record bursts it: each
+  // record rotates into its own segment.
+  JobJournal j(dir, /*max_segment_bytes=*/64);
+  const std::string netlist(100, 'x');
+  for (std::uint64_t id = 1; id <= 4; ++id)
+    j.record_submitted(id, fast_params(id), netlist);
+  j.record_finished(2);   // terminal record lands segments away from its
+  j.record_cancelled(3);  // submit — replay must still connect them
+  EXPECT_GE(j.segments(), 3);
+
+  const JournalReplay r = JobJournal::replay(dir);
+  EXPECT_EQ(r.segments, j.segments());
+  EXPECT_EQ(r.records, 6);
+  EXPECT_FALSE(r.torn_tail);
+  EXPECT_FALSE(r.torn_interior);
+  ASSERT_EQ(r.live.size(), 3u);
+  EXPECT_EQ(r.live[0].job, 1u);
+  EXPECT_EQ(r.live[1].job, 3u);
+  EXPECT_TRUE(r.live[1].cancelled) << "cancel marker in a later segment "
+                                      "must reach its submit record";
+  EXPECT_EQ(r.live[2].job, 4u);
+
+  // Total bytes equal the sum of the on-disk segment files.
+  std::uint64_t disk = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".twj")
+      disk += std::filesystem::file_size(e.path());
+  EXPECT_EQ(j.bytes(), disk);
+}
+
+TEST(JournalTest, TornTailInNewestSegmentOnlyOlderDamageIsInterior) {
+  const std::string dir = fresh_dir("tw_srv_interior") + "/journal";
+  {
+    JobJournal j(dir, /*max_segment_bytes=*/64);
+    for (std::uint64_t id = 1; id <= 3; ++id)
+      j.record_submitted(id, fast_params(id), std::string(100, 'y'));
+  }
+  ASSERT_GE(count_segments(dir), 3);
+
+  // Damage an *older* segment (the first): replay flags torn_interior,
+  // not torn_tail, and still salvages the later segments.
+  std::string first;
+  for (const auto& e : std::filesystem::directory_iterator(dir)) {
+    const std::string p = e.path().string();
+    if (e.path().extension() == ".twj" && (first.empty() || p < first))
+      first = p;
+  }
+  std::filesystem::resize_file(first,
+                               std::filesystem::file_size(first) - 5);
+
+  const JournalReplay r = JobJournal::replay(dir);
+  EXPECT_TRUE(r.torn_interior);
+  EXPECT_FALSE(r.torn_tail) << "older-segment damage is disk rot, not a "
+                               "legitimate crash signature";
+  ASSERT_EQ(r.live.size(), 2u);
+  EXPECT_EQ(r.live[0].job, 2u);
+  EXPECT_EQ(r.live[1].job, 3u);
+}
+
 TEST(JournalTest, CompactionKeepsOnlyLiveJobsAndCancelMarkers) {
-  const std::string dir = fresh_dir("tw_srv_compact");
-  const std::string path = dir + "/journal.twj";
-  JobJournal j(path);
+  const std::string dir = fresh_dir("tw_srv_compact") + "/journal";
+  JobJournal j(dir);
   for (std::uint64_t id = 1; id <= 6; ++id)
     j.record_submitted(id, fast_params(id), "job " + std::to_string(id));
   for (std::uint64_t id = 1; id <= 4; ++id) j.record_finished(id);
   j.record_cancelled(6);
 
-  JournalReplay before = JobJournal::replay(path);
+  JournalReplay before = JobJournal::replay(dir);
   ASSERT_EQ(before.live.size(), 2u);
+  const std::uint64_t bytes_before = j.bytes();
   j.compact(before.live);
+  EXPECT_LT(j.bytes(), bytes_before) << "compaction must shed dead bytes";
+  EXPECT_EQ(j.segments(), 1) << "old segments must be unlinked";
 
-  const JournalReplay after = JobJournal::replay(path);
+  const JournalReplay after = JobJournal::replay(dir);
   EXPECT_EQ(after.dropped, 0);
   ASSERT_EQ(after.live.size(), 2u);
   EXPECT_EQ(after.live[0].job, 5u);
@@ -341,9 +499,63 @@ TEST(JournalTest, CompactionKeepsOnlyLiveJobsAndCancelMarkers) {
 
   // The journal stays appendable after the rewrite.
   j.record_submitted(7, fast_params(7), "post-compact");
-  const JournalReplay more = JobJournal::replay(path);
+  const JournalReplay more = JobJournal::replay(dir);
   ASSERT_EQ(more.live.size(), 3u);
   EXPECT_EQ(more.live[2].job, 7u);
+}
+
+TEST(JournalTest, ReplayConvergesWhenCompactionCrashedBeforeUnlinking) {
+  // A crash between the compacted segment's rename and the unlinks of the
+  // old segments leaves BOTH on disk. Replay must converge to the same
+  // live set, because a re-submit of an already-seen id is ignored.
+  const std::string dir = fresh_dir("tw_srv_compact_crash") + "/journal";
+  JobJournal j(dir, /*max_segment_bytes=*/64);
+  for (std::uint64_t id = 1; id <= 4; ++id)
+    j.record_submitted(id, fast_params(id), std::string(80, 'z'));
+  j.record_finished(1);
+  j.record_finished(2);
+  const JournalReplay before = JobJournal::replay(dir);
+  ASSERT_EQ(before.live.size(), 2u);
+
+  // Simulate the crash: write the compacted segment by hand (a fresh
+  // journal in a scratch dir, then copy its segment in ABOVE the existing
+  // numbers) without removing the old segments.
+  const std::string scratch = fresh_dir("tw_srv_compact_scratch") + "/j";
+  {
+    JobJournal c(scratch);
+    for (const LiveJob& lj : before.live)
+      c.record_submitted(lj.job, lj.params, lj.netlist_yal);
+  }
+  std::filesystem::copy_file(newest_segment(scratch),
+                             dir + "/seg-999999.twj");
+
+  const JournalReplay merged = JobJournal::replay(dir);
+  EXPECT_FALSE(merged.torn_tail);
+  ASSERT_EQ(merged.live.size(), 2u);
+  EXPECT_EQ(merged.live[0].job, 3u);
+  EXPECT_EQ(merged.live[1].job, 4u);
+  EXPECT_EQ(merged.max_job, 4u);
+}
+
+TEST(JournalTest, InjectedAppendFaultsAreTypedAndTornTailIsGenuine) {
+  const std::string dir = fresh_dir("tw_srv_jfault") + "/journal";
+  recover::DiskFaultPlan plan;
+  plan.fail_at(recover::DiskSite::kJournalAppend, 1,
+               recover::DiskFault::kEnospc);
+  plan.fail_at(recover::DiskSite::kJournalAppend, 2,
+               recover::DiskFault::kShortWrite);
+  JobJournal j(dir, 1u << 20, &plan);
+  j.record_submitted(1, fast_params(1), "survives");
+  // ENOSPC: nothing written, typed error, journal still appendable.
+  EXPECT_THROW(j.record_submitted(2, fast_params(2), "enospc"), ServeError);
+  // Short write: a truncated prefix reaches the disk (a genuine torn
+  // tail), then the typed error.
+  EXPECT_THROW(j.record_submitted(3, fast_params(3), "torn"), ServeError);
+
+  const JournalReplay r = JobJournal::replay(dir);
+  EXPECT_TRUE(r.torn_tail) << "the short write must leave a real torn tail";
+  ASSERT_EQ(r.live.size(), 1u);
+  EXPECT_EQ(r.live[0].job, 1u);
 }
 
 // ---------------------------------------------------------------------------
@@ -361,11 +573,22 @@ CachedResult sample_result(std::uint64_t fp) {
   return r;
 }
 
+/// On-disk size of one cache entry (they are fixed-width records, so one
+/// probe sizes them all) — the unit the byte-budget tests measure in.
+std::uint64_t cache_entry_bytes() {
+  static const std::uint64_t bytes = [] {
+    ResultCache probe(fresh_dir("tw_srv_cache_probe"), 1u << 20);
+    probe.put(CacheKey{1, 1}, sample_result(1));
+    return probe.bytes();
+  }();
+  return bytes;
+}
+
 TEST(ResultCacheTest, PutLookupAndReloadAcrossRestart) {
   const std::string dir = fresh_dir("tw_srv_cache1");
   const CacheKey key{0x1111, 0x2222};
   {
-    ResultCache cache(dir, 8);
+    ResultCache cache(dir, 1u << 20);
     EXPECT_FALSE(cache.lookup(key).has_value());
     cache.put(key, sample_result(0xabcd));
     const auto hit = cache.lookup(key);
@@ -374,7 +597,7 @@ TEST(ResultCacheTest, PutLookupAndReloadAcrossRestart) {
     EXPECT_DOUBLE_EQ(hit->final_teil, 123.5);
   }
   // A fresh instance (daemon restart) reloads the entry from disk.
-  ResultCache cache(dir, 8);
+  ResultCache cache(dir, 1u << 20);
   EXPECT_EQ(cache.loaded(), 1);
   const auto hit = cache.lookup(key);
   ASSERT_TRUE(hit.has_value());
@@ -382,12 +605,17 @@ TEST(ResultCacheTest, PutLookupAndReloadAcrossRestart) {
   EXPECT_EQ(hit->status, JobStatus::kCompleted);
 }
 
-TEST(ResultCacheTest, CapacityBoundsFifoEvictOldest) {
+TEST(ResultCacheTest, ByteBudgetEvictsOldestFilesFirst) {
+  const std::uint64_t entry = cache_entry_bytes();
+  ASSERT_GT(entry, 0u);
+
   const std::string dir = fresh_dir("tw_srv_cache2");
-  ResultCache cache(dir, 3);
+  ResultCache cache(dir, 3 * entry);
   for (std::uint64_t i = 1; i <= 5; ++i)
     cache.put(CacheKey{i, i}, sample_result(i));
   EXPECT_EQ(cache.size(), 3);
+  EXPECT_EQ(cache.evictions(), 2);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
   EXPECT_FALSE(cache.lookup(CacheKey{1, 1}).has_value());
   EXPECT_FALSE(cache.lookup(CacheKey{2, 2}).has_value());
   for (std::uint64_t i = 3; i <= 5; ++i)
@@ -401,9 +629,49 @@ TEST(ResultCacheTest, CapacityBoundsFifoEvictOldest) {
   EXPECT_EQ(files, 3);
 }
 
+TEST(ResultCacheTest, ShrunkBudgetPrunesAtStartupAndOversizedIsRefused) {
+  const std::uint64_t entry = cache_entry_bytes();
+  const std::string dir = fresh_dir("tw_srv_cache_shrink");
+  {
+    ResultCache cache(dir, 1u << 20);
+    for (std::uint64_t i = 1; i <= 5; ++i)
+      cache.put(CacheKey{i, i}, sample_result(i));
+    EXPECT_EQ(cache.size(), 5);
+  }
+  // Restart under a smaller budget: the overflow is evicted at load,
+  // oldest first — the disk must fit the budget the operator set *now*.
+  ResultCache cache(dir, 2 * entry);
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_LE(cache.bytes(), cache.budget_bytes());
+  EXPECT_TRUE(cache.lookup(CacheKey{4, 4}).has_value());
+  EXPECT_TRUE(cache.lookup(CacheKey{5, 5}).has_value());
+
+  // An entry that alone exceeds the whole budget is refused up front —
+  // caching it would evict everything and then itself be evicted.
+  ResultCache tiny(fresh_dir("tw_srv_cache_tiny"), entry - 1);
+  EXPECT_THROW(tiny.put(CacheKey{9, 9}, sample_result(9)), ServeError);
+  EXPECT_EQ(tiny.size(), 0);
+  EXPECT_EQ(tiny.bytes(), 0u);
+}
+
+TEST(ResultCacheTest, InjectedWriteFaultIsTypedAndLeavesTheCacheConsistent) {
+  recover::DiskFaultPlan plan;
+  plan.fail_at(recover::DiskSite::kCacheWrite, 0,
+               recover::DiskFault::kEnospc);
+  const std::string dir = fresh_dir("tw_srv_cache_fault");
+  ResultCache cache(dir, 1u << 20, &plan);
+  EXPECT_THROW(cache.put(CacheKey{1, 1}, sample_result(1)), ServeError);
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.lookup(CacheKey{1, 1}).has_value());
+  // The fault was one-shot; the cache keeps working afterwards.
+  cache.put(CacheKey{2, 2}, sample_result(2));
+  EXPECT_TRUE(cache.lookup(CacheKey{2, 2}).has_value());
+  EXPECT_EQ(plan.count(recover::DiskSite::kCacheWrite), 2);
+}
+
 TEST(ResultCacheTest, NonDeterministicTerminalStatesAreNotCached) {
   const std::string dir = fresh_dir("tw_srv_cache3");
-  ResultCache cache(dir, 8);
+  ResultCache cache(dir, 1u << 20);
   CachedResult cancelled = sample_result(1);
   cancelled.status = JobStatus::kCancelled;
   CachedResult failed = sample_result(2);
@@ -427,20 +695,20 @@ TEST(ResultCacheTest, NonDeterministicTerminalStatesAreNotCached) {
 TEST(ResultCacheTest, TornEntryFromAKilledDaemonIsSkippedOnLoad) {
   const std::string dir = fresh_dir("tw_srv_cache4");
   {
-    ResultCache cache(dir, 8);
+    ResultCache cache(dir, 1u << 20);
     cache.put(CacheKey{10, 10}, sample_result(10));
   }
   // A garbage .twr file (torn write, disk rot) must not poison the load.
   std::ofstream(dir + "/res-000099.twr", std::ios::binary)
       << "not a cache entry";
-  ResultCache cache(dir, 8);
+  ResultCache cache(dir, 1u << 20);
   EXPECT_EQ(cache.loaded(), 1);
   EXPECT_TRUE(cache.lookup(CacheKey{10, 10}).has_value());
 
   // And the counter resumed above the junk file's number: a new put must
   // not collide with (or be shadowed by) anything present.
   cache.put(CacheKey{11, 11}, sample_result(11));
-  ResultCache reloaded(dir, 8);
+  ResultCache reloaded(dir, 1u << 20);
   EXPECT_TRUE(reloaded.lookup(CacheKey{11, 11}).has_value());
 }
 
@@ -542,7 +810,7 @@ TEST(SchedulerTest, UnparseableNetlistIsRejectedWithDiagnostics) {
   sched.shutdown();
 }
 
-TEST(SchedulerTest, QueueFullPastMaxJobsInFlight) {
+TEST(SchedulerTest, OverloadShedsTypedWithARetryHint) {
   DoneQueue q;
   SchedulerConfig cfg;
   cfg.state_dir = fresh_dir("tw_srv_qfull");
@@ -554,10 +822,14 @@ TEST(SchedulerTest, QueueFullPastMaxJobsInFlight) {
   ASSERT_EQ(first.kind, Submitted::Kind::kAccepted);
   EXPECT_EQ(sched.in_flight(), 1);
 
-  // A *different* job (other seed => other params digest) has no slot.
+  // A *different* job (other seed => other params digest) is shed with a
+  // typed kOverloaded carrying a deterministic retry hint — the client's
+  // cue to back off instead of guessing.
   const Submitted second = sched.submit(fast_submit(2));
   ASSERT_EQ(second.kind, Submitted::Kind::kRejected);
-  EXPECT_EQ(second.reject.code, RejectCode::kQueueFull);
+  EXPECT_EQ(second.reject.code, RejectCode::kOverloaded);
+  EXPECT_GT(second.reject.retry_after_ms, 0u);
+  EXPECT_EQ(sched.stats().shed, 1);
 
   // Once the first finishes, the slot frees up.
   (void)sched.finish(q.wait_pop());
@@ -565,6 +837,196 @@ TEST(SchedulerTest, QueueFullPastMaxJobsInFlight) {
   const Submitted third = sched.submit(fast_submit(2));
   EXPECT_EQ(third.kind, Submitted::Kind::kAccepted);
   (void)sched.finish(q.wait_pop());
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, AdmissionThresholdsAreGradedByPriority) {
+  SchedulerLimits lim;
+  lim.max_jobs = 8;
+  EXPECT_EQ(lim.shed_threshold(JobPriority::kUrgent), 8);
+  EXPECT_EQ(lim.shed_threshold(JobPriority::kNormal), 6);
+  EXPECT_EQ(lim.shed_threshold(JobPriority::kBatch), 4);
+
+  const auto prio_submit = [](std::uint64_t seed, JobPriority p) {
+    SubmitRequest r = fast_submit(seed);
+    r.params.priority = p;
+    return r;
+  };
+
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_graded");
+  cfg.threads = 1;
+  cfg.limits.max_jobs = 4;  // thresholds: urgent 4, normal 3, batch 2
+  Scheduler sched(cfg, q.hooks());
+
+  ASSERT_EQ(sched.submit(prio_submit(1, JobPriority::kNormal)).kind,
+            Submitted::Kind::kAccepted);
+  ASSERT_EQ(sched.submit(prio_submit(2, JobPriority::kNormal)).kind,
+            Submitted::Kind::kAccepted);
+
+  // 2 in flight: batch is at its threshold (shed first), normal is not.
+  const Submitted b = sched.submit(prio_submit(3, JobPriority::kBatch));
+  ASSERT_EQ(b.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(b.reject.code, RejectCode::kOverloaded);
+  EXPECT_EQ(b.reject.retry_after_ms, 250u);  // at the threshold: one step
+  ASSERT_EQ(sched.submit(prio_submit(3, JobPriority::kNormal)).kind,
+            Submitted::Kind::kAccepted);
+
+  // 3 in flight: normal sheds now, urgent still has headroom.
+  ASSERT_EQ(sched.submit(prio_submit(4, JobPriority::kNormal)).kind,
+            Submitted::Kind::kRejected);
+  ASSERT_EQ(sched.submit(prio_submit(4, JobPriority::kUrgent)).kind,
+            Submitted::Kind::kAccepted);
+
+  // 4 in flight = max_jobs: even urgent is shed.
+  const Submitted u = sched.submit(prio_submit(5, JobPriority::kUrgent));
+  ASSERT_EQ(u.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(u.reject.code, RejectCode::kOverloaded);
+  EXPECT_EQ(sched.stats().shed, 3);
+
+  for (int i = 0; i < 4; ++i) (void)sched.finish(q.wait_pop());
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, JournalWriteFailureShedsTypedAndFlagsDegraded) {
+  DoneQueue q;
+  recover::DiskFaultPlan plan;
+  plan.fail_at(recover::DiskSite::kJournalAppend, 0,
+               recover::DiskFault::kEnospc);
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_jdeg");
+  cfg.threads = 1;
+  cfg.disk_faults = &plan;
+  Scheduler sched(cfg, q.hooks());
+
+  // The WAL cannot take the record, so the daemon cannot promise the job
+  // survives a crash — it must shed (typed, retryable), never accept.
+  const Submitted s = sched.submit(fast_submit(1));
+  ASSERT_EQ(s.kind, Submitted::Kind::kRejected);
+  EXPECT_EQ(s.reject.code, RejectCode::kOverloaded);
+  EXPECT_EQ(s.reject.retry_after_ms, 1000u);
+  EXPECT_TRUE(sched.journal_degraded());
+  EXPECT_TRUE(sched.stats().journal_degraded);
+
+  // The fault was one-shot (disk freed up): the retry is admitted and
+  // completes normally.
+  const Submitted retry = sched.submit(fast_submit(1));
+  ASSERT_EQ(retry.kind, Submitted::Kind::kAccepted);
+  EXPECT_EQ(sched.finish(q.wait_pop()).status, JobStatus::kCompleted);
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, CacheWriteFailureEngagesCacheOffModeResultsStillFlow) {
+  DoneQueue q;
+  recover::DiskFaultPlan plan;
+  plan.fail_from(recover::DiskSite::kCacheWrite, 0,
+                 recover::DiskFault::kEnospc);
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_coff");
+  cfg.threads = 1;
+  cfg.disk_faults = &plan;
+  Scheduler sched(cfg, q.hooks());
+
+  ASSERT_EQ(sched.submit(fast_submit(3)).kind, Submitted::Kind::kAccepted);
+  const ResultEvent first = sched.finish(q.wait_pop());
+  EXPECT_EQ(first.status, JobStatus::kCompleted);
+  EXPECT_FALSE(first.cached);
+  EXPECT_TRUE(sched.cache_off());
+  EXPECT_TRUE(sched.stats().cache_off);
+
+  // Cross-restart dedup is lost in cache-off mode — but resubmissions
+  // still run and still reproduce the same bytes.
+  ASSERT_EQ(sched.submit(fast_submit(3)).kind, Submitted::Kind::kAccepted);
+  const ResultEvent second = sched.finish(q.wait_pop());
+  EXPECT_FALSE(second.cached);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+  sched.shutdown();
+}
+
+TEST(SchedulerTest, CheckpointQuotaDegradesToCheckpointOffTyped) {
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_ckq");
+  cfg.threads = 1;
+  cfg.checkpoint_quota_bytes = 1;  // nothing fits: every save bursts it
+  Scheduler sched(cfg, q.hooks());
+
+  SubmitRequest req = fast_submit(4);
+  req.params.checkpoint_every = 1;
+  req.params.max_attempts = 2;  // attempt 1 hits the quota; 2 runs cold
+  ASSERT_EQ(sched.submit(req).kind, Submitted::Kind::kAccepted);
+  const ResultEvent done = sched.finish(q.wait_pop());
+  EXPECT_EQ(done.status, JobStatus::kCompleted)
+      << "a checkpoint-dir quota must degrade checkpointing, not the job";
+  EXPECT_GE(sched.stats().checkpoint_off_jobs, 1);
+  sched.shutdown();
+}
+
+// The preemption acceptance test at the policy layer: an urgent arrival
+// parks the running batch job at a checkpoint boundary; the batch job
+// later resumes from that checkpoint and its finished result fingerprints
+// identically to a never-preempted run — preemption must be invisible in
+// the bytes, exactly like crash recovery.
+TEST(SchedulerTest, PreemptedJobResumesToTheIdenticalFingerprint) {
+  // Slow the batch job down (~5x the fast parameterization) so it is
+  // still annealing when the urgent job lands; checkpoint every step so a
+  // preempt point is always near.
+  SubmitRequest batch = fast_submit(11);
+  batch.params.priority = JobPriority::kBatch;
+  batch.params.checkpoint_every = 1;
+  batch.params.s1_attempts_per_cell = 60;
+  batch.params.s2_attempts_per_cell = 40;
+
+  // Ground truth: the same job in an idle scheduler.
+  std::uint64_t clean_fp = 0;
+  {
+    DoneQueue q;
+    SchedulerConfig cfg;
+    cfg.state_dir = fresh_dir("tw_srv_preempt_ref");
+    cfg.threads = 1;
+    Scheduler sched(cfg, q.hooks());
+    ASSERT_EQ(sched.submit(batch).kind, Submitted::Kind::kAccepted);
+    clean_fp = sched.finish(q.wait_pop()).fingerprint;
+    ASSERT_NE(clean_fp, 0u);
+    sched.shutdown();
+  }
+
+  DoneQueue q;
+  SchedulerConfig cfg;
+  cfg.state_dir = fresh_dir("tw_srv_preempt");
+  cfg.threads = 1;  // one worker: the urgent job MUST displace the batch
+  Scheduler sched(cfg, q.hooks());
+  const Submitted sb = sched.submit(batch);
+  ASSERT_EQ(sb.kind, Submitted::Kind::kAccepted);
+
+  // Only a *running* job can be parked; wait until the batch job holds
+  // the worker before applying pressure.
+  bool saw_running = false;
+  for (int i = 0; i < 5000 && !saw_running; ++i) {
+    saw_running = sched.stats().running[0] >= 1;
+    if (!saw_running) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_TRUE(saw_running) << "batch job never occupied the worker";
+
+  SubmitRequest urgent = fast_submit(12);
+  urgent.params.priority = JobPriority::kUrgent;
+  const Submitted su = sched.submit(urgent);
+  ASSERT_EQ(su.kind, Submitted::Kind::kAccepted);
+
+  ResultEvent batch_done, urgent_done;
+  for (int i = 0; i < 2; ++i) {
+    ResultEvent ev = sched.finish(q.wait_pop());
+    (ev.job == sb.job ? batch_done : urgent_done) = ev;
+  }
+  EXPECT_EQ(urgent_done.status, JobStatus::kCompleted);
+  EXPECT_EQ(batch_done.status, JobStatus::kCompleted);
+  EXPECT_EQ(batch_done.fingerprint, clean_fp)
+      << "preempted-then-resumed run diverged from the uninterrupted one";
+
+  const StatsReply st = sched.stats();
+  EXPECT_GE(st.preempted, 1) << "the urgent job never displaced the batch";
+  EXPECT_GE(st.resumed, 1) << "the parked job was never claimed again";
   sched.shutdown();
 }
 
@@ -814,6 +1276,31 @@ TEST(DaemonTest, QuotaRejectionReachesTheClientTyped) {
   const Client::SubmitOutcome out = client.submit_and_wait(req);
   ASSERT_TRUE(out.rejected.has_value());
   EXPECT_EQ(out.rejected->code, RejectCode::kQuotaExceeded);
+}
+
+TEST(DaemonTest, StatsReportHealthOverTheSocket) {
+  DaemonFixture fx("tw_srv_daemon6");
+  Client client(fx.socket_path);
+
+  const StatsReply before = client.stats();
+  EXPECT_EQ(before.jobs_in_flight, 0);
+  EXPECT_EQ(before.shed, 0);
+  EXPECT_FALSE(before.cache_off);
+  EXPECT_FALSE(before.journal_degraded);
+
+  const Client::SubmitOutcome out = client.submit_and_wait(fast_submit(7));
+  ASSERT_TRUE(out.result.has_value());
+  ASSERT_EQ(out.result->status, JobStatus::kCompleted);
+
+  // The snapshot reflects the finished job: nothing in flight, its
+  // journal records and cached result on disk and measured in bytes.
+  const StatsReply after = client.stats();
+  EXPECT_EQ(after.jobs_in_flight, 0);
+  EXPECT_GT(after.journal_bytes, 0u);
+  EXPECT_GE(after.journal_segments, 1);
+  EXPECT_GT(after.cache_bytes, 0u);
+  EXPECT_GT(after.cache_budget_bytes, 0u);
+  EXPECT_LE(after.cache_bytes, after.cache_budget_bytes);
 }
 
 TEST(DaemonTest, ShutdownFrameDrainsAndStops) {

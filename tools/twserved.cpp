@@ -12,6 +12,11 @@
 //
 // --kill-at site:count arms the deterministic crash switch (the soak
 // harness's instrument); see serve/daemon.hpp for the site names.
+// --fail-disk site:nth[:kind] arms the disk-fault seam the same way: the
+// nth write at a durability site (checkpoint, journal-append,
+// journal-rotate, cache-write) pretends the disk failed (enospc, or a
+// short-write that leaves a genuinely torn record). The soak harness's
+// disk-full scenario drives the degraded modes through this.
 
 #include <cstdint>
 #include <cstdlib>
@@ -19,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "recover/fault.hpp"
 #include "serve/daemon.hpp"
 #include "util/log.hpp"
 
@@ -30,15 +36,33 @@ void usage() {
       "  --socket PATH        Unix socket to listen on (required)\n"
       "  --state DIR          journal/cache/checkpoint root (required)\n"
       "  --threads N          executor worker threads (default 2)\n"
-      "  --max-jobs N         jobs in flight before queue-full (default 8)\n"
+      "  --max-jobs N         urgent-job admission bound; normal and batch\n"
+      "                       jobs shed earlier (default 8)\n"
       "  --max-replicas N     per-job replica quota (default 8)\n"
       "  --max-cells N        netlist-size quota, 0=unlimited (default 0)\n"
       "  --max-budget-moves N per-job move-quota cap, -1=unlimited\n"
       "  --max-budget-steps N per-job step-quota cap, -1=unlimited\n"
-      "  --cache-capacity N   result cache entries kept (default 64)\n"
+      "  --cache-budget-bytes N    result-cache byte budget (default 8MiB)\n"
+      "  --journal-segment-bytes N journal segment rotation size (1MiB)\n"
+      "  --journal-compact-bytes N journal size that forces compaction\n"
+      "                            (default 4MiB)\n"
+      "  --checkpoint-quota N      per-replica checkpoint-dir byte quota,\n"
+      "                            0=unlimited (default 0)\n"
+      "  --tick-ms N          poll tick length, the daemon's clock unit\n"
+      "                       (default 500)\n"
+      "  --idle-ticks N       reap a client after N idle ticks, 0=never\n"
+      "                       (default 0; reaped clients keep their jobs)\n"
+      "  --max-out-bytes N    per-client outgoing buffer bound past which\n"
+      "                       progress events drop (default 1MiB)\n"
       "  --kill-at SITE:N     die hard at the N-th SITE event (testing;\n"
       "                       sites: post-journal post-ack progress\n"
-      "                       pre-finish post-finish; repeatable)\n";
+      "                       pre-finish post-finish; repeatable)\n"
+      "  --fail-disk SITE:N[:KIND]  fail the N-th (0-based) write at a\n"
+      "                       disk site (testing; sites: checkpoint\n"
+      "                       journal-append journal-rotate cache-write;\n"
+      "                       kinds: enospc short; suffix N with + to\n"
+      "                       fail every write from the N-th on;\n"
+      "                       repeatable)\n";
 }
 
 bool parse_kill(const std::string& arg, tw::serve::KillSpec& out) {
@@ -53,11 +77,58 @@ bool parse_kill(const std::string& arg, tw::serve::KillSpec& out) {
   return out.count >= 1;
 }
 
+/// Parses "site:nth[:kind]" (nth may end in '+' for a persistent fault)
+/// and arms it on `plan`.
+bool parse_fail_disk(const std::string& arg, tw::recover::DiskFaultPlan& plan) {
+  const std::size_t c1 = arg.find(':');
+  if (c1 == std::string::npos || c1 == 0) return false;
+  const std::string site_s = arg.substr(0, c1);
+  const std::size_t c2 = arg.find(':', c1 + 1);
+  std::string nth_s = c2 == std::string::npos
+                          ? arg.substr(c1 + 1)
+                          : arg.substr(c1 + 1, c2 - c1 - 1);
+  const std::string kind_s =
+      c2 == std::string::npos ? "enospc" : arg.substr(c2 + 1);
+
+  tw::recover::DiskSite site;
+  if (site_s == "checkpoint") site = tw::recover::DiskSite::kCheckpointWrite;
+  else if (site_s == "journal-append")
+    site = tw::recover::DiskSite::kJournalAppend;
+  else if (site_s == "journal-rotate")
+    site = tw::recover::DiskSite::kJournalRotate;
+  else if (site_s == "cache-write") site = tw::recover::DiskSite::kCacheWrite;
+  else return false;
+
+  tw::recover::DiskFault kind;
+  if (kind_s == "enospc") kind = tw::recover::DiskFault::kEnospc;
+  else if (kind_s == "short") kind = tw::recover::DiskFault::kShortWrite;
+  else return false;
+
+  bool persistent = false;
+  if (!nth_s.empty() && nth_s.back() == '+') {
+    persistent = true;
+    nth_s.pop_back();
+  }
+  std::int64_t nth = 0;
+  try {
+    nth = std::stoll(nth_s);
+  } catch (...) {
+    return false;
+  }
+  if (nth < 0) return false;
+  if (persistent) plan.fail_from(site, nth, kind);
+  else plan.fail_at(site, nth, kind);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   tw::serve::DaemonConfig cfg;
   tw::serve::SchedulerConfig& sc = cfg.scheduler;
+  // Static: the scheduler holds a raw pointer to it for the daemon's life.
+  static tw::recover::DiskFaultPlan disk_plan;
+  bool any_disk_fault = false;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   for (std::size_t i = 0; i < args.size(); ++i) {
@@ -80,8 +151,18 @@ int main(int argc, char** argv) {
       sc.limits.max_budget_moves = std::stoll(value());
     else if (a == "--max-budget-steps")
       sc.limits.max_budget_steps = std::stoll(value());
-    else if (a == "--cache-capacity")
-      sc.cache_capacity = std::stoi(value());
+    else if (a == "--cache-budget-bytes")
+      sc.cache_budget_bytes = std::stoull(value());
+    else if (a == "--journal-segment-bytes")
+      sc.journal_segment_bytes = std::stoull(value());
+    else if (a == "--journal-compact-bytes")
+      sc.journal_compact_bytes = std::stoull(value());
+    else if (a == "--checkpoint-quota")
+      sc.checkpoint_quota_bytes = std::stoull(value());
+    else if (a == "--tick-ms") cfg.poll_tick_ms = std::stoi(value());
+    else if (a == "--idle-ticks") cfg.idle_ticks = std::stoi(value());
+    else if (a == "--max-out-bytes")
+      cfg.max_out_bytes = static_cast<std::size_t>(std::stoull(value()));
     else if (a == "--kill-at") {
       tw::serve::KillSpec k;
       if (!parse_kill(value(), k)) {
@@ -89,6 +170,12 @@ int main(int argc, char** argv) {
         return 2;
       }
       cfg.kill_at.push_back(std::move(k));
+    } else if (a == "--fail-disk") {
+      if (!parse_fail_disk(value(), disk_plan)) {
+        std::cerr << "twserved: bad --fail-disk (want site:nth[:kind])\n";
+        return 2;
+      }
+      any_disk_fault = true;
     } else if (a == "--help" || a == "-h") {
       usage();
       return 0;
@@ -102,6 +189,7 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+  if (any_disk_fault) sc.disk_faults = &disk_plan;
 
   try {
     tw::serve::Daemon daemon(std::move(cfg));
