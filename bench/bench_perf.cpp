@@ -13,6 +13,7 @@
 // perf trajectory is tracked across PRs — see docs/PERF.md.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
@@ -20,8 +21,10 @@
 #include <string>
 
 #include "channel/channel_graph.hpp"
+#include "flow/multilevel.hpp"
 #include "place/legalize.hpp"
 #include "place/stage1.hpp"
+#include "recover/budget.hpp"
 #include "route/interchange.hpp"
 #include "workload/paper_circuits.hpp"
 
@@ -60,18 +63,50 @@ std::map<int, RouterSample>& router_registry() {
   return samples;
 }
 
+/// Stage-1 attempts-per-cell for a throughput run: scaled so every
+/// workload size attempts ~960 moves per temperature step (the historic
+/// 96-cell point keeps its attempts_per_cell = 10), with a floor of 2 so
+/// the SoC-scale points still anneal. Without the scaling the 1000-cell
+/// point would attempt 10x the moves of the 96-cell point per step and
+/// blow the bench budget.
+int scaled_attempts_per_cell(int cells) {
+  return std::max(2, 960 / std::max(1, cells));
+}
+
+/// One measured multilevel-flow point: a flat stage-1 anneal vs the
+/// cluster-warm-started multilevel flow on the same netlist under the
+/// same RunBudget (docs/PERF.md "Multilevel flow"). teil_ratio < 1 means
+/// the multilevel flow won.
+struct MlSample {
+  int cells = 0;
+  long long budget_moves = 0;
+  int clusters = 0;
+  double warm_teil = 0.0;
+  double ml_teil = 0.0;
+  double flat_teil = 0.0;
+  double ml_seconds = 0.0;
+  double flat_seconds = 0.0;
+};
+
+std::map<int, MlSample>& multilevel_registry() {
+  static std::map<int, MlSample> samples;
+  return samples;
+}
+
 /// Writes the throughput registry as BENCH_perf.json. The default path is
 /// relative to the working directory: the CI perf step runs from the repo
 /// root, so the artifact lands there; the ctest smoke runs from the build
 /// tree and leaves the committed root file untouched.
 void write_perf_json() {
-  if (throughput_registry().empty() && router_registry().empty()) return;
+  if (throughput_registry().empty() && router_registry().empty() &&
+      multilevel_registry().empty())
+    return;
   const char* env = std::getenv("TW_BENCH_OUT");
   const std::string path = env != nullptr ? env : "BENCH_perf.json";
   std::ofstream out(path);
   if (!out) return;
   out << "{\n"
-      << "  \"schema_version\": 2,\n"
+      << "  \"schema_version\": 3,\n"
       << "  \"suite\": \"bench_perf\",\n"
       << "  \"stage1_move_throughput\": [\n";
   bool first = true;
@@ -96,6 +131,23 @@ void write_perf_json() {
         << ", \"graph_edges\": " << s.graph_edges
         << ", \"seconds\": " << s.seconds
         << ", \"nets_per_sec\": " << s.nets_per_sec << "}";
+  }
+  out << "\n  ],\n"
+      << "  \"multilevel_flow\": [\n";
+  first = true;
+  for (const auto& [cells, s] : multilevel_registry()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"cells\": " << s.cells
+        << ", \"budget_moves\": " << s.budget_moves
+        << ", \"clusters\": " << s.clusters
+        << ", \"warm_teil\": " << s.warm_teil
+        << ", \"ml_teil\": " << s.ml_teil
+        << ", \"flat_teil\": " << s.flat_teil
+        << ", \"teil_ratio\": "
+        << (s.flat_teil > 0.0 ? s.ml_teil / s.flat_teil : 0.0)
+        << ", \"ml_seconds\": " << s.ml_seconds
+        << ", \"flat_seconds\": " << s.flat_seconds << "}";
   }
   out << "\n  ]\n}\n";
 }
@@ -276,7 +328,7 @@ void BM_Stage1MoveThroughput(benchmark::State& state) {
   const int cells = static_cast<int>(state.range(0));
   const Netlist nl = PlacedFixture::make_netlist(cells);
   Stage1Params params;
-  params.attempts_per_cell = 10;
+  params.attempts_per_cell = scaled_attempts_per_cell(cells);
   params.p2_samples = 8;
   long long attempts = 0;
   double seconds = 0.0;
@@ -303,6 +355,68 @@ BENCHMARK(BM_Stage1MoveThroughput)
     ->Arg(24)
     ->Arg(48)
     ->Arg(96)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+/// Multilevel-flow benchmark: one flat stage-1 anneal and one
+/// cluster-warm-started multilevel flow on the same 1k-macro netlist,
+/// each under the same RunBudget, recorded side by side into
+/// BENCH_perf.json. A single iteration: the figure of merit is the
+/// quality-per-budget ratio (ml_teil / flat_teil), not a rate, and one
+/// full flow pair is already several seconds of anneal.
+void BM_MultilevelFlow(benchmark::State& state) {
+  const int cells = static_cast<int>(state.range(0));
+  const Netlist nl = PlacedFixture::make_netlist(cells);
+  const std::int64_t kMoves = 300LL * cells;
+
+  Stage1Params sp;
+  sp.attempts_per_cell = scaled_attempts_per_cell(cells);
+  sp.p2_samples = 6;
+
+  MlSample sample;
+  sample.cells = cells;
+  sample.budget_moves = kMoves;
+  for (auto _ : state) {
+    {
+      recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+      Stage1Placer flat(nl, sp, derive_seed(17, "stage1"));
+      Stage1Hooks hooks;
+      hooks.budget = &budget;
+      flat.set_hooks(hooks);
+      Placement placement(nl);
+      const auto t0 = std::chrono::steady_clock::now();
+      flat.run(placement);
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      sample.flat_teil = placement.teil();
+      sample.flat_seconds += dt.count();
+    }
+    {
+      recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+      ClusterWarmStart warm({}, sp);
+      MultilevelParams params;
+      params.refine = sp;
+      params.seed = 17;
+      params.recover.budget = &budget;
+      MultilevelFlow flow(nl, warm, params);
+      Placement placement(nl);
+      const auto t0 = std::chrono::steady_clock::now();
+      const MultilevelResult r = flow.run(placement);
+      const std::chrono::duration<double> dt =
+          std::chrono::steady_clock::now() - t0;
+      sample.ml_teil = r.final_teil;
+      sample.warm_teil = r.warm.teil;
+      sample.clusters = r.warm.clusters;
+      sample.ml_seconds += dt.count();
+    }
+  }
+  state.counters["ml_teil"] = sample.ml_teil;
+  state.counters["flat_teil"] = sample.flat_teil;
+  multilevel_registry()[cells] = sample;
+}
+BENCHMARK(BM_MultilevelFlow)
+    ->Arg(1000)
+    ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 
 }  // namespace

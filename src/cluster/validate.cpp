@@ -1,0 +1,161 @@
+// validate_clustering: the whole-structure validator of a (flat, coarse,
+// map) triple. Like validate_netlist / validate_placement it reports
+// every violation it can find instead of stopping at the first, so a
+// defective clustering is diagnosable in one pass.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace tw {
+
+using check_detail::add_issue;
+
+ValidationReport validate_clustering(const Netlist& flat,
+                                     const Netlist& coarse,
+                                     const ClusterMap& map) {
+  ValidationReport r;
+
+  // --- shape -----------------------------------------------------------------
+  if (map.cluster_of.size() != flat.num_cells()) {
+    add_issue(r, "cluster_of", "covers ", map.cluster_of.size(),
+              " cell(s), flat netlist has ", flat.num_cells());
+    return r;  // nothing below is indexable
+  }
+  if (map.members.size() != coarse.num_cells()) {
+    add_issue(r, "members", "covers ", map.members.size(),
+              " cluster(s), coarse netlist has ", coarse.num_cells());
+    return r;
+  }
+  if (map.coarse_net_of.size() != flat.num_nets()) {
+    add_issue(r, "coarse_net_of", "covers ", map.coarse_net_of.size(),
+              " net(s), flat netlist has ", flat.num_nets());
+    return r;
+  }
+  if (map.flat_net_of.size() != coarse.num_nets()) {
+    add_issue(r, "flat_net_of", "covers ", map.flat_net_of.size(),
+              " net(s), coarse netlist has ", coarse.num_nets());
+    return r;
+  }
+
+  // --- the partition, from both directions -----------------------------------
+  const auto num_flat = static_cast<CellId>(flat.num_cells());
+  const auto num_coarse = static_cast<CellId>(coarse.num_cells());
+  std::vector<int> seen(flat.num_cells(), 0);
+  for (CellId k = 0; k < num_coarse; ++k) {
+    const auto& members = map.members[static_cast<std::size_t>(k)];
+    if (members.empty())
+      add_issue(r, "cluster " + std::to_string(k), "has no members");
+    const CellInstance& inst =
+        coarse.cell(k).instances.front();
+    Coord member_area = 0;
+    for (const ClusterMember& m : members) {
+      if (m.cell < 0 || m.cell >= num_flat) {
+        add_issue(r, "cluster " + std::to_string(k), "member cell ", m.cell,
+                  " out of range");
+        continue;
+      }
+      seen[static_cast<std::size_t>(m.cell)] += 1;
+      if (map.cluster_of[static_cast<std::size_t>(m.cell)] != k)
+        add_issue(r, "cell " + std::to_string(m.cell), "listed in cluster ", k,
+                  " but cluster_of says ",
+                  map.cluster_of[static_cast<std::size_t>(m.cell)]);
+      const CellInstance& mi = flat.cell(m.cell).instances.front();
+      member_area += mi.area();
+      // The member's bbox, centered at its offset, must sit inside the
+      // cluster rectangle (±1 for the integer halving of odd extents).
+      const Coord hw = inst.width / 2;
+      const Coord hh = inst.height / 2;
+      if (m.offset.x - mi.width / 2 < -hw - 1 ||
+          m.offset.x + mi.width / 2 > hw + 1 ||
+          m.offset.y - mi.height / 2 < -hh - 1 ||
+          m.offset.y + mi.height / 2 > hh + 1)
+        add_issue(r, "cluster " + std::to_string(k), "member cell ", m.cell,
+                  " at offset (", m.offset.x, ", ", m.offset.y,
+                  ") leaves the ", inst.width, "x", inst.height,
+                  " cluster rectangle");
+    }
+    if (member_area > inst.area())
+      add_issue(r, "cluster " + std::to_string(k), "member area ", member_area,
+                " exceeds cluster area ", inst.area());
+  }
+  for (CellId c = 0; c < num_flat; ++c) {
+    const CellId k = map.cluster_of[static_cast<std::size_t>(c)];
+    if (k < 0 || k >= num_coarse)
+      add_issue(r, "cell " + std::to_string(c), "cluster_of ", k,
+                " out of range");
+    if (seen[static_cast<std::size_t>(c)] != 1)
+      add_issue(r, "cell " + std::to_string(c), "appears in ",
+                seen[static_cast<std::size_t>(c)],
+                " member list(s), expected exactly 1");
+  }
+
+  // --- net mapping -----------------------------------------------------------
+  int dropped = 0;
+  std::vector<int> mapped_from(coarse.num_nets(), 0);
+  std::vector<CellId> incident;
+  for (const Net& net : flat.nets()) {
+    incident.clear();
+    for (const PinId pid : net.pins) {
+      const CellId cell = flat.pin(pid).cell;
+      if (cell >= 0 && cell < num_flat)
+        incident.push_back(map.cluster_of[static_cast<std::size_t>(cell)]);
+    }
+    std::sort(incident.begin(), incident.end());
+    incident.erase(std::unique(incident.begin(), incident.end()),
+                   incident.end());
+    const NetId cn = map.coarse_net_of[static_cast<std::size_t>(net.id)];
+
+    if (incident.size() < 2) {
+      ++dropped;
+      if (cn != kInvalidNet)
+        add_issue(r, "net " + std::to_string(net.id),
+                  "is intra-cluster but maps to coarse net ", cn);
+      continue;
+    }
+    if (cn < 0 || cn >= static_cast<NetId>(coarse.num_nets())) {
+      add_issue(r, "net " + std::to_string(net.id),
+                "spans ", incident.size(),
+                " cluster(s) but has no valid coarse net (", cn, ")");
+      continue;
+    }
+    mapped_from[static_cast<std::size_t>(cn)] += 1;
+    if (map.flat_net_of[static_cast<std::size_t>(cn)] != net.id)
+      add_issue(r, "net " + std::to_string(net.id), "maps to coarse net ", cn,
+                " whose flat_net_of is ",
+                map.flat_net_of[static_cast<std::size_t>(cn)]);
+    const Net& cnet = coarse.net(cn);
+    if (cnet.weight_h != net.weight_h || cnet.weight_v != net.weight_v)
+      add_issue(r, "net " + std::to_string(net.id), "weights (", net.weight_h,
+                ", ", net.weight_v, ") not preserved on coarse net (",
+                cnet.weight_h, ", ", cnet.weight_v, ")");
+    // Pin aggregation: exactly one coarse pin per incident cluster.
+    std::vector<CellId> coarse_cells;
+    for (const PinId pid : cnet.pins)
+      coarse_cells.push_back(coarse.pin(pid).cell);
+    std::sort(coarse_cells.begin(), coarse_cells.end());
+    if (coarse_cells != incident)
+      add_issue(r, "net " + std::to_string(net.id), "touches ",
+                incident.size(), " cluster(s) but its coarse net has ",
+                coarse_cells.size(), " pin(s) or the wrong clusters");
+  }
+  if (dropped != map.dropped_nets)
+    add_issue(r, "dropped_nets", "records ", map.dropped_nets,
+              " intra-cluster net(s), recount finds ", dropped);
+  for (NetId cn = 0; cn < static_cast<NetId>(coarse.num_nets()); ++cn)
+    if (mapped_from[static_cast<std::size_t>(cn)] != 1)
+      add_issue(r, "coarse net " + std::to_string(cn), "mapped from ",
+                mapped_from[static_cast<std::size_t>(cn)],
+                " flat net(s), expected exactly 1");
+
+  // --- the coarse netlist itself ---------------------------------------------
+  try {
+    coarse.validate();
+  } catch (const std::exception& e) {
+    add_issue(r, "coarse netlist", e.what());
+  }
+  return r;
+}
+
+}  // namespace tw

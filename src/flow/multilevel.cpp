@@ -1,0 +1,153 @@
+#include "flow/multilevel.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "baseline/shelf.hpp"
+#include "estimator/area_estimator.hpp"
+#include "util/log.hpp"
+
+namespace tw {
+
+MultilevelFlow::MultilevelFlow(const Netlist& nl, WarmStart& warm,
+                               MultilevelParams params)
+    : nl_(nl), warm_(&warm), params_(std::move(params)) {
+  // API-boundary validation, unconditional: at 1.0 the cold-start p2
+  // calibration would discard the warm placement — a silently wasted warm
+  // start, not a degraded one.
+  if (!(params_.refine_t_factor > 0.0 && params_.refine_t_factor < 1.0))
+    throw std::invalid_argument(
+        "MultilevelParams::refine_t_factor must be in (0, 1), got " +
+        std::to_string(params_.refine_t_factor));
+}
+
+MultilevelResult MultilevelFlow::run(Placement& placement) {
+  return run_impl(placement, nullptr);
+}
+
+MultilevelResult MultilevelFlow::resume(
+    Placement& placement, const recover::FlowCheckpoint& checkpoint) {
+  const std::uint64_t want = recover::netlist_digest(nl_);
+  if (checkpoint.digest != want)
+    throw recover::CheckpointError(
+        recover::CheckpointErrc::kNetlistMismatch,
+        "checkpoint digest " + std::to_string(checkpoint.digest) +
+            " != netlist digest " + std::to_string(want));
+  if (checkpoint.master_seed != params_.seed)
+    throw recover::CheckpointError(
+        recover::CheckpointErrc::kSeedMismatch,
+        "checkpoint seed " + std::to_string(checkpoint.master_seed) +
+            " != flow seed " + std::to_string(params_.seed));
+  if (checkpoint.phase != recover::FlowPhase::kMultilevelRefine)
+    throw recover::CheckpointError(
+        recover::CheckpointErrc::kCorrupt,
+        std::string("checkpoint phase ") + to_string(checkpoint.phase) +
+            " is not multilevel-refine");
+  recover::apply_placement(placement, checkpoint.placement);
+  return run_impl(placement, &checkpoint);
+}
+
+MultilevelResult MultilevelFlow::run_impl(
+    Placement& placement, const recover::FlowCheckpoint* checkpoint) {
+  MultilevelResult r;
+  r.warm_source = warm_->name();
+  const bool resumed = checkpoint != nullptr;
+
+  std::optional<recover::FileCheckpointSink> sink;
+  std::uint64_t digest = 0;
+  if (!params_.recover.checkpoint_dir.empty()) {
+    sink.emplace(params_.recover.checkpoint_dir,
+                 params_.recover.checkpoint_keep,
+                 params_.recover.checkpoint_quota_bytes,
+                 params_.recover.disk_faults);
+    digest = recover::netlist_digest(nl_);
+  }
+
+  const auto preempt_point = [this](const char* where) {
+    // Cancellation wins over preemption, as in TimberWolfMC::run_impl.
+    if (params_.recover.budget != nullptr &&
+        params_.recover.budget->preempt_requested() &&
+        !params_.recover.budget->cancelled())
+      throw recover::Preempted(where);
+  };
+
+  // --- warm start ------------------------------------------------------------
+  if (resumed) {
+    // The checkpoint postdates the warm start; its outputs ride along.
+    r.warm.coarse = checkpoint->ml_coarse;
+    r.warm.teil = checkpoint->ml_warm_teil;
+    r.warm.clusters = checkpoint->ml_clusters;
+    r.warm.dropped_nets = checkpoint->ml_dropped_nets;
+  } else {
+    // The refinement anneal will size the same core from the same netlist
+    // and estimator parameters; computing it here hands the warm-start
+    // source the exact region the refinement expects cells in.
+    DynamicAreaEstimator estimator(nl_, params_.refine.wire);
+    const Rect core =
+        estimator.compute_initial_core(params_.refine.core_aspect);
+    r.warm = warm_->prepare(placement, core,
+                            derive_seed(params_.seed, "warm"),
+                            params_.recover.budget);
+    log_info("warm start (", r.warm_source, ") done: teil=", r.warm.teil,
+             " clusters=", r.warm.clusters,
+             " dropped_nets=", r.warm.dropped_nets);
+  }
+
+  // --- warm-started refinement ----------------------------------------------
+  Stage1Params rp = params_.refine;
+  rp.warm_start_t_factor = params_.refine_t_factor;
+  Stage1Placer refine(nl_, rp, derive_seed(params_.seed, "ml-refine"));
+  Stage1Hooks hooks;
+  hooks.budget = params_.recover.budget;
+  hooks.faults = params_.recover.faults;
+  hooks.checkpoint_every = params_.recover.checkpoint_every;
+  if (sink || params_.recover.on_progress) {
+    hooks.on_checkpoint = [&](const Stage1Cursor& cur) {
+      if (sink) {
+        recover::FlowCheckpoint fc;
+        fc.master_seed = params_.seed;
+        fc.digest = digest;
+        fc.phase = recover::FlowPhase::kMultilevelRefine;
+        fc.ml_coarse = r.warm.coarse;
+        fc.ml_warm_teil = r.warm.teil;
+        fc.ml_clusters = r.warm.clusters;
+        fc.ml_dropped_nets = r.warm.dropped_nets;
+        fc.s1 = cur;
+        fc.placement = recover::pack_placement(placement);
+        sink->save(fc);
+        preempt_point("multilevel refine step boundary");
+      }
+      if (params_.recover.on_progress) {
+        FlowProgress pg;
+        pg.phase = recover::FlowPhase::kMultilevelRefine;
+        pg.step = cur.next_step;
+        pg.pass = 0;
+        pg.t = cur.t;
+        if (!cur.partial.trace.empty())
+          pg.cost = cur.partial.trace.back().avg_cost;
+        params_.recover.on_progress(pg);
+      }
+    };
+  }
+  refine.set_hooks(std::move(hooks));
+  r.refine = resumed ? refine.resume(placement, checkpoint->s1)
+                     : refine.run(placement);
+
+  const BaselineResult m = measure_placement(placement);
+  r.final_teil = m.teil;
+  r.final_chip_area = m.chip_area;
+  r.final_chip_bbox = m.chip_bbox;
+  log_info("multilevel refine done: teil=", r.final_teil,
+           " area=", r.final_chip_area,
+           " overlap=", r.refine.residual_overlap);
+
+  if (r.refine.outcome != recover::RunOutcome::kCompleted)
+    r.outcome = r.refine.outcome;  // budget outcomes win over kResumed
+  else
+    r.outcome = resumed ? recover::RunOutcome::kResumed
+                        : recover::RunOutcome::kCompleted;
+  return r;
+}
+
+}  // namespace tw

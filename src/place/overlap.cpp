@@ -1,6 +1,7 @@
 #include "place/overlap.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 
@@ -10,10 +11,18 @@ namespace tw {
 
 namespace {
 
-/// Target bins per axis. 64x64 = 4096 bins caps the index footprint while
-/// leaving single-digit candidates per bin for every workload size the
-/// generators produce.
-constexpr int kMaxBinsPerAxis = 64;
+/// Bin-axis cap as a function of circuit size. 64x64 = 4096 bins keeps
+/// the index footprint small with single-digit candidates per bin up to
+/// ~1k cells; past that a fixed cap would pack ~n/4096 cells into every
+/// bin and the candidate sweep would degrade toward quadratic. Scaling
+/// the cap with 2*sqrt(n) holds per-bin occupancy roughly constant
+/// through the SoC tiers (1k-10k cells), with a 256 ceiling bounding the
+/// grid at 64k bins. Circuits at or below 1024 cells get the historic 64,
+/// so existing placements and fingerprints are untouched.
+int max_bins_per_axis(std::size_t num_cells) {
+  const double want = 2.0 * std::sqrt(static_cast<double>(num_cells));
+  return std::clamp(static_cast<int>(want), 64, 256);
+}
 
 }  // namespace
 
@@ -139,7 +148,7 @@ void OverlapEngine::rebuild_index() {
   const Coord target = dim_count > 0
                            ? std::max<Coord>(1, dim_sum / static_cast<Coord>(dim_count))
                            : Coord{1};
-  grid_ = BinGrid::make(extent, target, kMaxBinsPerAxis);
+  grid_ = BinGrid::make(extent, target, max_bins_per_axis(n));
   bins_.assign(static_cast<std::size_t>(grid_.num_bins()), {});
   bin_range_.assign(n, BinGrid::Range{});
   oversize_.clear();

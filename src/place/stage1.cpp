@@ -197,10 +197,13 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
     first_step = cursor->next_step;
     rng_ = Rng::from_state(cursor->rng);
   } else {
-    t = t_infinity(scale);
+    TW_REQUIRE(params_.warm_start_t_factor > 0.0 &&
+                   params_.warm_start_t_factor <= 1.0,
+               "warm_start_t_factor=", params_.warm_start_t_factor);
     result.core = core;
-    result.t_infinity = t;
+    result.t_infinity = t_infinity(scale);
     result.temperature_scale = scale;
+    t = result.t_infinity * params_.warm_start_t_factor;
   }
 
   // Overlap engine per estimator mode: the paper's dynamic estimator, or
@@ -230,6 +233,23 @@ Stage1Result Stage1Placer::run_impl(Placement& placement,
     // state); it must never be re-run on resume — carry the value instead.
     p2_base = cursor->p2_base;
     model.set_p2(p2_base);
+    overlap.refresh_all();
+  } else if (params_.warm_start_t_factor < 1.0) {
+    // Warm start: the incoming placement is the initial configuration,
+    // not a throwaway. The Eqn 9 calibration still samples the same
+    // random configurations (same RNG draws as a cold start), but the
+    // warm placement is restored afterwards instead of being replaced by
+    // the last sample.
+    std::vector<CellState> warm;
+    const auto n = static_cast<CellId>(nl_.num_cells());
+    warm.reserve(static_cast<std::size_t>(n));
+    for (CellId i = 0; i < n; ++i) warm.push_back(placement.snapshot(i));
+    p2_base =
+        model.calibrate_p2(placement, overlap, core, rng_, params_.p2_samples);
+    result.p2 = p2_base;
+    // Bulk restore of the warm-start state, not a per-move transaction.
+    for (CellId i = 0; i < n; ++i)
+      placement.restore(i, warm[static_cast<std::size_t>(i)]);  // lint: allow(txn-mutation) // lint: allow(txn-reach)
     overlap.refresh_all();
   } else {
     p2_base =

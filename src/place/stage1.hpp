@@ -95,6 +95,18 @@ struct Stage1Params {
   /// window minimum).
   int max_temperature_steps = 200;
 
+  /// Warm start (the multilevel flow's refinement anneal). 1.0 is the
+  /// paper's cold start: the caller-provided placement is irrelevant (the
+  /// p2 calibration leaves the last random sample as the initial
+  /// configuration) and the anneal starts at T_infinity. A factor < 1
+  /// declares the incoming placement meaningful: it is preserved through
+  /// the calibration (snapshot before the random sampling, restore
+  /// after), and the anneal starts at warm_start_t_factor * T_infinity.
+  /// The range limiter and penalty ramp still span the full profile, so a
+  /// warm start runs with proportionally contracted move windows — the
+  /// refinement regime.
+  double warm_start_t_factor = 1.0;
+
   /// Incremental-cost drift checkpoints (see check/cost_audit.hpp). The
   /// default checks at every temperature step in full-checks builds and is
   /// free otherwise.

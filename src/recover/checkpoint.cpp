@@ -241,6 +241,7 @@ const char* to_string(FlowPhase p) {
   switch (p) {
     case FlowPhase::kStage1: return "stage1";
     case FlowPhase::kStage2: return "stage2";
+    case FlowPhase::kMultilevelRefine: return "multilevel-refine";
   }
   return "unknown";
 }
@@ -299,6 +300,12 @@ std::vector<std::uint8_t> encode_checkpoint(const FlowCheckpoint& cp) {
   w.u8(static_cast<std::uint8_t>(cp.phase));
   if (cp.phase == FlowPhase::kStage1) {
     put_stage1_cursor(w, cp.s1);
+  } else if (cp.phase == FlowPhase::kMultilevelRefine) {
+    put_stage1_result(w, cp.ml_coarse);
+    w.f64(cp.ml_warm_teil);
+    w.i32(cp.ml_clusters);
+    w.i32(cp.ml_dropped_nets);
+    put_stage1_cursor(w, cp.s1);
   } else {
     put_stage1_result(w, cp.s1_done);
     w.f64(cp.stage1_teil);
@@ -315,11 +322,17 @@ FlowCheckpoint decode_checkpoint(std::span<const std::uint8_t> bytes) {
   cp.master_seed = r.u64();
   cp.digest = r.u64();
   const std::uint8_t phase = r.u8();
-  if (phase > static_cast<std::uint8_t>(FlowPhase::kStage2))
+  if (phase > static_cast<std::uint8_t>(FlowPhase::kMultilevelRefine))
     throw CheckpointError(CheckpointErrc::kCorrupt,
                           "bad phase " + std::to_string(phase));
   cp.phase = static_cast<FlowPhase>(phase);
   if (cp.phase == FlowPhase::kStage1) {
+    cp.s1 = get_stage1_cursor(r);
+  } else if (cp.phase == FlowPhase::kMultilevelRefine) {
+    cp.ml_coarse = get_stage1_result(r);
+    cp.ml_warm_teil = r.f64();
+    cp.ml_clusters = r.i32();
+    cp.ml_dropped_nets = r.i32();
     cp.s1 = get_stage1_cursor(r);
   } else {
     cp.s1_done = get_stage1_result(r);

@@ -32,7 +32,9 @@ namespace tw::recover {
 
 /// Bumped on any incompatible change to the payload encoding. Readers
 /// reject other versions with kBadVersion (no silent migration).
-inline constexpr std::uint32_t kCheckpointVersion = 2;
+/// Version history: 2 added stage-2 cursors; 3 added the multilevel
+/// refinement phase (kMultilevelRefine + its warm-start fields).
+inline constexpr std::uint32_t kCheckpointVersion = 3;
 
 /// The annealer-owned essentials of one cell; everything else in CellState
 /// is a pure function of (netlist, these) and is rebuilt on restore.
@@ -55,7 +57,11 @@ PackedPlacement pack_placement(const Placement& p);
 /// with the netlist (wrong cell count, illegal orient/aspect/site, ...).
 void apply_placement(Placement& p, const PackedPlacement& packed);
 
-enum class FlowPhase : std::uint8_t { kStage1 = 0, kStage2 = 1 };
+enum class FlowPhase : std::uint8_t {
+  kStage1 = 0,           ///< TimberWolfMC flow, stage-1 anneal in flight
+  kStage2 = 1,           ///< TimberWolfMC flow, stage-2 refinement in flight
+  kMultilevelRefine = 2  ///< MultilevelFlow, refinement anneal in flight
+};
 const char* to_string(FlowPhase p);
 
 /// Stable digest of the netlist (FNV-1a over its canonical text form):
@@ -67,8 +73,17 @@ struct FlowCheckpoint {
   std::uint64_t digest = 0;  ///< netlist_digest of the source netlist
   FlowPhase phase = FlowPhase::kStage1;
 
-  /// Valid when phase == kStage1.
+  /// Valid when phase == kStage1 or kMultilevelRefine (the multilevel
+  /// refinement is a stage-1 anneal; its cursor rides here).
   Stage1Cursor s1;
+
+  /// Valid when phase == kMultilevelRefine: the warm start is complete and
+  /// these carry its outputs (MultilevelResult's warm-start metrics are
+  /// reported from here on resume — the warm start is never re-run).
+  Stage1Result ml_coarse;      ///< coarse-level anneal (cluster source)
+  double ml_warm_teil = 0.0;   ///< TEIL of the projected warm placement
+  std::int32_t ml_clusters = 0;
+  std::int32_t ml_dropped_nets = 0;
 
   /// Valid when phase == kStage2: stage 1 is complete and these carry its
   /// outputs (the flow result's stage-1 metrics are reported from here,

@@ -220,4 +220,26 @@ Netlist generate_circuit(const CircuitSpec& spec) {
   return nl;
 }
 
+CircuitSpec soc_circuit(SocTier tier, std::uint64_t seed) {
+  int cells = 0;
+  const char* name = "";
+  switch (tier) {
+    case SocTier::k1k: cells = 1000; name = "soc-1k"; break;
+    case SocTier::k4k: cells = 4000; name = "soc-4k"; break;
+    case SocTier::k10k: cells = 10000; name = "soc-10k"; break;
+  }
+  CircuitSpec spec;
+  spec.name = name;
+  spec.num_cells = cells;
+  spec.num_nets = cells * 7 / 2;
+  spec.num_pins = cells * 14;
+  // Soft custom cells carry pin sites and per-move site bookkeeping the
+  // macro-level SoC abstraction doesn't need; keep the tiers macro-only so
+  // the 10k tier stays placeable in CI time.
+  spec.custom_fraction = 0.0;
+  spec.group_fraction = 0.0;
+  spec.seed = seed;
+  return spec;
+}
+
 }  // namespace tw

@@ -44,4 +44,15 @@ struct CircuitSpec {
 /// The returned netlist passes Netlist::validate().
 Netlist generate_circuit(const CircuitSpec& spec);
 
+/// SoC-scale workload tiers (the multilevel flow's target sizes). The
+/// paper's largest circuit has 33 macros; an SoC-era macro-level netlist
+/// has thousands. Statistics follow the generator's defaults with net and
+/// pin counts scaled to the published macro-chip ratios (~3.5 nets and
+/// ~14 pins per cell).
+enum class SocTier { k1k, k4k, k10k };
+
+/// The CircuitSpec of one SoC tier (1000 / 4000 / 10000 cells); pass it to
+/// generate_circuit, tweaking fields first if desired.
+CircuitSpec soc_circuit(SocTier tier, std::uint64_t seed = 1);
+
 }  // namespace tw

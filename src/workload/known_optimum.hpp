@@ -1,0 +1,46 @@
+// Constructed placement instances with a known optimal wirelength, in the
+// spirit of the PEKO benchmarks (Cong et al., "Optimality and Scalability
+// Study of Existing Placement Algorithms"): the suboptimality of a placer
+// is measurable exactly, not just relative to another heuristic.
+//
+// Construction: a k x k grid of identical s x s square macros, with one
+// 2-pin net (center-to-center) between every pair of grid neighbors. Any
+// placement of two non-overlapping s x s squares has center distance
+// |dx| + |dy| >= s, so every net costs at least s and
+//
+//   TEIL >= num_nets * s = 2 k (k-1) s,
+//
+// with equality exactly when the macros tile a k x k grid — the
+// construction's own layout, so the bound is achieved and tight. The chip
+// bbox area is likewise bounded below by the total cell area (k s)^2,
+// achieved by the same tiling. EXPERIMENTS.md reports placer results as
+// ratios to these optima.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace tw {
+
+struct KnownOptimumSpec {
+  int grid = 8;            ///< k: grid side, k*k macros
+  Coord cell_size = 40;    ///< s: macro side length
+  /// Permutes the creation order of cells and nets, so cell ids carry no
+  /// information about the optimal layout (a placer cannot win by placing
+  /// ids in order).
+  std::uint64_t seed = 1;
+};
+
+struct KnownOptimumCircuit {
+  Netlist netlist;
+  double optimal_teil = 0.0;  ///< 2 k (k-1) s, achieved by the grid tiling
+  Coord optimal_area = 0;     ///< (k s)^2, achieved by the same tiling
+  int grid = 0;
+  Coord cell_size = 0;
+};
+
+/// Builds the instance; the returned netlist passes Netlist::validate().
+KnownOptimumCircuit known_optimum_circuit(const KnownOptimumSpec& spec = {});
+
+}  // namespace tw

@@ -10,6 +10,7 @@
 #include <sstream>
 #include <string>
 
+#include "flow/multilevel.hpp"
 #include "flow/timberwolf.hpp"
 
 namespace tw::testing {
@@ -48,6 +49,29 @@ inline std::string fingerprint(const Placement& p, const FlowResult& r) {
     os << "pass: overflow " << pass.route_overflow << " unrouted "
        << pass.unrouted_nets << " wrv " << pass.width_rule_violations
        << "\n";
+  return os.str();
+}
+
+/// Same idea for a multilevel run: placement state plus every metric the
+/// flow reports, hexfloat throughout.
+inline std::string fingerprint(const Placement& p, const MultilevelResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  const auto n = static_cast<CellId>(p.netlist().num_cells());
+  for (CellId c = 0; c < n; ++c) {
+    const CellState& s = p.state(c);
+    os << "cell " << c << ": (" << s.center.x << "," << s.center.y << ") o"
+       << static_cast<int>(s.orient) << " i" << s.instance << " a"
+       << s.aspect << "\n";
+  }
+  os << "warm " << r.warm_source << " teil " << r.warm.teil << " clusters "
+     << r.warm.clusters << " dropped " << r.warm.dropped_nets << "\n";
+  os << "refine teil " << r.refine.final_teil << " steps "
+     << r.refine.temperature_steps << " attempts " << r.refine.attempts
+     << " accepts " << r.refine.accepts << "\n";
+  os << "final teil " << r.final_teil << " area " << r.final_chip_area
+     << " bbox " << r.final_chip_bbox.xlo << "," << r.final_chip_bbox.ylo
+     << "," << r.final_chip_bbox.xhi << "," << r.final_chip_bbox.yhi << "\n";
   return os.str();
 }
 

@@ -1,0 +1,181 @@
+// Tests for src/cluster: partition round-trip, pin-aggregation
+// conservation, determinism (same inputs from many threads), and the
+// validate_clustering rejection cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "netlist/parser.hpp"
+#include "workload/generator.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+Netlist test_circuit(std::uint64_t seed = 7) {
+  CircuitSpec spec = medium_circuit(seed);
+  spec.num_cells = 40;
+  spec.num_nets = 140;
+  spec.num_pins = 520;
+  return generate_circuit(spec);
+}
+
+TEST(Cluster, PartitionRoundTrips) {
+  const Netlist nl = test_circuit();
+  ClusterParams params;
+  params.max_cluster_size = 6;
+  const Clustering c = cluster_netlist(nl, params);
+
+  // Every flat cell is in exactly one member list, and the two views of
+  // the partition agree.
+  std::vector<int> seen(nl.num_cells(), 0);
+  for (CellId k = 0; k < static_cast<CellId>(c.coarse.num_cells()); ++k) {
+    const auto& members = c.map.members[static_cast<std::size_t>(k)];
+    EXPECT_FALSE(members.empty()) << "cluster " << k;
+    EXPECT_LE(members.size(),
+              static_cast<std::size_t>(params.max_cluster_size));
+    for (const ClusterMember& m : members) {
+      seen[static_cast<std::size_t>(m.cell)] += 1;
+      EXPECT_EQ(c.map.cluster_of[static_cast<std::size_t>(m.cell)], k);
+    }
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+
+  EXPECT_TRUE(validate_clustering(nl, c.coarse, c.map).ok())
+      << validate_clustering(nl, c.coarse, c.map).str();
+}
+
+TEST(Cluster, IdentityClusteringAtCapOne) {
+  const Netlist nl = test_circuit();
+  ClusterParams params;
+  params.max_cluster_size = 1;
+  const Clustering c = cluster_netlist(nl, params);
+  EXPECT_EQ(c.coarse.num_cells(), nl.num_cells());
+  for (const auto& members : c.map.members) EXPECT_EQ(members.size(), 1u);
+  EXPECT_TRUE(validate_clustering(nl, c.coarse, c.map).ok());
+}
+
+TEST(Cluster, PinAggregationConservesNets) {
+  const Netlist nl = test_circuit();
+  const Clustering c = cluster_netlist(nl, {});
+
+  // Every flat net is either dropped as intra-cluster or mapped; the
+  // counts are conserved.
+  int mapped = 0;
+  int dropped = 0;
+  for (NetId n = 0; n < static_cast<NetId>(nl.num_nets()); ++n) {
+    const NetId cn = c.map.coarse_net_of[static_cast<std::size_t>(n)];
+    if (cn == kInvalidNet) {
+      ++dropped;
+      // All pins really are inside one cluster.
+      CellId cluster = kInvalidCell;
+      bool same = true;
+      for (const PinId pid : nl.net(n).pins) {
+        const CellId k =
+            c.map.cluster_of[static_cast<std::size_t>(nl.pin(pid).cell)];
+        if (cluster == kInvalidCell) cluster = k;
+        same = same && (k == cluster);
+      }
+      EXPECT_TRUE(same) << "net " << n << " dropped but spans clusters";
+    } else {
+      ++mapped;
+      EXPECT_EQ(c.map.flat_net_of[static_cast<std::size_t>(cn)], n);
+      // One aggregated pin per incident cluster.
+      std::vector<CellId> incident;
+      for (const PinId pid : nl.net(n).pins)
+        incident.push_back(
+            c.map.cluster_of[static_cast<std::size_t>(nl.pin(pid).cell)]);
+      std::sort(incident.begin(), incident.end());
+      incident.erase(std::unique(incident.begin(), incident.end()),
+                     incident.end());
+      EXPECT_EQ(c.coarse.net(cn).pins.size(), incident.size()) << "net " << n;
+    }
+  }
+  EXPECT_EQ(dropped, c.map.dropped_nets);
+  EXPECT_EQ(static_cast<std::size_t>(mapped), c.coarse.num_nets());
+  EXPECT_GT(mapped, 0);
+  EXPECT_GT(dropped, 0) << "test circuit should produce intra-cluster nets";
+}
+
+TEST(Cluster, DeterministicAcrossThreads) {
+  const Netlist nl = test_circuit(11);
+  const Clustering ref = cluster_netlist(nl, {});
+  const std::string ref_text = write_netlist(ref.coarse);
+
+  constexpr int kThreads = 4;
+  std::vector<std::string> texts(kThreads);
+  std::vector<ClusterMap> maps(kThreads);
+  {
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i)
+      workers.emplace_back([&, i] {
+        Clustering c = cluster_netlist(nl, {});
+        texts[static_cast<std::size_t>(i)] = write_netlist(c.coarse);
+        maps[static_cast<std::size_t>(i)] = std::move(c.map);
+      });
+    for (auto& w : workers) w.join();
+  }
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(texts[static_cast<std::size_t>(i)], ref_text) << "thread " << i;
+    EXPECT_EQ(maps[static_cast<std::size_t>(i)].cluster_of, ref.map.cluster_of);
+    EXPECT_EQ(maps[static_cast<std::size_t>(i)].coarse_net_of,
+              ref.map.coarse_net_of);
+    EXPECT_EQ(maps[static_cast<std::size_t>(i)].dropped_nets,
+              ref.map.dropped_nets);
+  }
+
+  // Different seeds are allowed to differ (and on this circuit do).
+  ClusterParams other;
+  other.seed = 99;
+  const Clustering alt = cluster_netlist(nl, other);
+  EXPECT_TRUE(validate_clustering(nl, alt.coarse, alt.map).ok());
+}
+
+TEST(ClusterValidate, RejectsCorruptedMaps) {
+  const Netlist nl = test_circuit();
+  const Clustering good = cluster_netlist(nl, {});
+  ASSERT_TRUE(validate_clustering(nl, good.coarse, good.map).ok());
+
+  {  // a cell claimed by the wrong cluster
+    ClusterMap bad = good.map;
+    bad.cluster_of[0] =
+        (bad.cluster_of[0] + 1) % static_cast<CellId>(good.coarse.num_cells());
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+  {  // a member listed twice
+    ClusterMap bad = good.map;
+    bad.members[0].push_back(bad.members[0].front());
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+  {  // a member pushed outside its cluster rectangle
+    ClusterMap bad = good.map;
+    bad.members[0].front().offset.x += 100000;
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+  {  // an inter-cluster net mislabeled as dropped
+    ClusterMap bad = good.map;
+    const auto it = std::find_if(
+        bad.coarse_net_of.begin(), bad.coarse_net_of.end(),
+        [](NetId n) { return n != kInvalidNet; });
+    ASSERT_NE(it, bad.coarse_net_of.end());
+    *it = kInvalidNet;
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+  {  // dropped-net count off by one
+    ClusterMap bad = good.map;
+    bad.dropped_nets += 1;
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+  {  // shape mismatch: truncated cluster_of
+    ClusterMap bad = good.map;
+    bad.cluster_of.pop_back();
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+}
+
+}  // namespace
+}  // namespace tw

@@ -338,6 +338,18 @@ TEST(EvalIncremental, DynamicEngineMediumCircuit) {
                                   .moves = 900});
 }
 
+// SoC-scale exactness: above 1024 cells the overlap engine switches to a
+// size-scaled bin grid (see max_bins_per_axis in overlap.cpp); the
+// indexed-vs-naive and incremental-vs-full invariants must hold across
+// that policy boundary too. Few moves — the naive O(n^2) cross-check
+// dominates the cost at this size.
+TEST(EvalIncremental, DynamicEngineSocScaleCircuit) {
+  run_fuzz(fuzz_circuit(1500, 19), {.dynamic_engine = true,
+                                    .env_changes = false,
+                                    .seed = 505,
+                                    .moves = 30});
+}
+
 // A committed transaction must leave the mutation standing; a reverted one
 // must restore the exact prior state (byte-level via the snapshot).
 TEST(EvalIncremental, CommitAndRevertSemantics) {

@@ -1,0 +1,212 @@
+// Tests for the multilevel flow (src/flow/multilevel + warm_start):
+// same-seed byte-identical determinism, warm-start source behavior, the
+// known-optimum quality comparison against a flat anneal under the same
+// RunBudget, and the SoC-tier smoke (ctest -L soc runs this binary).
+#include <gtest/gtest.h>
+
+#include "fingerprint.hpp"
+#include "flow/multilevel.hpp"
+#include "place/stage1.hpp"
+#include "workload/generator.hpp"
+#include "workload/known_optimum.hpp"
+#include "workload/paper_circuits.hpp"
+
+namespace tw {
+namespace {
+
+/// Compact anneal parameters that finish in test time.
+Stage1Params fast_stage1(int attempts_per_cell = 12) {
+  Stage1Params p;
+  p.attempts_per_cell = attempts_per_cell;
+  p.p2_samples = 6;
+  return p;
+}
+
+MultilevelParams fast_multilevel(std::uint64_t seed) {
+  MultilevelParams p;
+  p.refine = fast_stage1();
+  p.seed = seed;
+  return p;
+}
+
+TEST(Multilevel, SameSeedRunsAreByteIdentical) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  std::string prints[2];
+  for (auto& print : prints) {
+    ClusterWarmStart warm({}, fast_stage1(8));
+    MultilevelFlow flow(nl, warm, fast_multilevel(42));
+    Placement placement(nl);
+    const MultilevelResult r = flow.run(placement);
+    EXPECT_EQ(r.outcome, recover::RunOutcome::kCompleted);
+    EXPECT_EQ(r.warm_source, "cluster");
+    EXPECT_GT(r.warm.clusters, 0);
+    print = testing::fingerprint(placement, r);
+  }
+  EXPECT_EQ(prints[0], prints[1]);
+}
+
+TEST(Multilevel, SeedChangesTheRun) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  std::string prints[2];
+  std::uint64_t seeds[2] = {42, 43};
+  for (int i = 0; i < 2; ++i) {
+    ClusterWarmStart warm({}, fast_stage1(8));
+    MultilevelFlow flow(nl, warm, fast_multilevel(seeds[i]));
+    Placement placement(nl);
+    const MultilevelResult r = flow.run(placement);
+    prints[i] = testing::fingerprint(placement, r);
+  }
+  EXPECT_NE(prints[0], prints[1]);
+}
+
+TEST(Multilevel, QuadraticWarmStartRuns) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  QuadraticWarmStart warm;
+  MultilevelFlow flow(nl, warm, fast_multilevel(7));
+  Placement placement(nl);
+  const MultilevelResult r = flow.run(placement);
+  EXPECT_EQ(r.outcome, recover::RunOutcome::kCompleted);
+  EXPECT_EQ(r.warm_source, "quadratic");
+  EXPECT_EQ(r.warm.clusters, 0);
+  EXPECT_GT(r.warm.teil, 0.0);
+  EXPECT_GT(r.final_teil, 0.0);
+}
+
+TEST(Multilevel, BudgetExpiryWindsDownGracefully) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  recover::RunBudget budget(400, recover::RunBudget::kUnlimited);
+  ClusterWarmStart warm({}, fast_stage1(8));
+  MultilevelParams params = fast_multilevel(7);
+  params.recover.budget = &budget;
+  MultilevelFlow flow(nl, warm, params);
+  Placement placement(nl);
+  const MultilevelResult r = flow.run(placement);
+  EXPECT_EQ(r.outcome, recover::RunOutcome::kBudgetExhausted);
+  EXPECT_GT(r.final_teil, 0.0);
+}
+
+TEST(Multilevel, RejectsBadRefineTFactor) {
+  const Netlist nl = generate_circuit(tiny_circuit(5));
+  ClusterWarmStart warm({}, fast_stage1(8));
+  MultilevelParams params = fast_multilevel(7);
+  params.refine_t_factor = 1.0;
+  EXPECT_THROW(MultilevelFlow(nl, warm, params), std::invalid_argument);
+}
+
+/// The acceptance experiment at unit-test size: on a known-optimum grid
+/// instance, the multilevel flow must reach a lower final TEIL than a flat
+/// stage-1 anneal given the same move budget.
+TEST(Multilevel, BeatsFlatAnnealOnKnownOptimumUnderSameBudget) {
+  const KnownOptimumCircuit ko = known_optimum_circuit({/*grid=*/8,
+                                                        /*cell_size=*/40,
+                                                        /*seed=*/3});
+  const std::int64_t kMoves = 60000;
+
+  double flat_teil = 0.0;
+  {
+    recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+    Stage1Params sp = fast_stage1();
+    Stage1Placer flat(ko.netlist, sp, derive_seed(21, "stage1"));
+    Stage1Hooks hooks;
+    hooks.budget = &budget;
+    flat.set_hooks(hooks);
+    Placement placement(ko.netlist);
+    flat.run(placement);
+    flat_teil = placement.teil();
+  }
+
+  double ml_teil = 0.0;
+  {
+    recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+    ClusterWarmStart warm({}, fast_stage1());
+    MultilevelParams params = fast_multilevel(21);
+    params.recover.budget = &budget;
+    MultilevelFlow flow(ko.netlist, warm, params);
+    Placement placement(ko.netlist);
+    const MultilevelResult r = flow.run(placement);
+    ml_teil = r.final_teil;
+  }
+
+  EXPECT_LT(ml_teil, flat_teil)
+      << "multilevel " << ml_teil << " vs flat " << flat_teil
+      << " (optimum " << ko.optimal_teil << ")";
+}
+
+// --- SoC tier ---------------------------------------------------------------
+// The CI smoke (ctest -L soc): a 1k-macro circuit through the full
+// multilevel flow under a RunBudget. Bounded by moves, not steps, so the
+// test finishes in CI time at any optimization level.
+
+TEST(Soc, TierSpecsScale) {
+  EXPECT_EQ(soc_circuit(SocTier::k1k).num_cells, 1000);
+  EXPECT_EQ(soc_circuit(SocTier::k4k).num_cells, 4000);
+  EXPECT_EQ(soc_circuit(SocTier::k10k).num_cells, 10000);
+  EXPECT_EQ(soc_circuit(SocTier::k10k).num_pins, 140000);
+}
+
+TEST(Soc, MultilevelFlowSmoke1k) {
+  const Netlist nl = generate_circuit(soc_circuit(SocTier::k1k, 2));
+  ASSERT_EQ(nl.num_cells(), 1000u);
+
+  recover::RunBudget budget(300000, recover::RunBudget::kUnlimited);
+  ClusterWarmStart warm({}, fast_stage1(8));
+  MultilevelParams params;
+  params.refine = fast_stage1(8);
+  params.seed = 9;
+  params.recover.budget = &budget;
+  MultilevelFlow flow(nl, warm, params);
+  Placement placement(nl);
+  const MultilevelResult r = flow.run(placement);
+
+  EXPECT_GT(r.warm.clusters, 100);
+  EXPECT_GT(r.warm.teil, 0.0);
+  EXPECT_GT(r.final_teil, 0.0);
+  EXPECT_EQ(r.outcome, recover::RunOutcome::kBudgetExhausted);
+  // Note the warm placement's TEIL is not a lower bound for the
+  // refinement: the projection leaves inter-cluster overlap, and
+  // squeezing it out legitimately lengthens some nets. The quality
+  // criterion (beating the flat anneal under the same budget) is the
+  // next test.
+}
+
+/// The acceptance experiment at SoC scale: 1024 macros with a constructed
+/// optimum, flat vs multilevel under the same move budget.
+TEST(Soc, MultilevelBeatsFlatOn1kKnownOptimum) {
+  const KnownOptimumCircuit ko = known_optimum_circuit({/*grid=*/32,
+                                                        /*cell_size=*/40,
+                                                        /*seed=*/3});
+  ASSERT_EQ(ko.netlist.num_cells(), 1024u);
+  const std::int64_t kMoves = 300000;
+
+  double flat_teil = 0.0;
+  {
+    recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+    Stage1Placer flat(ko.netlist, fast_stage1(8), derive_seed(21, "stage1"));
+    Stage1Hooks hooks;
+    hooks.budget = &budget;
+    flat.set_hooks(hooks);
+    Placement placement(ko.netlist);
+    flat.run(placement);
+    flat_teil = placement.teil();
+  }
+
+  double ml_teil = 0.0;
+  {
+    recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+    ClusterWarmStart warm({}, fast_stage1(8));
+    MultilevelParams params;
+    params.refine = fast_stage1(8);
+    params.seed = 21;
+    params.recover.budget = &budget;
+    MultilevelFlow flow(ko.netlist, warm, params);
+    Placement placement(ko.netlist);
+    ml_teil = flow.run(placement).final_teil;
+  }
+
+  EXPECT_LT(ml_teil, flat_teil)
+      << "multilevel " << ml_teil << " vs flat " << flat_teil
+      << " (optimum " << ko.optimal_teil << ")";
+}
+
+}  // namespace
+}  // namespace tw

@@ -8,7 +8,9 @@
 
 #include "fingerprint.hpp"
 #include "pool/report.hpp"
+#include "flow/multilevel.hpp"
 #include "flow/timberwolf.hpp"
+#include "workload/generator.hpp"
 #include "netlist/parser.hpp"
 #include "netlist/yal.hpp"
 #include "pool/pool.hpp"
@@ -34,6 +36,31 @@ TEST(Readme, QuickstartSnippetCompilesAndRuns) {
   EXPECT_GT(r.final_teil, 0.0);
   EXPECT_GT(r.final_chip_area, 0);
   EXPECT_NE(placement.state(a).center, placement.state(b).center);
+}
+
+TEST(Readme, MultilevelSnippetCompilesAndRuns) {
+  // The README's SoC-scale example, verbatim except the budget and the
+  // anneal length, tightened so the test stays inside unit-test time.
+  tw::Netlist nl = tw::generate_circuit(tw::soc_circuit(tw::SocTier::k1k));
+
+  tw::recover::RunBudget budget(60'000, tw::recover::RunBudget::kUnlimited);
+  tw::Stage1Params fast;
+  fast.attempts_per_cell = 6;
+  fast.p2_samples = 6;
+  tw::ClusterWarmStart warm({}, fast);   // cluster -> coarse anneal -> project
+  tw::MultilevelParams mp;
+  mp.refine = fast;
+  mp.seed = 42;
+  mp.recover.budget = &budget;           // shared: coarse anneal + refinement
+
+  tw::MultilevelFlow flow(nl, warm, mp);
+  tw::Placement placement(nl);
+  tw::MultilevelResult r = flow.run(placement);
+
+  EXPECT_EQ(r.warm_source, "cluster");
+  EXPECT_GT(r.warm.clusters, 0);
+  EXPECT_GT(r.final_teil, 0.0);
+  EXPECT_EQ(r.outcome, tw::recover::RunOutcome::kBudgetExhausted);
 }
 
 TEST(Readme, PoolSnippetEntryPointsExist) {

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "check/validate.hpp"
 #include "fingerprint.hpp"
+#include "flow/multilevel.hpp"
 #include "flow/timberwolf.hpp"
 #include "recover/budget.hpp"
 #include "recover/checkpoint.hpp"
@@ -200,6 +202,142 @@ TEST(Resume, BudgetExpiryDuringRoutingWindsDownToAValidPlacement) {
   EXPECT_GE(budget.moves_charged(), probe.first_route_moves());
   const ValidationReport vr = validate_placement(p);
   EXPECT_TRUE(vr.ok()) << vr.str();
+}
+
+// --- multilevel flow --------------------------------------------------------
+
+MultilevelParams fast_multilevel() {
+  MultilevelParams p;
+  p.refine.attempts_per_cell = 12;
+  p.refine.p2_samples = 6;
+  p.seed = kSeed;
+  return p;
+}
+
+Stage1Params fast_coarse() {
+  Stage1Params p;
+  p.attempts_per_cell = 8;
+  p.p2_samples = 6;
+  return p;
+}
+
+/// Ground truth for the multilevel resume tests: the uninterrupted run.
+const std::string& ml_baseline() {
+  static const std::string fp = [] {
+    ClusterWarmStart warm({}, fast_coarse());
+    MultilevelFlow flow(test_netlist(), warm, fast_multilevel());
+    Placement p(test_netlist());
+    const MultilevelResult r = flow.run(p);
+    return fingerprint(p, r);
+  }();
+  return fp;
+}
+
+/// Kill inside the refinement anneal, resume from the newest checkpoint,
+/// and require the continuation to be byte-identical to ml_baseline().
+/// The warm start (clustering + coarse anneal) is not replayed on resume:
+/// its outputs ride in the kMultilevelRefine checkpoint.
+std::string ml_kill_and_resume(FaultSite site, std::int64_t nth,
+                               const std::string& leaf) {
+  const std::string dir = fresh_dir(leaf);
+
+  FaultPlan plan;
+  plan.kill_at(site, nth);
+  MultilevelParams params = fast_multilevel();
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  params.recover.faults = &plan;
+
+  {
+    ClusterWarmStart warm({}, fast_coarse());
+    MultilevelFlow doomed_flow(test_netlist(), warm, params);
+    Placement doomed(test_netlist());
+    EXPECT_THROW((void)doomed_flow.run(doomed), InjectedFault)
+        << "site " << recover::to_string(site) << " poll " << nth
+        << " never fired";
+  }
+
+  const auto latest = recover::find_latest_checkpoint(dir);
+  EXPECT_TRUE(latest.has_value()) << "no checkpoint survived the crash";
+  if (!latest) return {};
+  const FlowCheckpoint cp = recover::load_checkpoint(*latest);
+  EXPECT_EQ(cp.phase, recover::FlowPhase::kMultilevelRefine);
+
+  ClusterWarmStart warm({}, fast_coarse());
+  MultilevelFlow flow(test_netlist(), warm, fast_multilevel());
+  Placement p(test_netlist());
+  const MultilevelResult r = flow.resume(p, cp);
+  EXPECT_EQ(r.outcome, RunOutcome::kResumed);
+  return fingerprint(p, r);
+}
+
+TEST(Resume, MultilevelRefineKilledEarly) {
+  EXPECT_EQ(ml_kill_and_resume(FaultSite::kStage1Step, 1, "tw_res_mla"),
+            ml_baseline());
+}
+
+TEST(Resume, MultilevelRefineKilledMidSchedule) {
+  EXPECT_EQ(ml_kill_and_resume(FaultSite::kStage1Step, 5, "tw_res_mlb"),
+            ml_baseline());
+}
+
+TEST(Resume, MultilevelRefineKilledMidStepAtAnAccept) {
+  // Dying between checkpoints loses the partial step; the resume replays
+  // it from the last boundary and must still converge to the same bytes.
+  EXPECT_EQ(ml_kill_and_resume(FaultSite::kStage1Accept, 120, "tw_res_mlc"),
+            ml_baseline());
+}
+
+TEST(Resume, MultilevelRejectsForeignPhaseCheckpoint) {
+  // A stage-1 checkpoint from the classic flow must be refused by the
+  // multilevel resume with a typed error, not misinterpreted.
+  const std::string dir = fresh_dir("tw_res_mlphase");
+  FlowParams params = fast_flow(kSeed);
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  Placement p(test_netlist());
+  (void)TimberWolfMC(test_netlist(), params).run(p);
+  FlowCheckpoint cp =
+      recover::load_checkpoint(*recover::find_latest_checkpoint(dir));
+  ASSERT_NE(cp.phase, recover::FlowPhase::kMultilevelRefine);
+
+  ClusterWarmStart warm({}, fast_coarse());
+  MultilevelFlow flow(test_netlist(), warm, fast_multilevel());
+  Placement p2(test_netlist());
+  try {
+    (void)flow.resume(p2, cp);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kCorrupt);
+  }
+}
+
+TEST(Resume, OldCheckpointVersionIsTypedError) {
+  // A version-2 file (the pre-multilevel format) must be rejected with
+  // kBadVersion by today's reader — no silent migration. The frame CRC
+  // only covers the payload, so rewriting the version field alone forges
+  // a structurally valid old-version file.
+  const std::string dir = fresh_dir("tw_res_oldver");
+  FlowParams params = fast_flow(kSeed);
+  params.recover.checkpoint_dir = dir;
+  params.recover.checkpoint_every = 1;
+  Placement p(test_netlist());
+  (void)TimberWolfMC(test_netlist(), params).run(p);
+  const std::string path = *recover::find_latest_checkpoint(dir);
+
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(4);  // magic "TWCP" | u32 version | ...
+  const std::uint32_t old_version = 2;
+  f.write(reinterpret_cast<const char*>(&old_version), 4);
+  f.close();
+
+  try {
+    (void)recover::load_checkpoint(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.code(), CheckpointErrc::kBadVersion);
+  }
 }
 
 TEST(Resume, NetlistMismatchIsTypedError) {

@@ -1,0 +1,3 @@
+#pragma once
+#include "cluster/c.hpp"
+#include "netlist/n.hpp"

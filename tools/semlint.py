@@ -91,7 +91,12 @@ ANNEALER_ROOT_FILES = {"src/place/stage1.cpp", "src/refine/stage2.cpp"}
 # txn-reach: files allowed to invoke placement mutators directly even when
 # reachable from the annealers — the transaction layer itself, the
 # placement class (mutators calling each other), and the legalizer (runs
-# between passes and owns the engine resync that follows it).
+# between passes and owns the engine resync that follows it). The
+# baseline constructive placers and the warm-start sources also qualify:
+# they perform whole-placement initialization strictly before a placer
+# constructs its overlap/net-bound engines, so there is no index to
+# desync (the name-keyed call graph chains them into the annealers only
+# through the multilevel flow's run/resume methods).
 TXN_LAYER_FILES = {
     "src/place/move_txn.hpp",
     "src/place/move_txn.cpp",
@@ -99,6 +104,9 @@ TXN_LAYER_FILES = {
     "src/place/placement.cpp",
     "src/place/legalize.hpp",
     "src/place/legalize.cpp",
+    "src/baseline/quadratic.cpp",
+    "src/baseline/shelf.cpp",
+    "src/flow/warm_start.cpp",
 }
 
 # txn-reach: the Placement mutator surface (kept in sync with
