@@ -19,13 +19,16 @@
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "channel/channel_graph.hpp"
 #include "flow/multilevel.hpp"
 #include "place/legalize.hpp"
 #include "place/stage1.hpp"
+#include "place/stage1_parallel.hpp"
 #include "recover/budget.hpp"
 #include "route/interchange.hpp"
+#include "workload/generator.hpp"
 #include "workload/paper_circuits.hpp"
 
 namespace tw {
@@ -76,11 +79,16 @@ int scaled_attempts_per_cell(int cells) {
 /// One measured multilevel-flow point: a flat stage-1 anneal vs the
 /// cluster-warm-started multilevel flow on the same netlist under the
 /// same RunBudget (docs/PERF.md "Multilevel flow"). teil_ratio < 1 means
-/// the multilevel flow won.
+/// the multilevel flow won. The coarse-net degree pair documents the
+/// aggregated-degree cap: uncapped, a hub net aggregates into one coarse
+/// net touching hundreds of clusters (the 10k tier's former blow-up);
+/// capped, no coarse net exceeds kDefaultAggregatedDegreeCap pins.
 struct MlSample {
   int cells = 0;
   long long budget_moves = 0;
   int clusters = 0;
+  int max_coarse_net_degree = 0;           ///< with the flow's default cap
+  int uncapped_max_coarse_net_degree = 0;  ///< same clustering, cap disabled
   double warm_teil = 0.0;
   double ml_teil = 0.0;
   double flat_teil = 0.0;
@@ -93,21 +101,44 @@ std::map<int, MlSample>& multilevel_registry() {
   return samples;
 }
 
+/// One measured parallel stage-1 point, keyed by worker count: the same
+/// full-anneal figure of merit as Stage1MoveThroughput, on the parallel
+/// engine (docs/PERF.md "Parallel annealing"). The result is
+/// worker-count invariant, so clean/conflicted are identical across rows
+/// and only seconds / moves_per_sec vary with the thread layout.
+struct ParallelSample {
+  int workers = 0;
+  int cells = 0;
+  long long attempts = 0;
+  long long slots = 0;
+  long long clean = 0;
+  long long conflicted = 0;
+  double seconds = 0.0;
+  double moves_per_sec = 0.0;
+};
+
+std::map<int, ParallelSample>& parallel_registry() {
+  static std::map<int, ParallelSample> samples;
+  return samples;
+}
+
 /// Writes the throughput registry as BENCH_perf.json. The default path is
 /// relative to the working directory: the CI perf step runs from the repo
 /// root, so the artifact lands there; the ctest smoke runs from the build
 /// tree and leaves the committed root file untouched.
 void write_perf_json() {
   if (throughput_registry().empty() && router_registry().empty() &&
-      multilevel_registry().empty())
+      multilevel_registry().empty() && parallel_registry().empty())
     return;
   const char* env = std::getenv("TW_BENCH_OUT");
   const std::string path = env != nullptr ? env : "BENCH_perf.json";
   std::ofstream out(path);
   if (!out) return;
   out << "{\n"
-      << "  \"schema_version\": 3,\n"
+      << "  \"schema_version\": 4,\n"
       << "  \"suite\": \"bench_perf\",\n"
+      << "  \"hardware_concurrency\": " << std::thread::hardware_concurrency()
+      << ",\n"
       << "  \"stage1_move_throughput\": [\n";
   bool first = true;
   for (const auto& [cells, s] : throughput_registry()) {
@@ -133,6 +164,21 @@ void write_perf_json() {
         << ", \"nets_per_sec\": " << s.nets_per_sec << "}";
   }
   out << "\n  ],\n"
+      << "  \"stage1_parallel_throughput\": [\n";
+  first = true;
+  for (const auto& [workers, s] : parallel_registry()) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"workers\": " << s.workers
+        << ", \"cells\": " << s.cells
+        << ", \"attempts\": " << s.attempts
+        << ", \"slots\": " << s.slots
+        << ", \"clean\": " << s.clean
+        << ", \"conflicted\": " << s.conflicted
+        << ", \"seconds\": " << s.seconds
+        << ", \"moves_per_sec\": " << s.moves_per_sec << "}";
+  }
+  out << "\n  ],\n"
       << "  \"multilevel_flow\": [\n";
   first = true;
   for (const auto& [cells, s] : multilevel_registry()) {
@@ -141,6 +187,9 @@ void write_perf_json() {
     out << "    {\"cells\": " << s.cells
         << ", \"budget_moves\": " << s.budget_moves
         << ", \"clusters\": " << s.clusters
+        << ", \"max_coarse_net_degree\": " << s.max_coarse_net_degree
+        << ", \"uncapped_max_coarse_net_degree\": "
+        << s.uncapped_max_coarse_net_degree
         << ", \"warm_teil\": " << s.warm_teil
         << ", \"ml_teil\": " << s.ml_teil
         << ", \"flat_teil\": " << s.flat_teil
@@ -358,15 +407,64 @@ BENCHMARK(BM_Stage1MoveThroughput)
     ->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
+/// Parallel stage-1 throughput: the same full-anneal figure of merit as
+/// BM_Stage1MoveThroughput, on ParallelStage1Placer, swept over worker
+/// counts. The per-worker samples (plus the host's hardware_concurrency,
+/// recorded at the top of BENCH_perf.json) document what speculation buys
+/// on this host — on a single-core container every row costs the same
+/// wall clock and the sweep measures the speculation overhead instead.
+void BM_Stage1ParallelThroughput(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  const int cells = 96;
+  const Netlist nl = PlacedFixture::make_netlist(cells);
+  ParallelStage1Params params;
+  params.base.attempts_per_cell = scaled_attempts_per_cell(cells);
+  params.base.p2_samples = 8;
+  params.num_workers = workers;
+  ParallelSample sample;
+  sample.workers = workers;
+  sample.cells = cells;
+  for (auto _ : state) {
+    Placement placement(nl);
+    ParallelStage1Placer placer(nl, params, 5);
+    const auto t0 = std::chrono::steady_clock::now();
+    const Stage1Result r = placer.run(placement);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    sample.attempts += r.attempts;
+    sample.seconds += dt.count();
+    sample.slots += placer.batch_stats().slots;
+    sample.clean += placer.batch_stats().clean;
+    sample.conflicted += placer.batch_stats().conflicted;
+  }
+  state.SetItemsProcessed(sample.attempts);
+  if (sample.seconds > 0.0) {
+    sample.moves_per_sec =
+        static_cast<double>(sample.attempts) / sample.seconds;
+    state.counters["moves_per_sec"] = sample.moves_per_sec;
+    parallel_registry()[workers] = sample;
+  }
+}
+BENCHMARK(BM_Stage1ParallelThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 /// Multilevel-flow benchmark: one flat stage-1 anneal and one
-/// cluster-warm-started multilevel flow on the same 1k-macro netlist,
-/// each under the same RunBudget, recorded side by side into
-/// BENCH_perf.json. A single iteration: the figure of merit is the
-/// quality-per-budget ratio (ml_teil / flat_teil), not a rate, and one
-/// full flow pair is already several seconds of anneal.
+/// cluster-warm-started multilevel flow on the same netlist, each under
+/// the same RunBudget, recorded side by side into BENCH_perf.json. A
+/// single iteration: the figure of merit is the quality-per-budget ratio
+/// (ml_teil / flat_teil), not a rate, and one full flow pair is already
+/// several seconds of anneal. The 1k point keeps the historic generic
+/// workload; the 10k point uses the SoC tier (soc_circuit), whose hub
+/// nets are what the aggregated-degree cap exists for.
 void BM_MultilevelFlow(benchmark::State& state) {
   const int cells = static_cast<int>(state.range(0));
-  const Netlist nl = PlacedFixture::make_netlist(cells);
+  const Netlist nl = cells >= 10000
+                         ? generate_circuit(soc_circuit(SocTier::k10k))
+                         : PlacedFixture::make_netlist(cells);
   const std::int64_t kMoves = 300LL * cells;
 
   Stage1Params sp;
@@ -376,6 +474,26 @@ void BM_MultilevelFlow(benchmark::State& state) {
   MlSample sample;
   sample.cells = cells;
   sample.budget_moves = kMoves;
+
+  // Document the aggregated-degree cap on this workload: reproduce the
+  // exact clustering the flow below will run (same derived seed chain,
+  // flow-default cap) and the same clustering with the cap opted out, and
+  // record the widest coarse net of each.
+  {
+    ClusterParams cp;
+    cp.seed = derive_seed(derive_seed(17, "warm"), "cluster");
+    cp.max_aggregated_degree = kDefaultAggregatedDegreeCap;
+    const auto max_degree = [](const Netlist& coarse) {
+      std::size_t widest = 0;
+      for (const Net& n : coarse.nets()) widest = std::max(widest, n.pins.size());
+      return static_cast<int>(widest);
+    };
+    sample.max_coarse_net_degree = max_degree(cluster_netlist(nl, cp).coarse);
+    cp.max_aggregated_degree = -1;
+    sample.uncapped_max_coarse_net_degree =
+        max_degree(cluster_netlist(nl, cp).coarse);
+  }
+
   for (auto _ : state) {
     {
       recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
@@ -416,6 +534,7 @@ void BM_MultilevelFlow(benchmark::State& state) {
 }
 BENCHMARK(BM_MultilevelFlow)
     ->Arg(1000)
+    ->Arg(10000)
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -299,16 +299,40 @@ Clustering cluster_netlist(const Netlist& nl, const ClusterParams& params) {
       // Intra-cluster net: its length is invariant under cluster moves.
       ++out.map.dropped_nets;
     } else {
-      const NetId coarse_net =
-          out.coarse.add_net(net.name, net.weight_h, net.weight_v);
-      out.map.coarse_net_of[static_cast<std::size_t>(net.id)] = coarse_net;
-      out.map.flat_net_of.push_back(net.id);
-      for (const CellId cl : incident) {
-        const auto k = static_cast<std::size_t>(cl);
-        const Point avg{sum_x[k] / cnt[k], sum_y[k] / cnt[k]};
-        out.coarse.add_fixed_pin(
-            cl, "n" + std::to_string(net.id) + "@cl" + std::to_string(k),
-            coarse_net, to_boundary(avg, rect_w[k], rect_h[k]));
+      // Hub-net segmentation: with a degree cap, the sorted incidence list
+      // is emitted as a chain of coarse nets of at most `cap` pins,
+      // consecutive segments overlapping in one cluster so the chain still
+      // pulls its ends together. The stride is cap-1, so every segment
+      // (including the last) has between 2 and cap pins. Without a cap
+      // (or when the net fits under it) the loop runs exactly once and
+      // reproduces the one-net-per-flat-net emission.
+      const auto cap = static_cast<std::size_t>(
+          params.max_aggregated_degree >= 2 ? params.max_aggregated_degree
+                                            : 0);
+      const std::size_t seg_size =
+          (cap >= 2 && incident.size() > cap) ? cap : incident.size();
+      std::size_t begin = 0;
+      int seg = 0;
+      while (true) {
+        const std::size_t end = std::min(begin + seg_size, incident.size());
+        const std::string suffix =
+            seg == 0 ? std::string() : "#s" + std::to_string(seg);
+        const NetId coarse_net =
+            out.coarse.add_net(net.name + suffix, net.weight_h, net.weight_v);
+        if (seg == 0)
+          out.map.coarse_net_of[static_cast<std::size_t>(net.id)] = coarse_net;
+        out.map.flat_net_of.push_back(net.id);
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto k = static_cast<std::size_t>(incident[i]);
+          const Point avg{sum_x[k] / cnt[k], sum_y[k] / cnt[k]};
+          out.coarse.add_fixed_pin(
+              incident[i],
+              "n" + std::to_string(net.id) + suffix + "@cl" + std::to_string(k),
+              coarse_net, to_boundary(avg, rect_w[k], rect_h[k]));
+        }
+        if (end == incident.size()) break;
+        begin = end - 1;  // overlap one cluster with the next segment
+        ++seg;
       }
     }
     for (const CellId cl : incident) {

@@ -45,6 +45,18 @@ struct ClusterParams {
   /// cluster's interior (a routing allowance, in grid units). The flow
   /// passes the technology-consistent nominal_spacing(nl).
   Coord member_spacing = 0;
+
+  /// Cap on the degree of an aggregated coarse net (>= 2 to take effect;
+  /// anything below, including the 0 default, means no cap). A
+  /// hub net incident on k clusters normally becomes one coarse net with
+  /// k pins, so every coarse move of any incident cluster rescans all k
+  /// bound pins — at SoC scale a clock touching thousands of clusters
+  /// turns each move into a full sweep. With a cap, such a net is split
+  /// into a chain of segments of at most this degree, consecutive
+  /// segments sharing one cluster (so the pieces still pull each other
+  /// together); coarse_net_of names the first segment, and every segment's
+  /// flat_net_of points back at the source net.
+  int max_aggregated_degree = 0;
 };
 
 /// One member of a cluster: a flat cell and the offset of its center from
@@ -58,10 +70,13 @@ struct ClusterMember {
 /// are mutually redundant views of the same partition (validate_clustering
 /// cross-checks them); `coarse_net_of` / `flat_net_of` link the two net
 /// spaces, with kInvalidNet marking flat nets dropped as intra-cluster.
+/// Under a max_aggregated_degree cap a flat net may own several coarse
+/// nets (a segment chain): coarse_net_of names the first segment, and
+/// flat_net_of maps every segment back to the source net.
 struct ClusterMap {
   std::vector<CellId> cluster_of;                  ///< flat cell -> coarse cell
   std::vector<std::vector<ClusterMember>> members; ///< coarse cell -> members
-  std::vector<NetId> coarse_net_of;  ///< flat net -> coarse net / kInvalidNet
+  std::vector<NetId> coarse_net_of;  ///< flat net -> first coarse segment
   std::vector<NetId> flat_net_of;    ///< coarse net -> source flat net
   int dropped_nets = 0;              ///< flat nets entirely inside one cluster
 };
@@ -92,9 +107,10 @@ inline Point member_center(Point center, Orient orient,
 /// partition consistency (each flat cell in exactly one cluster, both
 /// views agreeing), member offsets inside their cluster rectangle, area
 /// conservation, net-mapping completeness (every flat net either dropped
-/// as intra-cluster or mapped to a coarse net spanning exactly its
-/// incident clusters, weights preserved, one aggregated pin per
-/// incidence), and structural validity of the coarse netlist itself.
+/// as intra-cluster or mapped to one or more coarse segments that
+/// together span exactly its incident clusters — a connected chain when
+/// the degree cap split it — weights preserved on every segment), and
+/// structural validity of the coarse netlist itself.
 ValidationReport validate_clustering(const Netlist& flat,
                                      const Netlist& coarse,
                                      const ClusterMap& map);

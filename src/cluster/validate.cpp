@@ -3,6 +3,7 @@
 // every violation it can find instead of stopping at the first, so a
 // defective clustering is diagnosable in one pass.
 #include <algorithm>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -92,9 +93,24 @@ ValidationReport validate_clustering(const Netlist& flat,
   }
 
   // --- net mapping -----------------------------------------------------------
+  // A surviving flat net owns one or more coarse nets ("segments"): one in
+  // the common case, a chain of them when the ClusterParams degree cap
+  // split a hub net. flat_net_of inverts the relation, so group the coarse
+  // nets by source first; segments of one net are emitted consecutively,
+  // ascending, starting at coarse_net_of.
+  std::vector<std::vector<NetId>> segments_of(flat.num_nets());
+  for (NetId cn = 0; cn < static_cast<NetId>(coarse.num_nets()); ++cn) {
+    const NetId fn = map.flat_net_of[static_cast<std::size_t>(cn)];
+    if (fn < 0 || fn >= static_cast<NetId>(flat.num_nets()))
+      add_issue(r, "coarse net " + std::to_string(cn), "flat_net_of ", fn,
+                " out of range");
+    else
+      segments_of[static_cast<std::size_t>(fn)].push_back(cn);
+  }
+
   int dropped = 0;
-  std::vector<int> mapped_from(coarse.num_nets(), 0);
   std::vector<CellId> incident;
+  std::vector<CellId> covered;
   for (const Net& net : flat.nets()) {
     incident.clear();
     for (const PinId pid : net.pins) {
@@ -106,12 +122,17 @@ ValidationReport validate_clustering(const Netlist& flat,
     incident.erase(std::unique(incident.begin(), incident.end()),
                    incident.end());
     const NetId cn = map.coarse_net_of[static_cast<std::size_t>(net.id)];
+    const auto& segs = segments_of[static_cast<std::size_t>(net.id)];
 
     if (incident.size() < 2) {
       ++dropped;
       if (cn != kInvalidNet)
         add_issue(r, "net " + std::to_string(net.id),
                   "is intra-cluster but maps to coarse net ", cn);
+      if (!segs.empty())
+        add_issue(r, "net " + std::to_string(net.id),
+                  "is intra-cluster but ", segs.size(),
+                  " coarse net(s) claim it as their source");
       continue;
     }
     if (cn < 0 || cn >= static_cast<NetId>(coarse.num_nets())) {
@@ -120,34 +141,56 @@ ValidationReport validate_clustering(const Netlist& flat,
                 " cluster(s) but has no valid coarse net (", cn, ")");
       continue;
     }
-    mapped_from[static_cast<std::size_t>(cn)] += 1;
-    if (map.flat_net_of[static_cast<std::size_t>(cn)] != net.id)
+    if (segs.empty() || segs.front() != cn) {
       add_issue(r, "net " + std::to_string(net.id), "maps to coarse net ", cn,
-                " whose flat_net_of is ",
-                map.flat_net_of[static_cast<std::size_t>(cn)]);
-    const Net& cnet = coarse.net(cn);
-    if (cnet.weight_h != net.weight_h || cnet.weight_v != net.weight_v)
-      add_issue(r, "net " + std::to_string(net.id), "weights (", net.weight_h,
-                ", ", net.weight_v, ") not preserved on coarse net (",
-                cnet.weight_h, ", ", cnet.weight_v, ")");
-    // Pin aggregation: exactly one coarse pin per incident cluster.
-    std::vector<CellId> coarse_cells;
-    for (const PinId pid : cnet.pins)
-      coarse_cells.push_back(coarse.pin(pid).cell);
-    std::sort(coarse_cells.begin(), coarse_cells.end());
-    if (coarse_cells != incident)
+                " which is not the first of its ", segs.size(), " segment(s)");
+      continue;
+    }
+    // Per segment: weights preserved, >= 2 pins on distinct incident
+    // clusters; across segments: consecutive ones overlap (the chain is
+    // connected) and together they cover exactly the incident clusters.
+    covered.clear();
+    std::vector<CellId> prev_cells;
+    for (const NetId seg : segs) {
+      const Net& cnet = coarse.net(seg);
+      if (cnet.weight_h != net.weight_h || cnet.weight_v != net.weight_v)
+        add_issue(r, "net " + std::to_string(net.id), "weights (",
+                  net.weight_h, ", ", net.weight_v,
+                  ") not preserved on coarse net (", cnet.weight_h, ", ",
+                  cnet.weight_v, ")");
+      std::vector<CellId> seg_cells;
+      for (const PinId pid : cnet.pins)
+        seg_cells.push_back(coarse.pin(pid).cell);
+      std::sort(seg_cells.begin(), seg_cells.end());
+      if (seg_cells.size() < 2 ||
+          std::adjacent_find(seg_cells.begin(), seg_cells.end()) !=
+              seg_cells.end())
+        add_issue(r, "coarse net " + std::to_string(seg), "segment of net ",
+                  net.id, " has ", seg_cells.size(),
+                  " pin(s), expected >= 2 on distinct clusters");
+      if (!prev_cells.empty()) {
+        std::vector<CellId> shared;
+        std::set_intersection(prev_cells.begin(), prev_cells.end(),
+                              seg_cells.begin(), seg_cells.end(),
+                              std::back_inserter(shared));
+        if (shared.empty())
+          add_issue(r, "coarse net " + std::to_string(seg), "segment of net ",
+                    net.id, " shares no cluster with the previous segment");
+      }
+      covered.insert(covered.end(), seg_cells.begin(), seg_cells.end());
+      prev_cells = std::move(seg_cells);
+    }
+    std::sort(covered.begin(), covered.end());
+    covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+    if (covered != incident)
       add_issue(r, "net " + std::to_string(net.id), "touches ",
-                incident.size(), " cluster(s) but its coarse net has ",
-                coarse_cells.size(), " pin(s) or the wrong clusters");
+                incident.size(), " cluster(s) but its ", segs.size(),
+                " segment(s) cover ", covered.size(),
+                " or the wrong clusters");
   }
   if (dropped != map.dropped_nets)
     add_issue(r, "dropped_nets", "records ", map.dropped_nets,
               " intra-cluster net(s), recount finds ", dropped);
-  for (NetId cn = 0; cn < static_cast<NetId>(coarse.num_nets()); ++cn)
-    if (mapped_from[static_cast<std::size_t>(cn)] != 1)
-      add_issue(r, "coarse net " + std::to_string(cn), "mapped from ",
-                mapped_from[static_cast<std::size_t>(cn)],
-                " flat net(s), expected exactly 1");
 
   // --- the coarse netlist itself ---------------------------------------------
   try {

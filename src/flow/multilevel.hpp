@@ -44,8 +44,22 @@ struct MultilevelParams {
   /// T_infinity is sized for near-unit acceptance, so even 0.15 * T_inf
   /// still accepts most uphill moves and re-scrambles the warm placement
   /// (measured on the 1k known-optimum instance: 0.15 ends 2.9x worse
-  /// than 0.02). 0.02 keeps the acceptance low enough to polish.
+  /// than 0.02). 0.02 keeps the acceptance low enough to polish. With
+  /// probe_refine_t on (the default) this constant is the fallback; with
+  /// it off, the constant is used directly.
   double refine_t_factor = 0.02;
+
+  /// Derive the refinement's starting temperature from the warm placement
+  /// itself instead of the fixed constant: sample single-cell
+  /// displacements, measure the mean uphill wire-cost delta, and start at
+  /// the temperature whose uphill acceptance would be ~25%, clamped to
+  /// [0.005, 0.2] of T_infinity (refine_t_factor is the fallback when the
+  /// probe cannot measure). A cheap warm start (random) probes hot and
+  /// gets room to fix it; a good one (cluster) probes cool and is only
+  /// polished. The probe restores every cell it touches and draws from
+  /// its own derived stream, so it shifts no other decision; resumed runs
+  /// skip it entirely (they continue at the checkpoint temperature).
+  bool probe_refine_t = true;
 
   std::uint64_t seed = 1;
 

@@ -58,6 +58,13 @@ WarmStartInfo ClusterWarmStart::prepare(Placement& placement, const Rect& core,
   const ClusterParams cp = [&] {
     ClusterParams p = cluster_;
     p.seed = derive_seed(seed, "cluster");
+    // The flow promotes the library's "no cap" default to a real cap:
+    // at SoC scale a hub net (clock/reset) aggregates into one coarse
+    // net touching thousands of clusters, and every coarse move of any
+    // incident cluster rescans all of them — the 10k tier spent most of
+    // its coarse anneal inside those rescans. A negative value opts out.
+    if (p.max_aggregated_degree == 0)
+      p.max_aggregated_degree = kDefaultAggregatedDegreeCap;
     return p;
   }();
   Clustering clustering = cluster_netlist(flat, cp);

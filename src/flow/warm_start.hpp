@@ -76,12 +76,20 @@ class QuadraticWarmStart final : public WarmStart {
   QuadraticParams params_;
 };
 
+/// Aggregated-degree cap the cluster warm start applies when the caller
+/// leaves ClusterParams::max_aggregated_degree at its library default of
+/// 0 (see that field's comment for why hub nets need one at SoC scale).
+/// Pass a negative value to run genuinely uncapped.
+inline constexpr int kDefaultAggregatedDegreeCap = 32;
+
 /// The multilevel path: cluster, anneal the coarse netlist, uncluster.
 class ClusterWarmStart final : public WarmStart {
  public:
   /// `coarse_stage1` parameterizes the cluster-level anneal (its
   /// warm_start_t_factor is forced back to the cold-start 1.0: the coarse
-  /// placement has no meaningful initial state).
+  /// placement has no meaningful initial state; a zero
+  /// max_aggregated_degree in `cluster` is promoted to
+  /// kDefaultAggregatedDegreeCap, negative disables the cap).
   ClusterWarmStart(ClusterParams cluster, Stage1Params coarse_stage1)
       : cluster_(cluster), coarse_stage1_(coarse_stage1) {}
 

@@ -1,0 +1,156 @@
+// Parallel stage 1: region-partitioned speculative move batches with a
+// deterministic commit pass.
+//
+// The serial Stage1Placer proposes, evaluates, and commits one move at a
+// time; after PR 4's incremental core that path is compute-bound on a
+// single thread. This engine keeps the paper's annealing schedule and
+// move repertoire but evaluates *batches* of proposal slots concurrently:
+//
+//   1. Speculate. Each slot of a batch runs one full inner-loop
+//      iteration (displacement cascade / interchange / pin moves) against
+//      a per-worker *replica* of the placement, frozen at the batch
+//      start. Slot randomness comes from derive_slot_seed(seed, step,
+//      batch, slot) — keyed by the slot index, never by the worker that
+//      claimed it — and every state the slot read or wrote is summarized
+//      in a footprint: a 64-bit region mask over a coarse core grid
+//      (src/geom/bins.*) plus the list of incident nets.
+//   2. Commit deterministically. A single thread walks the slots in slot
+//      order. A slot whose read footprint is disjoint from everything
+//      committed earlier in the batch saw exactly the master state, so
+//      its recorded accept/reject decisions and cost terms are
+//      bit-identical to what a serial evaluation would have produced;
+//      its surviving moves are applied through MoveTxn::commit_applied.
+//      A conflicting slot is re-executed serially on the master from the
+//      same slot seed (the paper's trajectory semantics for that slot,
+//      just computed late).
+//   3. Resync. Replicas replay the batch's committed states
+//      (MoveTxn::sync_states) and the next batch begins.
+//
+// Because conflict detection compares footprints — both sides derived
+// from the same frozen state — and the commit order is the slot order,
+// the result is byte-identical for ANY worker count, including 1. The
+// worker count changes only which thread computes a speculation, never
+// what is computed. CostAudit drift checkpoints and the full-check
+// before/after-term verification in commit_applied prove the incremental
+// bookkeeping exact under parallel commit.
+#pragma once
+
+#include <span>
+
+#include "geom/bins.hpp"
+#include "place/stage1.hpp"
+#include "pool/workers.hpp"
+
+namespace tw {
+
+struct ParallelStage1Params {
+  /// The annealing parameters proper (schedule, cost, estimator, ...).
+  Stage1Params base;
+
+  /// Worker threads evaluating speculation batches (the committing thread
+  /// participates). <= 1 runs the whole algorithm on the caller thread —
+  /// same trajectory, no threads.
+  int num_workers = 1;
+
+  /// Proposal slots per batch; 0 sizes automatically from the circuit
+  /// (one slot per cell, clamped to [8, 256]). Part of the trajectory:
+  /// changing it changes results; the worker count never does.
+  int batch_slots = 0;
+
+  /// Region span of the conflict-detection grid; 0 derives it from the
+  /// core (~1/8 of the larger core dimension, giving an 8x8 = 64-region
+  /// partition, one machine word per footprint).
+  Coord region_span = 0;
+};
+
+class ParallelStage1Placer {
+public:
+  ParallelStage1Placer(const Netlist& nl, ParallelStage1Params params,
+                       std::uint64_t seed);
+
+  /// Runs the anneal; drop-in for Stage1Placer::run. A given
+  /// (netlist, params, seed) triple yields one byte-identical result for
+  /// every num_workers value.
+  Stage1Result run(Placement& placement);
+
+  /// Resumes from a temperature-step checkpoint cursor (the same
+  /// Stage1Cursor the serial placer uses: per-slot RNG streams are
+  /// re-derived from (seed, step, batch, slot), so only the master
+  /// stream's state needs to be carried). The worker count at resume
+  /// time is free — determinism is per (seed, batch_slots), not per
+  /// thread layout.
+  Stage1Result resume(Placement& placement, const Stage1Cursor& cursor);
+
+  void set_hooks(Stage1Hooks hooks) { hooks_ = std::move(hooks); }
+
+  const DynamicAreaEstimator& estimator() const { return estimator_; }
+
+  /// Speculation accounting for the finished run (bench + docs): how many
+  /// slots committed from their speculative evaluation vs. were
+  /// re-executed serially after a footprint conflict.
+  struct BatchStats {
+    long long batches = 0;
+    long long slots = 0;
+    long long clean = 0;       ///< committed from speculation
+    long long conflicted = 0;  ///< re-executed serially in the commit pass
+  };
+  const BatchStats& batch_stats() const { return stats_; }
+
+private:
+  struct Workspace;   ///< placement + overlap + model + txn, by reference
+  struct Replica;     ///< a worker's owned copy of the above
+  struct SlotResult;  ///< recorded commits + footprints of one slot
+  struct SlotEnv;     ///< per-step constants (t, windows, p_displace)
+
+  struct MoveOutcome {
+    bool attempted_valid = false;
+    bool accepted = false;
+  };
+
+  Stage1Result run_impl(Placement& placement, const Stage1Cursor* cursor);
+
+  /// One inner-loop iteration (the serial placer's move cascade) against
+  /// `ws`, recording accepted moves and footprints into `out`. With
+  /// `on_master` the commits fold into the true running totals and fire
+  /// the audit/fault hooks (the conflict re-execution path); otherwise
+  /// `running` is replica scratch and the caller rolls the slot back.
+  void run_slot(const Workspace& ws, Rng& rng, const SlotEnv& env,
+                SlotResult& out, CostTerms& running, bool on_master);
+
+  /// Restores `ws` to its pre-slot state (reverse replay of the slot's
+  /// recorded commits) after a speculative evaluation.
+  void rollback_slot(const Workspace& ws, SlotResult& out);
+
+  /// Adds cell `c`'s current outline and incident nets to `out`'s read
+  /// footprint; returns the outline's region mask (the caller passes it
+  /// to judge as the pre-move half of a committed move's write footprint).
+  std::uint64_t note_read(const Workspace& ws, CellId c, SlotResult& out);
+
+  /// Metropolis-judges the open transaction on `ws` (mirrors
+  /// Stage1Placer::decide, with slot-local RNG, footprint recording, and
+  /// commit recording for the later master-side apply).
+  MoveOutcome judge(const Workspace& ws, Rng& rng, const SlotEnv& env,
+                    std::span<const CellId> cells, bool pin_mode,
+                    std::span<const NetId> nets, const char* what,
+                    std::uint64_t pre_regions, SlotResult& out,
+                    CostTerms& running, bool on_master);
+
+  MoveOutcome try_pin_move(const Workspace& ws, Rng& rng, const SlotEnv& env,
+                           CellId i, SlotResult& out, CostTerms& running,
+                           bool on_master);
+
+  void quench(const Workspace& ws, const Rect& core, long long inner);
+
+  const Netlist& nl_;
+  ParallelStage1Params params_;
+  Rng rng_;
+  DynamicAreaEstimator estimator_;
+  Stage1Hooks hooks_;
+  CostTerms current_;
+  CostAudit* audit_ = nullptr;
+  BatchStats stats_;
+  std::uint64_t slot_seed_base_ = 0;
+  BinGrid regions_;
+};
+
+}  // namespace tw

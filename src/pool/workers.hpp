@@ -1,0 +1,78 @@
+// Fixed crew of slot-claiming worker threads for intra-run parallelism.
+//
+// The ReplicaPool's executor (src/pool/executor.*) parallelizes across
+// independent flows; WorkerCrew parallelizes *inside* one algorithm: a
+// caller repeatedly hands it a batch of independent slots (speculative
+// move evaluations, per-replica state replays) and blocks until every
+// slot has run. Threads are spawned once and parked between batches, so
+// the per-batch overhead is one wake/join handshake, not thread churn.
+//
+// Determinism contract: the crew guarantees only that each slot index in
+// [0, num_slots) is executed exactly once per run() and that run() is a
+// full barrier (all slot effects happen-before run() returns). Which
+// worker claims which slot is scheduling-dependent — callers that need
+// thread-count-independent results must key all randomness and all
+// output locations off the *slot* index (see derive_slot_seed and the
+// parallel annealer's commit pass), never off the worker id.
+//
+// The worker id passed to the job selects per-worker scratch (one
+// workspace per worker, like the router's SearchWorkspace pattern); two
+// slots running concurrently always see different worker ids.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tw {
+
+class WorkerCrew {
+public:
+  /// Runs one slot: `job(worker, slot)`. `worker` is in [0, num_workers)
+  /// and is stable for the duration of the slot; `slot` is in
+  /// [0, num_slots) of the current run() call.
+  using Job = std::function<void(int worker, int slot)>;
+
+  /// Spawns `num_workers - 1` helper threads (the calling thread of
+  /// run() participates as worker 0). num_workers <= 1 spawns nothing
+  /// and run() degenerates to a serial loop.
+  explicit WorkerCrew(int num_workers);
+  ~WorkerCrew();
+
+  WorkerCrew(const WorkerCrew&) = delete;
+  WorkerCrew& operator=(const WorkerCrew&) = delete;
+
+  int num_workers() const { return num_workers_; }
+
+  /// Executes `job` for every slot in [0, num_slots), distributing slots
+  /// over the crew by atomic claiming, and returns when all have
+  /// finished. If any slot throws, the batch drains (remaining slots are
+  /// skipped), and the first exception is rethrown on the caller.
+  /// Not reentrant: one run() at a time.
+  void run(int num_slots, const Job& job);
+
+private:
+  void worker_main(int worker);
+  void claim_loop(int worker);
+
+  const int num_workers_;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  std::uint64_t generation_ = 0;  // bumped per run(); wakes the helpers
+  int helpers_running_ = 0;
+  bool shutdown_ = false;
+  const Job* job_ = nullptr;
+  int num_slots_ = 0;
+  std::atomic<int> next_slot_{0};
+  std::exception_ptr first_error_;  // guarded by mu_
+};
+
+}  // namespace tw

@@ -33,8 +33,11 @@ namespace tw::recover {
 /// Bumped on any incompatible change to the payload encoding. Readers
 /// reject other versions with kBadVersion (no silent migration).
 /// Version history: 2 added stage-2 cursors; 3 added the multilevel
-/// refinement phase (kMultilevelRefine + its warm-start fields).
-inline constexpr std::uint32_t kCheckpointVersion = 3;
+/// refinement phase (kMultilevelRefine + its warm-start fields); 4 added
+/// the parallel stage-1 phase (kParallelStage1 — same cursor payload as
+/// kStage1, since per-slot RNG streams are re-derived from the master
+/// seed, but the phase tag selects the parallel engine on resume).
+inline constexpr std::uint32_t kCheckpointVersion = 4;
 
 /// The annealer-owned essentials of one cell; everything else in CellState
 /// is a pure function of (netlist, these) and is rebuilt on restore.
@@ -58,9 +61,10 @@ PackedPlacement pack_placement(const Placement& p);
 void apply_placement(Placement& p, const PackedPlacement& packed);
 
 enum class FlowPhase : std::uint8_t {
-  kStage1 = 0,           ///< TimberWolfMC flow, stage-1 anneal in flight
-  kStage2 = 1,           ///< TimberWolfMC flow, stage-2 refinement in flight
-  kMultilevelRefine = 2  ///< MultilevelFlow, refinement anneal in flight
+  kStage1 = 0,            ///< TimberWolfMC flow, stage-1 anneal in flight
+  kStage2 = 1,            ///< TimberWolfMC flow, stage-2 refinement in flight
+  kMultilevelRefine = 2,  ///< MultilevelFlow, refinement anneal in flight
+  kParallelStage1 = 3     ///< stage-1 anneal on the parallel engine
 };
 const char* to_string(FlowPhase p);
 
@@ -73,8 +77,10 @@ struct FlowCheckpoint {
   std::uint64_t digest = 0;  ///< netlist_digest of the source netlist
   FlowPhase phase = FlowPhase::kStage1;
 
-  /// Valid when phase == kStage1 or kMultilevelRefine (the multilevel
-  /// refinement is a stage-1 anneal; its cursor rides here).
+  /// Valid when phase == kStage1, kParallelStage1 or kMultilevelRefine
+  /// (the multilevel refinement is a stage-1 anneal; its cursor rides
+  /// here — the parallel engine re-derives slot streams from the master
+  /// seed, so the serial cursor carries everything it needs).
   Stage1Cursor s1;
 
   /// Valid when phase == kMultilevelRefine: the warm start is complete and

@@ -98,6 +98,18 @@ Netlist generate_circuit(const CircuitSpec& spec) {
   std::vector<int> degree(static_cast<std::size_t>(spec.num_nets), 2);
   {
     int remaining = net_pins - 2 * spec.num_nets;
+    // Hub nets first: each takes its fanout off the top of the extra-pin
+    // pool (so the requested total pin count still holds exactly), the
+    // long tail below shares what is left.
+    const int hubs = std::min(spec.hub_nets, spec.num_nets);
+    for (int h = 0; h < hubs && remaining > 0; ++h) {
+      const int want = std::max(
+          0, static_cast<int>(spec.hub_fanout *
+                              static_cast<double>(spec.num_cells)) - 2);
+      const int take = std::min(want, remaining);
+      degree[static_cast<std::size_t>(h)] += take;
+      remaining -= take;
+    }
     // 10 percent of nets are "fat" and soak up most of the extra pins, so
     // the majority of nets keep the realistic 2-3 pin degrees.
     const int fat = std::max(1, spec.num_nets / 10);
@@ -238,6 +250,11 @@ CircuitSpec soc_circuit(SocTier tier, std::uint64_t seed) {
   // the 10k tier stays placeable in CI time.
   spec.custom_fraction = 0.0;
   spec.group_fraction = 0.0;
+  // Two chip-spanning hub nets (a clock and a reset): every real SoC has
+  // them, and they are the reason the clustering layer caps aggregated
+  // coarse-net degree (uncapped, each would become one coarse net touching
+  // most clusters and turn every coarse move into a full-net rescan).
+  spec.hub_nets = 2;
   spec.seed = seed;
   return spec;
 }

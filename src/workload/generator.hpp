@@ -37,6 +37,16 @@ struct CircuitSpec {
   double group_fraction = 0.3;  ///< custom pins assigned to pin groups
   double equiv_fraction = 0.03; ///< pins that get an equivalent partner
   double locality = 0.35;       ///< cluster radius for net locality (0..1]
+
+  /// Deliberate hub nets (clock / reset): the first `hub_nets` nets each
+  /// fan out to ~hub_fanout * num_cells pins, drawn from the same
+  /// extra-pin pool as the long tail, so the exact total pin count is
+  /// preserved. Off by default; the SoC tiers enable them — a macro-level
+  /// SoC netlist always has a few chip-spanning nets, and they are what
+  /// ClusterParams::max_aggregated_degree exists for.
+  int hub_nets = 0;
+  double hub_fanout = 0.2;
+
   std::uint64_t seed = 1;
 };
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 #include <vector>
 
@@ -98,6 +99,109 @@ TEST(Cluster, PinAggregationConservesNets) {
   EXPECT_EQ(static_cast<std::size_t>(mapped), c.coarse.num_nets());
   EXPECT_GT(mapped, 0);
   EXPECT_GT(dropped, 0) << "test circuit should produce intra-cluster nets";
+}
+
+/// A circuit with one deliberate hub net (a clock) touching every cell,
+/// plus a chain of 2-pin nets that gives the clusterer real affinity.
+Netlist hub_circuit(int cells) {
+  Netlist nl;
+  for (int i = 0; i < cells; ++i)
+    nl.add_macro("c" + std::to_string(i), {Rect{0, 0, 8, 8}});
+  const NetId hub = nl.add_net("clk", 1.0, 1.0);
+  for (CellId c = 0; c < cells; ++c)
+    nl.add_fixed_pin(c, "clk" + std::to_string(c), hub, Point{4, 4});
+  for (CellId c = 0; c + 1 < cells; ++c) {
+    const NetId n = nl.add_net("w" + std::to_string(c), 1.0, 1.0);
+    nl.add_fixed_pin(c, "a" + std::to_string(c), n, Point{8, 4});
+    nl.add_fixed_pin(c + 1, "b" + std::to_string(c), n, Point{0, 4});
+  }
+  nl.validate();
+  return nl;
+}
+
+TEST(Cluster, DegreeCapSplitsHubNetsIntoAChain) {
+  const Netlist nl = hub_circuit(40);
+  ClusterParams params;
+  params.max_cluster_size = 4;
+  params.max_aggregated_degree = 4;
+  const Clustering c = cluster_netlist(nl, params);
+  const ValidationReport vr = validate_clustering(nl, c.coarse, c.map);
+  ASSERT_TRUE(vr.ok()) << vr.str();
+
+  // No coarse net exceeds the cap.
+  for (const Net& cn : c.coarse.nets())
+    EXPECT_LE(cn.pins.size(), 4u) << "coarse net " << cn.id;
+
+  // The hub net split into a chain: several segments, all pointing back at
+  // it, jointly covering every cluster, consecutive ones sharing a
+  // cluster, and coarse_net_of naming the first.
+  const NetId hub = 0;
+  std::vector<NetId> segs;
+  for (NetId cn = 0; cn < static_cast<NetId>(c.coarse.num_nets()); ++cn)
+    if (c.map.flat_net_of[static_cast<std::size_t>(cn)] == hub)
+      segs.push_back(cn);
+  ASSERT_GT(segs.size(), 1u);
+  EXPECT_EQ(c.map.coarse_net_of[static_cast<std::size_t>(hub)], segs.front());
+  std::vector<CellId> covered;
+  std::vector<CellId> prev;
+  for (const NetId seg : segs) {
+    std::vector<CellId> cells;
+    for (const PinId pid : c.coarse.net(seg).pins)
+      cells.push_back(c.coarse.pin(pid).cell);
+    std::sort(cells.begin(), cells.end());
+    if (!prev.empty()) {
+      std::vector<CellId> shared;
+      std::set_intersection(prev.begin(), prev.end(), cells.begin(),
+                            cells.end(), std::back_inserter(shared));
+      EXPECT_EQ(shared.size(), 1u) << "segment " << seg;
+    }
+    covered.insert(covered.end(), cells.begin(), cells.end());
+    prev = std::move(cells);
+  }
+  std::sort(covered.begin(), covered.end());
+  covered.erase(std::unique(covered.begin(), covered.end()), covered.end());
+  EXPECT_EQ(covered.size(), c.coarse.num_cells());
+}
+
+TEST(Cluster, InactiveCapReproducesUncappedClustering) {
+  const Netlist nl = test_circuit();
+  ClusterParams capped;
+  capped.max_aggregated_degree = 64;  // larger than any aggregated degree
+  const Clustering a = cluster_netlist(nl, {});
+  const Clustering b = cluster_netlist(nl, capped);
+  EXPECT_EQ(write_netlist(a.coarse), write_netlist(b.coarse));
+  EXPECT_EQ(a.map.coarse_net_of, b.map.coarse_net_of);
+  EXPECT_EQ(a.map.flat_net_of, b.map.flat_net_of);
+}
+
+TEST(ClusterValidate, RejectsBrokenSegmentChains) {
+  const Netlist nl = hub_circuit(40);
+  ClusterParams params;
+  params.max_cluster_size = 4;
+  params.max_aggregated_degree = 4;
+  const Clustering good = cluster_netlist(nl, params);
+  ASSERT_TRUE(validate_clustering(nl, good.coarse, good.map).ok());
+
+  {  // a trailing segment re-attributed to a different flat net: its own
+     // net loses coverage and the other net gains a foreign segment
+    ClusterMap bad = good.map;
+    for (std::size_t cn = 0; cn < bad.flat_net_of.size(); ++cn)
+      if (bad.flat_net_of[cn] == 0 &&
+          good.map.coarse_net_of[0] != static_cast<NetId>(cn)) {
+        bad.flat_net_of[cn] = 1;
+        break;
+      }
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
+  {  // coarse_net_of pointed at a later segment instead of the first
+    ClusterMap bad = good.map;
+    NetId last = kInvalidNet;
+    for (std::size_t cn = 0; cn < bad.flat_net_of.size(); ++cn)
+      if (bad.flat_net_of[cn] == 0) last = static_cast<NetId>(cn);
+    ASSERT_NE(last, bad.coarse_net_of[0]);
+    bad.coarse_net_of[0] = last;
+    EXPECT_FALSE(validate_clustering(nl, good.coarse, bad).ok());
+  }
 }
 
 TEST(Cluster, DeterministicAcrossThreads) {

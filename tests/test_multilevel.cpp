@@ -132,6 +132,38 @@ TEST(Multilevel, BeatsFlatAnnealOnKnownOptimumUnderSameBudget) {
       << " (optimum " << ko.optimal_teil << ")";
 }
 
+/// The probe gate: deriving the refinement's starting temperature from
+/// the warm placement must not re-scramble a good warm start. On the
+/// known-optimum instance the probed run has to stay in the same quality
+/// band as the fixed-factor run (the failure mode being guarded against —
+/// probing far too hot — lands 2-3x worse, far outside the band), and the
+/// probe must not cost quality against the flat-anneal baseline either.
+TEST(Multilevel, ProbedRefineTemperatureKeepsKnownOptimumQuality) {
+  const KnownOptimumCircuit ko = known_optimum_circuit({/*grid=*/8,
+                                                        /*cell_size=*/40,
+                                                        /*seed=*/3});
+  const std::int64_t kMoves = 60000;
+
+  const auto run_ml = [&](bool probe) {
+    recover::RunBudget budget(kMoves, recover::RunBudget::kUnlimited);
+    ClusterWarmStart warm({}, fast_stage1());
+    MultilevelParams params = fast_multilevel(21);
+    params.probe_refine_t = probe;
+    params.recover.budget = &budget;
+    MultilevelFlow flow(ko.netlist, warm, params);
+    Placement placement(ko.netlist);
+    const MultilevelResult r = flow.run(placement);
+    EXPECT_GT(r.final_teil, 0.0);
+    return r.final_teil;
+  };
+
+  const double probed = run_ml(true);
+  const double fixed = run_ml(false);
+  EXPECT_LT(probed, 1.25 * fixed)
+      << "probed " << probed << " vs fixed " << fixed
+      << " (optimum " << ko.optimal_teil << ")";
+}
+
 // --- SoC tier ---------------------------------------------------------------
 // The CI smoke (ctest -L soc): a 1k-macro circuit through the full
 // multilevel flow under a RunBudget. Bounded by moves, not steps, so the

@@ -1,0 +1,4 @@
+#pragma once
+// Not fast.*: first-match assigns this file to `cluster`, whose deps do
+// not include bottom — the carve-out next door must not leak here.
+#include "bottom/b.hpp"

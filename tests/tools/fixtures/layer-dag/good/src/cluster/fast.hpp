@@ -1,0 +1,5 @@
+#pragma once
+// Carve-out group: matches `fast` (declared before the directory
+// catch-all `cluster`), so the bottom include is a declared dep here.
+#include "bottom/b.hpp"
+#include "cluster/c.hpp"

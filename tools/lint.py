@@ -134,13 +134,15 @@ RULES = [
         "raw-thread",
         lambda rel: rel.parts[0] == "src" and rel.parts[:2] != ("src", "pool"),
         re.compile(r"std::j?thread\b|std::async\b|\.detach\s*\("),
-        "threads live only in src/pool (ReplicaPool); library code must "
-        "stay single-threaded and deterministic",
+        "threads live only in src/pool (ReplicaPool for whole-run "
+        "replicas, WorkerCrew for in-run speculation batches); library "
+        "code elsewhere must stay single-threaded and deterministic",
     ),
     (
         "txn-mutation",
         lambda rel: str(rel) in (
             "src/place/stage1.cpp",
+            "src/place/stage1_parallel.cpp",
             "src/refine/stage2.cpp",
         ),
         re.compile(

@@ -86,7 +86,11 @@ ALLOW = re.compile(r"//\s*lint:\s*allow\(([a-z-]+)\)")
 RNG_IMPL_FILES = {"src/util/rng.hpp", "src/util/rng.cpp"}
 
 # txn-reach: the annealer TUs whose transitive callees are audited.
-ANNEALER_ROOT_FILES = {"src/place/stage1.cpp", "src/refine/stage2.cpp"}
+ANNEALER_ROOT_FILES = {
+    "src/place/stage1.cpp",
+    "src/place/stage1_parallel.cpp",
+    "src/refine/stage2.cpp",
+}
 
 # txn-reach: files allowed to invoke placement mutators directly even when
 # reachable from the annealers — the transaction layer itself, the
